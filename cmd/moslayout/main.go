@@ -1,0 +1,117 @@
+// Command moslayout generates and inspects the memory layouts the paper's
+// protocol measures (§VI-B): the 54 growing/random/sliding-window mosaics
+// plus the 4KB/2MB/1GB baselines for one workload on one platform.
+//
+// Usage:
+//
+//	moslayout -workload gups/8GB                 # list the 54 layouts
+//	moslayout -workload gups/8GB -profile       # show the TLB-miss profile
+//	moslayout -workload gups/8GB -layout 2MB    # print one layout's pools
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/experiment"
+	"mosaic/internal/layout"
+	"mosaic/internal/mem"
+	"mosaic/internal/report"
+	"mosaic/internal/workloads"
+)
+
+func main() {
+	var (
+		wlFlag   = flag.String("workload", "gups/8GB", "workload to lay out")
+		platFlag = flag.String("platform", "SandyBridge", "platform whose TLB drives the sliding-window profile")
+		profile  = flag.Bool("profile", false, "print the simulated-PEBS TLB-miss profile")
+		layFlag  = flag.String("layout", "", "print one named layout's pool mosaics")
+		traceDir = flag.String("tracedir", "", "directory for caching workload traces across runs")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*wlFlag)
+	if err != nil {
+		fatal(err)
+	}
+	plat, err := arch.ByName(*platFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	runner := experiment.NewRunner()
+	runner.TraceDir = *traceDir
+	fmt.Fprintf(os.Stderr, "generating %s trace...\n", w.Name())
+	wd, err := runner.Prepare(w)
+	if err != nil {
+		fatal(err)
+	}
+	target := wd.Target
+	miss := layout.ProfileMisses(wd.Trace, plat.Scaled().TLB, target)
+
+	fmt.Printf("workload %s: heap used %dMB, anon used %dMB (space %dMB)\n",
+		w.Name(), target.HeapUsed>>20, target.AnonUsed>>20, target.Space()>>20)
+	hs, he := miss.HotRegion(0.8)
+	fmt.Printf("hot region (80%% of %d TLB misses): [%dMB, %dMB)\n\n", miss.Total(), hs>>20, he>>20)
+
+	lays := target.Standard(miss, 1)
+	lays = append(lays, target.Baseline1G())
+
+	if *profile {
+		printProfile(miss)
+		return
+	}
+	if *layFlag != "" {
+		for _, l := range lays {
+			if l.Name == *layFlag {
+				fmt.Printf("layout %s:\n  heap: %s\n  anon: %s\n  file: %dMB (4KB only)\n",
+					l.Name, l.Cfg.HeapPool, l.Cfg.AnonPool, l.Cfg.FilePoolBytes>>20)
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown layout %q", *layFlag))
+	}
+
+	t := report.NewTable("layout", "2MB bytes", "4KB bytes", "2MB share")
+	for _, l := range lays {
+		by2m := l.Cfg.HeapPool.BytesBySize()[mem.Page2M] + l.Cfg.AnonPool.BytesBySize()[mem.Page2M]
+		by4k := l.Cfg.HeapPool.BytesBySize()[mem.Page4K] + l.Cfg.AnonPool.BytesBySize()[mem.Page4K]
+		total := by2m + by4k
+		share := "1GB"
+		if total > 0 {
+			share = fmt.Sprintf("%.0f%%", 100*float64(by2m)/float64(total))
+		}
+		t.AddRow(l.Name, fmt.Sprintf("%dMB", by2m>>20), fmt.Sprintf("%dMB", by4k>>20), share)
+	}
+	fmt.Println(t.String())
+}
+
+func printProfile(p layout.MissProfile) {
+	total := p.Total()
+	if total == 0 {
+		fmt.Println("no TLB misses recorded")
+		return
+	}
+	var peak uint64
+	for _, c := range p.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Println("TLB-miss histogram (one row per 2MB chunk):")
+	for i, c := range p.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(c*50/peak)+1)
+		fmt.Printf("%6dMB %8d %s\n", i*2, c, bar)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moslayout:", err)
+	os.Exit(1)
+}

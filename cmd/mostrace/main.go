@@ -1,0 +1,162 @@
+// Command mostrace inspects workload memory-access traces: length,
+// footprint, dependence and write mix, and the per-region access
+// distribution — the raw material the whole pipeline consumes.
+//
+// Usage:
+//
+//	mostrace                         # summarize all 19 workloads
+//	mostrace -workload spec06/mcf    # details for one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/cpu"
+	"mosaic/internal/experiment"
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+	"mosaic/internal/report"
+	"mosaic/internal/trace"
+	"mosaic/internal/workloads"
+)
+
+func main() {
+	wlFlag := flag.String("workload", "", "one workload to inspect in detail (default: summarize all)")
+	traceDir := flag.String("tracedir", "", "directory for caching workload traces across runs")
+	flag.Parse()
+
+	runner := experiment.NewRunner()
+	runner.TraceDir = *traceDir
+	if *wlFlag != "" {
+		w, err := workloads.ByName(*wlFlag)
+		if err != nil {
+			fatal(err)
+		}
+		detail(runner, w)
+		return
+	}
+
+	t := report.NewTable("workload", "accesses", "instructions", "footprint", "writes", "dependent")
+	for _, w := range workloads.All() {
+		wd, err := runner.Prepare(w)
+		if err != nil {
+			fatal(err)
+		}
+		tr := wd.Trace
+		writes, deps := mix(tr)
+		t.AddRow(w.Name(),
+			fmt.Sprintf("%d", tr.Len()),
+			fmt.Sprintf("%d", tr.Instructions()),
+			fmt.Sprintf("%dMB", tr.Footprint()>>20),
+			fmt.Sprintf("%.0f%%", 100*writes),
+			fmt.Sprintf("%.0f%%", 100*deps),
+		)
+		fmt.Fprintf(os.Stderr, ".")
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Println(t.String())
+}
+
+func mix(tr *trace.Trace) (writes, deps float64) {
+	var w, d int
+	for _, a := range tr.Accesses {
+		if a.Write {
+			w++
+		}
+		if a.Dep {
+			d++
+		}
+	}
+	n := float64(tr.Len())
+	return float64(w) / n, float64(d) / n
+}
+
+func detail(runner *experiment.Runner, w workloads.Workload) {
+	wd, err := runner.Prepare(w)
+	if err != nil {
+		fatal(err)
+	}
+	tr := wd.Trace
+	writes, deps := mix(tr)
+	fmt.Printf("workload:     %s\n", w.Name())
+	fmt.Printf("accesses:     %d\n", tr.Len())
+	fmt.Printf("instructions: %d (%.1f per access)\n",
+		tr.Instructions(), float64(tr.Instructions())/float64(tr.Len()))
+	fmt.Printf("footprint:    %dMB touched (extent %v)\n", tr.Footprint()>>20, tr.Extent())
+	fmt.Printf("writes:       %.1f%%\n", 100*writes)
+	fmt.Printf("dependent:    %.1f%%\n", 100*deps)
+	fmt.Printf("pools:        heap %dMB used, anon %dMB used\n\n",
+		wd.Target.HeapUsed>>20, wd.Target.AnonUsed>>20)
+
+	// Access histogram over 2MB chunks, densest first.
+	hist := tr.PageHistogram(mem.Page2M)
+	chunks := trace.SortedChunks(hist)
+	fmt.Println("densest 2MB chunks (accesses per chunk):")
+	type kv struct {
+		addr  mem.Addr
+		count uint64
+	}
+	var top []kv
+	for _, c := range chunks {
+		top = append(top, kv{c, hist[c]})
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].count > top[i].count {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	for _, e := range top {
+		off, ok := wd.Target.ConcatOffset(e.addr)
+		loc := "?"
+		if ok {
+			loc = fmt.Sprintf("offset %dMB", off>>20)
+		}
+		fmt.Printf("  %#014x  %8d  (%s)\n", uint64(e.addr), e.count, loc)
+	}
+
+	// Runtime breakdown under a 4KB layout on SandyBridge: where the
+	// cycles go.
+	proc, err := libc.NewProcess(1 << 36)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := mosalloc.Attach(proc, wd.Target.Baseline4K().Cfg); err != nil {
+		fatal(err)
+	}
+	machine, err := cpu.New(arch.SandyBridge.Scaled(), proc.Space())
+	if err != nil {
+		fatal(err)
+	}
+	ctr, bd, err := machine.RunDetailed(tr)
+	if err != nil {
+		fatal(err)
+	}
+	total := bd.Total()
+	fmt.Printf("\nruntime breakdown (4KB pages, SandyBridge): R=%d cycles\n", ctr.R)
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"base work", bd.Base},
+		{"L2 TLB hits", bd.TLBHit},
+		{"walk stalls", bd.WalkStall},
+		{"walker queueing", bd.WalkQueue},
+		{"data stalls", bd.DataStall},
+	} {
+		fmt.Printf("  %-16s %12.0f  (%5.1f%%)\n", c.name, c.v, 100*c.v/total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mostrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package mosaic_test
+
+import (
+	"fmt"
+
+	"mosaic"
+)
+
+// Fitting a preexisting model on the two historical calibration points:
+// the Yaniv model is the line through the 4KB and 2MB measurements.
+func ExampleNewModel() {
+	samples := []mosaic.Sample{
+		{Layout: "4KB", H: 100, M: 200, C: 4000, R: 10000},
+		{Layout: "2MB", H: 10, M: 20, C: 400, R: 7000},
+	}
+	m, _ := mosaic.NewModel("yaniv")
+	if err := m.Fit(samples); err != nil {
+		panic(err)
+	}
+	fmt.Printf("R̂(C=2200) = %.0f\n", m.Predict(0, 0, 2200))
+	// Output:
+	// R̂(C=2200) = 8500
+}
+
+// Building a Mosalloc configuration from the textual mosaic format.
+func ExampleParseLayout() {
+	cfg, _ := mosaic.ParseLayout("4KB:8MB,2MB:16MB,4KB:8MB")
+	fmt.Println(cfg)
+	fmt.Println("total:", cfg.Size()>>20, "MB")
+	// Output:
+	// 4KB:8MB,2MB:16MB,4KB:8MB
+	// total: 32 MB
+}
+
+// Backing an application's heap with a mosaic of page sizes: the core
+// Mosalloc operation.
+func ExampleAttachMosalloc() {
+	proc, _ := mosaic.NewProcess(1 << 36)
+	heap, _ := mosaic.ParseLayout("4KB:8MB,2MB:16MB")
+	msl, _ := mosaic.AttachMosalloc(proc, mosaic.MosallocConfig{
+		HeapPool:      heap,
+		AnonPool:      mosaic.UniformPool(mosaic.Page2M, 16<<20),
+		FilePoolBytes: 1 << 20,
+	})
+	// malloc lands on the heap pool; the first 8MB are 4KB-backed.
+	a, _ := proc.Malloc(1 << 20)
+	ps, _ := msl.PageSizeAt(a)
+	fmt.Println("first allocation backed by", ps, "pages")
+	// Output:
+	// first allocation backed by 4KB pages
+}
+
+// The error metrics of the paper's Equations 1 and 2.
+func ExampleMaxAbsRelErr() {
+	measured := []float64{100, 200, 400}
+	predicted := []float64{110, 190, 400}
+	fmt.Printf("max error %.0f%%\n", 100*mosaic.MaxAbsRelErr(measured, predicted))
+	// Output:
+	// max error 10%
+}

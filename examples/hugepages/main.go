@@ -1,0 +1,97 @@
+// Hugepage tuning: the paper's "high-end user" use case (§V-B). Mosalloc
+// can back just the TLB-hottest region of an application with hugepages,
+// so an operator with a limited hugetlbfs reservation can ask: what is the
+// smallest hugepage budget that recovers most of the all-2MB speedup?
+//
+// This example profiles spec06/mcf's TLB misses (the simulated-PEBS step),
+// finds the hot region, and grows a hugepage window over it until ≥90% of
+// the all-2MB gain is recovered.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	w, err := mosaic.WorkloadByName("spec06/mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := mosaic.Broadwell
+	runner := mosaic.NewRunner()
+	wd, err := runner.Prepare(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(lay mosaic.Layout) uint64 {
+		ctr, err := runner.RunLayout(wd, plat, lay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ctr.R
+	}
+
+	target := wd.Target
+	r4k := run(target.Baseline4K())
+	r2m := run(target.Baseline2M())
+	gain := float64(r4k) - float64(r2m)
+	fmt.Printf("%s on %s: all-4KB %d cycles, all-2MB %d cycles (%.1f%% faster)\n\n",
+		w.Name(), plat.Name, r4k, r2m, 100*gain/float64(r4k))
+
+	profile := mosaic.ProfileMisses(wd.Trace, plat, target)
+	hotStart, hotEnd := profile.HotRegion(0.90)
+	fmt.Printf("hot region [%dMB, %dMB) holds 90%% of the TLB misses\n\n",
+		hotStart>>20, hotEnd>>20)
+
+	space := target.Space()
+	fmt.Printf("%-24s %12s %14s %10s\n", "hugepage window", "2MB budget", "runtime", "recovered")
+	hotSize := hotEnd - hotStart
+	for mult := 1; mult <= 8; mult++ {
+		end := hotStart + hotSize*uint64(mult)/2
+		if end > space {
+			end = space
+		}
+		lay := windowLayout(target, hotStart, end)
+		r := run(lay)
+		recovered := 0.0
+		if gain > 0 {
+			recovered = (float64(r4k) - float64(r)) / gain
+		}
+		fmt.Printf("%-24s %10dMB %14d %9.0f%%\n",
+			fmt.Sprintf("[%dMB, %dMB)", hotStart>>20, end>>20), (end-hotStart)>>20, r, 100*recovered)
+		if recovered >= 0.90 {
+			fmt.Printf("\n→ a %dMB hugepage reservation recovers %.0f%% of the all-2MB\n",
+				(end-hotStart)>>20, 100*recovered)
+			fmt.Printf("  speedup; the full footprint is %dMB.\n", space>>20)
+			return
+		}
+		if end == space {
+			break
+		}
+	}
+	fmt.Println("\n→ this workload needs hugepages over most of its footprint.")
+}
+
+// windowLayout builds a layout whose [start, end) window of the
+// concatenated used space is 2MB-backed, splitting the window across the
+// heap and anonymous pools.
+func windowLayout(t mosaic.LayoutTarget, start, end uint64) mosaic.Layout {
+	clamp := func(v, lo, hi uint64) uint64 {
+		return min(max(v, lo), hi)
+	}
+	heapS, heapE := clamp(start, 0, t.HeapUsed), clamp(end, 0, t.HeapUsed)
+	anonS := clamp(start, t.HeapUsed, t.Space()) - t.HeapUsed
+	anonE := clamp(end, t.HeapUsed, t.Space()) - t.HeapUsed
+	return mosaic.Layout{
+		Name: fmt.Sprintf("window-%dMB", (end-start)>>20),
+		Cfg: mosaic.MosallocConfig{
+			HeapPool:      mosaic.WindowPool(t.HeapCap, heapS, heapE, mosaic.Page2M),
+			AnonPool:      mosaic.WindowPool(t.AnonCap, anonS, anonE, mosaic.Page2M),
+			FilePoolBytes: 1 << 20,
+		},
+	}
+}

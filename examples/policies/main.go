@@ -1,0 +1,105 @@
+// Hugepage-policy comparison: the paper's §V-A related-work survey as a
+// runnable experiment. The same two workloads run under five policies:
+//
+//	4KB           – no hugepages (the baseline)
+//	THP           – transparent hugepages, "always", unfragmented
+//	THP-frag      – THP on a machine with fragmented physical memory
+//	libhugetlbfs  – morecore-only interposition, 2MB pages
+//	mosalloc-2MB  – Mosalloc with all-2MB pools
+//
+// Two workloads expose the difference the paper describes:
+//
+//   - xsbench allocates with malloc, so libhugetlbfs covers it (minus the
+//     arena bug under contention);
+//   - graph500 allocates with direct mmap, which libhugetlbfs cannot
+//     intercept at all — the exact workload the paper names (§V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	for _, wl := range []string{"xsbench/4GB", "graph500/2GB"} {
+		compare(wl)
+		fmt.Println()
+	}
+}
+
+func compare(name string) {
+	w, err := mosaic.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := mosaic.Haswell
+	fmt.Printf("%s on %s\n", w.Name(), plat.Name)
+	fmt.Printf("%-14s %14s %12s %14s %10s\n", "policy", "runtime R", "misses M", "walk cycles C", "vs 4KB")
+
+	var base uint64
+	for _, policy := range []string{"4KB", "THP", "THP-frag", "libhugetlbfs", "mosalloc-2MB"} {
+		ctr, err := runUnder(w, plat, policy)
+		if err != nil {
+			log.Fatalf("%s under %s: %v", name, policy, err)
+		}
+		if policy == "4KB" {
+			base = ctr.R
+		}
+		speedup := 100 * (float64(base) - float64(ctr.R)) / float64(base)
+		fmt.Printf("%-14s %14d %12d %14d %9.1f%%\n", policy, ctr.R, ctr.M, ctr.C, speedup)
+	}
+}
+
+// runUnder generates the workload's trace with the given allocation policy
+// in place and replays it. Each policy yields its own addresses, so the
+// trace is regenerated per policy.
+func runUnder(w mosaic.Workload, plat mosaic.Platform, policy string) (mosaic.Counters, error) {
+	proc, err := mosaic.NewProcess(1 << 38)
+	if err != nil {
+		return mosaic.Counters{}, err
+	}
+	heap, anon := w.PoolBytes()
+
+	switch policy {
+	case "4KB", "THP", "THP-frag":
+		// Plain kernel allocation: 4KB pages everywhere.
+	case "libhugetlbfs":
+		if _, err := mosaic.AttachLibhugetlbfs(proc, mosaic.Page2M, heap+anon); err != nil {
+			return mosaic.Counters{}, err
+		}
+	case "mosalloc-2MB":
+		cfg := mosaic.MosallocConfig{
+			HeapPool:      mosaic.UniformPool(mosaic.Page2M, heap),
+			AnonPool:      mosaic.UniformPool(mosaic.Page2M, anon),
+			FilePoolBytes: 1 << 20,
+		}
+		if _, err := mosaic.AttachMosalloc(proc, cfg); err != nil {
+			return mosaic.Counters{}, err
+		}
+	default:
+		return mosaic.Counters{}, fmt.Errorf("unknown policy %q", policy)
+	}
+
+	tr, err := w.Generate(mosaic.NewAllocator(proc))
+	if err != nil {
+		return mosaic.Counters{}, err
+	}
+
+	switch policy {
+	case "THP":
+		if _, err := mosaic.RunTHPScan(proc, mosaic.DefaultTHPConfig()); err != nil {
+			return mosaic.Counters{}, err
+		}
+	case "THP-frag":
+		cfg := mosaic.DefaultTHPConfig()
+		cfg.SuccessRate = 0.3 // heavily fragmented physical memory
+		cfg.Seed = 42
+		if _, err := mosaic.RunTHPScan(proc, cfg); err != nil {
+			return mosaic.Counters{}, err
+		}
+	}
+
+	return mosaic.RunTrace(plat, proc, tr)
+}

@@ -1,0 +1,151 @@
+package mosaic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic"
+	"mosaic/internal/trace"
+)
+
+// A custom workload through the public API: the downstream-user story.
+func TestFuncWorkloadPipeline(t *testing.T) {
+	w := &mosaic.FuncWorkload{
+		WorkloadName: "custom/scatter",
+		HeapBytes:    16 << 20,
+		GenerateFunc: func(alloc *mosaic.Allocator) (*mosaic.Trace, error) {
+			base, err := alloc.Malloc(16 << 20)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(1))
+			b := trace.NewBuilder("custom/scatter", 30000)
+			for i := 0; i < 30000; i++ {
+				b.Compute(10)
+				b.Load(base + mosaic.Addr(rng.Uint64()%(16<<20)))
+			}
+			return b.Trace(), nil
+		},
+	}
+	runner := mosaic.NewRunner()
+	ds, err := runner.Collect(w, mosaic.SandyBridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 54 {
+		t.Fatalf("samples = %d, want 54", len(ds.Samples))
+	}
+	m, err := mosaic.NewModel("mosmodel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, _, err := mosaic.EvaluateModel(m, ds.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 0.03 {
+		t.Errorf("mosmodel on a custom workload errs %.2f%%", 100*maxErr)
+	}
+}
+
+func TestFuncWorkloadDefaults(t *testing.T) {
+	w := &mosaic.FuncWorkload{WorkloadName: "x"}
+	if w.Suite() != "x" {
+		t.Errorf("default suite = %q", w.Suite())
+	}
+	heap, anon := w.PoolBytes()
+	if heap == 0 || anon == 0 {
+		t.Error("pool bytes must have a floor even with zero hints")
+	}
+	if heap%(2<<20) != 0 || anon%(2<<20) != 0 {
+		t.Error("pool bytes must be 2MB-aligned")
+	}
+	w.SuiteName = "suite"
+	if w.Suite() != "suite" {
+		t.Error("explicit suite ignored")
+	}
+}
+
+// The policies surface: THP and libhugetlbfs through the facade.
+func TestFacadePolicies(t *testing.T) {
+	// THP: a plain 4KB process gets promoted, then runs faster.
+	runPolicy := func(thp bool) mosaic.Counters {
+		proc, err := mosaic.NewProcess(1 << 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := mosaic.WorkloadByName("gups/8GB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Generate(mosaic.NewAllocator(proc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thp {
+			st, err := mosaic.RunTHPScan(proc, mosaic.DefaultTHPConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Promoted == 0 {
+				t.Fatal("THP scan promoted nothing")
+			}
+		}
+		ctr, err := mosaic.RunTrace(mosaic.SandyBridge, proc, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctr
+	}
+	base := runPolicy(false)
+	promoted := runPolicy(true)
+	if promoted.R >= base.R {
+		t.Errorf("THP run (%d) not faster than 4KB run (%d)", promoted.R, base.R)
+	}
+	if promoted.M >= base.M/2 {
+		t.Errorf("THP misses %d not well below 4KB misses %d", promoted.M, base.M)
+	}
+
+	// libhugetlbfs: attaches and serves malloc from hugepages.
+	proc, err := mosaic.NewProcess(1 << 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := mosaic.AttachLibhugetlbfs(proc, mosaic.Page2M, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := proc.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lib.HeapRegion().Contains(a) {
+		t.Error("malloc escaped the libhugetlbfs heap")
+	}
+}
+
+// Partial simulation through the runner: the Figure 1 pipeline.
+func TestFacadePartialSimulate(t *testing.T) {
+	runner := mosaic.NewRunner()
+	w, err := mosaic.WorkloadByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := runner.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := wd.Target.Baseline4K()
+	pm, err := runner.PartialSimulate(wd, mosaic.SandyBridge, lay, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := runner.RunLayout(wd, mosaic.SandyBridge, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.H != full.H || pm.M != full.M || pm.C != full.C {
+		t.Errorf("partial (H=%d M=%d C=%d) vs full (H=%d M=%d C=%d)",
+			pm.H, pm.M, pm.C, full.H, full.M, full.C)
+	}
+}

@@ -1,0 +1,161 @@
+package mosaic
+
+import (
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/experiment"
+	"mosaic/internal/workloads"
+)
+
+// TestPaperLandscape is the repository's golden regression test: it runs
+// the full 54-layout protocol for a representative workload subset on all
+// three platforms and asserts the paper's qualitative findings. If a
+// change to the substrate breaks one of these, the reproduction no longer
+// stands. (~30s; the complete sweep lives in cmd/mosbench and the benches.)
+func TestPaperLandscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-protocol integration test")
+	}
+	r := experiment.NewRunner()
+	subset := []string{"gups/16GB", "spec06/mcf", "spec17/xalancbmk_s", "gapbs/pr-twitter", "gapbs/bfs-road"}
+
+	type key struct{ workload, platform string }
+	errsOf := make(map[key]map[string]float64)
+	sensitive := make(map[key]bool)
+	for _, p := range arch.Experimental {
+		for _, name := range subset {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := r.Collect(w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key{name, p.Name}
+			sensitive[k] = ds.TLBSensitive
+			if !ds.TLBSensitive {
+				continue
+			}
+			list, err := experiment.EvaluateModels(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := make(map[string]float64, len(list))
+			for _, e := range list {
+				m[e.Model] = e.MaxErr
+			}
+			errsOf[k] = m
+		}
+	}
+
+	// §VI-A/D: gapbs/bfs-road is TLB-sensitive on the small-TLB machines
+	// and insensitive on Broadwell.
+	if !sensitive[key{"gapbs/bfs-road", "SandyBridge"}] {
+		t.Error("bfs-road should be TLB-sensitive on SandyBridge")
+	}
+	if !sensitive[key{"gapbs/bfs-road", "Haswell"}] {
+		t.Error("bfs-road should be TLB-sensitive on Haswell")
+	}
+	if sensitive[key{"gapbs/bfs-road", "Broadwell"}] {
+		t.Error("bfs-road should be TLB-insensitive on Broadwell")
+	}
+
+	worst := map[string]float64{}
+	for _, m := range errsOf {
+		for name, e := range m {
+			if e > worst[name] {
+				worst[name] = e
+			}
+		}
+	}
+
+	// Figure 2's shape: the preexisting 4KB-anchored models fail by
+	// roughly 2 orders of magnitude more than Mosmodel...
+	if worst["basu"] < 0.5 || worst["pham"] < 0.5 {
+		t.Errorf("basu/pham worst errors %.2f/%.2f suspiciously low (paper: ≈1.9/1.8)",
+			worst["basu"], worst["pham"])
+	}
+	// ...the 2MB-anchored linear models fail too...
+	if worst["gandhi"] < 0.3 || worst["alam"] < 0.3 {
+		t.Errorf("gandhi/alam worst errors %.2f/%.2f suspiciously low", worst["gandhi"], worst["alam"])
+	}
+	// ...Yaniv is the best prior model but still visibly off somewhere...
+	if worst["yaniv"] < 0.01 {
+		t.Errorf("yaniv worst error %.4f implausibly low", worst["yaniv"])
+	}
+	if worst["yaniv"] > worst["basu"] {
+		t.Error("yaniv should beat basu")
+	}
+	// ...and Mosmodel honours its 3% bound and beats every other model's
+	// worst case.
+	if worst["mosmodel"] > 0.03 {
+		t.Errorf("mosmodel worst error %.4f exceeds the 3%% bound", worst["mosmodel"])
+	}
+	for _, other := range []string{"pham", "alam", "gandhi", "basu", "yaniv", "poly1"} {
+		if worst["mosmodel"] > worst[other] {
+			t.Errorf("mosmodel (%.4f) should beat %s (%.4f)", worst["mosmodel"], other, worst[other])
+		}
+	}
+
+	// §VI-D: on Broadwell, gups's walk cycles exceed its runtime.
+	bdwGups := key{"gups/16GB", "Broadwell"}
+	w, _ := workloads.ByName("gups/16GB")
+	ds, err := r.Collect(w, arch.Broadwell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4k, ok := ds.Baseline("4KB")
+	if !ok {
+		t.Fatal("missing 4KB baseline")
+	}
+	if s4k.C <= s4k.R {
+		t.Errorf("Broadwell gups: C=%v should exceed R=%v (two walkers)", s4k.C, s4k.R)
+	}
+	_ = bdwGups
+
+	// Figure 9: xalancbmk's fitted slope exceeds 1 on Broadwell.
+	wx, _ := workloads.ByName("spec17/xalancbmk_s")
+	dsx, err := r.Collect(wx, arch.Broadwell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, err := experiment.FittedSlope(dsx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope <= 1 {
+		t.Errorf("xalancbmk Broadwell slope = %.2f, want > 1", slope)
+	}
+}
+
+// TestAllWorkloadsGenerate generates every one of the 19 workloads once
+// and checks the trace invariants the pipeline depends on.
+func TestAllWorkloadsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all 19 workloads")
+	}
+	r := experiment.NewRunner()
+	for _, w := range workloads.All() {
+		wd, err := r.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		tr := wd.Trace
+		if tr.Len() < 50_000 {
+			t.Errorf("%s: trace too short (%d)", w.Name(), tr.Len())
+		}
+		if tr.Instructions() <= uint64(tr.Len()) {
+			t.Errorf("%s: implausible instruction count", w.Name())
+		}
+		// bfs-road's working set is deliberately tiny (its whole point);
+		// everything else touches at least a MB.
+		if tr.Footprint() < 512<<10 {
+			t.Errorf("%s: footprint %d suspiciously small", w.Name(), tr.Footprint())
+		}
+		if err := wd.Target.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package arch defines the modelled processor platforms. The three
+// experimental machines follow Tables 3 and 4 of the paper (SandyBridge
+// Xeon E5-2420, Haswell Xeon E7-4830 v3, Broadwell Xeon E7-8890 v4), and
+// the TLB configurations for IvyBridge and Skylake are included for
+// completeness of Table 4.
+package arch
+
+import "fmt"
+
+// TLBConfig describes the two-level TLB of one microarchitecture, following
+// the paper's Table 4. Entry counts of zero mean the structure does not
+// hold translations of that page size (e.g. SandyBridge's L2 TLB caches
+// 4KB translations only, so 2MB L1 misses go straight to a page walk).
+type TLBConfig struct {
+	// L1 entry counts per page size (the L1 TLB is split by page size).
+	L1Entries4K int
+	L1Entries2M int
+	L1Entries1G int
+	// L2 ("STLB") entry count for 4KB translations.
+	L2Entries4K int
+	// L2Shared2M reports whether 2MB translations share the L2 with 4KB
+	// ones (Haswell and later); if false and L2Entries2M is zero, 2MB
+	// translations are not L2-cached at all.
+	L2Shared2M bool
+	// L2Entries1G is the number of dedicated 1GB L2 entries (Broadwell+).
+	L2Entries1G int
+	// Associativities.
+	L1Assoc int
+	L2Assoc int
+	// L2LatencyCycles is the added translation latency of an L1 miss that
+	// hits in the L2 TLB: 7 cycles on Intel (the constant the Pham model
+	// hard-codes).
+	L2LatencyCycles int
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes    int
+	LineBytes    int
+	Assoc        int
+	LatencyCycle int
+}
+
+// PWCConfig sizes the page-walk caches: small translation-path caches that
+// let the walker skip upper page-table levels.
+type PWCConfig struct {
+	// PML4E/PDPTE/PDE entry counts (each fully associative in the model).
+	PML4Entries int
+	PDPTEntries int
+	PDEntries   int
+}
+
+// OOOConfig parameterizes the latency-hiding ability of the out-of-order
+// engine in the timing model. Hiding grows with the instruction gap between
+// translation misses and saturates at HideMax; walker queueing and cache
+// pollution provide the opposing super-linear term.
+type OOOConfig struct {
+	// HideMax is the maximum fraction of a page-walk latency the core can
+	// overlap with useful work when misses are far apart.
+	HideMax float64
+	// HideGap is the instruction gap (between consecutive L2 TLB misses)
+	// at which half of HideMax is achieved.
+	HideGap float64
+	// L2TLBHitHide is the fraction of the 7-cycle L2 TLB hit latency that
+	// stays hidden.
+	L2TLBHitHide float64
+	// DataHide is the fraction of ordinary data-access latency hidden.
+	DataHide float64
+	// IndepWalkHide is the fraction of walk latency hidden for accesses
+	// that do not depend on a previous access's result (memory-level
+	// parallelism lets independent walks overlap with program progress,
+	// bounded by walker throughput).
+	IndepWalkHide float64
+	// IndepDataHide is the corresponding fraction for independent data
+	// accesses.
+	IndepDataHide float64
+}
+
+// Platform is one complete modelled machine.
+type Platform struct {
+	Name string
+	// Year and frequency are informational (Table 3/4).
+	Year    int
+	FreqGHz float64
+	Sockets int
+	Cores   int
+	TLB     TLBConfig
+	L1D     CacheConfig
+	L2      CacheConfig
+	L3      CacheConfig
+	DRAMLat int
+	PWC     PWCConfig
+	// PageWalkers is the number of concurrent hardware page-table walkers
+	// (1 before Broadwell, 2 from Broadwell on).
+	PageWalkers int
+	// BaseCPI is the cycles-per-instruction of the modelled core for
+	// non-memory work.
+	BaseCPI float64
+	OOO     OOOConfig
+}
+
+// String returns the platform name.
+func (p Platform) String() string { return p.Name }
+
+// Scaled returns the platform with its capacity-like structures shrunk to
+// match the repository's scaled-down workload footprints (tens of MB
+// instead of the paper's 1.7-32GB). The experiments run on scaled
+// platforms so that the *pressure ratios* — footprint vs TLB reach, page
+// table vs cache capacity, hot region vs PWC coverage — approximate the
+// paper's, which is what shapes the runtime-vs-walk-cycles curves the
+// models are judged on.
+//
+// Scaling rules (latencies, associativities, L1 structures, walker counts
+// and the microarchitectural differences of Table 4 are preserved):
+//
+//   - L2 TLB 4KB entries ÷4 (SandyBridge 512→128, Haswell 1024→256,
+//     Broadwell 1536→384; the 1:2:3 progression survives);
+//   - L3 ÷15 (15/30/60MB → 1/2/4MB, preserving 1:2:4);
+//   - L2 cache ÷2 (256KB → 128KB);
+//   - page-walk-cache PDE entries ÷6 (24-32 → 4-6).
+func (p Platform) Scaled() Platform {
+	s := p
+	s.TLB.L2Entries4K = max(16, p.TLB.L2Entries4K/4)
+	s.L3.SizeBytes = roundToSets(p.L3.SizeBytes/15, p.L3)
+	s.L2.SizeBytes = roundToSets(p.L2.SizeBytes/2, p.L2)
+	s.PWC.PDEntries = max(2, p.PWC.PDEntries/6)
+	s.PWC.PDPTEntries = max(2, p.PWC.PDPTEntries/2)
+	return s
+}
+
+// WithHyperThreading returns the platform as seen by one logical core with
+// hyper-threading enabled: Intel statically splits the L1 and L2 TLB
+// entries between the two logical cores (§VI-A — the reason the paper's
+// machines run with HT off in BIOS). Caches are shared dynamically and are
+// left unchanged; this models the TLB-capacity half of the story.
+func (p Platform) WithHyperThreading() Platform {
+	s := p
+	s.Name = p.Name + "+HT"
+	s.TLB.L1Entries4K = max(1, p.TLB.L1Entries4K/2)
+	s.TLB.L1Entries2M = max(1, p.TLB.L1Entries2M/2)
+	s.TLB.L1Entries1G = max(1, p.TLB.L1Entries1G/2)
+	s.TLB.L2Entries4K = max(1, p.TLB.L2Entries4K/2)
+	if p.TLB.L2Entries1G > 0 {
+		s.TLB.L2Entries1G = max(1, p.TLB.L2Entries1G/2)
+	}
+	return s
+}
+
+// roundToSets rounds a cache size down to a whole number of sets so the
+// scaled geometry stays valid.
+func roundToSets(size int, c CacheConfig) int {
+	unit := c.LineBytes * c.Assoc
+	n := size / unit
+	if n < 1 {
+		n = 1
+	}
+	return n * unit
+}
+
+// Validate sanity-checks a platform definition.
+func (p Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("arch: platform has no name")
+	}
+	if p.PageWalkers < 1 {
+		return fmt.Errorf("arch: %s: need at least one page walker", p.Name)
+	}
+	if p.TLB.L1Entries4K <= 0 || p.TLB.L1Assoc <= 0 || p.TLB.L2Assoc <= 0 {
+		return fmt.Errorf("arch: %s: bad TLB config", p.Name)
+	}
+	for _, c := range []CacheConfig{p.L1D, p.L2, p.L3} {
+		if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+			return fmt.Errorf("arch: %s: bad cache config", p.Name)
+		}
+		if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+			return fmt.Errorf("arch: %s: cache size %d not divisible into %d-way sets of %dB lines",
+				p.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+		}
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("arch: %s: bad base CPI", p.Name)
+	}
+	return nil
+}
+
+// The three experimental platforms (Table 3) with TLB parameters from
+// Table 4. Cache latencies follow Intel's optimization manual ballpark
+// (L1 4, L2 12, L3 ~40, DRAM ~200 cycles).
+var (
+	// SandyBridge models the 1.9GHz Xeon E5-2420: 512-entry 4KB-only L2
+	// TLB, one page walker, 15MB L3.
+	SandyBridge = Platform{
+		Name: "SandyBridge", Year: 2011, FreqGHz: 1.9, Sockets: 2, Cores: 6,
+		TLB: TLBConfig{
+			L1Entries4K: 64, L1Entries2M: 32, L1Entries1G: 4,
+			L2Entries4K: 512, L2Shared2M: false, L2Entries1G: 0,
+			L1Assoc: 4, L2Assoc: 4, L2LatencyCycles: 7,
+		},
+		L1D:         CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:          CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 15 << 20, LineBytes: 64, Assoc: 20, LatencyCycle: 40},
+		DRAMLat:     220,
+		PWC:         PWCConfig{PML4Entries: 2, PDPTEntries: 4, PDEntries: 24},
+		PageWalkers: 1,
+		BaseCPI:     0.55,
+		OOO:         OOOConfig{HideMax: 0.55, HideGap: 220, L2TLBHitHide: 0.55, DataHide: 0.45, IndepWalkHide: 0.80, IndepDataHide: 0.88},
+	}
+
+	// IvyBridge matches SandyBridge's TLB organization (Table 4); it is not
+	// one of the three measured machines but completes the table.
+	IvyBridge = Platform{
+		Name: "IvyBridge", Year: 2012, FreqGHz: 2.0, Sockets: 2, Cores: 6,
+		TLB: TLBConfig{
+			L1Entries4K: 64, L1Entries2M: 32, L1Entries1G: 4,
+			L2Entries4K: 512, L2Shared2M: false, L2Entries1G: 0,
+			L1Assoc: 4, L2Assoc: 4, L2LatencyCycles: 7,
+		},
+		L1D:         CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:          CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 15 << 20, LineBytes: 64, Assoc: 20, LatencyCycle: 40},
+		DRAMLat:     215,
+		PWC:         PWCConfig{PML4Entries: 2, PDPTEntries: 4, PDEntries: 24},
+		PageWalkers: 1,
+		BaseCPI:     0.53,
+		OOO:         OOOConfig{HideMax: 0.56, HideGap: 215, L2TLBHitHide: 0.55, DataHide: 0.46, IndepWalkHide: 0.81, IndepDataHide: 0.88},
+	}
+
+	// Haswell models the 2.1GHz Xeon E7-4830 v3: 1024-entry shared L2 TLB,
+	// still one walker, 30MB L3.
+	Haswell = Platform{
+		Name: "Haswell", Year: 2013, FreqGHz: 2.1, Sockets: 2, Cores: 12,
+		TLB: TLBConfig{
+			L1Entries4K: 64, L1Entries2M: 32, L1Entries1G: 4,
+			L2Entries4K: 1024, L2Shared2M: true, L2Entries1G: 0,
+			L1Assoc: 4, L2Assoc: 8, L2LatencyCycles: 7,
+		},
+		L1D:         CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:          CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 30 << 20, LineBytes: 64, Assoc: 20, LatencyCycle: 44},
+		DRAMLat:     210,
+		PWC:         PWCConfig{PML4Entries: 2, PDPTEntries: 4, PDEntries: 32},
+		PageWalkers: 1,
+		BaseCPI:     0.50,
+		OOO:         OOOConfig{HideMax: 0.60, HideGap: 200, L2TLBHitHide: 0.60, DataHide: 0.50, IndepWalkHide: 0.83, IndepDataHide: 0.90},
+	}
+
+	// Broadwell models the 2.2GHz Xeon E7-8890 v4: 1536-entry shared L2 TLB
+	// with 16 dedicated 1GB entries, two page walkers, 60MB L3. The second
+	// walker lets the walk-cycle counter C exceed the runtime R for
+	// walk-bound workloads (gups), reproducing the negative Basu ideal
+	// runtimes of §VI-D.
+	Broadwell = Platform{
+		Name: "Broadwell", Year: 2014, FreqGHz: 2.2, Sockets: 4, Cores: 24,
+		TLB: TLBConfig{
+			L1Entries4K: 64, L1Entries2M: 32, L1Entries1G: 4,
+			L2Entries4K: 1536, L2Shared2M: true, L2Entries1G: 16,
+			L1Assoc: 4, L2Assoc: 12, L2LatencyCycles: 7,
+		},
+		L1D:         CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:          CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 60 << 20, LineBytes: 64, Assoc: 20, LatencyCycle: 48},
+		DRAMLat:     190,
+		PWC:         PWCConfig{PML4Entries: 2, PDPTEntries: 4, PDEntries: 32},
+		PageWalkers: 2,
+		BaseCPI:     0.48,
+		OOO:         OOOConfig{HideMax: 0.65, HideGap: 190, L2TLBHitHide: 0.76, DataHide: 0.52, IndepWalkHide: 0.86, IndepDataHide: 0.91},
+	}
+
+	// Skylake completes Table 4 (1536-entry shared L2, 16×1GB, 2 walkers).
+	Skylake = Platform{
+		Name: "Skylake", Year: 2015, FreqGHz: 2.3, Sockets: 2, Cores: 14,
+		TLB: TLBConfig{
+			L1Entries4K: 64, L1Entries2M: 32, L1Entries1G: 4,
+			L2Entries4K: 1536, L2Shared2M: true, L2Entries1G: 16,
+			L1Assoc: 4, L2Assoc: 12, L2LatencyCycles: 7,
+		},
+		L1D:         CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:          CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 12},
+		L3:          CacheConfig{SizeBytes: 35 << 20, LineBytes: 64, Assoc: 16, LatencyCycle: 44},
+		DRAMLat:     185,
+		PWC:         PWCConfig{PML4Entries: 2, PDPTEntries: 4, PDEntries: 32},
+		PageWalkers: 2,
+		BaseCPI:     0.45,
+		OOO:         OOOConfig{HideMax: 0.66, HideGap: 185, L2TLBHitHide: 0.76, DataHide: 0.52, IndepWalkHide: 0.87, IndepDataHide: 0.91},
+	}
+)
+
+// Experimental lists the three machines of Table 3, in the order the
+// paper's figures use.
+var Experimental = []Platform{Broadwell, Haswell, SandyBridge}
+
+// All lists every defined platform (Table 4).
+var All = []Platform{SandyBridge, IvyBridge, Haswell, Broadwell, Skylake}
+
+// ByName returns the platform with the given name.
+func ByName(name string) (Platform, error) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("arch: unknown platform %q", name)
+}

@@ -1,0 +1,152 @@
+package arch
+
+import "testing"
+
+func TestAllPlatformsValid(t *testing.T) {
+	for _, p := range All {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTable4Progression(t *testing.T) {
+	// The paper's Table 4: TLBs grow across generations.
+	if SandyBridge.TLB.L2Entries4K != 512 {
+		t.Errorf("SandyBridge L2 TLB = %d, want 512", SandyBridge.TLB.L2Entries4K)
+	}
+	if Haswell.TLB.L2Entries4K != 1024 || !Haswell.TLB.L2Shared2M {
+		t.Errorf("Haswell L2 TLB = %d shared=%v, want 1024 shared", Haswell.TLB.L2Entries4K, Haswell.TLB.L2Shared2M)
+	}
+	if Broadwell.TLB.L2Entries4K != 1536 || Broadwell.TLB.L2Entries1G != 16 {
+		t.Errorf("Broadwell L2 TLB = %d/%d, want 1536/16", Broadwell.TLB.L2Entries4K, Broadwell.TLB.L2Entries1G)
+	}
+	// SandyBridge's L2 holds 4KB translations only.
+	if SandyBridge.TLB.L2Shared2M || SandyBridge.TLB.L2Entries1G != 0 {
+		t.Error("SandyBridge L2 TLB must be 4KB-only")
+	}
+	// Page walkers: one before Broadwell, two after.
+	for _, p := range []Platform{SandyBridge, IvyBridge, Haswell} {
+		if p.PageWalkers != 1 {
+			t.Errorf("%s walkers = %d, want 1", p.Name, p.PageWalkers)
+		}
+	}
+	for _, p := range []Platform{Broadwell, Skylake} {
+		if p.PageWalkers != 2 {
+			t.Errorf("%s walkers = %d, want 2", p.Name, p.PageWalkers)
+		}
+	}
+}
+
+func TestTable3L3Sizes(t *testing.T) {
+	if SandyBridge.L3.SizeBytes != 15<<20 || Haswell.L3.SizeBytes != 30<<20 || Broadwell.L3.SizeBytes != 60<<20 {
+		t.Error("L3 sizes must follow Table 3 (15/30/60 MB)")
+	}
+}
+
+func TestL1TLBIdenticalAcrossGenerations(t *testing.T) {
+	for _, p := range All {
+		tl := p.TLB
+		if tl.L1Entries4K != 64 || tl.L1Entries2M != 32 || tl.L1Entries1G != 4 {
+			t.Errorf("%s L1 TLB = %d/%d/%d, want 64/32/4", p.Name,
+				tl.L1Entries4K, tl.L1Entries2M, tl.L1Entries1G)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Haswell")
+	if err != nil || p.Name != "Haswell" {
+		t.Errorf("ByName(Haswell) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("Pentium"); err == nil {
+		t.Error("unknown platform should fail")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := SandyBridge
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("empty name should fail")
+	}
+	bad = SandyBridge
+	bad.PageWalkers = 0
+	if bad.Validate() == nil {
+		t.Error("zero walkers should fail")
+	}
+	bad = SandyBridge
+	bad.L1D.SizeBytes = 1000 // not divisible into sets
+	if bad.Validate() == nil {
+		t.Error("bad cache geometry should fail")
+	}
+	bad = SandyBridge
+	bad.BaseCPI = 0
+	if bad.Validate() == nil {
+		t.Error("zero CPI should fail")
+	}
+}
+
+func TestExperimentalPlatforms(t *testing.T) {
+	if len(Experimental) != 3 {
+		t.Fatalf("Experimental has %d platforms, want 3", len(Experimental))
+	}
+	names := map[string]bool{}
+	for _, p := range Experimental {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"SandyBridge", "Haswell", "Broadwell"} {
+		if !names[want] {
+			t.Errorf("Experimental missing %s", want)
+		}
+	}
+}
+
+func TestScaledPreservesStructure(t *testing.T) {
+	for _, p := range All {
+		s := p.Scaled()
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s scaled: %v", p.Name, err)
+		}
+		// Latencies, L1 structures, walkers, and microarch flags survive.
+		if s.PageWalkers != p.PageWalkers || s.TLB.L2Shared2M != p.TLB.L2Shared2M {
+			t.Errorf("%s: scaling changed microarch flags", p.Name)
+		}
+		if s.TLB.L1Entries4K != p.TLB.L1Entries4K {
+			t.Errorf("%s: scaling changed the L1 TLB", p.Name)
+		}
+		if s.DRAMLat != p.DRAMLat || s.L1D != p.L1D {
+			t.Errorf("%s: scaling changed latencies or L1d", p.Name)
+		}
+	}
+	// The 1:2:3 L2 TLB progression survives.
+	if Haswell.Scaled().TLB.L2Entries4K != 2*SandyBridge.Scaled().TLB.L2Entries4K {
+		t.Error("scaled Haswell L2 TLB should stay 2x SandyBridge")
+	}
+	if Broadwell.Scaled().TLB.L2Entries4K != 3*SandyBridge.Scaled().TLB.L2Entries4K {
+		t.Error("scaled Broadwell L2 TLB should stay 3x SandyBridge")
+	}
+}
+
+func TestWithHyperThreading(t *testing.T) {
+	ht := Broadwell.WithHyperThreading()
+	if err := ht.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ht.TLB.L1Entries4K != Broadwell.TLB.L1Entries4K/2 {
+		t.Errorf("HT L1 TLB = %d", ht.TLB.L1Entries4K)
+	}
+	if ht.TLB.L2Entries4K != Broadwell.TLB.L2Entries4K/2 {
+		t.Errorf("HT L2 TLB = %d", ht.TLB.L2Entries4K)
+	}
+	if ht.TLB.L2Entries1G != Broadwell.TLB.L2Entries1G/2 {
+		t.Errorf("HT 1GB L2 TLB = %d", ht.TLB.L2Entries1G)
+	}
+	// Caches are shared dynamically, not split.
+	if ht.L3 != Broadwell.L3 {
+		t.Error("HT must not change the caches")
+	}
+	if ht.Name == Broadwell.Name {
+		t.Error("HT platform needs a distinct name")
+	}
+}

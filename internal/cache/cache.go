@@ -1,0 +1,268 @@
+// Package cache models the on-chip data-cache hierarchy (L1d, L2, L3) plus
+// DRAM. The page-table walker's loads go through the same hierarchy as
+// program loads, so walker activity pollutes the caches and evicts warm
+// application data — the mechanism behind the paper's Table 7 observation
+// (extra L3 loads under 4KB pages) and the >1 model slopes of Figure 9.
+package cache
+
+import (
+	"fmt"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/mem"
+)
+
+// Level identifies where an access was served.
+type Level int
+
+// Hierarchy levels, in lookup order.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// Cache is one set-associative, LRU-replacement cache level indexed and
+// tagged by physical address.
+type Cache struct {
+	name     string
+	sets     int
+	assoc    int
+	lineBits uint
+	lines    []line // sets*assoc, set-major
+	tick     uint64
+	latency  int
+}
+
+// NewCache builds a cache level from its configuration.
+func NewCache(name string, cfg arch.CacheConfig) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cache: bad config for %s: %+v", name, cfg)
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: %s line size %d not a power of two", name, cfg.LineBytes)
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*cfg.Assoc) != 0 {
+		return nil, fmt.Errorf("cache: %s size %d not divisible into %d-way sets of %dB lines",
+			name, cfg.SizeBytes, cfg.Assoc, cfg.LineBytes)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		assoc:    cfg.Assoc,
+		lineBits: lineBits,
+		lines:    make([]line, sets*cfg.Assoc),
+		latency:  cfg.LatencyCycle,
+	}, nil
+}
+
+// Lookup probes the cache for the line containing phys; on a hit the line's
+// recency is refreshed.
+func (c *Cache) Lookup(phys mem.Addr) bool {
+	blk := uint64(phys) >> c.lineBits
+	set := int(blk % uint64(c.sets))
+	tag := blk // full block number as tag (set bits included, harmless)
+	base := set * c.assoc
+	c.tick++
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing phys, evicting the set's LRU victim.
+// It returns the evicted block's physical address and whether a valid
+// line was evicted.
+func (c *Cache) Insert(phys mem.Addr) (mem.Addr, bool) {
+	blk := uint64(phys) >> c.lineBits
+	set := int(blk % uint64(c.sets))
+	base := set * c.assoc
+	c.tick++
+	victim := base
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			l.valid = true
+			l.tag = blk
+			l.lru = c.tick
+			return 0, false
+		}
+		if l.lru < c.lines[victim].lru {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	old := mem.Addr(v.tag << c.lineBits)
+	v.tag = blk
+	v.lru = c.tick
+	return old, true
+}
+
+// Latency returns the level's hit latency in cycles.
+func (c *Cache) Latency() int { return c.latency }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity (for tests).
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// LoadCounts splits per-level load counts by requester, mirroring the
+// program/walker breakdown of the paper's Table 7.
+type LoadCounts struct {
+	Program uint64
+	Walker  uint64
+}
+
+// Total returns program + walker loads.
+func (lc LoadCounts) Total() uint64 { return lc.Program + lc.Walker }
+
+// Stats aggregates hierarchy counters.
+type Stats struct {
+	// Loads that reached each level (L1d loads = all loads; L2 loads =
+	// L1 misses; L3 loads = L2 misses; DRAM = L3 misses), split by
+	// requester as in Table 7.
+	L1Loads   LoadCounts
+	L2Loads   LoadCounts
+	L3Loads   LoadCounts
+	DRAMLoads LoadCounts
+}
+
+// Hierarchy is the three-level cache plus DRAM. All levels are mostly-
+// inclusive: a fill inserts into every level, as on the modelled Intel
+// parts (pre-Skylake-SP inclusive L3).
+type Hierarchy struct {
+	l1, l2, l3 *Cache
+	dramLat    int
+	stats      Stats
+	// walkerPrivate, when non-nil, gives the walker a private cache: its
+	// loads no longer touch the shared hierarchy at all — an ablation knob
+	// that removes cache pollution while preserving walker locality
+	// (DESIGN.md decision 1).
+	walkerPrivate *Cache
+}
+
+// NewHierarchy builds the hierarchy for a platform.
+func NewHierarchy(p arch.Platform) (*Hierarchy, error) {
+	l1, err := NewCache("L1d", p.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", p.L2)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewCache("L3", p.L3)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{l1: l1, l2: l2, l3: l3, dramLat: p.DRAMLat}, nil
+}
+
+// SetWalkerPrivate toggles the no-pollution ablation: walker loads are
+// served by a private L2-sized cache instead of the shared hierarchy, so
+// they neither evict program data nor benefit from it.
+func (h *Hierarchy) SetWalkerPrivate(p arch.Platform) error {
+	c, err := NewCache("walker-private", p.L2)
+	if err != nil {
+		return err
+	}
+	h.walkerPrivate = c
+	return nil
+}
+
+// Access performs one load of the line containing phys, returning the
+// serving level and the access latency in cycles. walker marks page-table
+// walker loads, which are counted separately and — crucially — install
+// lines in every level just like program loads do, producing the cache
+// pollution the paper measures.
+func (h *Hierarchy) Access(phys mem.Addr, walker bool) (Level, int) {
+	count := func(lc *LoadCounts) {
+		if walker {
+			lc.Walker++
+		} else {
+			lc.Program++
+		}
+	}
+	if walker && h.walkerPrivate != nil {
+		count(&h.stats.L1Loads)
+		if h.walkerPrivate.Lookup(phys) {
+			return LevelL2, h.walkerPrivate.Latency()
+		}
+		count(&h.stats.DRAMLoads)
+		h.walkerPrivate.Insert(phys)
+		return LevelDRAM, h.dramLat
+	}
+	count(&h.stats.L1Loads)
+	if h.l1.Lookup(phys) {
+		return LevelL1, h.l1.Latency()
+	}
+	count(&h.stats.L2Loads)
+	if h.l2.Lookup(phys) {
+		h.l1.Insert(phys)
+		return LevelL2, h.l2.Latency()
+	}
+	count(&h.stats.L3Loads)
+	if h.l3.Lookup(phys) {
+		h.l1.Insert(phys)
+		h.l2.Insert(phys)
+		return LevelL3, h.l3.Latency()
+	}
+	count(&h.stats.DRAMLoads)
+	h.l1.Insert(phys)
+	h.l2.Insert(phys)
+	h.l3.Insert(phys)
+	return LevelDRAM, h.dramLat
+}
+
+// Stats returns a copy of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Flush empties all levels and keeps the counters.
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	h.l2.Flush()
+	h.l3.Flush()
+}
+
+// DRAMLatency returns the modelled DRAM access latency.
+func (h *Hierarchy) DRAMLatency() int { return h.dramLat }

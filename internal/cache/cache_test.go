@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/mem"
+)
+
+func small() arch.CacheConfig {
+	return arch.CacheConfig{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 4, LatencyCycle: 4}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c, err := NewCache("t", small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0x1000) {
+		t.Error("cold cache should miss")
+	}
+	c.Insert(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Error("inserted line should hit")
+	}
+	// Same line, different byte.
+	if !c.Lookup(0x103f) {
+		t.Error("same-line offset should hit")
+	}
+	if c.Lookup(0x1040) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := NewCache("t", small())
+	sets := c.Sets()
+	// Fill one set beyond capacity; the first-inserted line is evicted.
+	stride := mem.Addr(sets * 64)
+	for i := 0; i <= c.Assoc(); i++ {
+		c.Insert(mem.Addr(i) * stride)
+	}
+	if c.Lookup(0) {
+		t.Error("LRU victim should have been evicted")
+	}
+	if !c.Lookup(stride) {
+		t.Error("second-inserted line should survive")
+	}
+}
+
+func TestCacheLRUTouchPreventsEviction(t *testing.T) {
+	c, _ := NewCache("t", small())
+	stride := mem.Addr(c.Sets() * 64)
+	for i := 0; i < c.Assoc(); i++ {
+		c.Insert(mem.Addr(i) * stride)
+	}
+	c.Lookup(0) // refresh line 0
+	c.Insert(mem.Addr(c.Assoc()) * stride)
+	if !c.Lookup(0) {
+		t.Error("recently touched line should survive")
+	}
+	if c.Lookup(stride) {
+		t.Error("the now-LRU line should have been evicted")
+	}
+}
+
+func TestCacheConfigErrors(t *testing.T) {
+	for _, cfg := range []arch.CacheConfig{
+		{},
+		{SizeBytes: 4096, LineBytes: 63, Assoc: 4},
+		{SizeBytes: 5000, LineBytes: 64, Assoc: 4},
+	} {
+		if _, err := NewCache("bad", cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(arch.SandyBridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold access: DRAM.
+	lvl, lat := h.Access(0x100000, false)
+	if lvl != LevelDRAM || lat != arch.SandyBridge.DRAMLat {
+		t.Errorf("cold access: %v/%d", lvl, lat)
+	}
+	// Hot access: L1.
+	lvl, lat = h.Access(0x100000, false)
+	if lvl != LevelL1 || lat != arch.SandyBridge.L1D.LatencyCycle {
+		t.Errorf("hot access: %v/%d", lvl, lat)
+	}
+	st := h.Stats()
+	if st.L1Loads.Program != 2 || st.DRAMLoads.Program != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyWalkerSplit(t *testing.T) {
+	h, _ := NewHierarchy(arch.SandyBridge)
+	h.Access(0x1000, false)
+	h.Access(0x2000, true)
+	h.Access(0x3000, true)
+	st := h.Stats()
+	if st.L1Loads.Program != 1 || st.L1Loads.Walker != 2 {
+		t.Errorf("program/walker split = %d/%d, want 1/2", st.L1Loads.Program, st.L1Loads.Walker)
+	}
+	if st.L1Loads.Total() != 3 {
+		t.Errorf("total = %d", st.L1Loads.Total())
+	}
+}
+
+// Walker fills must be able to evict program data: the pollution mechanism.
+func TestWalkerPollutionEvictsProgramData(t *testing.T) {
+	h, _ := NewHierarchy(arch.SandyBridge)
+	// Warm a program line.
+	h.Access(0x4000, false)
+	if lvl, _ := h.Access(0x4000, false); lvl != LevelL1 {
+		t.Fatal("line should be warm")
+	}
+	// Hammer the same L1 set with walker loads. L1: 64 sets of 8 ways →
+	// set stride is 64*64 bytes.
+	stride := mem.Addr(64 * 64)
+	for i := 1; i <= 16; i++ {
+		h.Access(0x4000+mem.Addr(i)*stride, true)
+	}
+	if lvl, _ := h.Access(0x4000, false); lvl == LevelL1 {
+		t.Error("walker fills should have evicted the program line from L1")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	h, _ := NewHierarchy(arch.SandyBridge)
+	h.Access(0x1000, false)
+	h.Flush()
+	if lvl, _ := h.Access(0x1000, false); lvl != LevelDRAM {
+		t.Error("flush should cold the hierarchy")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelDRAM: "DRAM"} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q", int(lvl), lvl.String())
+		}
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Error("unknown level formatting")
+	}
+}
+
+// Hit rate sanity: a working set within L1 capacity hits ~100% after warmup;
+// a random set far beyond L3 misses to DRAM frequently.
+func TestHierarchyHitRates(t *testing.T) {
+	h, _ := NewHierarchy(arch.SandyBridge)
+	// 16KB working set fits in 32KB L1.
+	for pass := 0; pass < 4; pass++ {
+		for a := mem.Addr(0); a < 16<<10; a += 64 {
+			h.Access(a, false)
+		}
+	}
+	st := h.Stats()
+	// Last 3 passes should be pure L1 hits: misses only from the first.
+	if st.L2Loads.Program > st.L1Loads.Program/3 {
+		t.Errorf("too many L1 misses for resident set: %+v", st)
+	}
+
+	h2, _ := NewHierarchy(arch.SandyBridge)
+	rng := rand.New(rand.NewSource(1))
+	dram := 0
+	for i := 0; i < 20000; i++ {
+		a := mem.Addr(rng.Uint64() % (1 << 30)) // 1GB range >> 15MB L3
+		if lvl, _ := h2.Access(a, false); lvl == LevelDRAM {
+			dram++
+		}
+	}
+	if dram < 15000 {
+		t.Errorf("random 1GB accesses: only %d/20000 DRAM misses", dram)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cpu is the timing model — the modelled "real machine" whose
+// runtime R the paper's models try to predict. It replays a memory access
+// trace through the virtual-memory subsystem (TLB → page walker → caches)
+// and produces the performance counters of the paper's Table 2.
+//
+// The model deliberately captures the three mechanisms that make runtime a
+// non-linear function of walk cycles, which is the paper's central
+// empirical finding:
+//
+//  1. Latency hiding. A dependent (pointer-chase) access exposes most of
+//     its walk latency; an independent access exposes little, because the
+//     out-of-order engine overlaps it with other work. Hiding grows with
+//     the instruction gap since the previous miss, so as miss frequency
+//     approaches zero the CPU becomes *increasingly* effective at
+//     alleviating misses — the bend of Figure 3.
+//  2. Walker throughput. Page walks occupy one of a small number of
+//     hardware walkers; when misses arrive faster than walks retire, the
+//     program stalls on walker availability — the super-linear regime.
+//     The walk-cycle counter C sums busy cycles per walker, so two
+//     concurrently busy walkers count twice and C can exceed R (the
+//     Broadwell gups effect of §VI-D).
+//  3. Cache pollution. Walker loads fill the same caches as program data,
+//     evicting warm lines; heavy walking slows the program by more than
+//     the walk cycles themselves, producing model slopes above 1
+//     (Figure 9, Table 7).
+package cpu
+
+import (
+	"fmt"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/cache"
+	"mosaic/internal/mem"
+	"mosaic/internal/pmu"
+	"mosaic/internal/tlb"
+	"mosaic/internal/trace"
+	"mosaic/internal/walker"
+)
+
+// Machine is one modelled core attached to an address space.
+type Machine struct {
+	plat  arch.Platform
+	space *mem.AddressSpace
+	tlb   *tlb.TLB
+	hier  *cache.Hierarchy
+	walk  *walker.Walker
+	// walkerFree holds, per hardware walker, the cycle at which it next
+	// becomes available.
+	walkerFree []float64
+}
+
+// New builds a machine of the given platform over the given address space.
+func New(plat arch.Platform, space *mem.AddressSpace) (*Machine, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(plat)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		plat:       plat,
+		space:      space,
+		tlb:        tlb.New(plat.TLB),
+		hier:       hier,
+		walk:       walker.New(space.PageTable(), hier, plat.PWC),
+		walkerFree: make([]float64, plat.PageWalkers),
+	}, nil
+}
+
+// Platform returns the machine's platform definition.
+func (m *Machine) Platform() arch.Platform { return m.plat }
+
+// TLB exposes the TLB (for profiling tools and tests).
+func (m *Machine) TLB() *tlb.TLB { return m.tlb }
+
+// Hierarchy exposes the cache hierarchy (for tests).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Walker exposes the page-table walker (for tests).
+func (m *Machine) Walker() *walker.Walker { return m.walk }
+
+// Breakdown decomposes the runtime into its model components — a
+// diagnostic view no real PMU offers, useful for understanding where a
+// layout's cycles go. The components sum to R (up to rounding).
+type Breakdown struct {
+	// Base is the instruction-stream cost (instructions × BaseCPI).
+	Base float64
+	// TLBHit is the visible cost of L2 TLB hits (the H events).
+	TLBHit float64
+	// WalkStall is the visible (unhidden) part of page-walk latency.
+	WalkStall float64
+	// WalkQueue is time spent waiting for a free hardware walker.
+	WalkQueue float64
+	// DataStall is the visible beyond-L1 data access latency.
+	DataStall float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.Base + b.TLBHit + b.WalkStall + b.WalkQueue + b.DataStall
+}
+
+// Run replays the trace and returns the resulting performance counters.
+// It errors if any access touches unmapped memory.
+func (m *Machine) Run(tr *trace.Trace) (pmu.Counters, error) {
+	ctr, _, err := m.runAccesses(tr.Name, tr.Accesses)
+	return ctr, err
+}
+
+// RunDetailed is Run plus the runtime breakdown.
+func (m *Machine) RunDetailed(tr *trace.Trace) (pmu.Counters, Breakdown, error) {
+	return m.runAccesses(tr.Name, tr.Accesses)
+}
+
+func (m *Machine) runAccesses(name string, accesses []trace.Access) (pmu.Counters, Breakdown, error) {
+	var (
+		now          float64 // runtime clock, cycles
+		walkCycles   uint64  // the C counter: busy cycles summed per walker
+		instructions uint64
+		// missRate is an exponentially weighted moving average of L2 TLB
+		// misses per instruction. The out-of-order engine's ability to
+		// hide a dependent miss improves as the recent miss frequency
+		// drops — the paper's observation that CPUs become increasingly
+		// effective at alleviating TLB misses as their frequency
+		// approaches zero (§I, Figure 3).
+		missRate float64
+		bd       Breakdown
+	)
+	const rateTau = 30000.0 // EWMA horizon, instructions
+	ooo := m.plat.OOO
+	l1Lat := float64(m.plat.L1D.LatencyCycle)
+	l2tlbLat := float64(m.plat.TLB.L2LatencyCycles)
+
+	for i := range accesses {
+		a := &accesses[i]
+		work := float64(a.Gap) + 1
+		instructions += uint64(a.Gap) + 1
+		now += work * m.plat.BaseCPI
+		bd.Base += work * m.plat.BaseCPI
+		if decay := 1 - work/rateTau; decay > 0 {
+			missRate *= decay
+		} else {
+			missRate = 0
+		}
+
+		phys, ps, ok := m.space.Translate(a.VA)
+		if !ok {
+			return pmu.Counters{}, Breakdown{}, fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(a.VA))
+		}
+
+		switch m.tlb.Lookup(a.VA, ps) {
+		case tlb.L1Hit:
+			// Translation is free.
+		case tlb.L2Hit:
+			hide := ooo.L2TLBHitHide
+			if !a.Dep {
+				hide = ooo.IndepWalkHide
+			}
+			now += l2tlbLat * (1 - hide)
+			bd.TLBHit += l2tlbLat * (1 - hide)
+		case tlb.Miss:
+			// Claim the earliest-available hardware walker.
+			idx := 0
+			for j := 1; j < len(m.walkerFree); j++ {
+				if m.walkerFree[j] < m.walkerFree[idx] {
+					idx = j
+				}
+			}
+			start := now
+			if m.walkerFree[idx] > start {
+				start = m.walkerFree[idx]
+			}
+			res := m.walk.Walk(a.VA)
+			if res.Fault {
+				return pmu.Counters{}, Breakdown{}, fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(a.VA))
+			}
+			lat := float64(res.Latency)
+			m.walkerFree[idx] = start + lat
+			walkCycles += uint64(res.Latency)
+
+			queueWait := start - now
+			var hide float64
+			if a.Dep {
+				// Dependent chains expose the walk; hiding improves as the
+				// recent miss frequency drops (hide = HideMax at zero
+				// frequency, vanishing when every access misses).
+				hide = ooo.HideMax / (1 + ooo.HideGap*missRate)
+			} else {
+				// Independent misses overlap well, bounded by walker
+				// throughput (queueWait) below; isolated misses vanish
+				// almost entirely into the out-of-order window.
+				hide = ooo.IndepWalkHide +
+					(0.97-ooo.IndepWalkHide)/(1+ooo.HideGap*missRate)
+			}
+			now += queueWait + lat*(1-hide)
+			bd.WalkQueue += queueWait
+			bd.WalkStall += lat * (1 - hide)
+			missRate += 1 / rateTau
+			m.tlb.Insert(a.VA, ps)
+		}
+
+		// The data reference itself. Stores are charged like loads: a
+		// store that misses the L1 issues a read-for-ownership with the
+		// same latency exposure, so the store buffer does not make missing
+		// stores free.
+		lvl, dlat := m.hier.Access(phys, false)
+		if lvl != cache.LevelL1 {
+			hide := ooo.DataHide
+			if !a.Dep {
+				hide = ooo.IndepDataHide
+			}
+			now += (float64(dlat) - l1Lat) * (1 - hide)
+			bd.DataStall += (float64(dlat) - l1Lat) * (1 - hide)
+		}
+	}
+
+	ts := m.tlb.Stats()
+	cs := m.hier.Stats()
+	ctr := pmu.Counters{
+		R:                uint64(now),
+		H:                ts.L2Hits,
+		M:                ts.Misses,
+		C:                walkCycles,
+		Instructions:     instructions,
+		L1DLoadsProgram:  cs.L1Loads.Program,
+		L1DLoadsWalker:   cs.L1Loads.Walker,
+		L2LoadsProgram:   cs.L2Loads.Program,
+		L2LoadsWalker:    cs.L2Loads.Walker,
+		L3LoadsProgram:   cs.L3Loads.Program,
+		L3LoadsWalker:    cs.L3Loads.Walker,
+		DRAMLoadsProgram: cs.DRAMLoads.Program,
+		DRAMLoadsWalker:  cs.DRAMLoads.Walker,
+		TLBLookups:       ts.Lookups,
+	}
+	return ctr, bd, nil
+}

@@ -1,0 +1,314 @@
+package experiment
+
+import (
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/workloads"
+)
+
+// quickRunner uses the 9-layout protocol to keep test time bounded.
+func quickRunner() *Runner {
+	r := NewRunner()
+	r.Proto = Quick
+	return r
+}
+
+func collectQuick(t *testing.T, workload string, plat arch.Platform) *Dataset {
+	t.Helper()
+	r := quickRunner()
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := r.Collect(w, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPrepareCachesTrace(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("gups/8GB")
+	a, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Prepare should return the cached WorkloadData")
+	}
+	if a.Trace.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := a.Target.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectQuickDataset(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	// Quick protocol: 9 growing windows (extremes named 4KB/2MB) + 1GB.
+	if len(ds.Samples) != 9 {
+		t.Fatalf("samples = %d, want 9", len(ds.Samples))
+	}
+	if _, ok := ds.Baseline("4KB"); !ok {
+		t.Error("missing 4KB baseline")
+	}
+	if _, ok := ds.Baseline("2MB"); !ok {
+		t.Error("missing 2MB baseline")
+	}
+	if ds.Sample1G.R == 0 {
+		t.Error("missing 1GB sample")
+	}
+	if !ds.TLBSensitive {
+		t.Error("gups must be TLB-sensitive")
+	}
+	// Runtime decreases monotonically-ish from 4KB to 2MB: at least the
+	// extremes must be ordered.
+	s4, _ := ds.Baseline("4KB")
+	s2, _ := ds.Baseline("2MB")
+	if s4.R <= s2.R {
+		t.Errorf("R4K=%v should exceed R2M=%v", s4.R, s2.R)
+	}
+	if s4.C <= s2.C {
+		t.Errorf("C4K=%v should exceed C2M=%v", s4.C, s2.C)
+	}
+}
+
+func TestCollectCachesDataset(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("gups/8GB")
+	a, err := r.Collect(w, arch.SandyBridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Collect(w, arch.SandyBridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Collect should cache datasets")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a := collectQuick(t, "spec06/mcf", arch.Haswell)
+	b := collectQuick(t, "spec06/mcf", arch.Haswell)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs between identical runs:\n%+v\n%+v",
+				i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+func TestEvaluateModelsOrdering(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.Broadwell)
+	errs, err := EvaluateModels(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 9 {
+		t.Fatalf("%d model evaluations", len(errs))
+	}
+	byName := map[string]ModelError{}
+	for _, e := range errs {
+		byName[e.Model] = e
+	}
+	// The paper's central finding, in miniature: the two-point linear
+	// models err far more than the fitted ones on gups, and mosmodel meets
+	// its 3% bound.
+	if byName["basu"].MaxErr < 0.10 {
+		t.Errorf("basu error %.3f suspiciously low for gups", byName["basu"].MaxErr)
+	}
+	if byName["mosmodel"].MaxErr > 0.03 {
+		t.Errorf("mosmodel error %.3f exceeds the 3%% bound", byName["mosmodel"].MaxErr)
+	}
+	if byName["mosmodel"].MaxErr > byName["basu"].MaxErr {
+		t.Error("mosmodel should beat basu")
+	}
+}
+
+func TestFigure2Aggregates(t *testing.T) {
+	r := quickRunner()
+	var all []*Dataset
+	for _, name := range []string{"gups/8GB", "spec06/mcf"} {
+		w, _ := workloads.ByName(name)
+		ds, err := r.Collect(w, arch.SandyBridge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ds)
+	}
+	worst, err := Figure2(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"pham", "alam", "gandhi", "basu", "yaniv", "poly1", "poly2", "poly3", "mosmodel"} {
+		if _, ok := worst[m]; !ok {
+			t.Errorf("Figure2 missing model %s", m)
+		}
+	}
+	if worst["basu"] < worst["mosmodel"] {
+		t.Error("aggregate basu error should exceed mosmodel")
+	}
+}
+
+func TestPerBenchmarkFiltersInsensitive(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	insens := &Dataset{Workload: "fake", Platform: "SandyBridge", Samples: ds.Samples}
+	pb, err := PerBenchmark("SandyBridge", []*Dataset{ds, insens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Workloads) != 1 || pb.Workloads[0] != "gups/8GB" {
+		t.Errorf("PerBenchmark workloads = %v, want the sensitive one only", pb.Workloads)
+	}
+	if len(pb.Max) != 1 || len(pb.Max[0]) != 9 {
+		t.Errorf("matrix shape wrong: %dx%d", len(pb.Max), len(pb.Max[0]))
+	}
+}
+
+func TestCurveFor(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	cv, err := CurveFor(ds, []string{"poly1", "mosmodel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Points) != len(ds.Samples) {
+		t.Fatalf("curve has %d points", len(cv.Points))
+	}
+	for i := 1; i < len(cv.Points); i++ {
+		if cv.Points[i].C < cv.Points[i-1].C {
+			t.Fatal("curve points not sorted by C")
+		}
+	}
+	if len(cv.Predictions["poly1"]) != len(cv.Points) {
+		t.Error("missing poly1 predictions")
+	}
+	if _, ok := cv.Errors["mosmodel"]; !ok {
+		t.Error("missing mosmodel error")
+	}
+	if _, err := CurveFor(ds, []string{"nope"}); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestUnderpredictionAtLowC(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.Broadwell)
+	under, err := UnderpredictionAtLowC(ds, "basu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Basu must be optimistic at the near-zero-overhead point for gups
+	// (the Figure 7 phenomenon).
+	if under <= 0 {
+		t.Errorf("basu underprediction = %v, want positive (optimistic)", under)
+	}
+}
+
+func TestTable6CrossValidation(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	cv, err := Table6([]*Dataset{ds}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"poly1", "poly2", "poly3", "mosmodel"} {
+		if _, ok := cv[m]; !ok {
+			t.Errorf("Table6 missing %s", m)
+		}
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	ds := collectQuick(t, "spec17/xalancbmk_s", arch.Broadwell)
+	rows, err := Table7(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	byName := map[string]Table7Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Table 7's qualitative content: 4KB runs slower, walks more, and
+	// issues more L3 loads than 2MB.
+	if byName["runtime cycles"].Program4K <= byName["runtime cycles"].Program2M {
+		t.Error("4KB runtime should exceed 2MB runtime")
+	}
+	if byName["walk cycles"].Program4K <= byName["walk cycles"].Program2M {
+		t.Error("4KB walk cycles should exceed 2MB")
+	}
+	if byName["TLB misses"].Program4K <= byName["TLB misses"].Program2M {
+		t.Error("4KB misses should exceed 2MB")
+	}
+	l3 := byName["L3 loads"]
+	if !l3.WalkerSplit {
+		t.Error("L3 loads row should have the walker split")
+	}
+	if l3.Walker4K <= l3.Walker2M {
+		t.Error("walker L3 loads under 4KB should exceed 2MB")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	a := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	b := collectQuick(t, "gups/8GB", arch.Haswell)
+	rows, err := Table8([]*Dataset{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	row := rows[0]
+	if len(row.R2) != 2 {
+		t.Fatalf("platforms = %d", len(row.R2))
+	}
+	for plat, vals := range row.R2 {
+		// For gups, C and M are near-perfect linear predictors (Table 8's
+		// first rows: R² ≈ 1).
+		if vals[0] < 0.9 || vals[1] < 0.9 {
+			t.Errorf("%s: R²(C)=%v R²(M)=%v, want ≈1 for gups", plat, vals[0], vals[1])
+		}
+	}
+}
+
+func TestCaseStudy1G(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	res, err := CaseStudy1G(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 9 {
+		t.Fatalf("%d models in case study", len(res))
+	}
+	// Mosmodel predicts the 1GB layout within a few percent.
+	if res["mosmodel"] > 0.05 {
+		t.Errorf("mosmodel 1GB prediction error = %v", res["mosmodel"])
+	}
+}
+
+func TestRunLayoutErrors(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("gups/8GB")
+	wd, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := wd.Target.Baseline4K()
+	bad.Cfg.HeapPool.Intervals = nil
+	if _, err := r.RunLayout(wd, arch.SandyBridge, bad); err == nil {
+		t.Error("invalid layout should fail")
+	}
+}

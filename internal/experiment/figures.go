@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mosaic/internal/models"
+	"mosaic/internal/pmu"
+	"mosaic/internal/stats"
+)
+
+// ModelError is one model's error on one dataset.
+type ModelError struct {
+	Model  string
+	MaxErr float64
+	GeoErr float64
+}
+
+// EvaluateModels fits and evaluates all nine registry models on the
+// dataset's samples (the paper's fit-all protocol, §VI-C).
+func EvaluateModels(ds *Dataset) ([]ModelError, error) {
+	out := make([]ModelError, 0, len(models.Registry()))
+	for _, f := range models.Registry() {
+		m := f()
+		maxErr, geoErr, err := models.Evaluate(m, ds.Samples)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s/%s: %w", m.Name(), ds.Workload, ds.Platform, err)
+		}
+		out = append(out, ModelError{Model: m.Name(), MaxErr: maxErr, GeoErr: geoErr})
+	}
+	return out, nil
+}
+
+// Figure2 aggregates the worst-case error per model over all datasets —
+// the numbers behind Figure 2a (prior models) and 2b (new models).
+func Figure2(all []*Dataset) (map[string]float64, error) {
+	worst := make(map[string]float64)
+	for _, ds := range all {
+		errs, err := EvaluateModels(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range errs {
+			if e.MaxErr > worst[e.Model] {
+				worst[e.Model] = e.MaxErr
+			}
+		}
+	}
+	return worst, nil
+}
+
+// PerBenchErrors is the data behind one platform chart of Figures 5/6:
+// error per workload per model.
+type PerBenchErrors struct {
+	Platform  string
+	Workloads []string
+	Models    []string
+	// Max[i][j] is workload i's maximal error under model j; Geo is the
+	// geometric mean.
+	Max [][]float64
+	Geo [][]float64
+}
+
+// PerBenchmark computes Figure 5/6 data for one platform from its
+// datasets (excluding TLB-insensitive workloads, as the paper does for
+// gapbs/bfs-road on Broadwell).
+func PerBenchmark(platform string, all []*Dataset) (*PerBenchErrors, error) {
+	var names []string
+	for _, f := range models.Registry() {
+		names = append(names, f().Name())
+	}
+	out := &PerBenchErrors{Platform: platform, Models: names}
+	for _, ds := range all {
+		if ds.Platform != platform {
+			continue
+		}
+		if !ds.TLBSensitive {
+			continue
+		}
+		errs, err := EvaluateModels(ds)
+		if err != nil {
+			return nil, err
+		}
+		maxRow := make([]float64, len(errs))
+		geoRow := make([]float64, len(errs))
+		for j, e := range errs {
+			maxRow[j] = e.MaxErr
+			geoRow[j] = e.GeoErr
+		}
+		out.Workloads = append(out.Workloads, ds.Workload)
+		out.Max = append(out.Max, maxRow)
+		out.Geo = append(out.Geo, geoRow)
+	}
+	return out, nil
+}
+
+// CurvePoint is one sample on a runtime-vs-walk-cycles chart.
+type CurvePoint struct {
+	Layout string
+	C      float64
+	R      float64
+}
+
+// Curve is the data behind the per-workload charts (Figures 3, 7, 8, 10,
+// 11): measured samples sorted by walk cycles, plus each requested model's
+// prediction at those samples.
+type Curve struct {
+	Workload    string
+	Platform    string
+	Points      []CurvePoint
+	Predictions map[string][]float64
+	Errors      map[string]float64 // per-model max relative error
+}
+
+// CurveFor builds the chart data, fitting each named model on the
+// dataset's samples.
+func CurveFor(ds *Dataset, modelNames []string) (*Curve, error) {
+	idx := make([]int, len(ds.Samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ds.Samples[idx[a]].C < ds.Samples[idx[b]].C })
+	cv := &Curve{
+		Workload:    ds.Workload,
+		Platform:    ds.Platform,
+		Predictions: make(map[string][]float64, len(modelNames)),
+		Errors:      make(map[string]float64, len(modelNames)),
+	}
+	ordered := make([]pmu.Sample, len(idx))
+	for i, k := range idx {
+		s := ds.Samples[k]
+		ordered[i] = s
+		cv.Points = append(cv.Points, CurvePoint{Layout: s.Layout, C: s.C, R: s.R})
+	}
+	for _, name := range modelNames {
+		m, err := models.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(ds.Samples); err != nil {
+			return nil, fmt.Errorf("experiment: fitting %s: %w", name, err)
+		}
+		preds := make([]float64, len(ordered))
+		y := make([]float64, len(ordered))
+		for i, s := range ordered {
+			preds[i] = m.Predict(s.H, s.M, s.C)
+			y[i] = s.R
+		}
+		cv.Predictions[name] = preds
+		cv.Errors[name] = stats.MaxAbsRelErr(y, preds)
+	}
+	return cv, nil
+}
+
+// UnderpredictionAtLowC measures how optimistic a model is at the lowest-
+// walk-cycle sample (Figure 7's 42% observation for Basu on
+// gapbs/sssp-twitter): positive values mean the model predicts a runtime
+// below the measured one.
+func UnderpredictionAtLowC(ds *Dataset, modelName string) (float64, error) {
+	m, err := models.ByName(modelName)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Fit(ds.Samples); err != nil {
+		return 0, err
+	}
+	best := ds.Samples[0]
+	for _, s := range ds.Samples {
+		if s.C < best.C {
+			best = s
+		}
+	}
+	pred := m.Predict(best.H, best.M, best.C)
+	return (best.R - pred) / best.R, nil
+}
+
+// FittedSlope returns the poly1 regression slope dR/dC for the dataset —
+// the α of Figures 8/9. Values above 1 mean each walk cycle costs more
+// than one runtime cycle (cache pollution).
+func FittedSlope(ds *Dataset) (float64, error) {
+	p := models.NewPoly(1)
+	if err := p.Fit(ds.Samples); err != nil {
+		return 0, err
+	}
+	return p.Slope(meanC(ds.Samples)), nil
+}
+
+func meanC(samples []pmu.Sample) float64 {
+	var sum float64
+	for _, s := range samples {
+		sum += s.C
+	}
+	return sum / float64(len(samples))
+}
+
+// Table6 computes the K-fold cross-validation maximal errors of the new
+// models across all datasets (the paper's Table 6, K matching its 54/9
+// fold shape by default).
+func Table6(all []*Dataset, k int) (map[string]float64, error) {
+	worst := make(map[string]float64)
+	factories := map[string]models.Factory{
+		"poly1":    func() models.Model { return models.NewPoly(1) },
+		"poly2":    func() models.Model { return models.NewPoly(2) },
+		"poly3":    func() models.Model { return models.NewPoly(3) },
+		"mosmodel": func() models.Model { return models.NewMosmodel() },
+	}
+	for _, ds := range all {
+		for name, f := range factories {
+			e, err := models.CrossValidate(f, ds.Samples, k, seedFor(ds.Workload+ds.Platform))
+			if err != nil {
+				return nil, fmt.Errorf("experiment: CV %s on %s/%s: %w", name, ds.Workload, ds.Platform, err)
+			}
+			if e > worst[name] {
+				worst[name] = e
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Table7Row is one counter row of the paper's Table 7, in billions-free
+// raw units, split program/walker.
+type Table7Row struct {
+	Name        string
+	Program4K   uint64
+	Program2M   uint64
+	Walker4K    uint64
+	Walker2M    uint64
+	WalkerSplit bool // whether the walker columns are meaningful
+}
+
+// Table7 compares the 4KB and 2MB baseline counters of a dataset —
+// the paper runs it for spec17/xalancbmk_s on Broadwell.
+func Table7(ds *Dataset) ([]Table7Row, error) {
+	c4, ok4 := ds.Counters["4KB"]
+	c2, ok2 := ds.Counters["2MB"]
+	if !ok4 || !ok2 {
+		return nil, fmt.Errorf("experiment: dataset lacks 4KB/2MB baselines")
+	}
+	return []Table7Row{
+		{Name: "runtime cycles", Program4K: c4.R, Program2M: c2.R},
+		{Name: "walk cycles", Program4K: c4.C, Program2M: c2.C},
+		{Name: "TLB misses", Program4K: c4.M, Program2M: c2.M},
+		{Name: "L1d loads", Program4K: c4.L1DLoadsProgram, Program2M: c2.L1DLoadsProgram,
+			Walker4K: c4.L1DLoadsWalker, Walker2M: c2.L1DLoadsWalker, WalkerSplit: true},
+		{Name: "L2 loads", Program4K: c4.L2LoadsProgram, Program2M: c2.L2LoadsProgram,
+			Walker4K: c4.L2LoadsWalker, Walker2M: c2.L2LoadsWalker, WalkerSplit: true},
+		{Name: "L3 loads", Program4K: c4.L3LoadsProgram, Program2M: c2.L3LoadsProgram,
+			Walker4K: c4.L3LoadsWalker, Walker2M: c2.L3LoadsWalker, WalkerSplit: true},
+	}, nil
+}
+
+// Table8Row is one workload row of Table 8: R² per input per platform.
+type Table8Row struct {
+	Workload string
+	// R2 maps platform → [C, M, H] coefficients of determination.
+	R2 map[string][3]float64
+}
+
+// Table8 computes the R² of single-variable linear regressions in C, M,
+// and H for every dataset, grouped by workload.
+func Table8(all []*Dataset) ([]Table8Row, error) {
+	byWorkload := make(map[string]*Table8Row)
+	var order []string
+	for _, ds := range all {
+		row, ok := byWorkload[ds.Workload]
+		if !ok {
+			row = &Table8Row{Workload: ds.Workload, R2: make(map[string][3]float64)}
+			byWorkload[ds.Workload] = row
+			order = append(order, ds.Workload)
+		}
+		var vals [3]float64
+		for i, which := range []string{"C", "M", "H"} {
+			r2, err := models.SingleVarR2(ds.Samples, which)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = r2
+		}
+		row.R2[ds.Platform] = vals
+	}
+	out := make([]Table8Row, 0, len(order))
+	for _, w := range order {
+		out = append(out, *byWorkload[w])
+	}
+	return out, nil
+}
+
+// CaseStudy1G is the §VII-D validation: fit every model on the 4KB/2MB
+// mosaic samples and predict the 1GB-pages layout, returning each model's
+// relative error on that held-out point.
+func CaseStudy1G(ds *Dataset) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, f := range models.Registry() {
+		m := f()
+		if err := m.Fit(ds.Samples); err != nil {
+			return nil, fmt.Errorf("experiment: case study %s: %w", m.Name(), err)
+		}
+		s := ds.Sample1G
+		pred := m.Predict(s.H, s.M, s.C)
+		out[m.Name()] = math.Abs(s.R-pred) / s.R
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/pmu"
+	"mosaic/internal/workloads"
+)
+
+func TestPerBenchmarkEmptyPlatform(t *testing.T) {
+	pb, err := PerBenchmark("Nonexistent", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Workloads) != 0 {
+		t.Errorf("unexpected workloads: %v", pb.Workloads)
+	}
+	if len(pb.Models) != 9 {
+		t.Errorf("models header = %d", len(pb.Models))
+	}
+}
+
+func TestTable7MissingBaselines(t *testing.T) {
+	ds := &Dataset{Workload: "w", Platform: "p", Counters: map[string]pmu.Counters{}}
+	if _, err := Table7(ds); err == nil {
+		t.Error("missing baselines should fail")
+	}
+}
+
+func TestUnderpredictionUnknownModel(t *testing.T) {
+	ds := collectQuick(t, "gups/8GB", arch.SandyBridge)
+	if _, err := UnderpredictionAtLowC(ds, "nope"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestTable8EmptyInput(t *testing.T) {
+	rows, err := Table8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestPartialSimulateAgainstRunLayout(t *testing.T) {
+	r := quickRunner()
+	wd, err := r.Prepare(mustWorkload(t, "gups/8GB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := wd.Target.Baseline4K()
+	pm, err := r.PartialSimulate(wd, arch.Haswell, lay, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.RunLayout(wd, arch.Haswell, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.H != full.H || pm.M != full.M || pm.C != full.C {
+		t.Errorf("partial (H=%d M=%d C=%d) != full (H=%d M=%d C=%d)",
+			pm.H, pm.M, pm.C, full.H, full.M, full.C)
+	}
+	// Low-fidelity partial simulation still matches H and M exactly.
+	cheap, err := r.PartialSimulate(wd, arch.Haswell, lay, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.H != full.H || cheap.M != full.M {
+		t.Errorf("cheap partial H/M = %d/%d, full = %d/%d", cheap.H, cheap.M, full.H, full.M)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,358 @@
+// Package experiment orchestrates the paper's measurement pipeline
+// (§VI): generate each workload's trace once through the allocation stack,
+// build the 54-layout protocol from a simulated-PEBS miss profile, replay
+// the trace on each platform under each layout, and evaluate all nine
+// runtime models on the resulting samples.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/cpu"
+	"mosaic/internal/layout"
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+	"mosaic/internal/partialsim"
+	"mosaic/internal/pmu"
+	"mosaic/internal/trace"
+	"mosaic/internal/workloads"
+)
+
+// physMem is the simulated physical memory per replay process: generous,
+// since 1GB-page layouts round pools up to 1GB each.
+const physMem = 1 << 36
+
+// Protocol selects how many layouts Collect measures.
+type Protocol int
+
+// Protocols.
+const (
+	// Standard is the paper's 54-layout protocol (§VI-B).
+	Standard Protocol = iota
+	// Quick uses only the 9 growing-window layouts — for tests and smoke
+	// runs.
+	Quick
+	// Extended uses ~102 layouts, the larger sample sets the paper needed
+	// for cross-validation to converge (§VI-C).
+	Extended
+)
+
+// WorkloadData caches one workload's generated trace and pool usage.
+type WorkloadData struct {
+	Workload workloads.Workload
+	Trace    *trace.Trace
+	Target   layout.Target
+}
+
+// Runner coordinates the pipeline, caching traces and datasets.
+type Runner struct {
+	mu       sync.Mutex
+	prepared map[string]*WorkloadData
+	datasets map[string]*Dataset
+	// Parallelism bounds concurrent replays (default: GOMAXPROCS).
+	Parallelism int
+	// Proto selects the layout protocol.
+	Proto Protocol
+	// TraceDir, when set, caches generated traces (and their layout
+	// targets) on disk so repeated sessions skip workload generation.
+	TraceDir string
+}
+
+// NewRunner builds a runner with the standard protocol.
+func NewRunner() *Runner {
+	return &Runner{
+		prepared:    make(map[string]*WorkloadData),
+		datasets:    make(map[string]*Dataset),
+		Parallelism: runtime.GOMAXPROCS(0),
+		Proto:       Standard,
+	}
+}
+
+// Prepare generates (once) the workload's trace under an all-4KB Mosalloc
+// configuration and derives the layout target from the pool high-water
+// marks. With TraceDir set, traces are persisted and reloaded across
+// sessions.
+func (r *Runner) Prepare(w workloads.Workload) (*WorkloadData, error) {
+	r.mu.Lock()
+	if wd, ok := r.prepared[w.Name()]; ok {
+		r.mu.Unlock()
+		return wd, nil
+	}
+	r.mu.Unlock()
+
+	if wd, err := r.loadCached(w); err == nil && wd != nil {
+		r.mu.Lock()
+		r.prepared[w.Name()] = wd
+		r.mu.Unlock()
+		return wd, nil
+	}
+
+	proc, err := libc.NewProcess(physMem)
+	if err != nil {
+		return nil, err
+	}
+	heapCap, anonCap := w.PoolBytes()
+	cfg := mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page4K, heapCap),
+		AnonPool:      mosalloc.Uniform(mem.Page4K, anonCap),
+		FilePoolBytes: 1 << 20,
+	}
+	msl, err := mosalloc.Attach(proc, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name(), err)
+	}
+	tr, err := w.Generate(workloads.NewAllocator(proc))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name(), err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	var heapUsed, anonUsed uint64
+	for _, u := range msl.Usage() {
+		// Round usage up to 2MB so window arithmetic stays aligned.
+		hw := uint64(mem.AlignUp(mem.Addr(u.HighWater), mem.Page2M))
+		switch u.Name {
+		case "heap":
+			heapUsed = hw
+		case "anon":
+			anonUsed = hw
+		}
+	}
+	wd := &WorkloadData{
+		Workload: w,
+		Trace:    tr,
+		Target: layout.Target{
+			HeapUsed: heapUsed,
+			AnonUsed: anonUsed,
+			HeapCap:  heapCap,
+			AnonCap:  anonCap,
+		},
+	}
+	if err := wd.Target.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", w.Name(), err)
+	}
+	if err := r.saveCached(wd); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.prepared[w.Name()] = wd
+	r.mu.Unlock()
+	return wd, nil
+}
+
+// cachePaths returns the trace and sidecar file names for a workload.
+func (r *Runner) cachePaths(name string) (traceFile, targetFile string) {
+	safe := strings.NewReplacer("/", "_", " ", "_").Replace(name)
+	return filepath.Join(r.TraceDir, safe+".mostrace"),
+		filepath.Join(r.TraceDir, safe+".target.json")
+}
+
+// loadCached restores a workload's trace and target from TraceDir.
+// A nil, nil return means no usable cache entry exists.
+func (r *Runner) loadCached(w workloads.Workload) (*WorkloadData, error) {
+	if r.TraceDir == "" {
+		return nil, nil
+	}
+	traceFile, targetFile := r.cachePaths(w.Name())
+	tr, err := trace.Load(traceFile)
+	if err != nil {
+		return nil, nil // absent or corrupt: regenerate
+	}
+	raw, err := os.ReadFile(targetFile)
+	if err != nil {
+		return nil, nil
+	}
+	var target layout.Target
+	if err := json.Unmarshal(raw, &target); err != nil {
+		return nil, nil
+	}
+	if err := target.Validate(); err != nil {
+		return nil, nil
+	}
+	return &WorkloadData{Workload: w, Trace: tr, Target: target}, nil
+}
+
+// saveCached persists a freshly generated trace and target to TraceDir.
+func (r *Runner) saveCached(wd *WorkloadData) error {
+	if r.TraceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
+		return err
+	}
+	traceFile, targetFile := r.cachePaths(wd.Workload.Name())
+	if err := wd.Trace.Save(traceFile); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(wd.Target, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(targetFile, raw, 0o644)
+}
+
+// RunLayout replays the workload's trace on the platform under one layout
+// and returns the counters — one experimental sample.
+// Platforms are applied in their Scaled() form (see arch.Platform.Scaled)
+// so hardware reach matches the scaled workload footprints.
+func (r *Runner) RunLayout(wd *WorkloadData, plat arch.Platform, lay layout.Layout) (pmu.Counters, error) {
+	plat = plat.Scaled()
+	proc, err := libc.NewProcess(physMem)
+	if err != nil {
+		return pmu.Counters{}, err
+	}
+	if _, err := mosalloc.Attach(proc, lay.Cfg); err != nil {
+		return pmu.Counters{}, fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+	}
+	machine, err := cpu.New(plat, proc.Space())
+	if err != nil {
+		return pmu.Counters{}, err
+	}
+	ctr, err := machine.Run(wd.Trace)
+	if err != nil {
+		return pmu.Counters{}, fmt.Errorf("experiment: %s on %s under %s: %w",
+			wd.Workload.Name(), plat.Name, lay.Name, err)
+	}
+	return ctr, nil
+}
+
+// PartialSimulate replays the workload's trace through the partial
+// simulator (TLB + walker + PWCs only, no timing) on the platform under
+// one layout — the paper's Figure 1 left box. With highFidelity the
+// program's data accesses also stream through the cache model, making the
+// walk-cycle count match the full machine exactly (§VII-D's "perfectly
+// accurate partial simulator").
+func (r *Runner) PartialSimulate(wd *WorkloadData, plat arch.Platform, lay layout.Layout, highFidelity bool) (partialsim.Metrics, error) {
+	plat = plat.Scaled()
+	proc, err := libc.NewProcess(physMem)
+	if err != nil {
+		return partialsim.Metrics{}, err
+	}
+	if _, err := mosalloc.Attach(proc, lay.Cfg); err != nil {
+		return partialsim.Metrics{}, fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+	}
+	sim, err := partialsim.New(plat, proc.Space())
+	if err != nil {
+		return partialsim.Metrics{}, err
+	}
+	sim.SimulateProgramCache = highFidelity
+	return sim.Run(wd.Trace)
+}
+
+// Dataset holds every measurement for one (workload, platform) pair.
+type Dataset struct {
+	Workload string
+	Platform string
+	// Samples are the protocol layouts' measurements, in layout order;
+	// the 4KB and 2MB baselines carry those layout names.
+	Samples []pmu.Sample
+	// Counters maps layout name to the full counter set.
+	Counters map[string]pmu.Counters
+	// Sample1G is the 1GB-pages validation point (§VII-D).
+	Sample1G pmu.Sample
+	// TLBSensitive is the paper's inclusion criterion: runtime improves
+	// by ≥5% when backed with 1GB pages.
+	TLBSensitive bool
+}
+
+// Baseline returns the sample with the given layout name.
+func (d *Dataset) Baseline(name string) (pmu.Sample, bool) {
+	for _, s := range d.Samples {
+		if s.Layout == name {
+			return s, true
+		}
+	}
+	return pmu.Sample{}, false
+}
+
+// Collect measures the full protocol for one workload on one platform,
+// caching the result. Layout replays run in parallel.
+func (r *Runner) Collect(w workloads.Workload, plat arch.Platform) (*Dataset, error) {
+	key := w.Name() + "@" + plat.Name
+	r.mu.Lock()
+	if ds, ok := r.datasets[key]; ok {
+		r.mu.Unlock()
+		return ds, nil
+	}
+	r.mu.Unlock()
+
+	wd, err := r.Prepare(w)
+	if err != nil {
+		return nil, err
+	}
+	profile := layout.ProfileMisses(wd.Trace, plat.Scaled().TLB, wd.Target)
+	var lays []layout.Layout
+	switch r.Proto {
+	case Quick:
+		lays = wd.Target.GrowingWindows(8)
+	case Extended:
+		lays = wd.Target.Extended(profile, seedFor(key))
+	default:
+		lays = wd.Target.Standard(profile, seedFor(key))
+	}
+	lays = append(lays, wd.Target.Baseline1G())
+
+	counters := make([]pmu.Counters, len(lays))
+	errs := make([]error, len(lays))
+	sem := make(chan struct{}, max(1, r.Parallelism))
+	var wg sync.WaitGroup
+	for i := range lays {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			counters[i], errs[i] = r.RunLayout(wd, plat, lays[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ds := &Dataset{
+		Workload: w.Name(),
+		Platform: plat.Name,
+		Counters: make(map[string]pmu.Counters, len(lays)),
+	}
+	for i, lay := range lays {
+		ds.Counters[lay.Name] = counters[i]
+		sample := pmu.SampleFrom(lay.Name, counters[i])
+		if lay.Name == "1GB" {
+			ds.Sample1G = sample
+		} else {
+			ds.Samples = append(ds.Samples, sample)
+		}
+	}
+	s4k, ok := ds.Baseline("4KB")
+	if !ok {
+		return nil, fmt.Errorf("experiment: protocol produced no 4KB baseline")
+	}
+	ds.TLBSensitive = s4k.R > 0 && (s4k.R-ds.Sample1G.R)/s4k.R >= 0.05
+	r.mu.Lock()
+	r.datasets[key] = ds
+	r.mu.Unlock()
+	return ds, nil
+}
+
+// seedFor derives a stable seed from a dataset key.
+func seedFor(key string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"mosaic/internal/mem"
+)
+
+// Recorder receives the memory accesses a kernel performs against its
+// simulated data structures. trace.Builder satisfies it.
+type Recorder interface {
+	Compute(n uint64)
+	Load(va mem.Addr)
+	LoadDep(va mem.Addr)
+	Store(va mem.Addr)
+	StoreDep(va mem.Addr)
+}
+
+// Layout holds the simulated base addresses of a graph's arrays, as
+// allocated by the workload through the allocation stack. CSR indices are
+// 4 bytes; per-vertex kernel data is 8 bytes.
+type Layout struct {
+	Offsets mem.Addr // N+1 × 4B
+	Edges   mem.Addr // M × 4B
+	Weights mem.Addr // M × 1B (padded to 4B stride for realism)
+	// NodeA and NodeB are per-vertex kernel arrays (parent/dist/rank/…),
+	// 8 bytes per vertex each.
+	NodeA mem.Addr
+	NodeB mem.Addr
+}
+
+// Sizes for address arithmetic.
+const (
+	idxBytes = 4
+	// nodeBytes is the per-vertex record size of the kernel arrays
+	// (parent/rank/dist plus kernel bookkeeping — GAPBS keeps several
+	// fields per vertex).
+	nodeBytes = 32
+)
+
+func (l Layout) offsetVA(u uint32) mem.Addr { return l.Offsets + mem.Addr(u)*idxBytes }
+func (l Layout) edgeVA(i uint32) mem.Addr   { return l.Edges + mem.Addr(i)*idxBytes }
+func (l Layout) weightVA(i uint32) mem.Addr { return l.Weights + mem.Addr(i)*idxBytes }
+func (l Layout) nodeAVA(u uint32) mem.Addr  { return l.NodeA + mem.Addr(u)*nodeBytes }
+func (l Layout) nodeBVA(u uint32) mem.Addr  { return l.NodeB + mem.Addr(u)*nodeBytes }
+
+// Budget controls trace sampling: Skip accesses are fast-forwarded (the
+// blind-sampling practice of the simulation papers the paper's §II-C
+// surveys — skip billions of instructions, then record a window), then up
+// to Max accesses are recorded.
+type Budget struct {
+	Skip int
+	Max  int
+	// Serial marks a traversal whose frontier is too small to expose
+	// memory-level parallelism (road networks: a BFS wave of a few dozen
+	// vertices). Probe accesses are then recorded as dependent — the
+	// latency-bound behaviour GAPBS road inputs are known for — whereas
+	// power-law graphs with huge frontiers overlap their probes freely.
+	Serial bool
+}
+
+// budget tracks a Budget during kernel execution.
+type budget struct {
+	rec    Recorder
+	skip   int
+	left   int
+	serial bool
+}
+
+func newBudget(rec Recorder, b Budget) *budget {
+	return &budget{rec: rec, skip: b.Skip, left: b.Max, serial: b.Serial}
+}
+
+func (b *budget) ok() bool { return b.left > 0 }
+
+func (b *budget) compute(n uint64) {
+	if b.skip > 0 {
+		return
+	}
+	b.rec.Compute(n)
+}
+
+func (b *budget) access(va mem.Addr, f func(mem.Addr)) {
+	if b.skip > 0 {
+		b.skip--
+		return
+	}
+	f(va)
+	b.left--
+}
+
+func (b *budget) load(va mem.Addr)     { b.access(va, b.rec.Load) }
+func (b *budget) loadDep(va mem.Addr)  { b.access(va, b.rec.LoadDep) }
+func (b *budget) store(va mem.Addr)    { b.access(va, b.rec.Store) }
+func (b *budget) storeDep(va mem.Addr) { b.access(va, b.rec.StoreDep) }
+
+// probe and probeStore are random per-edge accesses: independent when the
+// frontier is wide, dependent under Serial.
+func (b *budget) probe(va mem.Addr) {
+	if b.serial {
+		b.loadDep(va)
+	} else {
+		b.load(va)
+	}
+}
+
+func (b *budget) probeStore(va mem.Addr) {
+	if b.serial {
+		b.storeDep(va)
+	} else {
+		b.store(va)
+	}
+}
+
+// BFS runs a top-down breadth-first search from src, sampling per bud. NodeA serves as the parent array. It returns the
+// number of vertices visited.
+//
+// Access character: sequential offset/edge streaming (independent) plus a
+// random dependent probe of parent[v] per edge — the classic TLB-hostile
+// graph pattern.
+func BFS(g *Graph, src uint32, lay Layout, rec Recorder, bud Budget) int {
+	b := newBudget(rec, bud)
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int32(src)
+	frontier := []uint32{src}
+	visited := 1
+	for len(frontier) > 0 && b.ok() {
+		var next []uint32
+		for _, u := range frontier {
+			if !b.ok() {
+				break
+			}
+			b.compute(4)
+			b.load(lay.offsetVA(u))
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && b.ok(); i++ {
+				v := g.Edges[i]
+				b.compute(2)
+				b.load(lay.edgeVA(i))
+				// The parent probe's address comes from the streamed edge
+				// value; with a wide frontier, probes of different edges
+				// overlap freely (high memory-level parallelism), while
+				// Serial traversals expose their latency.
+				b.probe(lay.nodeAVA(v))
+				if parent[v] < 0 {
+					parent[v] = int32(u)
+					visited++
+					b.probeStore(lay.nodeAVA(v))
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return visited
+}
+
+// PageRank runs push-style PageRank iterations, sampling per bud. NodeA holds ranks, NodeB holds incoming sums.
+// It returns the number of completed iterations (possibly fractional work
+// on the last one).
+//
+// Access character: streaming reads plus independent random scatters into
+// the sums array — high memory-level parallelism.
+func PageRank(g *Graph, lay Layout, rec Recorder, iters int, bud Budget) int {
+	b := newBudget(rec, bud)
+	done := 0
+	for it := 0; it < iters && b.ok(); it++ {
+		for u := uint32(0); int(u) < g.N && b.ok(); u++ {
+			b.compute(3)
+			b.load(lay.offsetVA(u))
+			b.load(lay.nodeAVA(u)) // rank[u], sequential
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && b.ok(); i++ {
+				v := g.Edges[i]
+				b.compute(1)
+				b.load(lay.edgeVA(i))
+				// Scatter: independent random store to sums[v].
+				b.store(lay.nodeBVA(v))
+			}
+		}
+		// Rank update pass: sequential, cheap.
+		for u := uint32(0); int(u) < g.N && b.ok(); u += 8 {
+			b.compute(16)
+			b.load(lay.nodeBVA(u))
+			b.store(lay.nodeAVA(u))
+		}
+		done++
+	}
+	return done
+}
+
+// SSSP runs Bellman-Ford rounds over an active frontier from src (a
+// simplified delta-stepping), sampling per bud.
+// NodeA holds distances. It returns the number of settled vertices.
+//
+// Access character: like BFS but with weight loads and repeated relaxation
+// of the same vertices — dependent random accesses dominate.
+func SSSP(g *Graph, src uint32, lay Layout, rec Recorder, bud Budget) int {
+	if g.Weights == nil {
+		return 0
+	}
+	b := newBudget(rec, bud)
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	frontier := []uint32{src}
+	settled := 1
+	for len(frontier) > 0 && b.ok() {
+		var next []uint32
+		for _, u := range frontier {
+			if !b.ok() {
+				break
+			}
+			b.compute(4)
+			b.load(lay.offsetVA(u))
+			b.loadDep(lay.nodeAVA(u)) // dist[u]
+			du := dist[u]
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && b.ok(); i++ {
+				v := g.Edges[i]
+				b.compute(2)
+				b.load(lay.edgeVA(i))
+				b.load(lay.weightVA(i))
+				// Relaxations of different edges are independent (delta-
+				// stepping processes whole buckets concurrently).
+				b.load(lay.nodeAVA(v)) // dist[v], random
+				nd := du + int64(g.Weights[i])
+				if nd < dist[v] {
+					if dist[v] == inf {
+						settled++
+					}
+					dist[v] = nd
+					b.store(lay.nodeAVA(v))
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return settled
+}
+
+// BC runs one source's Brandes betweenness-centrality contribution: a
+// forward BFS counting shortest paths (sigma in NodeB) followed by a
+// backward dependency accumulation (delta in NodeA). Sampling follows bud. It returns the number of vertices reached.
+func BC(g *Graph, src uint32, lay Layout, rec Recorder, bud Budget) int {
+	b := newBudget(rec, bud)
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma := make([]float64, g.N)
+	depth[src] = 0
+	sigma[src] = 1
+	order := []uint32{src}
+	frontier := []uint32{src}
+	// Forward phase.
+	for len(frontier) > 0 && b.ok() {
+		var next []uint32
+		for _, u := range frontier {
+			if !b.ok() {
+				break
+			}
+			b.compute(4)
+			b.load(lay.offsetVA(u))
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && b.ok(); i++ {
+				v := g.Edges[i]
+				b.compute(2)
+				b.load(lay.edgeVA(i))
+				b.load(lay.nodeBVA(v)) // sigma[v]; edge-parallel
+				if depth[v] < 0 {
+					depth[v] = depth[u] + 1
+					next = append(next, v)
+					order = append(order, v)
+				}
+				if depth[v] == depth[u]+1 {
+					sigma[v] += sigma[u]
+					b.store(lay.nodeBVA(v))
+				}
+			}
+		}
+		frontier = next
+	}
+	// Backward phase: walk the discovery order in reverse, accumulating
+	// deltas — a second pass of random dependent accesses.
+	for i := len(order) - 1; i >= 0 && b.ok(); i-- {
+		u := order[i]
+		b.compute(4)
+		b.load(lay.offsetVA(u))
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for j := lo; j < hi && b.ok(); j++ {
+			v := g.Edges[j]
+			b.load(lay.edgeVA(j))
+			if depth[v] == depth[u]+1 {
+				b.loadDep(lay.nodeAVA(v)) // delta[v]
+				b.storeDep(lay.nodeAVA(u))
+			}
+		}
+	}
+	return len(order)
+}

@@ -1,0 +1,275 @@
+// Package layout implements the paper's memory-layout selection (§VI-B):
+// given a workload's pool usage, it generates the 54 mosaics — growing
+// window, random window, and sliding window over a simulated-PEBS TLB-miss
+// profile — that spread experimental samples across the (H, M, C) space.
+//
+// A "window" is a contiguous region backed with 2MB hugepages; everything
+// outside it stays on 4KB pages. Windows are expressed over the *concatenated*
+// used space of the heap and anonymous pools and then split back into
+// per-pool Mosalloc configurations.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+)
+
+// Target describes the pool usage of one workload: how much of each pool
+// its trace actually touches, and the pool capacities Mosalloc must
+// reserve (2MB-aligned, ≥ used).
+type Target struct {
+	HeapUsed uint64
+	AnonUsed uint64
+	HeapCap  uint64
+	AnonCap  uint64
+	// FileCap is the (4KB-only) file pool capacity.
+	FileCap uint64
+}
+
+// Space returns the concatenated used-space size.
+func (t Target) Space() uint64 { return t.HeapUsed + t.AnonUsed }
+
+// ConcatOffset maps a pool virtual address to its offset in the
+// concatenated space ([heap used][anon used]).
+func (t Target) ConcatOffset(va mem.Addr) (uint64, bool) {
+	if va >= mosalloc.HeapPoolBase && uint64(va-mosalloc.HeapPoolBase) < t.HeapUsed {
+		return uint64(va - mosalloc.HeapPoolBase), true
+	}
+	if va >= mosalloc.AnonPoolBase && uint64(va-mosalloc.AnonPoolBase) < t.AnonUsed {
+		return t.HeapUsed + uint64(va-mosalloc.AnonPoolBase), true
+	}
+	return 0, false
+}
+
+// Validate sanity-checks the target.
+func (t Target) Validate() error {
+	if t.Space() == 0 {
+		return fmt.Errorf("layout: target has no used space")
+	}
+	if t.HeapCap < t.HeapUsed || t.AnonCap < t.AnonUsed {
+		return fmt.Errorf("layout: capacities below usage")
+	}
+	return nil
+}
+
+// Layout is one named Mosalloc configuration.
+type Layout struct {
+	Name string
+	Cfg  mosalloc.Config
+}
+
+// windowed builds the per-pool configuration for a hugepage window
+// [start, end) over the concatenated space.
+func (t Target) windowed(name string, start, end uint64, inner mem.PageSize) Layout {
+	clamp := func(v, lo, hi uint64) uint64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	hs := clamp(start, 0, t.HeapUsed)
+	he := clamp(end, 0, t.HeapUsed)
+	as := clamp(start, t.HeapUsed, t.Space()) - t.HeapUsed
+	ae := clamp(end, t.HeapUsed, t.Space()) - t.HeapUsed
+	cfg := mosalloc.Config{
+		HeapPool:      mosalloc.Window(t.HeapCap, hs, he, inner),
+		AnonPool:      mosalloc.Window(t.AnonCap, as, ae, inner),
+		FilePoolBytes: t.fileCap(),
+	}
+	return Layout{Name: name, Cfg: cfg}
+}
+
+func (t Target) fileCap() uint64 {
+	if t.FileCap == 0 {
+		return 1 << 20
+	}
+	return t.FileCap
+}
+
+// Baseline4K backs everything with 4KB pages.
+func (t Target) Baseline4K() Layout {
+	return Layout{Name: "4KB", Cfg: mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page4K, t.HeapCap),
+		AnonPool:      mosalloc.Uniform(mem.Page4K, t.AnonCap),
+		FilePoolBytes: t.fileCap(),
+	}}
+}
+
+// Baseline2M backs everything with 2MB pages.
+func (t Target) Baseline2M() Layout {
+	return Layout{Name: "2MB", Cfg: mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page2M, t.HeapCap),
+		AnonPool:      mosalloc.Uniform(mem.Page2M, t.AnonCap),
+		FilePoolBytes: t.fileCap(),
+	}}
+}
+
+// Baseline1G backs everything with 1GB pages (pool capacities round up).
+func (t Target) Baseline1G() Layout {
+	return Layout{Name: "1GB", Cfg: mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page1G, t.HeapCap),
+		AnonPool:      mosalloc.Uniform(mem.Page1G, t.AnonCap),
+		FilePoolBytes: t.fileCap(),
+	}}
+}
+
+// GrowingWindows returns n+1 layouts whose 2MB window starts at 0 and
+// covers i·S/n of the space, i = 0…n. The first is all-4KB, the last all-2MB.
+func (t Target) GrowingWindows(n int) []Layout {
+	s := t.Space()
+	out := make([]Layout, 0, n+1)
+	for i := 0; i <= n; i++ {
+		end := s * uint64(i) / uint64(n)
+		name := fmt.Sprintf("grow-%d/%d", i, n)
+		// The extremes are the historical baselines every prior model is
+		// anchored on; name them so model fitting can find them.
+		if i == 0 {
+			name = "4KB"
+		} else if i == n {
+			name = "2MB"
+		}
+		out = append(out, t.windowed(name, 0, end, mem.Page2M))
+	}
+	return out
+}
+
+// RandomWindows returns n layouts whose window has random start and length.
+func (t Target) RandomWindows(n int, seed int64) []Layout {
+	rng := rand.New(rand.NewSource(seed))
+	s := t.Space()
+	out := make([]Layout, 0, n)
+	for i := 0; i < n; i++ {
+		length := rng.Uint64() % s
+		start := rng.Uint64() % (s - length + 1)
+		out = append(out, t.windowed(fmt.Sprintf("rand-%d", i), start, start+length, mem.Page2M))
+	}
+	return out
+}
+
+// MissProfile is the simulated-PEBS TLB-miss histogram over the
+// concatenated space, at ChunkSize granularity.
+type MissProfile struct {
+	ChunkSize uint64
+	Counts    []uint64
+}
+
+// Total returns the total miss count.
+func (p MissProfile) Total() uint64 {
+	var n uint64
+	for _, c := range p.Counts {
+		n += c
+	}
+	return n
+}
+
+// HotRegion returns the smallest contiguous byte range accounting for at
+// least fraction x of all misses (two-pointer scan over the chunks).
+func (p MissProfile) HotRegion(x float64) (start, end uint64) {
+	total := p.Total()
+	if total == 0 || len(p.Counts) == 0 {
+		return 0, 0
+	}
+	need := uint64(x * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	bestLo, bestHi := 0, len(p.Counts)
+	var sum uint64
+	lo := 0
+	for hi := 0; hi < len(p.Counts); hi++ {
+		sum += p.Counts[hi]
+		for sum-p.Counts[lo] >= need && lo < hi {
+			sum -= p.Counts[lo]
+			lo++
+		}
+		if sum >= need && hi-lo < bestHi-bestLo {
+			bestLo, bestHi = lo, hi
+		}
+	}
+	return uint64(bestLo) * p.ChunkSize, uint64(bestHi+1) * p.ChunkSize
+}
+
+// SlidingWindows implements the paper's most sophisticated heuristic:
+// (1) take the workload's TLB-miss profile; (2) find the smallest hot
+// region holding fraction x of the misses; (3) use it as the first
+// window; (4) slide the window in steps of 1/n of its size — toward low
+// or high addresses depending on whether the region sits at the top or
+// bottom of the space — so successive layouts back less of the hot region
+// with hugepages. Returns n+1 layouts.
+func (t Target) SlidingWindows(profile MissProfile, x float64, n int) []Layout {
+	s := t.Space()
+	hs, he := profile.HotRegion(x)
+	if he > s {
+		he = s
+	}
+	if he <= hs {
+		hs, he = 0, s
+	}
+	size := he - hs
+	step := size / uint64(n)
+	if step == 0 {
+		step = uint64(mem.Page2M)
+	}
+	// Slide away from the space edge the region is closest to.
+	slideUp := hs < s-he
+	out := make([]Layout, 0, n+1)
+	for i := 0; i <= n; i++ {
+		delta := step * uint64(i)
+		var ws, we uint64
+		if slideUp {
+			ws, we = hs+delta, he+delta
+			if we > s {
+				we = s
+				if ws > we {
+					ws = we
+				}
+			}
+		} else {
+			if delta > hs {
+				ws = 0
+			} else {
+				ws = hs - delta
+			}
+			if delta > he {
+				we = 0
+			} else {
+				we = he - delta
+			}
+		}
+		name := fmt.Sprintf("slide-%d%%-%d/%d", int(x*100), i, n)
+		out = append(out, t.windowed(name, ws, we, mem.Page2M))
+	}
+	return out
+}
+
+// Standard generates the paper's 54-layout protocol: 9 growing windows
+// (n=8), 9 random windows, and 9×4 sliding windows with hot-region
+// fractions 20/40/60/80%.
+func (t Target) Standard(profile MissProfile, seed int64) []Layout {
+	var out []Layout
+	out = append(out, t.GrowingWindows(8)...)
+	out = append(out, t.RandomWindows(9, seed)...)
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8} {
+		out = append(out, t.SlidingWindows(profile, x, 8)...)
+	}
+	return out
+}
+
+// Extended generates a ~102-layout protocol (17 growing, 17 random, 17×4
+// sliding): the larger sample sets the paper needed — up to 100 points —
+// for cross-validation to converge below 5% maximal error (§VI-C).
+func (t Target) Extended(profile MissProfile, seed int64) []Layout {
+	var out []Layout
+	out = append(out, t.GrowingWindows(16)...)
+	out = append(out, t.RandomWindows(17, seed)...)
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8} {
+		out = append(out, t.SlidingWindows(profile, x, 16)...)
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+	"mosaic/internal/trace"
+)
+
+func testTarget() Target {
+	return Target{
+		HeapUsed: 16 << 20,
+		AnonUsed: 32 << 20,
+		HeapCap:  16 << 20,
+		AnonCap:  32 << 20,
+	}
+}
+
+func TestTargetValidate(t *testing.T) {
+	if err := testTarget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Target{}).Validate() == nil {
+		t.Error("empty target should fail")
+	}
+	bad := testTarget()
+	bad.HeapCap = 1
+	if bad.Validate() == nil {
+		t.Error("capacity below usage should fail")
+	}
+}
+
+func TestConcatOffset(t *testing.T) {
+	tg := testTarget()
+	cases := []struct {
+		va   mem.Addr
+		want uint64
+		ok   bool
+	}{
+		{mosalloc.HeapPoolBase, 0, true},
+		{mosalloc.HeapPoolBase + 100, 100, true},
+		{mosalloc.HeapPoolBase + mem.Addr(tg.HeapUsed), 0, false},
+		{mosalloc.AnonPoolBase, tg.HeapUsed, true},
+		{mosalloc.AnonPoolBase + 5, tg.HeapUsed + 5, true},
+		{mosalloc.AnonPoolBase + mem.Addr(tg.AnonUsed), 0, false},
+		{0x1234, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tg.ConcatOffset(c.va)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ConcatOffset(%#x) = %d,%v want %d,%v", uint64(c.va), got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	tg := testTarget()
+	for _, c := range []struct {
+		lay  Layout
+		size mem.PageSize
+	}{
+		{tg.Baseline4K(), mem.Page4K},
+		{tg.Baseline2M(), mem.Page2M},
+		{tg.Baseline1G(), mem.Page1G},
+	} {
+		if err := c.lay.Cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.lay.Name, err)
+		}
+		for _, iv := range c.lay.Cfg.HeapPool.Intervals {
+			if iv.Size != c.size {
+				t.Errorf("%s heap interval size = %s", c.lay.Name, iv.Size)
+			}
+		}
+	}
+	// 1GB baseline rounds pool capacity up to 1GB.
+	if got := tg.Baseline1G().Cfg.HeapPool.Size(); got != 1<<30 {
+		t.Errorf("1GB heap pool = %d, want 1GB", got)
+	}
+}
+
+func TestGrowingWindows(t *testing.T) {
+	tg := testTarget()
+	lays := tg.GrowingWindows(8)
+	if len(lays) != 9 {
+		t.Fatalf("%d layouts, want 9", len(lays))
+	}
+	// First layout: all 4KB (no 2MB bytes).
+	if by := lays[0].Cfg.HeapPool.BytesBySize(); by[mem.Page2M] != 0 {
+		t.Error("first growing layout should have no hugepages")
+	}
+	if by := lays[0].Cfg.AnonPool.BytesBySize(); by[mem.Page2M] != 0 {
+		t.Error("first growing layout anon pool should have no hugepages")
+	}
+	// Last layout: fully 2MB.
+	if by := lays[8].Cfg.HeapPool.BytesBySize(); by[mem.Page4K] != 0 {
+		t.Error("last growing layout heap should be all hugepages")
+	}
+	// Monotone growth of 2MB coverage.
+	prev := uint64(0)
+	for i, l := range lays {
+		if err := l.Cfg.Validate(); err != nil {
+			t.Fatalf("layout %d: %v", i, err)
+		}
+		cur := l.Cfg.HeapPool.BytesBySize()[mem.Page2M] + l.Cfg.AnonPool.BytesBySize()[mem.Page2M]
+		if cur < prev {
+			t.Errorf("2MB coverage shrank at layout %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomWindowsValidAndDeterministic(t *testing.T) {
+	tg := testTarget()
+	a := tg.RandomWindows(9, 42)
+	b := tg.RandomWindows(9, 42)
+	if len(a) != 9 {
+		t.Fatalf("%d layouts", len(a))
+	}
+	for i := range a {
+		if err := a[i].Cfg.Validate(); err != nil {
+			t.Fatalf("layout %d: %v", i, err)
+		}
+		if a[i].Cfg.HeapPool.String() != b[i].Cfg.HeapPool.String() {
+			t.Error("same seed must give same layouts")
+		}
+	}
+	c := tg.RandomWindows(9, 43)
+	same := true
+	for i := range a {
+		if a[i].Cfg.HeapPool.String() != c[i].Cfg.HeapPool.String() ||
+			a[i].Cfg.AnonPool.String() != c[i].Cfg.AnonPool.String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different layouts")
+	}
+}
+
+func TestHotRegion(t *testing.T) {
+	p := MissProfile{ChunkSize: 1 << 21, Counts: []uint64{0, 1, 50, 40, 1, 0, 0, 8}}
+	s, e := p.HotRegion(0.8)
+	// Chunks 2,3 hold 90/100 misses: the smallest ≥80% region.
+	if s != 2<<21 || e != 4<<21 {
+		t.Errorf("hot region = [%d,%d) chunks [%d,%d), want [2,4)", s, e, s>>21, e>>21)
+	}
+	// Empty profile.
+	if s, e := (MissProfile{ChunkSize: 1 << 21}).HotRegion(0.5); s != 0 || e != 0 {
+		t.Error("empty profile should yield empty region")
+	}
+}
+
+func TestHotRegionProperty(t *testing.T) {
+	prop := func(seed int64, xRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		p := MissProfile{ChunkSize: 1 << 21, Counts: make([]uint64, n)}
+		for i := range p.Counts {
+			p.Counts[i] = uint64(rng.Intn(100))
+		}
+		x := float64(xRaw%80+10) / 100
+		s, e := p.HotRegion(x)
+		if p.Total() == 0 {
+			return s == 0 && e == 0
+		}
+		if s%p.ChunkSize != 0 || e%p.ChunkSize != 0 || e < s {
+			return false
+		}
+		// The region must actually contain ≥ x of the misses.
+		var sum uint64
+		for i := s / p.ChunkSize; i < e/p.ChunkSize; i++ {
+			sum += p.Counts[i]
+		}
+		return float64(sum) >= x*float64(p.Total())-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	tg := testTarget()
+	// Hot region near the bottom: windows must slide upward.
+	p := MissProfile{ChunkSize: 1 << 21, Counts: make([]uint64, int(tg.Space()>>21))}
+	p.Counts[1] = 100
+	p.Counts[2] = 100
+	lays := tg.SlidingWindows(p, 0.8, 8)
+	if len(lays) != 9 {
+		t.Fatalf("%d layouts, want 9", len(lays))
+	}
+	for i, l := range lays {
+		if err := l.Cfg.Validate(); err != nil {
+			t.Fatalf("layout %d (%s): %v", i, l.Name, err)
+		}
+	}
+	// First window covers the hot region (2MB backing at chunk 1).
+	first := lays[0].Cfg.HeapPool
+	if ps, _ := first.PageSizeAt(3 << 20); ps != mem.Page2M {
+		t.Errorf("first sliding window does not back the hot region: %s", first)
+	}
+	// Later windows progressively leave it: the last should not cover
+	// chunk 1 anymore.
+	last := lays[8].Cfg.HeapPool
+	if ps, _ := last.PageSizeAt(2 << 20); ps == mem.Page2M {
+		t.Errorf("last sliding window still backs the hot region start: %s", last)
+	}
+}
+
+func TestSlidingWindowsEmptyProfile(t *testing.T) {
+	tg := testTarget()
+	p := MissProfile{ChunkSize: 1 << 21, Counts: make([]uint64, int(tg.Space()>>21))}
+	lays := tg.SlidingWindows(p, 0.5, 8)
+	if len(lays) != 9 {
+		t.Fatalf("%d layouts", len(lays))
+	}
+	for _, l := range lays {
+		if err := l.Cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStandardProtocol(t *testing.T) {
+	tg := testTarget()
+	p := MissProfile{ChunkSize: 1 << 21, Counts: make([]uint64, int(tg.Space()>>21))}
+	for i := range p.Counts {
+		p.Counts[i] = uint64(i % 7)
+	}
+	lays := tg.Standard(p, 1)
+	if len(lays) != 54 {
+		t.Fatalf("standard protocol yields %d layouts, want 54", len(lays))
+	}
+	names := map[string]int{}
+	for _, l := range lays {
+		names[l.Name]++
+		if err := l.Cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		// Pool capacities must be preserved so traces replay on any layout.
+		if l.Cfg.HeapPool.Size() != tg.HeapCap || l.Cfg.AnonPool.Size() != tg.AnonCap {
+			t.Fatalf("%s: pool capacity changed", l.Name)
+		}
+	}
+	for name, n := range names {
+		if n > 1 {
+			t.Errorf("duplicate layout name %s", name)
+		}
+	}
+}
+
+func TestProfileMisses(t *testing.T) {
+	tg := testTarget()
+	b := trace.NewBuilder("p", 4096)
+	// Hammer one 2MB chunk of the anon pool with random 4KB pages (more
+	// pages than the L1 TLB holds, so misses occur), then touch a single
+	// heap page a few times (at most one miss).
+	rng := rand.New(rand.NewSource(9))
+	hot := mosalloc.AnonPoolBase + mem.Addr(4<<20)
+	for i := 0; i < 4000; i++ {
+		b.Load(hot + mem.Addr(rng.Uint64()%(2<<20)))
+	}
+	for i := 0; i < 10; i++ {
+		b.Load(mosalloc.HeapPoolBase + 0x100)
+	}
+	p := ProfileMisses(b.Trace(), arch.SandyBridge.TLB, tg)
+	if p.Total() == 0 {
+		t.Fatal("no misses recorded")
+	}
+	hotChunk := (tg.HeapUsed + 4<<20) >> 21
+	if p.Counts[hotChunk] < p.Total()*9/10 {
+		t.Errorf("hot chunk holds %d of %d misses", p.Counts[hotChunk], p.Total())
+	}
+	s, e := p.HotRegion(0.8)
+	if !(s <= hotChunk<<21 && e > hotChunk<<21) {
+		t.Errorf("hot region [%d,%d) misses the hot chunk %d", s>>21, e>>21, hotChunk)
+	}
+}
+
+func TestExtendedProtocol(t *testing.T) {
+	tg := testTarget()
+	p := MissProfile{ChunkSize: 1 << 21, Counts: make([]uint64, int(tg.Space()>>21))}
+	for i := range p.Counts {
+		p.Counts[i] = uint64(i % 5)
+	}
+	lays := tg.Extended(p, 1)
+	if len(lays) != 102 {
+		t.Fatalf("extended protocol yields %d layouts, want 102", len(lays))
+	}
+	names := map[string]bool{}
+	for _, l := range lays {
+		if names[l.Name] {
+			t.Fatalf("duplicate layout %s", l.Name)
+		}
+		names[l.Name] = true
+		if err := l.Cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+	if !names["4KB"] || !names["2MB"] {
+		t.Error("extended protocol must include the baselines")
+	}
+}

@@ -1,0 +1,68 @@
+// Package libc models the user-space allocation stack that Mosalloc
+// interposes on: a glibc-like malloc (morecore/sbrk growth, direct-mmap
+// above MMAP_THRESHOLD, arena spawning under contention, mallopt tuning)
+// and the three primary Linux memory system calls (brk, mmap, munmap).
+//
+// The split between hooked and raw call paths reproduces the central
+// implementation challenge of the paper (§V-C): an LD_PRELOAD library can
+// override the glibc wrapper functions, but calls that glibc makes
+// internally to mmap are statically bound and cannot be intercepted.
+// Mosalloc therefore disables those paths via mallopt (M_MMAP_MAX=0,
+// M_ARENA_MAX=1); libhugetlbfs does not, which is the bug the paper fixes.
+package libc
+
+import (
+	"errors"
+
+	"mosaic/internal/mem"
+)
+
+// MapKind classifies an mmap request the way Mosalloc routes it (§V,
+// Figure 4): anonymous maps go to the anonymous pool, file-backed maps to
+// the 4KB-only file pool.
+type MapKind int
+
+// The two mmap request classes.
+const (
+	MapAnonymous MapKind = iota
+	MapFileBacked
+)
+
+// String names the map kind.
+func (k MapKind) String() string {
+	if k == MapFileBacked {
+		return "file"
+	}
+	return "anonymous"
+}
+
+// MapFlags carries the mmap arguments the model cares about.
+type MapFlags struct {
+	Kind MapKind
+	// HugeTLB requests explicit hugepages (MAP_HUGETLB); HugeSize selects
+	// MAP_HUGE_2MB or MAP_HUGE_1GB. Ignored unless HugeTLB is set.
+	HugeTLB  bool
+	HugeSize mem.PageSize
+}
+
+// Backend is the kernel-facing interface for memory requests. The real
+// kernel implements it (Kernel); Mosalloc implements it too and is swapped
+// in via Process.SetHooks, modelling LD_PRELOAD interposition.
+type Backend interface {
+	// Sbrk adjusts the program break by incr bytes and returns the break's
+	// previous location (the base of newly usable memory when growing).
+	// Sbrk(0) returns the current break.
+	Sbrk(incr int64) (mem.Addr, error)
+	// Mmap maps length bytes and returns the base address.
+	Mmap(length uint64, flags MapFlags) (mem.Addr, error)
+	// Munmap unmaps a previously mapped range.
+	Munmap(addr mem.Addr, length uint64) error
+}
+
+// Errors returned by the libc model.
+var (
+	ErrNoMemory     = errors.New("libc: cannot allocate memory")
+	ErrBadFree      = errors.New("libc: free of unallocated address")
+	ErrBadMallopt   = errors.New("libc: invalid mallopt parameter")
+	ErrUnmapUnknown = errors.New("libc: munmap of unknown mapping")
+)

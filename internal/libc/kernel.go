@@ -1,0 +1,145 @@
+package libc
+
+import (
+	"fmt"
+
+	"mosaic/internal/mem"
+)
+
+// Virtual-address layout constants for the modelled process, mirroring the
+// canonical Linux x86-64 layout: the heap sits low, the mmap area high.
+const (
+	// DefaultHeapBase is where the program break starts.
+	DefaultHeapBase mem.Addr = 0x0000_1000_0000_0000
+	// DefaultMmapBase is where kernel-chosen mmap placements start.
+	DefaultMmapBase mem.Addr = 0x0000_7f00_0000_0000
+)
+
+// Kernel is the default Backend: it backs brk growth and plain mmap calls
+// with 4KB pages, and explicit MAP_HUGETLB requests with the requested
+// hugepage size, exactly as Linux does without any allocator interposed.
+type Kernel struct {
+	space    *mem.AddressSpace
+	heapBase mem.Addr
+	brk      mem.Addr
+	// brkMapped is the page-aligned frontier up to which the heap has
+	// actually been mapped; Linux maps heap pages lazily, we map them when
+	// the break crosses a page boundary.
+	brkMapped mem.Addr
+	mmapNext  mem.Addr
+	mappings  map[mem.Addr]uint64 // base -> length, for munmap validation
+}
+
+// NewKernel creates the default backend over the given address space.
+func NewKernel(space *mem.AddressSpace) *Kernel {
+	return &Kernel{
+		space:     space,
+		heapBase:  DefaultHeapBase,
+		brk:       DefaultHeapBase,
+		brkMapped: DefaultHeapBase,
+		mmapNext:  DefaultMmapBase,
+		mappings:  make(map[mem.Addr]uint64),
+	}
+}
+
+// Sbrk implements Backend by moving the program break, mapping 4KB pages
+// as the break crosses page boundaries. Shrinking unmaps whole pages that
+// fall above the new break.
+func (k *Kernel) Sbrk(incr int64) (mem.Addr, error) {
+	old := k.brk
+	if incr == 0 {
+		return old, nil
+	}
+	newBrk := mem.Addr(int64(k.brk) + incr)
+	if newBrk < k.heapBase {
+		return 0, fmt.Errorf("%w: break below heap base", ErrNoMemory)
+	}
+	if incr > 0 {
+		frontier := mem.AlignUp(newBrk, mem.Page4K)
+		if frontier > k.brkMapped {
+			r := mem.Region{Start: k.brkMapped, End: frontier}
+			if err := k.space.Map(r, mem.Page4K); err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+			}
+			k.brkMapped = frontier
+		}
+	} else {
+		frontier := mem.AlignUp(newBrk, mem.Page4K)
+		if frontier < k.brkMapped {
+			r := mem.Region{Start: frontier, End: k.brkMapped}
+			if err := k.space.Unmap(r); err != nil {
+				return 0, err
+			}
+			k.brkMapped = frontier
+		}
+	}
+	k.brk = newBrk
+	return old, nil
+}
+
+// Brk returns the current program break.
+func (k *Kernel) Brk() mem.Addr { return k.brk }
+
+// Mmap implements Backend with a bump-allocated placement in the mmap area.
+func (k *Kernel) Mmap(length uint64, flags MapFlags) (mem.Addr, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("%w: zero-length mmap", ErrNoMemory)
+	}
+	ps := mem.Page4K
+	if flags.HugeTLB {
+		if flags.Kind == MapFileBacked {
+			// Linux serves file-backed maps from the page cache, which is
+			// managed with 4KB pages only (§V).
+			return 0, fmt.Errorf("%w: MAP_HUGETLB with file backing", ErrNoMemory)
+		}
+		if !flags.HugeSize.Valid() {
+			return 0, fmt.Errorf("libc: invalid hugepage size %d", uint64(flags.HugeSize))
+		}
+		ps = flags.HugeSize
+	}
+	base := mem.AlignUp(k.mmapNext, ps)
+	size := uint64(mem.AlignUp(mem.Addr(length), ps))
+	r := mem.NewRegion(base, size)
+	if err := k.space.Map(r, ps); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+	}
+	k.mmapNext = r.End
+	k.mappings[base] = size
+	return base, nil
+}
+
+// MmapFixed maps length bytes at exactly addr (MAP_FIXED) with the given
+// backing page size. Mosalloc uses it to build contiguous pools that mosaic
+// several page sizes: each interval is mapped at a fixed offset so the pool
+// stays one unbroken virtual range.
+func (k *Kernel) MmapFixed(addr mem.Addr, length uint64, ps mem.PageSize) error {
+	if length == 0 {
+		return fmt.Errorf("%w: zero-length fixed mmap", ErrNoMemory)
+	}
+	r := mem.NewRegion(addr, length)
+	if err := k.space.Map(r, ps); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoMemory, err)
+	}
+	k.mappings[addr] = length
+	return nil
+}
+
+// Munmap implements Backend; it accepts exactly the ranges Mmap returned.
+func (k *Kernel) Munmap(addr mem.Addr, length uint64) error {
+	size, ok := k.mappings[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrUnmapUnknown, uint64(addr))
+	}
+	aligned := uint64(mem.AlignUp(mem.Addr(length), mem.Page4K))
+	if aligned != size {
+		// The model supports whole-mapping munmap only, which is all the
+		// workloads and Mosalloc need.
+		return fmt.Errorf("%w: partial munmap of %#x (%d of %d)", ErrUnmapUnknown,
+			uint64(addr), length, size)
+	}
+	if err := k.space.Unmap(mem.NewRegion(addr, size)); err != nil {
+		return err
+	}
+	delete(k.mappings, addr)
+	return nil
+}

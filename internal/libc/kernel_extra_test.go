@@ -1,0 +1,84 @@
+package libc
+
+import (
+	"testing"
+
+	"mosaic/internal/mem"
+)
+
+func TestMmapFixedPlacesExactly(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	base := mem.Addr(0x0000_5000_0000_0000)
+	if err := k.MmapFixed(base, uint64(mem.Page2M), mem.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, size, ok := p.Space().Translate(base); !ok || size != mem.Page2M {
+		t.Errorf("fixed mapping: ok=%v size=%v", ok, size)
+	}
+	// The fixed mapping is munmap-able like any other.
+	if err := k.Munmap(base, uint64(mem.Page2M)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Space().Translate(base); ok {
+		t.Error("translation survived munmap of fixed mapping")
+	}
+}
+
+func TestMmapFixedErrors(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	if err := k.MmapFixed(0x1000, 0, mem.Page4K); err == nil {
+		t.Error("zero-length fixed map should fail")
+	}
+	base := mem.Addr(0x0000_5000_0000_0000)
+	if err := k.MmapFixed(base, uint64(mem.Page4K), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping fixed map fails (the model has no MAP_FIXED clobbering).
+	if err := k.MmapFixed(base, uint64(mem.Page4K), mem.Page4K); err == nil {
+		t.Error("overlapping fixed map should fail")
+	}
+	// Misaligned placement for the page size fails.
+	if err := k.MmapFixed(base+0x1000, uint64(mem.Page2M), mem.Page2M); err == nil {
+		t.Error("misaligned fixed map should fail")
+	}
+}
+
+func TestSbrkZeroAfterGrowth(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	if _, err := k.Sbrk(12345); err != nil {
+		t.Fatal(err)
+	}
+	brk, err := k.Sbrk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brk != DefaultHeapBase+12345 {
+		t.Errorf("break = %#x, want base+12345", uint64(brk))
+	}
+	if k.Brk() != brk {
+		t.Errorf("Brk() = %#x disagrees with Sbrk(0) = %#x", uint64(k.Brk()), uint64(brk))
+	}
+}
+
+// Heap growth maps pages lazily at page granularity: growing by one byte
+// within an already-mapped page maps nothing new.
+func TestSbrkPageGranularity(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	if _, err := k.Sbrk(1); err != nil {
+		t.Fatal(err)
+	}
+	mappedAfterOne := p.Space().MappedBytes()
+	if mappedAfterOne != uint64(mem.Page4K) {
+		t.Fatalf("1-byte growth mapped %d bytes, want one page", mappedAfterOne)
+	}
+	if _, err := k.Sbrk(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Space().MappedBytes(); got != mappedAfterOne {
+		t.Errorf("growth within the page mapped %d more bytes", got-mappedAfterOne)
+	}
+}

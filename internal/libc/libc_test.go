@@ -1,0 +1,359 @@
+package libc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/mem"
+)
+
+func newTestProcess(t *testing.T) *Process {
+	t.Helper()
+	p, err := NewProcess(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSbrkGrowShrink(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	base, err := k.Sbrk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != DefaultHeapBase {
+		t.Fatalf("initial break = %#x, want %#x", uint64(base), uint64(DefaultHeapBase))
+	}
+	old, err := k.Sbrk(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != base {
+		t.Errorf("sbrk returned %#x, want old break %#x", uint64(old), uint64(base))
+	}
+	// The grown heap must be mapped and translate with 4KB pages.
+	if _, size, ok := p.Space().Translate(base + 9999); !ok || size != mem.Page4K {
+		t.Errorf("heap page not mapped: ok=%v size=%v", ok, size)
+	}
+	// Shrink back.
+	if _, err := k.Sbrk(-10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Space().Translate(base + 4096); ok {
+		t.Error("heap page survived shrink")
+	}
+	if _, err := k.Sbrk(-1); err == nil {
+		t.Error("shrinking below heap base should fail")
+	}
+}
+
+func TestKernelMmapMunmap(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	addr, err := k.Mmap(100000, MapFlags{Kind: MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.IsAligned(addr, mem.Page4K) {
+		t.Errorf("mmap result %#x not page aligned", uint64(addr))
+	}
+	if _, _, ok := p.Space().Translate(addr + 99999); !ok {
+		t.Error("mapped range does not translate")
+	}
+	if err := k.Munmap(addr, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Space().Translate(addr); ok {
+		t.Error("translation survived munmap")
+	}
+	if err := k.Munmap(addr, 100000); !errors.Is(err, ErrUnmapUnknown) {
+		t.Errorf("double munmap: err = %v", err)
+	}
+}
+
+func TestKernelMmapHugeTLB(t *testing.T) {
+	p := newTestProcess(t)
+	k := p.Kernel()
+	addr, err := k.Mmap(uint64(mem.Page2M), MapFlags{Kind: MapAnonymous, HugeTLB: true, HugeSize: mem.Page2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, size, _ := p.Space().Translate(addr); size != mem.Page2M {
+		t.Errorf("hugetlb mapping backed by %s, want 2MB", size)
+	}
+	// File-backed hugepages are rejected, as in Linux (§V).
+	_, err = k.Mmap(uint64(mem.Page2M), MapFlags{Kind: MapFileBacked, HugeTLB: true, HugeSize: mem.Page2M})
+	if err == nil {
+		t.Error("file-backed MAP_HUGETLB should fail")
+	}
+	// Invalid hugepage size.
+	_, err = k.Mmap(4096, MapFlags{Kind: MapAnonymous, HugeTLB: true, HugeSize: 12345})
+	if err == nil {
+		t.Error("invalid hugepage size should fail")
+	}
+	if _, err := k.Mmap(0, MapFlags{}); err == nil {
+		t.Error("zero-length mmap should fail")
+	}
+}
+
+func TestMallocSmallUsesMorecore(t *testing.T) {
+	p := newTestProcess(t)
+	a, err := p.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two allocations share an address")
+	}
+	st := p.MallocState().Stats()
+	if st.MorecoreCalls == 0 {
+		t.Error("small allocations should go through morecore")
+	}
+	if st.DirectMmaps != 0 {
+		t.Error("small allocations must not use direct mmap")
+	}
+	// Payloads land on the heap, which is 4KB-mapped.
+	if _, size, ok := p.Space().Translate(a); !ok || size != mem.Page4K {
+		t.Errorf("payload not on mapped heap: ok=%v size=%v", ok, size)
+	}
+}
+
+func TestMallocLargeUsesDirectMmap(t *testing.T) {
+	p := newTestProcess(t)
+	a, err := p.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.MallocState().Stats()
+	if st.DirectMmaps != 1 {
+		t.Errorf("DirectMmaps = %d, want 1", st.DirectMmaps)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Space().Translate(a); ok {
+		t.Error("direct-mmap block survived free")
+	}
+}
+
+func TestMalloptDisablesDirectMmap(t *testing.T) {
+	p := newTestProcess(t)
+	if err := p.MallocState().Mallopt(MMmapMax, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.MallocState().Stats(); st.DirectMmaps != 0 {
+		t.Errorf("DirectMmaps = %d after M_MMAP_MAX=0", st.DirectMmaps)
+	}
+}
+
+func TestContentionSpawnsArenas(t *testing.T) {
+	p := newTestProcess(t)
+	p.MallocState().SetContention(2)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Malloc(256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.MallocState().Stats(); st.ArenaSpawns == 0 {
+		t.Error("contention should spawn an arena")
+	}
+}
+
+func TestMalloptDisablesArenas(t *testing.T) {
+	p := newTestProcess(t)
+	p.MallocState().SetContention(2)
+	if err := p.MallocState().Mallopt(MArenaMax, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := p.Malloc(256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.MallocState().Stats(); st.ArenaSpawns != 0 {
+		t.Errorf("ArenaSpawns = %d after M_ARENA_MAX=1", st.ArenaSpawns)
+	}
+}
+
+func TestMalloptValidation(t *testing.T) {
+	p := newTestProcess(t)
+	m := p.MallocState()
+	if err := m.Mallopt(MMmapMax, -1); err == nil {
+		t.Error("negative M_MMAP_MAX should fail")
+	}
+	if err := m.Mallopt(MArenaMax, 0); err == nil {
+		t.Error("M_ARENA_MAX=0 should fail")
+	}
+	if err := m.Mallopt(MalloptParam(99), 1); err == nil {
+		t.Error("unknown mallopt param should fail")
+	}
+	if err := m.Mallopt(MMmapThreshold, 1<<20); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	p := newTestProcess(t)
+	if err := p.Free(0); err != nil {
+		t.Errorf("free(NULL) should be a no-op: %v", err)
+	}
+	if err := p.Free(0x1234); !errors.Is(err, ErrBadFree) {
+		t.Errorf("bad free: err = %v", err)
+	}
+	a, _ := p.Malloc(64)
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free: err = %v", err)
+	}
+}
+
+func TestFreeCoalescingReusesSpace(t *testing.T) {
+	p := newTestProcess(t)
+	m := p.MallocState()
+	var addrs []mem.Addr
+	for i := 0; i < 8; i++ {
+		a, err := p.Malloc(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	callsBefore := m.Stats().MorecoreCalls
+	for _, a := range addrs {
+		if err := p.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.HeapUsed() != 0 {
+		t.Errorf("HeapUsed = %d after freeing everything", m.HeapUsed())
+	}
+	// A large-ish allocation should now fit without another morecore.
+	if _, err := p.Malloc(7000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().MorecoreCalls != callsBefore {
+		t.Error("coalesced free space not reused")
+	}
+}
+
+func TestMallocZeroSize(t *testing.T) {
+	p := newTestProcess(t)
+	a, err := p.Malloc(0)
+	if err != nil || a == 0 {
+		t.Fatalf("malloc(0) = %#x, %v", uint64(a), err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordingBackend verifies which calls reach an interposed library.
+type recordingBackend struct {
+	inner  Backend
+	sbrks  int
+	mmaps  int
+	munmap int
+}
+
+func (r *recordingBackend) Sbrk(incr int64) (mem.Addr, error) {
+	r.sbrks++
+	return r.inner.Sbrk(incr)
+}
+func (r *recordingBackend) Mmap(length uint64, flags MapFlags) (mem.Addr, error) {
+	r.mmaps++
+	return r.inner.Mmap(length, flags)
+}
+func (r *recordingBackend) Munmap(addr mem.Addr, length uint64) error {
+	r.munmap++
+	return r.inner.Munmap(addr, length)
+}
+
+func TestHooksInterceptWrapperCalls(t *testing.T) {
+	p := newTestProcess(t)
+	rec := &recordingBackend{inner: p.Kernel()}
+	p.SetHooks(rec)
+	if _, err := p.Sbrk(4096); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Mmap(8192, MapFlags{Kind: MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Munmap(addr, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if rec.sbrks != 1 || rec.mmaps != 1 || rec.munmap != 1 {
+		t.Errorf("hook counts = %d/%d/%d, want 1/1/1", rec.sbrks, rec.mmaps, rec.munmap)
+	}
+}
+
+// The libhugetlbfs bug (§V-C): without mallopt neutralization, a large
+// malloc bypasses the hooks entirely via the raw mmap path.
+func TestRawPathsBypassHooks(t *testing.T) {
+	p := newTestProcess(t)
+	rec := &recordingBackend{inner: p.Kernel()}
+	p.SetHooks(rec)
+	if _, err := p.Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if rec.mmaps != 0 {
+		t.Errorf("direct mmap reached the hooks (%d calls) — raw path must bypass them", rec.mmaps)
+	}
+	if st := p.MallocState().Stats(); st.DirectMmaps != 1 {
+		t.Errorf("DirectMmaps = %d, want 1", st.DirectMmaps)
+	}
+}
+
+// Property: a random malloc/free workload never corrupts the free list —
+// all live payloads stay disjoint and heap accounting stays consistent.
+func TestMallocFreeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewProcess(1 << 36)
+		if err != nil {
+			return false
+		}
+		live := make(map[mem.Addr]uint64)
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				for a := range live {
+					if err := p.Free(a); err != nil {
+						return false
+					}
+					delete(live, a)
+					break
+				}
+				continue
+			}
+			size := uint64(rng.Intn(4000) + 1)
+			a, err := p.Malloc(size)
+			if err != nil {
+				return false
+			}
+			// Check disjointness against all live blocks.
+			for b, bs := range live {
+				if a < b+mem.Addr(bs) && b < a+mem.Addr(size) {
+					return false
+				}
+			}
+			live[a] = size
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+package libc
+
+import (
+	"fmt"
+	"sort"
+
+	"mosaic/internal/mem"
+)
+
+// MalloptParam selects a tunable, mirroring glibc's mallopt(3).
+type MalloptParam int
+
+// The mallopt parameters the model supports — the two Mosalloc needs plus
+// the mmap threshold.
+const (
+	MMmapMax MalloptParam = iota
+	MArenaMax
+	MMmapThreshold
+)
+
+// Default malloc tunables (glibc defaults, scaled where noted).
+const (
+	// DefaultMmapThreshold is glibc's M_MMAP_THRESHOLD default: requests of
+	// at least this size go straight to mmap, bypassing morecore.
+	DefaultMmapThreshold = 128 << 10
+	// DefaultMmapMax is glibc's default cap on live direct mmaps.
+	DefaultMmapMax = 65536
+	// DefaultArenaMax caps the number of arenas spawned under contention.
+	DefaultArenaMax = 8
+	// morecoreChunk is the minimum sbrk growth per morecore call, like
+	// glibc's top-chunk padding.
+	morecoreChunk = 128 << 10
+	// headerBytes models the per-block malloc header.
+	headerBytes = 16
+	// arenaBytes is the size of a contention-spawned arena (glibc uses
+	// 64MB per arena on 64-bit; scaled down to keep footprints small).
+	arenaBytes = 4 << 20
+)
+
+// block is one chunk in the heap free-list.
+type block struct {
+	addr mem.Addr // address of the header
+	size uint64   // total size including header
+	free bool
+}
+
+// MallocStats counts the allocation paths taken, so tests and experiments
+// can verify which requests Mosalloc was able to intercept.
+type MallocStats struct {
+	MorecoreCalls int // heap extensions through the hookable morecore path
+	DirectMmaps   int // unhookable direct mmap allocations
+	ArenaSpawns   int // unhookable contention arenas created
+	Allocs        int
+	Frees         int
+}
+
+// Malloc is a simplified glibc allocator. Small requests are served from a
+// first-fit free list over a heap grown via morecore (which calls the
+// hooked Sbrk); large requests go directly to the raw, unhookable mmap;
+// contention spawns arenas, also via raw mmap. Mosalloc neutralizes the two
+// raw paths with mallopt, exactly as §V-C describes.
+type Malloc struct {
+	proc *Process
+
+	mmapThreshold uint64
+	mmapMax       int
+	arenaMax      int
+
+	blocks   []block // sorted by addr
+	heapTop  mem.Addr
+	heapBase mem.Addr
+
+	directMaps map[mem.Addr]uint64 // raw-mmapped blocks: base -> length
+	liveMmaps  int
+
+	arenas      []arenaState
+	arenaAllocs map[mem.Addr]uint64 // addr -> size, for free()
+
+	// contentionEvery simulates multi-threaded allocation contention: every
+	// n-th allocation triggers the arena path (0 disables).
+	contentionEvery int
+
+	stats MallocStats
+}
+
+type arenaState struct {
+	base mem.Addr
+	next mem.Addr
+	end  mem.Addr
+}
+
+// newMalloc wires a Malloc to its owning process.
+func newMalloc(p *Process) *Malloc {
+	return &Malloc{
+		proc:          p,
+		mmapThreshold: DefaultMmapThreshold,
+		mmapMax:       DefaultMmapMax,
+		arenaMax:      DefaultArenaMax,
+		directMaps:    make(map[mem.Addr]uint64),
+		arenaAllocs:   make(map[mem.Addr]uint64),
+	}
+}
+
+// Mallopt adjusts a tunable, mirroring mallopt(3). Mosalloc calls
+// Mallopt(MMmapMax, 0) and Mallopt(MArenaMax, 1).
+func (m *Malloc) Mallopt(param MalloptParam, value int) error {
+	switch param {
+	case MMmapMax:
+		if value < 0 {
+			return fmt.Errorf("%w: M_MMAP_MAX=%d", ErrBadMallopt, value)
+		}
+		m.mmapMax = value
+	case MArenaMax:
+		if value < 1 {
+			return fmt.Errorf("%w: M_ARENA_MAX=%d", ErrBadMallopt, value)
+		}
+		m.arenaMax = value
+	case MMmapThreshold:
+		if value < 0 {
+			return fmt.Errorf("%w: M_MMAP_THRESHOLD=%d", ErrBadMallopt, value)
+		}
+		m.mmapThreshold = uint64(value)
+	default:
+		return fmt.Errorf("%w: %d", ErrBadMallopt, int(param))
+	}
+	return nil
+}
+
+// SetContention makes every n-th allocation behave as if it detected lock
+// contention, triggering glibc's arena path (0 disables). This models the
+// multi-threaded workloads (xsbench, gapbs) whose allocations libhugetlbfs
+// fails to intercept.
+func (m *Malloc) SetContention(n int) { m.contentionEvery = n }
+
+// Stats returns a copy of the path counters.
+func (m *Malloc) Stats() MallocStats { return m.stats }
+
+// Alloc services a malloc(size) call and returns the payload address.
+func (m *Malloc) Alloc(size uint64) (mem.Addr, error) {
+	if size == 0 {
+		size = 1
+	}
+	m.stats.Allocs++
+	need := align16(size + headerBytes)
+
+	// Path 1: direct mmap for large requests — statically bound inside
+	// glibc, invisible to LD_PRELOAD hooks.
+	if need >= m.mmapThreshold && m.liveMmaps < m.mmapMax {
+		length := uint64(mem.AlignUp(mem.Addr(need), mem.Page4K))
+		base, err := m.proc.rawMmap(length, MapFlags{Kind: MapAnonymous})
+		if err != nil {
+			return 0, err
+		}
+		m.directMaps[base] = length
+		m.liveMmaps++
+		m.stats.DirectMmaps++
+		return base + headerBytes, nil
+	}
+
+	// Path 2: contention arenas — also raw mmap.
+	if m.contentionEvery > 0 && m.stats.Allocs%m.contentionEvery == 0 &&
+		(len(m.arenas)+1) < m.arenaMax {
+		if a, err := m.arenaAlloc(need); err == nil {
+			return a, nil
+		}
+		// Arena exhausted or unavailable: fall through to the main heap.
+	}
+
+	// Path 3: the main heap, grown through the hookable morecore.
+	if addr, ok := m.fitExisting(need); ok {
+		return addr + headerBytes, nil
+	}
+	if err := m.morecore(need); err != nil {
+		return 0, err
+	}
+	addr, ok := m.fitExisting(need)
+	if !ok {
+		return 0, fmt.Errorf("%w: heap extension did not satisfy %d bytes", ErrNoMemory, need)
+	}
+	return addr + headerBytes, nil
+}
+
+// Free releases a pointer previously returned by Alloc.
+func (m *Malloc) Free(addr mem.Addr) error {
+	if addr == 0 {
+		return nil // free(NULL) is a no-op
+	}
+	m.stats.Frees++
+	base := addr - headerBytes
+	if length, ok := m.directMaps[base]; ok {
+		delete(m.directMaps, base)
+		m.liveMmaps--
+		return m.proc.rawMunmap(base, length)
+	}
+	if _, ok := m.arenaAllocs[addr]; ok {
+		// Arena blocks are bump-allocated; glibc frees them into per-arena
+		// bins. The model simply marks them released.
+		delete(m.arenaAllocs, addr)
+		return nil
+	}
+	i := sort.Search(len(m.blocks), func(i int) bool { return m.blocks[i].addr >= base })
+	if i >= len(m.blocks) || m.blocks[i].addr != base || m.blocks[i].free {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	m.blocks[i].free = true
+	m.coalesce(i)
+	return nil
+}
+
+// HeapUsed returns the number of payload bytes currently allocated on the
+// main heap (excluding direct mmaps and arenas).
+func (m *Malloc) HeapUsed() uint64 {
+	var n uint64
+	for _, b := range m.blocks {
+		if !b.free {
+			n += b.size - headerBytes
+		}
+	}
+	return n
+}
+
+func (m *Malloc) fitExisting(need uint64) (mem.Addr, bool) {
+	for i := range m.blocks {
+		b := &m.blocks[i]
+		if !b.free || b.size < need {
+			continue
+		}
+		if b.size >= need+headerBytes+16 {
+			// Split: keep the tail free.
+			rest := block{addr: b.addr + mem.Addr(need), size: b.size - need, free: true}
+			b.size = need
+			b.free = false
+			m.blocks = append(m.blocks, block{})
+			copy(m.blocks[i+2:], m.blocks[i+1:])
+			m.blocks[i+1] = rest
+		} else {
+			b.free = false
+		}
+		return b.addr, true
+	}
+	return 0, false
+}
+
+func (m *Malloc) morecore(need uint64) error {
+	grow := need
+	if grow < morecoreChunk {
+		grow = morecoreChunk
+	}
+	if m.heapBase == 0 {
+		// First extension: learn the heap base, like glibc's initial
+		// sbrk(0) probe at load time.
+		base, err := m.proc.hooked().Sbrk(0)
+		if err != nil {
+			return err
+		}
+		m.heapBase = base
+		m.heapTop = base
+	}
+	old, err := m.proc.hooked().Sbrk(int64(grow))
+	if err != nil {
+		return err
+	}
+	m.stats.MorecoreCalls++
+	m.heapTop = old + mem.Addr(grow)
+	// Extend the last free block if it abuts the old top, else add one.
+	if n := len(m.blocks); n > 0 && m.blocks[n-1].free &&
+		m.blocks[n-1].addr+mem.Addr(m.blocks[n-1].size) == old {
+		m.blocks[n-1].size += grow
+	} else {
+		m.blocks = append(m.blocks, block{addr: old, size: grow, free: true})
+	}
+	return nil
+}
+
+func (m *Malloc) coalesce(i int) {
+	// Merge with next, then with previous.
+	if i+1 < len(m.blocks) && m.blocks[i+1].free &&
+		m.blocks[i].addr+mem.Addr(m.blocks[i].size) == m.blocks[i+1].addr {
+		m.blocks[i].size += m.blocks[i+1].size
+		m.blocks = append(m.blocks[:i+1], m.blocks[i+2:]...)
+	}
+	if i > 0 && m.blocks[i-1].free &&
+		m.blocks[i-1].addr+mem.Addr(m.blocks[i-1].size) == m.blocks[i].addr {
+		m.blocks[i-1].size += m.blocks[i].size
+		m.blocks = append(m.blocks[:i], m.blocks[i+1:]...)
+	}
+}
+
+func (m *Malloc) arenaAlloc(need uint64) (mem.Addr, error) {
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if uint64(a.end-a.next) >= need {
+			addr := a.next + headerBytes
+			a.next += mem.Addr(need)
+			m.arenaAllocs[addr] = need
+			return addr, nil
+		}
+	}
+	if len(m.arenas)+1 >= m.arenaMax {
+		return 0, ErrNoMemory
+	}
+	base, err := m.proc.rawMmap(arenaBytes, MapFlags{Kind: MapAnonymous})
+	if err != nil {
+		return 0, err
+	}
+	m.stats.ArenaSpawns++
+	m.arenas = append(m.arenas, arenaState{base: base, next: base, end: base + arenaBytes})
+	return m.arenaAlloc(need)
+}
+
+func align16(n uint64) uint64 { return (n + 15) &^ 15 }

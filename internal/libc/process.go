@@ -1,0 +1,85 @@
+package libc
+
+import (
+	"mosaic/internal/mem"
+)
+
+// Process bundles one modelled process: its address space, the kernel
+// backend, the glibc-like malloc, and the currently installed hooks.
+//
+// Application code calls the Process methods (Malloc, Free, Brk, Sbrk,
+// Mmap, Munmap) — the glibc wrapper functions. An interposing library
+// (Mosalloc) installs itself with SetHooks, after which the wrapper calls
+// route to it, while glibc-internal raw paths still reach the kernel
+// directly unless neutralized via Mallopt.
+type Process struct {
+	space  *mem.AddressSpace
+	kernel *Kernel
+	malloc *Malloc
+	hooks  Backend
+}
+
+// NewProcess creates a process with physMem bytes of simulated physical
+// memory and no hooks installed.
+func NewProcess(physMem uint64) (*Process, error) {
+	space, err := mem.NewAddressSpace(physMem)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{space: space}
+	p.kernel = NewKernel(space)
+	p.malloc = newMalloc(p)
+	return p, nil
+}
+
+// Space returns the process's address space.
+func (p *Process) Space() *mem.AddressSpace { return p.space }
+
+// Kernel returns the raw kernel backend (what syscalls bind to).
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// MallocState exposes the allocator for tuning (Mallopt, SetContention)
+// and inspection (Stats).
+func (p *Process) MallocState() *Malloc { return p.malloc }
+
+// SetHooks interposes b on the hookable call paths, modelling LD_PRELOAD.
+// Passing nil removes the hooks.
+func (p *Process) SetHooks(b Backend) { p.hooks = b }
+
+// hooked returns the backend the glibc wrappers currently resolve to.
+func (p *Process) hooked() Backend {
+	if p.hooks != nil {
+		return p.hooks
+	}
+	return p.kernel
+}
+
+// rawMmap is the unhookable mmap path used inside glibc (direct mmap and
+// arena spawning): it always reaches the kernel.
+func (p *Process) rawMmap(length uint64, flags MapFlags) (mem.Addr, error) {
+	return p.kernel.Mmap(length, flags)
+}
+
+// rawMunmap is the unhookable munmap counterpart.
+func (p *Process) rawMunmap(addr mem.Addr, length uint64) error {
+	return p.kernel.Munmap(addr, length)
+}
+
+// Malloc services malloc(size).
+func (p *Process) Malloc(size uint64) (mem.Addr, error) { return p.malloc.Alloc(size) }
+
+// Free services free(addr).
+func (p *Process) Free(addr mem.Addr) error { return p.malloc.Free(addr) }
+
+// Sbrk services a direct sbrk call from the application (hookable).
+func (p *Process) Sbrk(incr int64) (mem.Addr, error) { return p.hooked().Sbrk(incr) }
+
+// Mmap services a direct mmap call from the application (hookable).
+func (p *Process) Mmap(length uint64, flags MapFlags) (mem.Addr, error) {
+	return p.hooked().Mmap(length, flags)
+}
+
+// Munmap services a direct munmap call from the application (hookable).
+func (p *Process) Munmap(addr mem.Addr, length uint64) error {
+	return p.hooked().Munmap(addr, length)
+}

@@ -1,0 +1,118 @@
+// Package libhugetlbfs models the libhugetlbfs library (§V-A): the
+// pre-Mosalloc way to back a process's heap with hugepages. Like Mosalloc
+// it loads via LD_PRELOAD without code changes; unlike Mosalloc it
+//
+//   - backs memory uniformly with a single hugepage size (no mosaics),
+//   - hooks only the glibc morecore path, so workloads that allocate via
+//     direct mmap or brk (e.g. graph500) get no hugepages at all, and
+//   - forgets to cap glibc's contention arenas (it sets M_MMAP_MAX=0 but
+//     not M_ARENA_MAX=1), so multithreaded allocation leaks to 4KB kernel
+//     mappings — the bug the paper reports and Mosalloc fixes (§V-C).
+//
+// The package exists so the repository can demonstrate those limitations
+// against the same workloads Mosalloc handles.
+package libhugetlbfs
+
+import (
+	"fmt"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+)
+
+// PoolBase places the morecore heap replacement away from the kernel areas
+// (1GB-aligned so any hugepage size fits).
+const PoolBase mem.Addr = 0x0000_3000_0000_0000
+
+// Lib is libhugetlbfs attached to one process.
+type Lib struct {
+	proc     *libc.Process
+	pageSize mem.PageSize
+	base     mem.Addr
+	brk      mem.Addr
+	mapped   mem.Addr // hugepage-backed frontier
+	capacity uint64
+	stats    Stats
+}
+
+// Stats counts what the library served vs what escaped it.
+type Stats struct {
+	// MorecoreCalls served from the hugepage heap.
+	MorecoreCalls int
+	// ForwardedMmaps are application mmap/munmap calls passed straight to
+	// the kernel — libhugetlbfs does not intercept them.
+	ForwardedMmaps int
+}
+
+// Attach interposes the library: morecore-driven heap growth lands on a
+// hugepage-backed pool of the given page size and capacity; everything
+// else still reaches the kernel. Mirroring the real library, it sets
+// M_MMAP_MAX=0 (forcing malloc through morecore) but NOT M_ARENA_MAX —
+// the §V-C bug.
+func Attach(proc *libc.Process, pageSize mem.PageSize, capacity uint64) (*Lib, error) {
+	if !pageSize.Valid() || pageSize == mem.Page4K {
+		return nil, fmt.Errorf("libhugetlbfs: HUGETLB_MORECORE must be 2MB or 1GB, got %v", pageSize)
+	}
+	capacity = uint64(mem.AlignUp(mem.Addr(capacity), pageSize))
+	l := &Lib{
+		proc:     proc,
+		pageSize: pageSize,
+		base:     PoolBase,
+		brk:      PoolBase,
+		mapped:   PoolBase,
+		capacity: capacity,
+	}
+	if err := proc.MallocState().Mallopt(libc.MMmapMax, 0); err != nil {
+		return nil, err
+	}
+	proc.SetHooks(l)
+	return l, nil
+}
+
+// Sbrk implements libc.Backend: the morecore hook. Growth is backed with
+// hugepages mapped on demand.
+func (l *Lib) Sbrk(incr int64) (mem.Addr, error) {
+	old := l.brk
+	if incr == 0 {
+		return old, nil
+	}
+	next := mem.Addr(int64(l.brk) + incr)
+	if next < l.base {
+		return 0, fmt.Errorf("libhugetlbfs: break below base")
+	}
+	if uint64(next-l.base) > l.capacity {
+		return 0, fmt.Errorf("libhugetlbfs: hugepage pool exhausted (%d of %d bytes)",
+			uint64(next-l.base), l.capacity)
+	}
+	l.stats.MorecoreCalls++
+	frontier := mem.AlignUp(next, l.pageSize)
+	if frontier > l.mapped {
+		if err := l.proc.Kernel().MmapFixed(l.mapped, uint64(frontier-l.mapped), l.pageSize); err != nil {
+			return 0, err
+		}
+		l.mapped = frontier
+	}
+	l.brk = next
+	return old, nil
+}
+
+// Mmap implements libc.Backend: forwarded untouched — the library does not
+// intercept mmap, which is why mmap-based workloads get no hugepages.
+func (l *Lib) Mmap(length uint64, flags libc.MapFlags) (mem.Addr, error) {
+	l.stats.ForwardedMmaps++
+	return l.proc.Kernel().Mmap(length, flags)
+}
+
+// Munmap implements libc.Backend, likewise forwarded.
+func (l *Lib) Munmap(addr mem.Addr, length uint64) error {
+	l.stats.ForwardedMmaps++
+	return l.proc.Kernel().Munmap(addr, length)
+}
+
+// Stats returns the interception counters.
+func (l *Lib) Stats() Stats { return l.stats }
+
+// HeapRegion returns the hugepage-backed heap range mapped so far.
+func (l *Lib) HeapRegion() mem.Region {
+	return mem.Region{Start: l.base, End: l.mapped}
+}

@@ -1,0 +1,151 @@
+package libhugetlbfs
+
+import (
+	"testing"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+)
+
+func attach(t *testing.T, ps mem.PageSize) (*libc.Process, *Lib) {
+	t.Helper()
+	proc, err := libc.NewProcess(1 << 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Attach(proc, ps, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc, l
+}
+
+func TestMallocGetsHugepages(t *testing.T) {
+	proc, l := attach(t, mem.Page2M)
+	a, err := proc.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HeapRegion().Contains(a) {
+		t.Fatalf("malloc result %#x outside hugepage heap %v", uint64(a), l.HeapRegion())
+	}
+	if _, size, _ := proc.Space().Translate(a); size != mem.Page2M {
+		t.Errorf("heap backed by %v, want 2MB", size)
+	}
+	// Large mallocs also stay on the heap (M_MMAP_MAX=0 is set).
+	b, err := proc.Malloc(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HeapRegion().Contains(b) {
+		t.Error("large malloc escaped the hugepage heap")
+	}
+}
+
+func Test1GBMorecore(t *testing.T) {
+	proc, _ := attach(t, mem.Page1G)
+	a, err := proc.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, size, _ := proc.Space().Translate(a); size != mem.Page1G {
+		t.Errorf("heap backed by %v, want 1GB", size)
+	}
+}
+
+func TestInvalidPageSize(t *testing.T) {
+	proc, err := libc.NewProcess(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(proc, mem.Page4K, 1<<20); err == nil {
+		t.Error("4KB HUGETLB_MORECORE should be rejected")
+	}
+	if _, err := Attach(proc, mem.PageSize(123), 1<<20); err == nil {
+		t.Error("bogus page size should be rejected")
+	}
+}
+
+// The library's first documented limitation: direct mmap allocations are
+// not intercepted, so mmap-based workloads get 4KB pages.
+func TestMmapNotIntercepted(t *testing.T) {
+	proc, l := attach(t, mem.Page2M)
+	a, err := proc.Mmap(8<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.HeapRegion().Contains(a) {
+		t.Error("mmap should not land on the hugepage heap")
+	}
+	if _, size, _ := proc.Space().Translate(a); size != mem.Page4K {
+		t.Errorf("mmap backed by %v — libhugetlbfs must not upgrade it", size)
+	}
+	if l.Stats().ForwardedMmaps == 0 {
+		t.Error("forwarded mmaps not counted")
+	}
+	if err := proc.Munmap(a, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §V-C bug: contention arenas are allocated with raw mmap because the
+// library does not set M_ARENA_MAX, so some malloc memory silently ends up
+// on 4KB pages. Mosalloc's test suite shows the same scenario staying
+// entirely in its pools.
+func TestArenaBugLeaks4KPages(t *testing.T) {
+	proc, l := attach(t, mem.Page2M)
+	proc.MallocState().SetContention(2)
+	leaked := 0
+	for i := 0; i < 50; i++ {
+		a, err := proc.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.HeapRegion().Contains(a) {
+			leaked++
+			if _, size, _ := proc.Space().Translate(a); size != mem.Page4K {
+				t.Errorf("leaked allocation backed by %v, want 4KB", size)
+			}
+		}
+	}
+	if leaked == 0 {
+		t.Error("contention should leak allocations off the hugepage heap (the libhugetlbfs bug)")
+	}
+	if st := proc.MallocState().Stats(); st.ArenaSpawns == 0 {
+		t.Error("arena path not exercised")
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	proc, err := libc.NewProcess(1 << 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(proc, mem.Page2M, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < 16; i++ {
+		if _, last = proc.Malloc(1 << 20); last != nil {
+			break
+		}
+	}
+	if last == nil {
+		t.Error("exhausting the hugepage pool should fail")
+	}
+}
+
+func TestSbrkSemantics(t *testing.T) {
+	proc, l := attach(t, mem.Page2M)
+	base, err := proc.Sbrk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != PoolBase {
+		t.Errorf("initial break = %#x, want pool base", uint64(base))
+	}
+	if _, err := proc.Sbrk(-1); err == nil {
+		t.Error("shrinking below base should fail")
+	}
+	_ = l
+}

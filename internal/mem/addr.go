@@ -1,0 +1,120 @@
+// Package mem provides the simulated virtual-memory substrate: virtual and
+// physical addresses, page sizes, address-space regions, a 4-level x86-64
+// page table, and a physical frame allocator.
+//
+// Everything in this package is a model. No real memory is mapped; the
+// package exists so that higher layers (the Mosalloc allocator, the TLB and
+// page-walk simulators) can operate on a faithful reproduction of the Linux
+// x86-64 virtual-memory structures the paper's experiments depend on.
+package mem
+
+import "fmt"
+
+// Addr is a 64-bit virtual or physical address. The two spaces are kept
+// distinct by convention: functions document which one they expect.
+type Addr uint64
+
+// PageSize is one of the three x86-64 translation granularities.
+type PageSize uint64
+
+// The three page sizes supported by x86-64 processors and by Mosalloc.
+const (
+	Page4K PageSize = 4 << 10
+	Page2M PageSize = 2 << 20
+	Page1G PageSize = 1 << 30
+)
+
+// PageSizes lists the supported sizes from smallest to largest.
+var PageSizes = []PageSize{Page4K, Page2M, Page1G}
+
+// String returns the conventional short name of the page size.
+func (s PageSize) String() string {
+	switch s {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("PageSize(%d)", uint64(s))
+}
+
+// Valid reports whether s is one of the three architectural page sizes.
+func (s PageSize) Valid() bool {
+	return s == Page4K || s == Page2M || s == Page1G
+}
+
+// Level returns the page-table level at which a page of this size is mapped:
+// 1 for 4KB (PTE), 2 for 2MB (PDE), 3 for 1GB (PDPTE).
+func (s PageSize) Level() int {
+	switch s {
+	case Page4K:
+		return 1
+	case Page2M:
+		return 2
+	case Page1G:
+		return 3
+	}
+	return 0
+}
+
+// Mask returns the bitmask selecting the page-offset bits of an address.
+func (s PageSize) Mask() Addr { return Addr(s) - 1 }
+
+// AlignDown rounds a down to a multiple of s.
+func AlignDown(a Addr, s PageSize) Addr { return a &^ s.Mask() }
+
+// AlignUp rounds a up to a multiple of s.
+func AlignUp(a Addr, s PageSize) Addr { return (a + s.Mask()) &^ s.Mask() }
+
+// IsAligned reports whether a is a multiple of s.
+func IsAligned(a Addr, s PageSize) bool { return a&s.Mask() == 0 }
+
+// PageNumber returns the virtual (or physical) page number of a for size s.
+func PageNumber(a Addr, s PageSize) uint64 { return uint64(a) / uint64(s) }
+
+// Region is a half-open interval [Start, End) of addresses.
+type Region struct {
+	Start Addr
+	End   Addr
+}
+
+// NewRegion builds a region from a start address and a length in bytes.
+func NewRegion(start Addr, length uint64) Region {
+	return Region{Start: start, End: start + Addr(length)}
+}
+
+// Len returns the region's length in bytes.
+func (r Region) Len() uint64 { return uint64(r.End - r.Start) }
+
+// Empty reports whether the region contains no addresses.
+func (r Region) Empty() bool { return r.End <= r.Start }
+
+// Contains reports whether a lies inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+// ContainsRegion reports whether o lies entirely inside r.
+func (r Region) ContainsRegion(o Region) bool {
+	return o.Start >= r.Start && o.End <= r.End
+}
+
+// Overlaps reports whether the two regions share at least one address.
+func (r Region) Overlaps(o Region) bool {
+	return r.Start < o.End && o.Start < r.End
+}
+
+// Intersect returns the overlap of the two regions (possibly empty).
+func (r Region) Intersect(o Region) Region {
+	s := max(r.Start, o.Start)
+	e := min(r.End, o.End)
+	if e < s {
+		e = s
+	}
+	return Region{Start: s, End: e}
+}
+
+// String formats the region as [start, end) in hex.
+func (r Region) String() string {
+	return fmt.Sprintf("[%#x, %#x)", uint64(r.Start), uint64(r.End))
+}

@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeString(t *testing.T) {
+	cases := []struct {
+		s    PageSize
+		want string
+	}{
+		{Page4K, "4KB"},
+		{Page2M, "2MB"},
+		{Page1G, "1GB"},
+		{PageSize(123), "PageSize(123)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("PageSize(%d).String() = %q, want %q", uint64(c.s), got, c.want)
+		}
+	}
+}
+
+func TestPageSizeValid(t *testing.T) {
+	for _, s := range PageSizes {
+		if !s.Valid() {
+			t.Errorf("%s should be valid", s)
+		}
+	}
+	for _, s := range []PageSize{0, 1, 8 << 10, 4 << 20} {
+		if s.Valid() {
+			t.Errorf("PageSize(%d) should be invalid", uint64(s))
+		}
+	}
+}
+
+func TestPageSizeLevel(t *testing.T) {
+	if Page4K.Level() != 1 || Page2M.Level() != 2 || Page1G.Level() != 3 {
+		t.Errorf("levels = %d,%d,%d; want 1,2,3", Page4K.Level(), Page2M.Level(), Page1G.Level())
+	}
+	if PageSize(7).Level() != 0 {
+		t.Errorf("invalid size should have level 0")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	cases := []struct {
+		a           Addr
+		s           PageSize
+		down, up    Addr
+		wantAligned bool
+	}{
+		{0, Page4K, 0, 0, true},
+		{1, Page4K, 0, 4096, false},
+		{4096, Page4K, 4096, 4096, true},
+		{4097, Page4K, 4096, 8192, false},
+		{Addr(Page2M) + 5, Page2M, Addr(Page2M), 2 * Addr(Page2M), false},
+		{3 * Addr(Page1G), Page1G, 3 * Addr(Page1G), 3 * Addr(Page1G), true},
+	}
+	for _, c := range cases {
+		if got := AlignDown(c.a, c.s); got != c.down {
+			t.Errorf("AlignDown(%#x, %s) = %#x, want %#x", uint64(c.a), c.s, uint64(got), uint64(c.down))
+		}
+		if got := AlignUp(c.a, c.s); got != c.up {
+			t.Errorf("AlignUp(%#x, %s) = %#x, want %#x", uint64(c.a), c.s, uint64(got), uint64(c.up))
+		}
+		if got := IsAligned(c.a, c.s); got != c.wantAligned {
+			t.Errorf("IsAligned(%#x, %s) = %v, want %v", uint64(c.a), c.s, got, c.wantAligned)
+		}
+	}
+}
+
+// Property: for any address and page size, AlignDown <= a <= AlignUp, both
+// results are aligned, and they differ by at most one page.
+func TestAlignmentProperties(t *testing.T) {
+	prop := func(raw uint64, pick uint8) bool {
+		a := Addr(raw % (1 << 48))
+		s := PageSizes[int(pick)%len(PageSizes)]
+		d, u := AlignDown(a, s), AlignUp(a, s)
+		if d > a || (u < a) {
+			return false
+		}
+		if !IsAligned(d, s) || !IsAligned(u, s) {
+			return false
+		}
+		if u-d != 0 && u-d != Addr(s) {
+			return false
+		}
+		return IsAligned(a, s) == (d == u)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionBasics(t *testing.T) {
+	r := NewRegion(0x1000, 0x2000)
+	if r.Start != 0x1000 || r.End != 0x3000 {
+		t.Fatalf("NewRegion = %v", r)
+	}
+	if r.Len() != 0x2000 {
+		t.Errorf("Len = %#x", r.Len())
+	}
+	if r.Empty() {
+		t.Error("region should not be empty")
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x2fff) || r.Contains(0x3000) || r.Contains(0xfff) {
+		t.Error("Contains boundary checks failed")
+	}
+	if (Region{Start: 5, End: 5}).Empty() != true {
+		t.Error("zero-length region should be empty")
+	}
+}
+
+func TestRegionOverlapIntersect(t *testing.T) {
+	a := Region{Start: 0x1000, End: 0x3000}
+	cases := []struct {
+		b       Region
+		overlap bool
+		inter   Region
+	}{
+		{Region{0x0, 0x1000}, false, Region{0x1000, 0x1000}},
+		{Region{0x3000, 0x4000}, false, Region{0x3000, 0x3000}},
+		{Region{0x0, 0x1001}, true, Region{0x1000, 0x1001}},
+		{Region{0x2000, 0x8000}, true, Region{0x2000, 0x3000}},
+		{Region{0x1800, 0x2000}, true, Region{0x1800, 0x2000}},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.overlap)
+		}
+		got := a.Intersect(c.b)
+		if got.Empty() != c.inter.Empty() || (!got.Empty() && got != c.inter) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", a, c.b, got, c.inter)
+		}
+	}
+}
+
+// Property: Overlaps is symmetric and consistent with Intersect emptiness.
+func TestRegionOverlapProperty(t *testing.T) {
+	prop := func(s1, l1, s2, l2 uint32) bool {
+		a := NewRegion(Addr(s1), uint64(l1%1<<20)+1)
+		b := NewRegion(Addr(s2), uint64(l2%1<<20)+1)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		return a.Overlaps(b) == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageNumber(t *testing.T) {
+	if PageNumber(0x3456, Page4K) != 3 {
+		t.Errorf("PageNumber(0x3456, 4KB) = %d, want 3", PageNumber(0x3456, Page4K))
+	}
+	if PageNumber(Addr(Page2M)*7+123, Page2M) != 7 {
+		t.Error("PageNumber 2MB failed")
+	}
+}

@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mapping is one contiguous virtual range backed by pages of a single size.
+type Mapping struct {
+	Region Region
+	Size   PageSize
+}
+
+// AddressSpace models one process's virtual address space: a sorted list of
+// mappings plus the page table and frame allocator that back them. Mosalloc
+// builds its pools on top of this type, mosaicking mappings of different
+// page sizes into contiguous pools.
+type AddressSpace struct {
+	pt       *PageTable
+	frames   *FrameAllocator
+	mappings []Mapping // sorted by Region.Start, non-overlapping
+}
+
+// NewAddressSpace creates an empty address space backed by physMem bytes of
+// simulated physical memory.
+func NewAddressSpace(physMem uint64) (*AddressSpace, error) {
+	frames := NewFrameAllocator(physMem)
+	pt, err := NewPageTable(frames)
+	if err != nil {
+		return nil, err
+	}
+	return &AddressSpace{pt: pt, frames: frames}, nil
+}
+
+// PageTable exposes the space's page table for the walker simulator.
+func (as *AddressSpace) PageTable() *PageTable { return as.pt }
+
+// Frames exposes the physical frame allocator.
+func (as *AddressSpace) Frames() *FrameAllocator { return as.frames }
+
+// Map backs the virtual region r with pages of the given size. The region
+// must be size-aligned at both ends and must not overlap an existing
+// mapping. Frames are allocated eagerly (Mosalloc reserves its pools up
+// front, matching MAP_HUGETLB semantics where hugepages come from a
+// pre-reserved pool).
+func (as *AddressSpace) Map(r Region, size PageSize) error {
+	if r.Empty() {
+		return fmt.Errorf("mem: mapping empty region %v", r)
+	}
+	if !IsAligned(r.Start, size) || !IsAligned(r.End, size) {
+		return fmt.Errorf("%w: region %v for %s pages", ErrMisaligned, r, size)
+	}
+	for _, m := range as.mappings {
+		if m.Region.Overlaps(r) {
+			return fmt.Errorf("%w: %v overlaps %v", ErrAlreadyMapped, r, m.Region)
+		}
+	}
+	var mapped []Addr
+	for v := r.Start; v < r.End; v += Addr(size) {
+		frame, err := as.frames.Alloc(size)
+		if err == nil {
+			err = as.pt.Map(v, frame, size)
+			if err != nil {
+				as.frames.Free(frame, size)
+			}
+		}
+		if err != nil {
+			// Roll back partial progress so failed maps leave no trace.
+			for _, mv := range mapped {
+				if f, uerr := as.pt.Unmap(mv, size); uerr == nil {
+					as.frames.Free(f, size)
+				}
+			}
+			return err
+		}
+		mapped = append(mapped, v)
+	}
+	as.insertMapping(Mapping{Region: r, Size: size})
+	return nil
+}
+
+// Unmap removes the mapping that exactly covers r (it may span several
+// Mapping records of different page sizes, but r's bounds must coincide
+// with mapping bounds). Frames and table pages are released.
+func (as *AddressSpace) Unmap(r Region) error {
+	var keep []Mapping
+	var drop []Mapping
+	for _, m := range as.mappings {
+		switch {
+		case r.ContainsRegion(m.Region):
+			drop = append(drop, m)
+		case m.Region.Overlaps(r):
+			return fmt.Errorf("mem: unmap %v splits mapping %v (%s)", r, m.Region, m.Size)
+		default:
+			keep = append(keep, m)
+		}
+	}
+	if len(drop) == 0 {
+		return fmt.Errorf("%w: %v", ErrNotMapped, r)
+	}
+	covered := uint64(0)
+	for _, m := range drop {
+		covered += m.Region.Len()
+	}
+	if covered != r.Len() {
+		return fmt.Errorf("mem: unmap %v covers only %d of %d bytes", r, covered, r.Len())
+	}
+	for _, m := range drop {
+		for v := m.Region.Start; v < m.Region.End; v += Addr(m.Size) {
+			frame, err := as.pt.Unmap(v, m.Size)
+			if err != nil {
+				return err
+			}
+			as.frames.Free(frame, m.Size)
+		}
+	}
+	as.mappings = keep
+	return nil
+}
+
+func (as *AddressSpace) insertMapping(m Mapping) {
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].Region.Start >= m.Region.Start
+	})
+	as.mappings = append(as.mappings, Mapping{})
+	copy(as.mappings[i+1:], as.mappings[i:])
+	as.mappings[i] = m
+}
+
+// Translate resolves a virtual address to its physical address and the page
+// size backing it.
+func (as *AddressSpace) Translate(v Addr) (Addr, PageSize, bool) {
+	return as.pt.Translate(v)
+}
+
+// MappingAt returns the mapping containing v, if any.
+func (as *AddressSpace) MappingAt(v Addr) (Mapping, bool) {
+	i := sort.Search(len(as.mappings), func(i int) bool {
+		return as.mappings[i].Region.End > v
+	})
+	if i < len(as.mappings) && as.mappings[i].Region.Contains(v) {
+		return as.mappings[i], true
+	}
+	return Mapping{}, false
+}
+
+// Mappings returns a copy of the current mapping list, sorted by address.
+func (as *AddressSpace) Mappings() []Mapping {
+	out := make([]Mapping, len(as.mappings))
+	copy(out, as.mappings)
+	return out
+}
+
+// MappedBytes returns the total number of virtual bytes currently mapped.
+func (as *AddressSpace) MappedBytes() uint64 {
+	var n uint64
+	for _, m := range as.mappings {
+		n += m.Region.Len()
+	}
+	return n
+}
+
+// Replace re-backs the sub-region r of an existing mapping with pages of
+// the given size — the operation behind transparent-hugepage promotion
+// (4KB→2MB) and demotion (2MB→4KB). r must lie inside a single mapping and
+// be aligned to both the old and the new page size. The surrounding parts
+// of the original mapping survive as split mappings.
+func (as *AddressSpace) Replace(r Region, size PageSize) error {
+	if !size.Valid() {
+		return fmt.Errorf("mem: invalid page size %d", uint64(size))
+	}
+	idx := -1
+	for i, m := range as.mappings {
+		if m.Region.ContainsRegion(r) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %v not inside a single mapping", ErrNotMapped, r)
+	}
+	old := as.mappings[idx]
+	if old.Size == size {
+		return nil // already backed as requested
+	}
+	if !IsAligned(r.Start, old.Size) || !IsAligned(r.End, old.Size) {
+		return fmt.Errorf("%w: %v not aligned to existing %s pages", ErrMisaligned, r, old.Size)
+	}
+	if !IsAligned(r.Start, size) || !IsAligned(r.End, size) {
+		return fmt.Errorf("%w: %v not aligned to new %s pages", ErrMisaligned, r, size)
+	}
+	// Tear down the old translations of r.
+	for v := r.Start; v < r.End; v += Addr(old.Size) {
+		frame, err := as.pt.Unmap(v, old.Size)
+		if err != nil {
+			return err
+		}
+		as.frames.Free(frame, old.Size)
+	}
+	// Install the new ones. On failure the region is left unmapped, which
+	// the caller can observe; partial-failure recovery is not needed for
+	// the simulated frame allocator (it only fails on exhaustion).
+	for v := r.Start; v < r.End; v += Addr(size) {
+		frame, err := as.frames.Alloc(size)
+		if err != nil {
+			return err
+		}
+		if err := as.pt.Map(v, frame, size); err != nil {
+			return err
+		}
+	}
+	// Split the mapping records: [old.Start, r.Start) old, r new,
+	// [r.End, old.End) old.
+	var repl []Mapping
+	if r.Start > old.Region.Start {
+		repl = append(repl, Mapping{Region: Region{Start: old.Region.Start, End: r.Start}, Size: old.Size})
+	}
+	repl = append(repl, Mapping{Region: r, Size: size})
+	if r.End < old.Region.End {
+		repl = append(repl, Mapping{Region: Region{Start: r.End, End: old.Region.End}, Size: old.Size})
+	}
+	as.mappings = append(as.mappings[:idx], append(repl, as.mappings[idx+1:]...)...)
+	return nil
+}
+
+// PagesBySize counts live terminal mappings per page size.
+func (as *AddressSpace) PagesBySize() map[PageSize]int {
+	out := make(map[PageSize]int, 3)
+	for _, s := range PageSizes {
+		out[s] = as.pt.Leaves(s)
+	}
+	return out
+}

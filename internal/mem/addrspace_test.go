@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"testing"
+)
+
+func newTestSpace(t *testing.T) *AddressSpace {
+	t.Helper()
+	as, err := NewAddressSpace(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestAddressSpaceMapTranslate(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page2M), uint64(Page2M)*2)
+	if err := as.Map(r, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Addr{r.Start, r.Start + 0x1234, r.End - 1} {
+		if _, size, ok := as.Translate(v); !ok || size != Page4K {
+			t.Errorf("Translate(%#x): ok=%v size=%v", uint64(v), ok, size)
+		}
+	}
+	if _, _, ok := as.Translate(r.End); ok {
+		t.Error("address past mapping should not translate")
+	}
+	if as.MappedBytes() != r.Len() {
+		t.Errorf("MappedBytes = %d, want %d", as.MappedBytes(), r.Len())
+	}
+}
+
+func TestAddressSpaceMosaic(t *testing.T) {
+	// Build a contiguous pool: 2MB of 4KB pages, then 4MB of 2MB pages,
+	// then 2MB of 4KB pages — the shape Mosalloc creates.
+	as := newTestSpace(t)
+	base := Addr(Page1G)
+	parts := []struct {
+		len  uint64
+		size PageSize
+	}{
+		{uint64(Page2M), Page4K},
+		{2 * uint64(Page2M), Page2M},
+		{uint64(Page2M), Page4K},
+	}
+	cursor := base
+	for _, p := range parts {
+		if err := as.Map(NewRegion(cursor, p.len), p.size); err != nil {
+			t.Fatal(err)
+		}
+		cursor += Addr(p.len)
+	}
+	counts := as.PagesBySize()
+	if counts[Page4K] != 1024 {
+		t.Errorf("4KB pages = %d, want 1024", counts[Page4K])
+	}
+	if counts[Page2M] != 2 {
+		t.Errorf("2MB pages = %d, want 2", counts[Page2M])
+	}
+	// Every address translates with the page size of its segment.
+	if _, size, _ := as.Translate(base + 0x1000); size != Page4K {
+		t.Errorf("first segment size = %s", size)
+	}
+	if _, size, _ := as.Translate(base + Addr(Page2M) + 0x1000); size != Page2M {
+		t.Errorf("middle segment size = %s", size)
+	}
+}
+
+func TestAddressSpaceOverlapRejected(t *testing.T) {
+	as := newTestSpace(t)
+	if err := as.Map(NewRegion(0x100000, uint64(Page4K)*16), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	err := as.Map(NewRegion(0x100000+Addr(Page4K)*8, uint64(Page4K)*16), Page4K)
+	if err == nil {
+		t.Error("overlapping map should fail")
+	}
+}
+
+func TestAddressSpaceMisalignedRejected(t *testing.T) {
+	as := newTestSpace(t)
+	if err := as.Map(NewRegion(0x1000, uint64(Page2M)), Page2M); err == nil {
+		t.Error("2MB mapping at 4KB-aligned-only start should fail")
+	}
+	if err := as.Map(NewRegion(0, 123), Page4K); err == nil {
+		t.Error("unaligned length should fail")
+	}
+	if err := as.Map(Region{}, Page4K); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestAddressSpaceUnmap(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page2M), uint64(Page2M))
+	if err := as.Map(r, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	usedBefore := as.Frames().Used()
+	if err := as.Unmap(r); err != nil {
+		t.Fatal(err)
+	}
+	if as.MappedBytes() != 0 {
+		t.Errorf("MappedBytes after unmap = %d", as.MappedBytes())
+	}
+	if _, _, ok := as.Translate(r.Start); ok {
+		t.Error("translation survived unmap")
+	}
+	if as.Frames().Used() >= usedBefore {
+		t.Errorf("frames not released: %d >= %d", as.Frames().Used(), usedBefore)
+	}
+	// Remapping the same region succeeds.
+	if err := as.Map(r, Page2M); err != nil {
+		t.Fatalf("remap failed: %v", err)
+	}
+}
+
+func TestAddressSpaceUnmapSpanningMappings(t *testing.T) {
+	as := newTestSpace(t)
+	base := Addr(Page1G)
+	if err := as.Map(NewRegion(base, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(base+Addr(Page2M), uint64(Page2M)), Page2M); err != nil {
+		t.Fatal(err)
+	}
+	// Unmap spanning both mappings at once.
+	if err := as.Unmap(NewRegion(base, 2*uint64(Page2M))); err != nil {
+		t.Fatal(err)
+	}
+	if as.MappedBytes() != 0 {
+		t.Error("mappings remain after spanning unmap")
+	}
+}
+
+func TestAddressSpaceUnmapErrors(t *testing.T) {
+	as := newTestSpace(t)
+	if err := as.Unmap(NewRegion(0x1000, 0x1000)); err == nil {
+		t.Error("unmap of nothing should fail")
+	}
+	if err := as.Map(NewRegion(0, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Partial unmap that splits a mapping is not supported.
+	if err := as.Unmap(NewRegion(0, uint64(Page4K))); err == nil {
+		t.Error("splitting unmap should fail")
+	}
+}
+
+func TestMappingAt(t *testing.T) {
+	as := newTestSpace(t)
+	r1 := NewRegion(0, uint64(Page2M))
+	r2 := NewRegion(Addr(Page1G), uint64(Page2M))
+	if err := as.Map(r1, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(r2, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := as.MappingAt(r2.Start + 5)
+	if !ok || m.Size != Page2M || m.Region != r2 {
+		t.Errorf("MappingAt = %+v ok=%v", m, ok)
+	}
+	if _, ok := as.MappingAt(r1.End); ok {
+		t.Error("gap address should have no mapping")
+	}
+	ms := as.Mappings()
+	if len(ms) != 2 || ms[0].Region != r1 || ms[1].Region != r2 {
+		t.Errorf("Mappings() = %+v", ms)
+	}
+}

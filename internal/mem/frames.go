@@ -1,0 +1,72 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when the simulated physical memory is exhausted.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// FrameAllocator hands out physical frames from a modelled physical address
+// space. Allocation is a deterministic bump pointer with per-size free lists,
+// so identical call sequences yield identical physical layouts — a property
+// the experiments rely on for reproducibility (cache and page-walk behaviour
+// depend on physical placement).
+type FrameAllocator struct {
+	next  Addr
+	limit Addr
+	free  map[PageSize][]Addr
+	used  uint64
+}
+
+// NewFrameAllocator models a physical memory of the given size in bytes.
+func NewFrameAllocator(size uint64) *FrameAllocator {
+	return &FrameAllocator{
+		// Frame 0 is reserved so that a zero Addr never aliases a real frame.
+		next:  Addr(Page4K),
+		limit: Addr(size),
+		free:  make(map[PageSize][]Addr),
+	}
+}
+
+// Alloc returns the base physical address of a newly allocated frame of the
+// given page size. Freed frames of the same size are reused first (LIFO).
+func (f *FrameAllocator) Alloc(size PageSize) (Addr, error) {
+	if !size.Valid() {
+		return 0, fmt.Errorf("mem: invalid page size %d", uint64(size))
+	}
+	if list := f.free[size]; len(list) > 0 {
+		frame := list[len(list)-1]
+		f.free[size] = list[:len(list)-1]
+		f.used += uint64(size)
+		return frame, nil
+	}
+	base := AlignUp(f.next, size)
+	end := base + Addr(size)
+	if end > f.limit {
+		return 0, fmt.Errorf("%w: need %s at %#x, limit %#x",
+			ErrOutOfMemory, size, uint64(base), uint64(f.limit))
+	}
+	f.next = end
+	f.used += uint64(size)
+	return base, nil
+}
+
+// Free returns a frame to the allocator for reuse by later Alloc calls of
+// the same size.
+func (f *FrameAllocator) Free(frame Addr, size PageSize) {
+	f.free[size] = append(f.free[size], frame)
+	if f.used >= uint64(size) {
+		f.used -= uint64(size)
+	}
+}
+
+// Used returns the number of bytes currently allocated.
+func (f *FrameAllocator) Used() uint64 { return f.used }
+
+// HighWater returns the highest physical address ever handed out.
+func (f *FrameAllocator) HighWater() Addr { return f.next }
+
+// Limit returns the size of the modelled physical memory.
+func (f *FrameAllocator) Limit() Addr { return f.limit }

@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameAllocAlignment(t *testing.T) {
+	f := NewFrameAllocator(1 << 34)
+	for _, s := range PageSizes {
+		a, err := f.Alloc(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !IsAligned(a, s) {
+			t.Errorf("%s frame %#x not aligned", s, uint64(a))
+		}
+	}
+}
+
+func TestFrameAllocDistinct(t *testing.T) {
+	f := NewFrameAllocator(1 << 30)
+	seen := make(map[Addr]bool)
+	for i := 0; i < 1000; i++ {
+		a, err := f.Alloc(Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("frame %#x allocated twice", uint64(a))
+		}
+		seen[a] = true
+	}
+}
+
+func TestFrameReuseAfterFree(t *testing.T) {
+	f := NewFrameAllocator(1 << 30)
+	a, _ := f.Alloc(Page2M)
+	f.Free(a, Page2M)
+	b, _ := f.Alloc(Page2M)
+	if a != b {
+		t.Errorf("freed frame not reused: got %#x, want %#x", uint64(b), uint64(a))
+	}
+}
+
+func TestFrameExhaustion(t *testing.T) {
+	f := NewFrameAllocator(uint64(Page2M)) // room for zero 2MB frames after reserved page
+	_, err := f.Alloc(Page2M)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// 4KB allocations still fit below the limit.
+	if _, err := f.Alloc(Page4K); err != nil {
+		t.Fatalf("4KB alloc should succeed: %v", err)
+	}
+}
+
+func TestFrameInvalidSize(t *testing.T) {
+	f := NewFrameAllocator(1 << 30)
+	if _, err := f.Alloc(PageSize(999)); err == nil {
+		t.Error("invalid size should fail")
+	}
+}
+
+func TestFrameUsedAccounting(t *testing.T) {
+	f := NewFrameAllocator(1 << 30)
+	if f.Used() != 0 {
+		t.Fatalf("fresh allocator used = %d", f.Used())
+	}
+	a, _ := f.Alloc(Page4K)
+	b, _ := f.Alloc(Page2M)
+	want := uint64(Page4K) + uint64(Page2M)
+	if f.Used() != want {
+		t.Errorf("used = %d, want %d", f.Used(), want)
+	}
+	f.Free(a, Page4K)
+	f.Free(b, Page2M)
+	if f.Used() != 0 {
+		t.Errorf("used after frees = %d, want 0", f.Used())
+	}
+}
+
+func TestFrameZeroNeverAllocated(t *testing.T) {
+	f := NewFrameAllocator(1 << 30)
+	for i := 0; i < 100; i++ {
+		a, err := f.Alloc(Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == 0 {
+			t.Fatal("frame 0 must stay reserved")
+		}
+	}
+}

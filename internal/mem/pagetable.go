@@ -1,0 +1,264 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The x86-64 4-level radix page table. Levels are numbered as in the Intel
+// SDM: 4 = PML4, 3 = PDPT, 2 = PD, 1 = PT. A translation for a 4KB page
+// reads one entry at each of the four levels; 2MB pages terminate at the PD
+// (level 2) and 1GB pages at the PDPT (level 3) — the "four consecutive
+// reads" the paper describes, shortened by hugepages.
+
+// Page-table geometry constants.
+const (
+	// EntriesPerTable is the number of 8-byte entries in one table page.
+	EntriesPerTable = 512
+	// EntryBytes is the size of one page-table entry.
+	EntryBytes = 8
+	// TopLevel is the root level (PML4).
+	TopLevel = 4
+)
+
+// Errors returned by page-table operations.
+var (
+	ErrAlreadyMapped = errors.New("mem: virtual page already mapped")
+	ErrNotMapped     = errors.New("mem: virtual page not mapped")
+	ErrMisaligned    = errors.New("mem: address not aligned to page size")
+)
+
+// indexAt extracts the 9-bit table index for the given level from a virtual
+// address (level 1 = bits 20:12 ... level 4 = bits 47:39).
+func indexAt(v Addr, level int) int {
+	shift := uint(12 + 9*(level-1))
+	return int(v>>shift) & (EntriesPerTable - 1)
+}
+
+// pte is a single page-table entry in the model.
+type pte struct {
+	present bool
+	// leaf marks a terminal mapping: a 4KB PTE, a 2MB PDE, or a 1GB PDPTE.
+	leaf bool
+	// phys is the mapped frame base (leaf) or the next table's page (non-leaf).
+	phys Addr
+	next *tableNode
+}
+
+// tableNode is one 4KB page of 512 entries, placed at a concrete physical
+// address so the walker's loads exercise the cache model realistically.
+type tableNode struct {
+	phys    Addr
+	entries [EntriesPerTable]pte
+	live    int // number of present entries; 0 means the table can be freed
+}
+
+// WalkRef is one page-table load a hardware walk performs: the level it
+// reads and the physical address of the 8-byte entry.
+type WalkRef struct {
+	Level     int
+	EntryPhys Addr
+}
+
+// Translation is the outcome of a successful page walk.
+type Translation struct {
+	// Refs are the entry loads the walk performed, from PML4 down to the
+	// terminal level (length 2 for 1GB pages, 3 for 2MB, 4 for 4KB).
+	Refs [4]WalkRef
+	// NumRefs is the number of valid entries in Refs.
+	NumRefs int
+	// Phys is the translated physical address (frame base + page offset).
+	Phys Addr
+	// Size is the page size of the terminal mapping.
+	Size PageSize
+}
+
+// PageTable models one process's x86-64 page table. Intermediate table pages
+// are allocated from the same frame allocator as data pages, so the table's
+// physical footprint is part of the modelled memory.
+type PageTable struct {
+	root   *tableNode
+	frames *FrameAllocator
+	tables int
+	leaves map[PageSize]int
+}
+
+// NewPageTable creates an empty table whose node pages come from frames.
+func NewPageTable(frames *FrameAllocator) (*PageTable, error) {
+	pt := &PageTable{frames: frames, leaves: make(map[PageSize]int)}
+	root, err := pt.newNode()
+	if err != nil {
+		return nil, err
+	}
+	pt.root = root
+	return pt, nil
+}
+
+func (pt *PageTable) newNode() (*tableNode, error) {
+	phys, err := pt.frames.Alloc(Page4K)
+	if err != nil {
+		return nil, fmt.Errorf("allocating page-table node: %w", err)
+	}
+	pt.tables++
+	return &tableNode{phys: phys}, nil
+}
+
+// Map installs a translation of the given page size from virtual page v to
+// physical frame p. Both must be size-aligned.
+func (pt *PageTable) Map(v, p Addr, size PageSize) error {
+	if !size.Valid() {
+		return fmt.Errorf("mem: invalid page size %d", uint64(size))
+	}
+	if !IsAligned(v, size) || !IsAligned(p, size) {
+		return fmt.Errorf("%w: v=%#x p=%#x size=%s", ErrMisaligned, uint64(v), uint64(p), size)
+	}
+	leafLevel := size.Level()
+	node := pt.root
+	for level := TopLevel; level > leafLevel; level-- {
+		e := &node.entries[indexAt(v, level)]
+		if e.present && e.leaf {
+			return fmt.Errorf("%w: hugepage occupies level %d for %#x", ErrAlreadyMapped, level, uint64(v))
+		}
+		if !e.present {
+			child, err := pt.newNode()
+			if err != nil {
+				return err
+			}
+			e.present = true
+			e.leaf = false
+			e.next = child
+			e.phys = child.phys
+			node.live++
+		}
+		node = e.next
+	}
+	e := &node.entries[indexAt(v, leafLevel)]
+	if e.present {
+		return fmt.Errorf("%w: %#x (%s)", ErrAlreadyMapped, uint64(v), size)
+	}
+	e.present = true
+	e.leaf = true
+	e.phys = p
+	node.live++
+	pt.leaves[size]++
+	return nil
+}
+
+// Unmap removes the translation for the size-aligned virtual page v and
+// returns the physical frame that was mapped there. Empty intermediate
+// tables are pruned and their node pages returned to the frame allocator.
+func (pt *PageTable) Unmap(v Addr, size PageSize) (Addr, error) {
+	if !IsAligned(v, size) {
+		return 0, fmt.Errorf("%w: v=%#x size=%s", ErrMisaligned, uint64(v), size)
+	}
+	leafLevel := size.Level()
+	var path [TopLevel]*tableNode
+	node := pt.root
+	for level := TopLevel; level > leafLevel; level-- {
+		path[level-1] = node
+		e := &node.entries[indexAt(v, level)]
+		if !e.present || e.leaf {
+			return 0, fmt.Errorf("%w: %#x (%s)", ErrNotMapped, uint64(v), size)
+		}
+		node = e.next
+	}
+	e := &node.entries[indexAt(v, leafLevel)]
+	if !e.present || !e.leaf {
+		return 0, fmt.Errorf("%w: %#x (%s)", ErrNotMapped, uint64(v), size)
+	}
+	frame := e.phys
+	*e = pte{}
+	node.live--
+	pt.leaves[size]--
+	// Prune now-empty tables bottom-up (never the root).
+	child := node
+	for level := leafLevel + 1; level <= TopLevel && child.live == 0 && child != pt.root; level++ {
+		parent := path[level-1]
+		pe := &parent.entries[indexAt(v, level)]
+		*pe = pte{}
+		parent.live--
+		pt.frames.Free(child.phys, Page4K)
+		pt.tables--
+		child = parent
+	}
+	return frame, nil
+}
+
+// Walk performs a full page walk for virtual address v, recording the entry
+// loads a hardware walker would issue. It reports ok=false on a fault
+// (no translation installed).
+func (pt *PageTable) Walk(v Addr) (Translation, bool) {
+	var tr Translation
+	node := pt.root
+	for level := TopLevel; level >= 1; level-- {
+		idx := indexAt(v, level)
+		e := &node.entries[idx]
+		tr.Refs[tr.NumRefs] = WalkRef{
+			Level:     level,
+			EntryPhys: node.phys + Addr(idx*EntryBytes),
+		}
+		tr.NumRefs++
+		if !e.present {
+			return tr, false
+		}
+		if e.leaf {
+			size := sizeAtLevel(level)
+			tr.Size = size
+			tr.Phys = e.phys + (v & size.Mask())
+			return tr, true
+		}
+		node = e.next
+	}
+	return tr, false
+}
+
+// WalkFrom performs a partial walk that starts below skipLevels already-
+// resolved upper levels — modelling a page-walk-cache hit. skip=0 is a full
+// walk from the PML4; skip=2 starts at the PD. The returned refs contain
+// only the loads actually issued.
+func (pt *PageTable) WalkFrom(v Addr, skip int) (Translation, bool) {
+	full, ok := pt.Walk(v)
+	if skip <= 0 {
+		return full, ok
+	}
+	if skip >= full.NumRefs {
+		skip = full.NumRefs - 1
+	}
+	var tr Translation
+	tr.Phys, tr.Size = full.Phys, full.Size
+	for i := skip; i < full.NumRefs; i++ {
+		tr.Refs[tr.NumRefs] = full.Refs[i]
+		tr.NumRefs++
+	}
+	return tr, ok
+}
+
+// Translate resolves v without recording walk references.
+func (pt *PageTable) Translate(v Addr) (phys Addr, size PageSize, ok bool) {
+	tr, ok := pt.Walk(v)
+	if !ok {
+		return 0, 0, false
+	}
+	return tr.Phys, tr.Size, true
+}
+
+// Tables returns the number of live table node pages (including the root).
+func (pt *PageTable) Tables() int { return pt.tables }
+
+// Leaves returns the number of live terminal mappings of the given size.
+func (pt *PageTable) Leaves(size PageSize) int { return pt.leaves[size] }
+
+// RootPhys returns the physical address of the PML4 page (the CR3 value).
+func (pt *PageTable) RootPhys() Addr { return pt.root.phys }
+
+func sizeAtLevel(level int) PageSize {
+	switch level {
+	case 1:
+		return Page4K
+	case 2:
+		return Page2M
+	case 3:
+		return Page1G
+	}
+	return 0
+}

@@ -1,0 +1,273 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable(t *testing.T) (*PageTable, *FrameAllocator) {
+	t.Helper()
+	frames := NewFrameAllocator(1 << 36)
+	pt, err := NewPageTable(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, frames
+}
+
+func TestMapTranslate4K(t *testing.T) {
+	pt, frames := newTestTable(t)
+	frame, err := frames.Alloc(Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Addr(0x7f0000001000)
+	if err := pt.Map(v, frame, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	phys, size, ok := pt.Translate(v + 0x123)
+	if !ok {
+		t.Fatal("translation missing")
+	}
+	if size != Page4K {
+		t.Errorf("size = %s, want 4KB", size)
+	}
+	if phys != frame+0x123 {
+		t.Errorf("phys = %#x, want %#x", uint64(phys), uint64(frame+0x123))
+	}
+}
+
+func TestWalkRefCountPerPageSize(t *testing.T) {
+	cases := []struct {
+		size PageSize
+		refs int
+	}{
+		{Page4K, 4},
+		{Page2M, 3},
+		{Page1G, 2},
+	}
+	for _, c := range cases {
+		pt, frames := newTestTable(t)
+		frame, _ := frames.Alloc(c.size)
+		v := Addr(uint64(c.size) * 5)
+		if err := pt.Map(v, frame, c.size); err != nil {
+			t.Fatalf("%s: %v", c.size, err)
+		}
+		tr, ok := pt.Walk(v)
+		if !ok {
+			t.Fatalf("%s: walk failed", c.size)
+		}
+		if tr.NumRefs != c.refs {
+			t.Errorf("%s: walk issued %d refs, want %d", c.size, tr.NumRefs, c.refs)
+		}
+		if tr.Refs[0].Level != TopLevel {
+			t.Errorf("%s: first ref at level %d, want %d", c.size, tr.Refs[0].Level, TopLevel)
+		}
+		if tr.Refs[tr.NumRefs-1].Level != c.size.Level() {
+			t.Errorf("%s: last ref at level %d, want %d", c.size, tr.Refs[tr.NumRefs-1].Level, c.size.Level())
+		}
+	}
+}
+
+func TestWalkLevelsDescend(t *testing.T) {
+	pt, frames := newTestTable(t)
+	frame, _ := frames.Alloc(Page4K)
+	if err := pt.Map(0x1000, frame, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := pt.Walk(0x1000)
+	if !ok {
+		t.Fatal("walk failed")
+	}
+	for i := 1; i < tr.NumRefs; i++ {
+		if tr.Refs[i].Level != tr.Refs[i-1].Level-1 {
+			t.Fatalf("walk levels not strictly descending: %+v", tr.Refs[:tr.NumRefs])
+		}
+	}
+}
+
+func TestWalkFrom(t *testing.T) {
+	pt, frames := newTestTable(t)
+	frame, _ := frames.Alloc(Page4K)
+	if err := pt.Map(0x200000, frame, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	full, ok := pt.Walk(0x200000)
+	if !ok || full.NumRefs != 4 {
+		t.Fatalf("full walk: ok=%v refs=%d", ok, full.NumRefs)
+	}
+	for skip := 0; skip <= 3; skip++ {
+		tr, ok := pt.WalkFrom(0x200000, skip)
+		if !ok {
+			t.Fatalf("skip=%d: walk failed", skip)
+		}
+		if tr.NumRefs != 4-skip {
+			t.Errorf("skip=%d: refs=%d, want %d", skip, tr.NumRefs, 4-skip)
+		}
+		if tr.Phys != full.Phys {
+			t.Errorf("skip=%d: phys mismatch", skip)
+		}
+	}
+	// Skipping more than available still issues the terminal load.
+	tr, ok := pt.WalkFrom(0x200000, 10)
+	if !ok || tr.NumRefs != 1 {
+		t.Errorf("skip=10: ok=%v refs=%d, want 1 ref", ok, tr.NumRefs)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	pt, frames := newTestTable(t)
+	frame, _ := frames.Alloc(Page4K)
+	if err := pt.Map(0x1001, frame, Page4K); err == nil {
+		t.Error("misaligned map should fail")
+	}
+	if err := pt.Map(0x1000, frame+1, Page4K); err == nil {
+		t.Error("misaligned frame should fail")
+	}
+	if err := pt.Map(0x1000, frame, PageSize(12345)); err == nil {
+		t.Error("invalid page size should fail")
+	}
+	if err := pt.Map(0x1000, frame, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(0x1000, frame, Page4K); err == nil {
+		t.Error("double map should fail")
+	}
+}
+
+func TestHugepageConflicts(t *testing.T) {
+	pt, frames := newTestTable(t)
+	f2m, _ := frames.Alloc(Page2M)
+	if err := pt.Map(0, f2m, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	f4k, _ := frames.Alloc(Page4K)
+	// A 4KB page inside an existing 2MB mapping must be rejected.
+	if err := pt.Map(0x1000, f4k, Page4K); err == nil {
+		t.Error("4KB map under existing 2MB page should fail")
+	}
+	// And a 2MB page over an existing 4KB mapping must be rejected too.
+	if err := pt.Map(Addr(Page2M), f4k, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	f2m2, _ := frames.Alloc(Page2M)
+	if err := pt.Map(Addr(Page2M), f2m2, Page2M); err == nil {
+		t.Error("2MB map over existing 4KB page should fail")
+	}
+}
+
+func TestUnmapReleasesTables(t *testing.T) {
+	pt, frames := newTestTable(t)
+	before := pt.Tables()
+	if before != 1 {
+		t.Fatalf("fresh table has %d nodes, want 1 (root)", before)
+	}
+	frame, _ := frames.Alloc(Page4K)
+	v := Addr(0x7f0000000000)
+	if err := pt.Map(v, frame, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Tables() != 4 {
+		t.Fatalf("after one 4KB map: %d tables, want 4 (root+PDPT+PD+PT)", pt.Tables())
+	}
+	got, err := pt.Unmap(v, Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != frame {
+		t.Errorf("unmap returned frame %#x, want %#x", uint64(got), uint64(frame))
+	}
+	if pt.Tables() != 1 {
+		t.Errorf("after unmap: %d tables, want 1", pt.Tables())
+	}
+	if _, _, ok := pt.Translate(v); ok {
+		t.Error("translation survived unmap")
+	}
+}
+
+func TestUnmapErrors(t *testing.T) {
+	pt, _ := newTestTable(t)
+	if _, err := pt.Unmap(0x1000, Page4K); err == nil {
+		t.Error("unmap of unmapped page should fail")
+	}
+	if _, err := pt.Unmap(0x1001, Page4K); err == nil {
+		t.Error("misaligned unmap should fail")
+	}
+}
+
+func TestLeafCounts(t *testing.T) {
+	pt, frames := newTestTable(t)
+	for i := 0; i < 10; i++ {
+		f, _ := frames.Alloc(Page4K)
+		if err := pt.Map(Addr(i)*Addr(Page4K), f, Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, _ := frames.Alloc(Page2M)
+	if err := pt.Map(Addr(Page1G), f, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Leaves(Page4K) != 10 || pt.Leaves(Page2M) != 1 || pt.Leaves(Page1G) != 0 {
+		t.Errorf("leaves = %d/%d/%d, want 10/1/0",
+			pt.Leaves(Page4K), pt.Leaves(Page2M), pt.Leaves(Page1G))
+	}
+}
+
+// Property: map a random set of distinct 4KB pages, then every mapped page
+// translates to its own frame and every unmapped probe misses.
+func TestMapTranslateProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frames := NewFrameAllocator(1 << 36)
+		pt, err := NewPageTable(frames)
+		if err != nil {
+			return false
+		}
+		want := make(map[Addr]Addr)
+		for i := 0; i < 64; i++ {
+			v := AlignDown(Addr(rng.Uint64()%(1<<40)), Page4K)
+			if _, dup := want[v]; dup {
+				continue
+			}
+			f, err := frames.Alloc(Page4K)
+			if err != nil {
+				return false
+			}
+			if err := pt.Map(v, f, Page4K); err != nil {
+				return false
+			}
+			want[v] = f
+		}
+		for v, f := range want {
+			phys, size, ok := pt.Translate(v)
+			if !ok || phys != f || size != Page4K {
+				return false
+			}
+		}
+		// Unmap everything; table must shrink back to just the root.
+		for v := range want {
+			if _, err := pt.Unmap(v, Page4K); err != nil {
+				return false
+			}
+		}
+		return pt.Tables() == 1 && pt.Leaves(Page4K) == 0
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexAt(t *testing.T) {
+	// 0x0000_ffff_ffff_f000 has all-ones indices at every level (bit 47 set).
+	v := Addr(0x0000fffffffff000)
+	for level := 1; level <= 4; level++ {
+		if idx := indexAt(v, level); idx != 511 {
+			t.Errorf("indexAt(level %d) = %d, want 511", level, idx)
+		}
+	}
+	if idx := indexAt(0, 4); idx != 0 {
+		t.Errorf("indexAt(0, 4) = %d, want 0", idx)
+	}
+}

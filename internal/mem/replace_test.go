@@ -1,0 +1,135 @@
+package mem
+
+import "testing"
+
+func TestReplacePromotesWholeMapping(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page1G), 4<<20)
+	if err := as.Map(r, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Replace(r, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, size, ok := as.Translate(r.Start + 12345); !ok || size != Page2M {
+		t.Errorf("translation after promotion: ok=%v size=%v", ok, size)
+	}
+	if got := len(as.Mappings()); got != 1 {
+		t.Errorf("mappings = %d, want 1", got)
+	}
+	if as.PagesBySize()[Page4K] != 0 || as.PagesBySize()[Page2M] != 2 {
+		t.Errorf("pages = %+v", as.PagesBySize())
+	}
+}
+
+func TestReplaceSplitsMapping(t *testing.T) {
+	as := newTestSpace(t)
+	base := Addr(Page1G)
+	if err := as.Map(NewRegion(base, 8<<20), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Promote only the middle 2MB chunk.
+	mid := NewRegion(base+Addr(2<<20), 2<<20)
+	if err := as.Replace(mid, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	ms := as.Mappings()
+	if len(ms) != 3 {
+		t.Fatalf("mappings = %d, want 3 (head, promoted, tail): %+v", len(ms), ms)
+	}
+	if ms[0].Size != Page4K || ms[1].Size != Page2M || ms[2].Size != Page4K {
+		t.Errorf("split sizes wrong: %+v", ms)
+	}
+	if ms[1].Region != mid {
+		t.Errorf("promoted region = %v, want %v", ms[1].Region, mid)
+	}
+	// Head and tail still translate as 4KB; middle as 2MB.
+	if _, size, _ := as.Translate(base); size != Page4K {
+		t.Error("head size wrong")
+	}
+	if _, size, _ := as.Translate(mid.Start + 1); size != Page2M {
+		t.Error("middle size wrong")
+	}
+	if _, size, _ := as.Translate(mid.End + 1); size != Page4K {
+		t.Error("tail size wrong")
+	}
+	// Total mapped bytes unchanged.
+	if as.MappedBytes() != 8<<20 {
+		t.Errorf("mapped bytes = %d", as.MappedBytes())
+	}
+}
+
+func TestReplaceDemotes(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page1G), 4<<20)
+	if err := as.Map(r, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Replace(NewRegion(r.Start, 2<<20), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, size, _ := as.Translate(r.Start); size != Page4K {
+		t.Error("demotion failed")
+	}
+	if as.PagesBySize()[Page4K] != 512 {
+		t.Errorf("4KB pages = %d, want 512", as.PagesBySize()[Page4K])
+	}
+}
+
+func TestReplaceNoOpSameSize(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page1G), 2<<20)
+	if err := as.Map(r, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Replace(r, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if len(as.Mappings()) != 1 {
+		t.Error("no-op replace should not split")
+	}
+}
+
+func TestReplaceErrors(t *testing.T) {
+	as := newTestSpace(t)
+	if err := as.Map(NewRegion(Addr(Page1G), 4<<20), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Not inside a mapping.
+	if err := as.Replace(NewRegion(0, 2<<20), Page2M); err == nil {
+		t.Error("replace outside mappings should fail")
+	}
+	// Misaligned to the new size.
+	if err := as.Replace(NewRegion(Addr(Page1G)+0x1000, 2<<20), Page2M); err == nil {
+		t.Error("misaligned replace should fail")
+	}
+	// Invalid size.
+	if err := as.Replace(NewRegion(Addr(Page1G), 2<<20), PageSize(999)); err == nil {
+		t.Error("invalid page size should fail")
+	}
+	// Spanning two mappings.
+	if err := as.Map(NewRegion(Addr(Page1G)+4<<20, 4<<20), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Replace(NewRegion(Addr(Page1G)+2<<20, 4<<20), Page2M); err == nil {
+		t.Error("replace spanning mappings should fail")
+	}
+}
+
+func TestReplaceFramesRecycled(t *testing.T) {
+	as := newTestSpace(t)
+	r := NewRegion(Addr(Page1G), 4<<20)
+	if err := as.Map(r, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	used := as.Frames().Used()
+	if err := as.Replace(r, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	// Same bytes mapped: the 4KB frames were freed, 2MB frames allocated,
+	// and usage accounting must balance (page-table nodes aside).
+	after := as.Frames().Used()
+	if after > used+uint64(Page2M) || after < used-uint64(Page2M) {
+		t.Errorf("frame usage drifted: %d → %d", used, after)
+	}
+}

@@ -1,0 +1,44 @@
+package models
+
+import (
+	"errors"
+
+	"mosaic/internal/pmu"
+)
+
+// SimCalibration implements the Alam et al. simulator-scaling step (§III):
+// a partial simulator's walk-cycle output C_sim systematically deviates
+// from the hardware's C, so Alam et al. scaled simulated counts by the
+// ratio measured on a configuration both can run:
+//
+//	C_design = C_design_sim × (C4K / C4K_sim)
+//
+// The same factor applies to any simulated (H, M, C) vector before it is
+// fed to a runtime model fitted on hardware measurements.
+type SimCalibration struct {
+	// Factor is C4K(hardware) / C4K(simulator).
+	Factor float64
+}
+
+// ErrBadCalibration reports a non-positive calibration baseline.
+var ErrBadCalibration = errors.New("models: calibration baselines must be positive")
+
+// Calibrate derives the scale factor from the hardware and simulator
+// measurements of the same (typically all-4KB) configuration.
+func Calibrate(hardwareC4K, simulatorC4K float64) (SimCalibration, error) {
+	if hardwareC4K <= 0 || simulatorC4K <= 0 {
+		return SimCalibration{}, ErrBadCalibration
+	}
+	return SimCalibration{Factor: hardwareC4K / simulatorC4K}, nil
+}
+
+// Apply scales a simulated sample's walk cycles into hardware units. H and
+// M are event counts, not latencies, so only C is scaled (as in Alam's
+// correction).
+func (c SimCalibration) Apply(s pmu.Sample) pmu.Sample {
+	s.C *= c.Factor
+	return s
+}
+
+// ApplyC scales a bare walk-cycle count.
+func (c SimCalibration) ApplyC(simC float64) float64 { return simC * c.Factor }

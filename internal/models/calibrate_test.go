@@ -1,0 +1,68 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"mosaic/internal/pmu"
+)
+
+func TestCalibrate(t *testing.T) {
+	c, err := Calibrate(1000, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Factor != 1.25 {
+		t.Errorf("factor = %v, want 1.25", c.Factor)
+	}
+	if got := c.ApplyC(400); got != 500 {
+		t.Errorf("ApplyC = %v, want 500", got)
+	}
+	s := c.Apply(pmu.Sample{H: 10, M: 20, C: 400, R: 9999})
+	if s.C != 500 {
+		t.Errorf("scaled C = %v", s.C)
+	}
+	// Event counts and runtime untouched.
+	if s.H != 10 || s.M != 20 || s.R != 9999 {
+		t.Errorf("non-C fields changed: %+v", s)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	for _, in := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		if _, err := Calibrate(in[0], in[1]); !errors.Is(err, ErrBadCalibration) {
+			t.Errorf("Calibrate(%v, %v) should fail", in[0], in[1])
+		}
+	}
+}
+
+// End-to-end: a miscalibrated simulator plus the Alam correction predicts
+// as well as perfect simulation.
+func TestCalibrationFixesAlamPipeline(t *testing.T) {
+	samples := synthSamples(54, 9)
+	var alam Alam
+	if err := alam.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	s4k, err := findLayout(samples, "4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "simulator" reports walk cycles 30% low across the board.
+	simScale := 0.7
+	cal, err := Calibrate(s4k.C, s4k.C*simScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := samples[27]
+	simC := target.C * simScale
+	raw := alam.Predict(target.H, target.M, simC)
+	corrected := alam.Predict(target.H, target.M, cal.ApplyC(simC))
+	want := alam.Predict(target.H, target.M, target.C)
+	if d := corrected - want; d > 1e-6*want || d < -1e-6*want {
+		t.Errorf("corrected prediction %v, want %v", corrected, want)
+	}
+	if raw == want && target.C > 0 {
+		t.Error("uncorrected prediction should differ")
+	}
+}

@@ -1,0 +1,134 @@
+package models
+
+import (
+	"fmt"
+
+	"mosaic/internal/pmu"
+	"mosaic/internal/stats"
+)
+
+// Factory creates a fresh, unfitted model — needed by cross-validation,
+// which refits per fold.
+type Factory func() Model
+
+// Registry lists all nine models in the paper's figure order
+// (Figure 5/6 legends): preexisting first, then the new regressions.
+func Registry() []Factory {
+	return []Factory{
+		func() Model { return &Pham{} },
+		func() Model { return &Alam{} },
+		func() Model { return &Gandhi{} },
+		func() Model { return &Basu{} },
+		func() Model { return &Yaniv{} },
+		func() Model { return NewPoly(1) },
+		func() Model { return NewPoly(2) },
+		func() Model { return NewPoly(3) },
+		func() Model { return NewMosmodel() },
+	}
+}
+
+// PriorNames lists the preexisting models (Figure 2a).
+var PriorNames = []string{"pham", "alam", "gandhi", "basu", "yaniv"}
+
+// NewNames lists the newly proposed models (Figure 2b).
+var NewNames = []string{"poly1", "poly2", "poly3", "mosmodel"}
+
+// ByName creates a fresh model by name.
+func ByName(name string) (Model, error) {
+	for _, f := range Registry() {
+		if m := f(); m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}
+
+// Predictions evaluates a fitted model on samples.
+func Predictions(m Model, samples []pmu.Sample) (y, yhat []float64) {
+	y = make([]float64, len(samples))
+	yhat = make([]float64, len(samples))
+	for i, s := range samples {
+		y[i] = s.R
+		yhat[i] = m.Predict(s.H, s.M, s.C)
+	}
+	return y, yhat
+}
+
+// Evaluate fits the model on all samples and measures its errors against
+// the same samples — the paper's primary protocol (§VI-C), which is fair
+// because the sample count obeys the one-in-ten rule.
+func Evaluate(m Model, samples []pmu.Sample) (maxErr, geoErr float64, err error) {
+	if err := m.Fit(samples); err != nil {
+		return 0, 0, err
+	}
+	y, yhat := Predictions(m, samples)
+	return stats.MaxAbsRelErr(y, yhat), stats.GeoMeanAbsRelErr(y, yhat), nil
+}
+
+// CrossValidate runs K-fold cross-validation (§VI-C, Table 6): fit on K−1
+// folds, measure on the held-out fold, return the maximal error across all
+// folds. The baseline 4KB/2MB samples are kept in every training set, as
+// the preexisting-model anchors must always be available.
+func CrossValidate(f Factory, samples []pmu.Sample, k int, seed int64) (float64, error) {
+	folds := stats.KFoldIndices(len(samples), k, seed)
+	worst := 0.0
+	for _, test := range folds {
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var train, held []pmu.Sample
+		for i, s := range samples {
+			// Baselines stay in training: they anchor the prior models.
+			if inTest[i] && s.Layout != "4KB" && s.Layout != "2MB" {
+				held = append(held, s)
+			} else {
+				train = append(train, s)
+			}
+		}
+		if len(held) == 0 {
+			continue
+		}
+		m := f()
+		if err := m.Fit(train); err != nil {
+			return 0, err
+		}
+		y, yhat := Predictions(m, held)
+		if e := stats.MaxAbsRelErr(y, yhat); e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// SingleVarR2 fits a first-order, single-variable linear regression of R
+// against the chosen input and returns its R² — one cell of Table 8.
+// which selects the input: "H", "M", or "C".
+func SingleVarR2(samples []pmu.Sample, which string) (float64, error) {
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		var v float64
+		switch which {
+		case "H":
+			v = s.H
+		case "M":
+			v = s.M
+		case "C":
+			v = s.C
+		default:
+			return 0, fmt.Errorf("models: unknown input %q", which)
+		}
+		X[i] = []float64{v}
+		y[i] = s.R
+	}
+	fit, err := stats.FitPoly(X, y, 1, []string{which})
+	if err != nil {
+		return 0, err
+	}
+	yhat := make([]float64, len(samples))
+	for i := range X {
+		yhat[i] = fit.Predict(X[i])
+	}
+	return stats.R2(y, yhat), nil
+}

@@ -1,0 +1,277 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/pmu"
+)
+
+// baselineSamples returns hand-computable 4KB/2MB anchors plus mid points.
+func baselineSamples() []pmu.Sample {
+	return []pmu.Sample{
+		{Layout: "4KB", H: 100, M: 200, C: 4000, R: 10000},
+		{Layout: "2MB", H: 10, M: 20, C: 400, R: 7000},
+		{Layout: "mid", H: 50, M: 100, C: 2000, R: 8400},
+	}
+}
+
+func TestBasuFormula(t *testing.T) {
+	var b Basu
+	if err := b.Fit(baselineSamples()); err != nil {
+		t.Fatal(err)
+	}
+	// α = C4K/M4K = 20, β = R4K − C4K = 6000.
+	if got := b.Predict(0, 0, 0); got != 6000 {
+		t.Errorf("β = %v, want 6000", got)
+	}
+	if got := b.Predict(0, 200, 0); got != 10000 {
+		t.Errorf("prediction at M4K = %v, want R4K", got)
+	}
+	if got := b.Predict(0, 100, 0); got != 8000 {
+		t.Errorf("Predict(M=100) = %v, want 8000", got)
+	}
+}
+
+func TestGandhiFormula(t *testing.T) {
+	var g Gandhi
+	if err := g.Fit(baselineSamples()); err != nil {
+		t.Fatal(err)
+	}
+	// α = 20, β = R2M − C2M = 6600.
+	if got := g.Predict(0, 0, 0); got != 6600 {
+		t.Errorf("β = %v, want 6600", got)
+	}
+	if got := g.Predict(0, 100, 0); got != 8600 {
+		t.Errorf("Predict(M=100) = %v, want 8600", got)
+	}
+}
+
+func TestPhamFormula(t *testing.T) {
+	var p Pham
+	if err := p.Fit(baselineSamples()); err != nil {
+		t.Fatal(err)
+	}
+	// β = R4K − C4K − 7·H4K = 10000 − 4000 − 700 = 5300.
+	if got := p.Predict(0, 0, 0); got != 5300 {
+		t.Errorf("β = %v, want 5300", got)
+	}
+	// At the 4KB point the model reproduces R4K by construction.
+	if got := p.Predict(100, 200, 4000); got != 10000 {
+		t.Errorf("Predict(4KB point) = %v, want 10000", got)
+	}
+}
+
+func TestAlamFormula(t *testing.T) {
+	var a Alam
+	if err := a.Fit(baselineSamples()); err != nil {
+		t.Fatal(err)
+	}
+	// β = R2M − C2M = 6600; slope 1.
+	if got := a.Predict(0, 0, 1000); got != 7600 {
+		t.Errorf("Predict(C=1000) = %v, want 7600", got)
+	}
+}
+
+func TestYanivFormula(t *testing.T) {
+	var y Yaniv
+	if err := y.Fit(baselineSamples()); err != nil {
+		t.Fatal(err)
+	}
+	// Line through (400,7000) and (4000,10000): α = 3000/3600 = 5/6.
+	if math.Abs(y.Alpha()-5.0/6.0) > 1e-12 {
+		t.Errorf("α = %v, want 5/6", y.Alpha())
+	}
+	if got := y.Predict(0, 0, 400); math.Abs(got-7000) > 1e-9 {
+		t.Errorf("Predict(C2M) = %v, want 7000", got)
+	}
+	if got := y.Predict(0, 0, 4000); math.Abs(got-10000) > 1e-9 {
+		t.Errorf("Predict(C4K) = %v, want 10000", got)
+	}
+}
+
+func TestPriorModelsMissingBaselines(t *testing.T) {
+	noBase := []pmu.Sample{{Layout: "mid", H: 1, M: 1, C: 1, R: 1}}
+	for _, m := range []Model{&Basu{}, &Gandhi{}, &Pham{}, &Alam{}, &Yaniv{}} {
+		if err := m.Fit(noBase); err == nil {
+			t.Errorf("%s: fit without baselines should fail", m.Name())
+		}
+	}
+	// Zero misses in the 4KB sample breaks Basu/Gandhi's α.
+	zeroM := []pmu.Sample{
+		{Layout: "4KB", H: 1, M: 0, C: 1, R: 10},
+		{Layout: "2MB", H: 1, M: 0, C: 1, R: 10},
+	}
+	if err := (&Basu{}).Fit(zeroM); err == nil {
+		t.Error("basu with M4K=0 should fail")
+	}
+	if err := (&Yaniv{}).Fit(zeroM); err == nil {
+		t.Error("yaniv with identical baseline C should fail")
+	}
+}
+
+// synthSamples generates samples from a smooth ground truth with the
+// layout labels the protocol produces.
+func synthSamples(n int, seed int64) []pmu.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]pmu.Sample, 0, n)
+	truth := func(h, m, c float64) float64 {
+		cr := c / 1e8
+		return 5e8 + 0.9*c - 1.2e8*cr*cr + 0.6e8*cr*cr*cr + 3*h + 10*m
+	}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		c := frac * 1e8
+		m := c / 300
+		h := m * 1.5
+		s := pmu.Sample{Layout: "mid", H: h, M: m, C: c, R: truth(h, m, c)}
+		if i == n-1 {
+			s.Layout = "4KB"
+		}
+		if i == 0 {
+			s.Layout = "2MB"
+		}
+		_ = rng
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestPolyFitsAccurately(t *testing.T) {
+	samples := synthSamples(54, 1)
+	p3 := NewPoly(3)
+	maxErr, geoErr, err := Evaluate(p3, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 0.01 {
+		t.Errorf("poly3 max error = %v on cubic ground truth", maxErr)
+	}
+	// The geomean clamps exact-fit samples at 1e-9, so only compare when
+	// the max error is above that floor.
+	if maxErr > 1e-8 && geoErr > maxErr {
+		t.Errorf("geomean %v exceeds max %v", geoErr, maxErr)
+	}
+	// poly1 on the same curved data must be worse than poly3.
+	p1 := NewPoly(1)
+	maxErr1, _, err := Evaluate(p1, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr1 <= maxErr {
+		t.Errorf("poly1 (%v) should be worse than poly3 (%v) on curved data", maxErr1, maxErr)
+	}
+}
+
+func TestMosmodelBudgetAndAccuracy(t *testing.T) {
+	samples := synthSamples(54, 2)
+	m := NewMosmodel()
+	maxErr, _, err := Evaluate(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 0.03 {
+		t.Errorf("mosmodel max error = %v, want < 3%%", maxErr)
+	}
+	if nz := len(m.SelectedTerms()); nz > 5 {
+		t.Errorf("mosmodel kept %d terms (%v), budget is 5", nz, m.SelectedTerms())
+	}
+}
+
+func TestModelsTooFewSamples(t *testing.T) {
+	few := baselineSamples()
+	if err := NewPoly(3).Fit(few); err == nil {
+		t.Error("poly3 with 3 samples should fail")
+	}
+	if err := NewMosmodel().Fit(few); err == nil {
+		t.Error("mosmodel with 3 samples should fail")
+	}
+}
+
+func TestRegistryOrder(t *testing.T) {
+	want := []string{"pham", "alam", "gandhi", "basu", "yaniv", "poly1", "poly2", "poly3", "mosmodel"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d models", len(reg))
+	}
+	for i, f := range reg {
+		if got := f().Name(); got != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("yaniv")
+	if err != nil || m.Name() != "yaniv" {
+		t.Errorf("ByName(yaniv) = %v, %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	samples := synthSamples(54, 3)
+	cvErr, err := CrossValidate(func() Model { return NewPoly(3) }, samples, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvErr > 0.05 {
+		t.Errorf("poly3 CV error = %v on smooth ground truth", cvErr)
+	}
+	// CV error should not be dramatically below the fit-all error.
+	fitErr, _, err := Evaluate(NewPoly(3), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvErr < fitErr/10 && fitErr > 1e-9 {
+		t.Errorf("CV error %v implausibly below training error %v", cvErr, fitErr)
+	}
+}
+
+func TestSingleVarR2(t *testing.T) {
+	// R depends on C strongly, on H not at all.
+	samples := make([]pmu.Sample, 30)
+	rng := rand.New(rand.NewSource(4))
+	for i := range samples {
+		c := float64(i) * 1e6
+		samples[i] = pmu.Sample{
+			H: rng.Float64() * 1e6, // noise
+			M: c / 300,
+			C: c,
+			R: 1e9 + 0.8*c,
+		}
+	}
+	rc, err := SingleVarR2(samples, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := SingleVarR2(samples, "H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 0.99 {
+		t.Errorf("R²(C) = %v, want ≈1", rc)
+	}
+	if rh > 0.3 {
+		t.Errorf("R²(H) = %v, want ≈0", rh)
+	}
+	if _, err := SingleVarR2(samples, "Z"); err == nil {
+		t.Error("unknown input should fail")
+	}
+}
+
+func TestPolySlope(t *testing.T) {
+	samples := synthSamples(54, 5)
+	p := NewPoly(1)
+	if err := p.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	// A linear fit's slope is constant.
+	s1, s2 := p.Slope(1e6), p.Slope(5e7)
+	if math.Abs(s1-s2) > 1e-6*math.Abs(s1) {
+		t.Errorf("linear slope varies: %v vs %v", s1, s2)
+	}
+}

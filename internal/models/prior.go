@@ -1,0 +1,189 @@
+// Package models implements every runtime model the paper surveys and
+// proposes: the five preexisting linear models (Basu, Pham, Gandhi, Alam,
+// Yaniv — §III), the single-input polynomial regressions poly1/2/3
+// (§VII-A/B), and Mosmodel, the Lasso-regularized multi-input third-degree
+// polynomial (§VII-C).
+//
+// All models share one interface: fit against (H, M, C, R) samples, then
+// predict R from (H, M, C). The preexisting models ignore most of the
+// samples — they are entirely determined by the two baseline points
+// measured with 4KB and 2MB pages, which is exactly why they could never
+// be validated before Mosalloc.
+package models
+
+import (
+	"errors"
+	"fmt"
+
+	"mosaic/internal/pmu"
+)
+
+// Model is one runtime model R̂(H, M, C).
+type Model interface {
+	Name() string
+	// Fit trains the model on measured samples. Preexisting models
+	// require samples labelled "4KB" and/or "2MB" (the baselines they
+	// were historically built from).
+	Fit(samples []pmu.Sample) error
+	// Predict estimates the runtime for the given counter values.
+	Predict(h, m, c float64) float64
+}
+
+// Errors returned by Fit.
+var (
+	ErrNoBaseline    = errors.New("models: missing 4KB/2MB baseline sample")
+	ErrTooFewSamples = errors.New("models: not enough samples")
+)
+
+// findLayout returns the sample with the given layout label.
+func findLayout(samples []pmu.Sample, name string) (pmu.Sample, error) {
+	for _, s := range samples {
+		if s.Layout == name {
+			return s, nil
+		}
+	}
+	return pmu.Sample{}, fmt.Errorf("%w: %q", ErrNoBaseline, name)
+}
+
+// Basu is the first runtime model (Basu et al., ISCA'13): R = α·M + β with
+// α = C4K/M4K and β = R4K − C4K. It assumes walks stall the CPU completely
+// and that the ideal runtime is the 4KB runtime minus all walk cycles —
+// both of which Mosalloc's data refutes (§III, §VI-D).
+type Basu struct {
+	alpha, beta float64
+}
+
+// Name implements Model.
+func (b *Basu) Name() string { return "basu" }
+
+// Fit implements Model.
+func (b *Basu) Fit(samples []pmu.Sample) error {
+	s4k, err := findLayout(samples, "4KB")
+	if err != nil {
+		return err
+	}
+	if s4k.M == 0 {
+		return fmt.Errorf("models: basu: 4KB sample has no TLB misses")
+	}
+	b.alpha = s4k.C / s4k.M
+	b.beta = s4k.R - s4k.C
+	return nil
+}
+
+// Predict implements Model.
+func (b *Basu) Predict(_, m, _ float64) float64 { return b.alpha*m + b.beta }
+
+// Gandhi (Gandhi et al., MICRO'14) keeps Basu's slope but anchors the
+// ideal runtime at the 2MB configuration: β = R2M − C2M, hoping to avoid
+// the over-subtraction of overlapped walk cycles.
+type Gandhi struct {
+	alpha, beta float64
+}
+
+// Name implements Model.
+func (g *Gandhi) Name() string { return "gandhi" }
+
+// Fit implements Model.
+func (g *Gandhi) Fit(samples []pmu.Sample) error {
+	s4k, err := findLayout(samples, "4KB")
+	if err != nil {
+		return err
+	}
+	s2m, err := findLayout(samples, "2MB")
+	if err != nil {
+		return err
+	}
+	if s4k.M == 0 {
+		return fmt.Errorf("models: gandhi: 4KB sample has no TLB misses")
+	}
+	g.alpha = s4k.C / s4k.M
+	g.beta = s2m.R - s2m.C
+	return nil
+}
+
+// Predict implements Model.
+func (g *Gandhi) Predict(_, m, _ float64) float64 { return g.alpha*m + g.beta }
+
+// Pham (Pham et al., MICRO'15) charges every translation cycle directly:
+// R = 7·H + C + β, with 7 the Intel L2 TLB latency and
+// β = R4K − C4K − 7·H4K. Its stall assumption makes it optimistic for
+// every workload the paper measured.
+type Pham struct {
+	beta float64
+}
+
+// L2TLBLatency is the 7-cycle constant the Pham model hard-codes.
+const L2TLBLatency = 7.0
+
+// Name implements Model.
+func (p *Pham) Name() string { return "pham" }
+
+// Fit implements Model.
+func (p *Pham) Fit(samples []pmu.Sample) error {
+	s4k, err := findLayout(samples, "4KB")
+	if err != nil {
+		return err
+	}
+	p.beta = s4k.R - s4k.C - L2TLBLatency*s4k.H
+	return nil
+}
+
+// Predict implements Model.
+func (p *Pham) Predict(h, _, c float64) float64 { return L2TLBLatency*h + c + p.beta }
+
+// Alam (Alam et al., ISCA'17) is the Yaniv model with slope fixed at 1:
+// R = C + β, β = R2M − C2M.
+type Alam struct {
+	beta float64
+}
+
+// Name implements Model.
+func (a *Alam) Name() string { return "alam" }
+
+// Fit implements Model.
+func (a *Alam) Fit(samples []pmu.Sample) error {
+	s2m, err := findLayout(samples, "2MB")
+	if err != nil {
+		return err
+	}
+	a.beta = s2m.R - s2m.C
+	return nil
+}
+
+// Predict implements Model.
+func (a *Alam) Predict(_, _, c float64) float64 { return c + a.beta }
+
+// Yaniv (Yaniv & Tsafrir, SIGMETRICS'16) is the most flexible preexisting
+// model: the line through the two baseline points in (C, R) space,
+// R = α·C + β, where α is the page-walk slowdown factor.
+type Yaniv struct {
+	alpha, beta float64
+}
+
+// Name implements Model.
+func (y *Yaniv) Name() string { return "yaniv" }
+
+// Fit implements Model.
+func (y *Yaniv) Fit(samples []pmu.Sample) error {
+	s4k, err := findLayout(samples, "4KB")
+	if err != nil {
+		return err
+	}
+	s2m, err := findLayout(samples, "2MB")
+	if err != nil {
+		return err
+	}
+	if s4k.C == s2m.C {
+		return fmt.Errorf("models: yaniv: baseline walk cycles coincide")
+	}
+	y.alpha = (s4k.R - s2m.R) / (s4k.C - s2m.C)
+	y.beta = s2m.R - y.alpha*s2m.C
+	return nil
+}
+
+// Predict implements Model.
+func (y *Yaniv) Predict(_, _, c float64) float64 { return y.alpha*c + y.beta }
+
+// Alpha returns the fitted page-walk slowdown factor (Figure 9 discusses
+// workloads where it exceeds 1).
+func (y *Yaniv) Alpha() float64 { return y.alpha }

@@ -1,0 +1,280 @@
+// Package mosalloc implements the Mosaic Memory Allocator from the paper's
+// Section V: a user-space allocator that backs an application's address
+// space with an arbitrary, user-specified combination of 4KB, 2MB, and 1GB
+// pages — a "mosaic" of pages over one contiguous virtual range per pool.
+//
+// Mosalloc manages three pools that cover the three classes of Linux memory
+// requests (Figure 4 of the paper):
+//
+//   - the heap pool serves brk/sbrk and glibc morecore calls;
+//   - the anonymous pool serves MAP_ANONYMOUS mmap calls (first-fit);
+//   - the file pool serves file-backed mmap calls and is always 4KB-backed,
+//     because Linux's page cache only manages 4KB pages.
+//
+// Attach interposes Mosalloc on a modelled process the way LD_PRELOAD does
+// on a real one, and neutralizes glibc's unhookable internal mmap paths via
+// mallopt (M_MMAP_MAX=0, M_ARENA_MAX=1), fixing the libhugetlbfs bug the
+// paper describes in §V-C.
+package mosalloc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mosaic/internal/mem"
+)
+
+// Interval is one run of same-size pages inside a pool mosaic.
+type Interval struct {
+	// Size is the backing page size of this interval.
+	Size mem.PageSize
+	// Length is the interval's extent in bytes; it must be a multiple of
+	// Size, and the interval's start offset within the pool must be
+	// Size-aligned too.
+	Length uint64
+}
+
+// PoolConfig is an ordered list of intervals that tile a pool from offset 0
+// upward: a complete description of the pool's page mosaic.
+type PoolConfig struct {
+	Intervals []Interval
+}
+
+// Errors returned by configuration validation.
+var (
+	ErrEmptyPool     = errors.New("mosalloc: pool has no intervals")
+	ErrBadInterval   = errors.New("mosalloc: invalid interval")
+	ErrPoolExhausted = errors.New("mosalloc: pool exhausted")
+)
+
+// Uniform builds a pool of a single page size covering at least `bytes`
+// (rounded up to the page size).
+func Uniform(size mem.PageSize, bytes uint64) PoolConfig {
+	length := uint64(mem.AlignUp(mem.Addr(bytes), size))
+	return PoolConfig{Intervals: []Interval{{Size: size, Length: length}}}
+}
+
+// Window builds a pool of `bytes` total where [start, end) is backed with
+// `inner` pages and the rest with 4KB pages — the shape the paper's layout
+// heuristics generate. start and end are rounded outward to inner-page
+// alignment and clamped to the pool; the total is rounded up to 4KB.
+func Window(bytes uint64, start, end uint64, inner mem.PageSize) PoolConfig {
+	total := uint64(mem.AlignUp(mem.Addr(bytes), inner))
+	s := uint64(mem.AlignDown(mem.Addr(min(start, total)), inner))
+	e := uint64(mem.AlignUp(mem.Addr(min(end, total)), inner))
+	if e <= s {
+		return PoolConfig{Intervals: []Interval{{Size: mem.Page4K, Length: total}}}
+	}
+	var iv []Interval
+	if s > 0 {
+		iv = append(iv, Interval{Size: mem.Page4K, Length: s})
+	}
+	iv = append(iv, Interval{Size: inner, Length: e - s})
+	if e < total {
+		iv = append(iv, Interval{Size: mem.Page4K, Length: total - e})
+	}
+	return PoolConfig{Intervals: iv}
+}
+
+// Validate checks interval alignment and coverage.
+func (c PoolConfig) Validate() error {
+	if len(c.Intervals) == 0 {
+		return ErrEmptyPool
+	}
+	var offset uint64
+	for i, iv := range c.Intervals {
+		if !iv.Size.Valid() {
+			return fmt.Errorf("%w %d: page size %d", ErrBadInterval, i, uint64(iv.Size))
+		}
+		if iv.Length == 0 || iv.Length%uint64(iv.Size) != 0 {
+			return fmt.Errorf("%w %d: length %d not a positive multiple of %s",
+				ErrBadInterval, i, iv.Length, iv.Size)
+		}
+		if offset%uint64(iv.Size) != 0 {
+			return fmt.Errorf("%w %d: start offset %#x not aligned to %s",
+				ErrBadInterval, i, offset, iv.Size)
+		}
+		offset += iv.Length
+	}
+	return nil
+}
+
+// Size returns the pool's total capacity in bytes.
+func (c PoolConfig) Size() uint64 {
+	var n uint64
+	for _, iv := range c.Intervals {
+		n += iv.Length
+	}
+	return n
+}
+
+// BytesBySize returns the number of bytes backed by each page size.
+func (c PoolConfig) BytesBySize() map[mem.PageSize]uint64 {
+	out := make(map[mem.PageSize]uint64, 3)
+	for _, iv := range c.Intervals {
+		out[iv.Size] += iv.Length
+	}
+	return out
+}
+
+// PageSizeAt returns the page size backing the given pool offset.
+func (c PoolConfig) PageSizeAt(offset uint64) (mem.PageSize, bool) {
+	var cursor uint64
+	for _, iv := range c.Intervals {
+		if offset < cursor+iv.Length {
+			return iv.Size, true
+		}
+		cursor += iv.Length
+	}
+	return 0, false
+}
+
+// String renders the mosaic in the compact textual form ParseLayout accepts.
+func (c PoolConfig) String() string {
+	parts := make([]string, len(c.Intervals))
+	for i, iv := range c.Intervals {
+		parts[i] = fmt.Sprintf("%s:%s", iv.Size, formatBytes(iv.Length))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseLayout parses the textual mosaic format: comma-separated
+// "PAGESIZE:LENGTH" intervals, e.g. "4KB:8MB,2MB:16MB,4KB:8MB".
+// Page sizes are 4KB, 2MB, or 1GB; lengths accept the suffixes KB, MB, GB.
+func ParseLayout(s string) (PoolConfig, error) {
+	var cfg PoolConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		size, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return PoolConfig{}, fmt.Errorf("mosalloc: interval %q is not SIZE:LENGTH", part)
+		}
+		ps, err := parsePageSize(strings.TrimSpace(size))
+		if err != nil {
+			return PoolConfig{}, err
+		}
+		length, err := parseBytes(strings.TrimSpace(rest))
+		if err != nil {
+			return PoolConfig{}, fmt.Errorf("mosalloc: interval %q: %v", part, err)
+		}
+		cfg.Intervals = append(cfg.Intervals, Interval{Size: ps, Length: length})
+	}
+	if err := cfg.Validate(); err != nil {
+		return PoolConfig{}, err
+	}
+	return cfg, nil
+}
+
+func parsePageSize(s string) (mem.PageSize, error) {
+	switch strings.ToUpper(s) {
+	case "4KB", "4K":
+		return mem.Page4K, nil
+	case "2MB", "2M":
+		return mem.Page2M, nil
+	case "1GB", "1G":
+		return mem.Page1G, nil
+	}
+	return 0, fmt.Errorf("mosalloc: unknown page size %q", s)
+}
+
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KB")
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MB")
+	case strings.HasSuffix(upper, "GB"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GB")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	var n uint64
+	if upper == "" {
+		return 0, fmt.Errorf("empty length")
+	}
+	for _, r := range upper {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("bad length %q", s)
+		}
+		n = n*10 + uint64(r-'0')
+	}
+	return n * mult, nil
+}
+
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Config describes a full Mosalloc setup: the heap and anonymous pool
+// mosaics (the two pools the user controls) and the 4KB-only file pool
+// capacity.
+type Config struct {
+	HeapPool PoolConfig
+	AnonPool PoolConfig
+	// FilePoolBytes is the file-backed pool capacity (always 4KB pages).
+	FilePoolBytes uint64
+	// AnonPolicy selects the anonymous pool's free-space search strategy
+	// (FirstFit, the paper's choice, by default).
+	AnonPolicy Policy
+}
+
+// Validate checks all pool configurations.
+func (c Config) Validate() error {
+	if err := c.HeapPool.Validate(); err != nil {
+		return fmt.Errorf("heap pool: %w", err)
+	}
+	if err := c.AnonPool.Validate(); err != nil {
+		return fmt.Errorf("anonymous pool: %w", err)
+	}
+	if c.FilePoolBytes%uint64(mem.Page4K) != 0 {
+		return fmt.Errorf("file pool: %w: %d bytes not 4KB-aligned", ErrBadInterval, c.FilePoolBytes)
+	}
+	return nil
+}
+
+// ParseEnv builds a Config from the environment-variable convention the
+// library documents: MOSALLOC_HEAP_LAYOUT and MOSALLOC_ANON_LAYOUT hold
+// mosaic strings, MOSALLOC_FILE_SIZE holds the file pool capacity.
+func ParseEnv(env map[string]string) (Config, error) {
+	var cfg Config
+	var err error
+	heap, ok := env["MOSALLOC_HEAP_LAYOUT"]
+	if !ok {
+		return Config{}, errors.New("mosalloc: MOSALLOC_HEAP_LAYOUT not set")
+	}
+	if cfg.HeapPool, err = ParseLayout(heap); err != nil {
+		return Config{}, fmt.Errorf("MOSALLOC_HEAP_LAYOUT: %w", err)
+	}
+	anon, ok := env["MOSALLOC_ANON_LAYOUT"]
+	if !ok {
+		return Config{}, errors.New("mosalloc: MOSALLOC_ANON_LAYOUT not set")
+	}
+	if cfg.AnonPool, err = ParseLayout(anon); err != nil {
+		return Config{}, fmt.Errorf("MOSALLOC_ANON_LAYOUT: %w", err)
+	}
+	if s, ok := env["MOSALLOC_FILE_SIZE"]; ok {
+		if cfg.FilePoolBytes, err = parseBytes(s); err != nil {
+			return Config{}, fmt.Errorf("MOSALLOC_FILE_SIZE: %w", err)
+		}
+	} else {
+		cfg.FilePoolBytes = 64 << 20
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

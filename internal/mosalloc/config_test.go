@@ -1,0 +1,216 @@
+package mosalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/mem"
+)
+
+func TestUniform(t *testing.T) {
+	c := Uniform(mem.Page2M, 5<<20)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 6<<20 {
+		t.Errorf("size = %d, want %d (rounded to 2MB)", c.Size(), 6<<20)
+	}
+	if len(c.Intervals) != 1 || c.Intervals[0].Size != mem.Page2M {
+		t.Errorf("intervals = %+v", c.Intervals)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	total := uint64(64 << 20)
+	c := Window(total, 8<<20, 24<<20, mem.Page2M)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != total {
+		t.Errorf("size = %d, want %d", c.Size(), total)
+	}
+	by := c.BytesBySize()
+	if by[mem.Page2M] != 16<<20 {
+		t.Errorf("2MB bytes = %d, want %d", by[mem.Page2M], 16<<20)
+	}
+	if by[mem.Page4K] != 48<<20 {
+		t.Errorf("4KB bytes = %d, want %d", by[mem.Page4K], 48<<20)
+	}
+	// Page size queries at characteristic offsets.
+	if s, _ := c.PageSizeAt(0); s != mem.Page4K {
+		t.Errorf("offset 0 backed by %s", s)
+	}
+	if s, _ := c.PageSizeAt(8 << 20); s != mem.Page2M {
+		t.Errorf("window start backed by %s", s)
+	}
+	if s, _ := c.PageSizeAt(24<<20 - 1); s != mem.Page2M {
+		t.Errorf("window end-1 backed by %s", s)
+	}
+	if s, _ := c.PageSizeAt(24 << 20); s != mem.Page4K {
+		t.Errorf("past window backed by %s", s)
+	}
+	if _, ok := c.PageSizeAt(total); ok {
+		t.Error("offset past pool should not resolve")
+	}
+}
+
+func TestWindowDegenerate(t *testing.T) {
+	// Empty window collapses to an all-4KB pool.
+	c := Window(16<<20, 8<<20, 8<<20, mem.Page2M)
+	if len(c.Intervals) != 1 || c.Intervals[0].Size != mem.Page4K {
+		t.Errorf("empty window: %+v", c.Intervals)
+	}
+	// Full-pool window is all hugepages.
+	c = Window(16<<20, 0, 16<<20, mem.Page2M)
+	if len(c.Intervals) != 1 || c.Intervals[0].Size != mem.Page2M {
+		t.Errorf("full window: %+v", c.Intervals)
+	}
+	// Window past the end is clamped.
+	c = Window(16<<20, 12<<20, 99<<20, mem.Page2M)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 16<<20 {
+		t.Errorf("clamped size = %d", c.Size())
+	}
+}
+
+// Property: any Window invocation produces a valid config whose total
+// matches the (inner-aligned) requested size.
+func TestWindowProperty(t *testing.T) {
+	prop := func(total32, s32, e32 uint32, pick uint8) bool {
+		total := uint64(total32%256+1) << 20
+		s := uint64(s32) % (total + 1<<20)
+		e := uint64(e32) % (total + 1<<20)
+		inner := mem.Page2M
+		if pick%2 == 1 {
+			inner = mem.Page1G
+		}
+		c := Window(total, s, e, inner)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		want := uint64(mem.AlignUp(mem.Addr(total), inner))
+		// A degenerate window keeps the 4KB total un-rounded.
+		return c.Size() == want || c.Size() == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []PoolConfig{
+		{},
+		{Intervals: []Interval{{Size: 0, Length: 4096}}},
+		{Intervals: []Interval{{Size: mem.Page4K, Length: 0}}},
+		{Intervals: []Interval{{Size: mem.Page4K, Length: 4095}}},
+		{Intervals: []Interval{{Size: mem.Page2M, Length: 1 << 20}}},
+		// Misaligned start: a 4KB run that ends off 2MB alignment, then 2MB.
+		{Intervals: []Interval{
+			{Size: mem.Page4K, Length: 4096},
+			{Size: mem.Page2M, Length: 2 << 20},
+		}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, c)
+		}
+	}
+}
+
+func TestParseLayoutRoundTrip(t *testing.T) {
+	in := "4KB:8MB,2MB:16MB,4KB:8MB"
+	c, err := ParseLayout(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.String(); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+	if c.Size() != 32<<20 {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestParseLayoutErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"4KB",
+		"3KB:4MB",
+		"4KB:abc",
+		"4KB:-5",
+		"2MB:1MB", // misaligned length
+	} {
+		if _, err := ParseLayout(s); err == nil {
+			t.Errorf("ParseLayout(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseLayoutSuffixes(t *testing.T) {
+	c, err := ParseLayout("4K:524288KB, 2M:512MB ,1G:1GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Interval{
+		{mem.Page4K, 512 << 20},
+		{mem.Page2M, 512 << 20},
+		{mem.Page1G, 1 << 30},
+	}
+	if len(c.Intervals) != len(want) {
+		t.Fatalf("intervals = %+v", c.Intervals)
+	}
+	for i := range want {
+		if c.Intervals[i] != want[i] {
+			t.Errorf("interval %d = %+v, want %+v", i, c.Intervals[i], want[i])
+		}
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	env := map[string]string{
+		"MOSALLOC_HEAP_LAYOUT": "2MB:32MB",
+		"MOSALLOC_ANON_LAYOUT": "4KB:16MB",
+		"MOSALLOC_FILE_SIZE":   "8MB",
+	}
+	cfg, err := ParseEnv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HeapPool.Size() != 32<<20 || cfg.AnonPool.Size() != 16<<20 || cfg.FilePoolBytes != 8<<20 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	delete(env, "MOSALLOC_FILE_SIZE")
+	cfg, err = ParseEnv(env)
+	if err != nil || cfg.FilePoolBytes == 0 {
+		t.Errorf("default file size: cfg=%+v err=%v", cfg, err)
+	}
+	if _, err := ParseEnv(map[string]string{"MOSALLOC_ANON_LAYOUT": "4KB:16MB"}); err == nil {
+		t.Error("missing heap layout should fail")
+	}
+	if _, err := ParseEnv(map[string]string{"MOSALLOC_HEAP_LAYOUT": "4KB:16MB"}); err == nil {
+		t.Error("missing anon layout should fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		HeapPool:      Uniform(mem.Page4K, 1<<20),
+		AnonPool:      Uniform(mem.Page2M, 4<<20),
+		FilePoolBytes: 1 << 20,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.FilePoolBytes = 1000
+	if err := bad.Validate(); err == nil {
+		t.Error("unaligned file pool should fail")
+	}
+	bad = good
+	bad.HeapPool = PoolConfig{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty heap pool should fail")
+	}
+}

@@ -1,0 +1,60 @@
+package mosalloc
+
+import "testing"
+
+// FuzzParseLayout checks the mosaic parser never panics and that anything
+// it accepts round-trips through String back to an equivalent config.
+func FuzzParseLayout(f *testing.F) {
+	for _, seed := range []string{
+		"4KB:8MB,2MB:16MB,4KB:8MB",
+		"4K:4KB",
+		"1G:1GB",
+		"2m:2mb, 2M:2MB",
+		"",
+		"x",
+		":::",
+		"4KB:999999999999999999999999GB",
+		"4KB:-1",
+		"2MB:3MB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseLayout(s)
+		if err != nil {
+			return
+		}
+		// Accepted layouts must be valid and round-trip.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseLayout(%q) accepted an invalid config: %v", s, err)
+		}
+		again, err := ParseLayout(cfg.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", cfg.String(), err)
+		}
+		if again.Size() != cfg.Size() || len(again.Intervals) != len(cfg.Intervals) {
+			t.Fatalf("round trip changed the config: %q vs %q", cfg.String(), again.String())
+		}
+	})
+}
+
+// FuzzParseEnv exercises the environment-variable entry point.
+func FuzzParseEnv(f *testing.F) {
+	f.Add("4KB:8MB", "2MB:2MB", "1MB")
+	f.Add("", "", "")
+	f.Add("junk", "2MB:2MB", "4KB")
+	f.Fuzz(func(t *testing.T, heap, anon, file string) {
+		env := map[string]string{
+			"MOSALLOC_HEAP_LAYOUT": heap,
+			"MOSALLOC_ANON_LAYOUT": anon,
+			"MOSALLOC_FILE_SIZE":   file,
+		}
+		cfg, err := ParseEnv(env)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseEnv accepted an invalid config: %v", err)
+		}
+	})
+}

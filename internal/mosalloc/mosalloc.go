@@ -1,0 +1,187 @@
+package mosalloc
+
+import (
+	"fmt"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+)
+
+// Pool base addresses. Each base is 1GB-aligned so that interval offsets
+// validated by PoolConfig.Validate are absolutely aligned as well, and each
+// pool sits far from the kernel's own heap and mmap areas.
+const (
+	HeapPoolBase mem.Addr = 0x0000_2000_0000_0000
+	AnonPoolBase mem.Addr = 0x0000_4000_0000_0000
+	FilePoolBase mem.Addr = 0x0000_6000_0000_0000
+)
+
+// Stats counts the requests Mosalloc served, proving hook coverage.
+type Stats struct {
+	SbrkCalls    int
+	AnonMaps     int
+	FileMaps     int
+	Unmaps       int
+	ForwardedOps int // requests outside the pools, forwarded to the kernel
+}
+
+// Mosalloc is the mosaic memory allocator attached to one process. It
+// implements libc.Backend so that every hookable memory request — morecore
+// and direct brk/sbrk, anonymous mmap, file-backed mmap, munmap — is served
+// from its pre-mapped pools.
+type Mosalloc struct {
+	proc  *libc.Process
+	cfg   Config
+	heap  *pool
+	anon  *pool
+	file  *pool
+	stats Stats
+
+	attached bool
+}
+
+// Attach reserves the configured pools in the process's address space,
+// installs Mosalloc on the hookable call paths (the LD_PRELOAD step), and
+// neutralizes glibc's unhookable internal mmap paths via mallopt, exactly
+// as §V-C prescribes (M_MMAP_MAX=0, M_ARENA_MAX=1).
+func Attach(proc *libc.Process, cfg Config) (*Mosalloc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mosalloc{proc: proc, cfg: cfg}
+	m.heap = newPool("heap", HeapPoolBase, cfg.HeapPool)
+	m.anon = newPool("anon", AnonPoolBase, cfg.AnonPool)
+	m.anon.policy = cfg.AnonPolicy
+	m.file = newPool("file", FilePoolBase, Uniform(mem.Page4K, cfg.FilePoolBytes))
+
+	for _, p := range []*pool{m.heap, m.anon, m.file} {
+		if err := m.reservePool(p); err != nil {
+			return nil, fmt.Errorf("mosalloc: reserving %s pool: %w", p.name, err)
+		}
+	}
+
+	mall := proc.MallocState()
+	if err := mall.Mallopt(libc.MMmapMax, 0); err != nil {
+		return nil, err
+	}
+	if err := mall.Mallopt(libc.MArenaMax, 1); err != nil {
+		return nil, err
+	}
+	proc.SetHooks(m)
+	m.attached = true
+	return m, nil
+}
+
+// reservePool maps every interval of the pool's mosaic at its fixed offset.
+func (m *Mosalloc) reservePool(p *pool) error {
+	cursor := p.base
+	for _, iv := range p.cfg.Intervals {
+		if err := m.proc.Kernel().MmapFixed(cursor, iv.Length, iv.Size); err != nil {
+			return err
+		}
+		cursor += mem.Addr(iv.Length)
+	}
+	return nil
+}
+
+// Detach removes the hooks and restores glibc's default tunables. The
+// pools stay mapped: live allocations remain valid, as with a real
+// LD_PRELOAD library that cannot be unloaded mid-run.
+func (m *Mosalloc) Detach() {
+	if !m.attached {
+		return
+	}
+	m.proc.SetHooks(nil)
+	mall := m.proc.MallocState()
+	_ = mall.Mallopt(libc.MMmapMax, libc.DefaultMmapMax)
+	_ = mall.Mallopt(libc.MArenaMax, libc.DefaultArenaMax)
+	m.attached = false
+}
+
+// Sbrk implements libc.Backend: brk/sbrk and morecore requests are served
+// from the heap pool. The first sbrk(0) probe returns the pool base, which
+// re-homes glibc's heap onto the mosaic.
+func (m *Mosalloc) Sbrk(incr int64) (mem.Addr, error) {
+	m.stats.SbrkCalls++
+	return m.heap.sbrk(incr)
+}
+
+// Mmap implements libc.Backend: anonymous requests go to the anonymous
+// pool (first fit), file-backed requests to the 4KB file pool. Explicit
+// MAP_HUGETLB flags are accepted but the pool mosaic decides the actual
+// backing — that is the entire point of Mosalloc.
+func (m *Mosalloc) Mmap(length uint64, flags libc.MapFlags) (mem.Addr, error) {
+	if flags.Kind == MapKindFile {
+		m.stats.FileMaps++
+		return m.file.alloc(length)
+	}
+	m.stats.AnonMaps++
+	return m.anon.alloc(length)
+}
+
+// MapKindFile aliases libc.MapFileBacked for readability inside Mmap.
+const MapKindFile = libc.MapFileBacked
+
+// Munmap implements libc.Backend. Ranges inside the anonymous or file pool
+// are released for reuse (the backing pages stay mapped, per the paper's
+// top-only reclamation design). Ranges outside the pools — mapped before
+// Mosalloc attached — are forwarded to the kernel.
+func (m *Mosalloc) Munmap(addr mem.Addr, length uint64) error {
+	m.stats.Unmaps++
+	switch {
+	case m.anon.contains(addr):
+		return m.anon.free(addr, length)
+	case m.file.contains(addr):
+		return m.file.free(addr, length)
+	case m.heap.contains(addr):
+		return fmt.Errorf("mosalloc: munmap inside heap pool at %#x", uint64(addr))
+	default:
+		m.stats.ForwardedOps++
+		return m.proc.Kernel().Munmap(addr, length)
+	}
+}
+
+// Stats returns a copy of the request counters.
+func (m *Mosalloc) Stats() Stats { return m.stats }
+
+// Config returns the attached configuration.
+func (m *Mosalloc) Config() Config { return m.cfg }
+
+// HeapRegion returns the heap pool's reserved virtual range.
+func (m *Mosalloc) HeapRegion() mem.Region { return m.heap.region() }
+
+// AnonRegion returns the anonymous pool's reserved virtual range.
+func (m *Mosalloc) AnonRegion() mem.Region { return m.anon.region() }
+
+// FileRegion returns the file pool's reserved virtual range.
+func (m *Mosalloc) FileRegion() mem.Region { return m.file.region() }
+
+// PageSizeAt reports the page size backing a pool address.
+func (m *Mosalloc) PageSizeAt(a mem.Addr) (mem.PageSize, bool) {
+	_, size, ok := m.proc.Space().Translate(a)
+	return size, ok
+}
+
+// PoolUsage describes one pool's occupancy.
+type PoolUsage struct {
+	Name          string
+	Capacity      uint64
+	Used          uint64
+	HighWater     uint64
+	Fragmentation uint64
+}
+
+// Usage reports occupancy for all three pools, in heap/anon/file order.
+func (m *Mosalloc) Usage() []PoolUsage {
+	out := make([]PoolUsage, 0, 3)
+	for _, p := range []*pool{m.heap, m.anon, m.file} {
+		out = append(out, PoolUsage{
+			Name:          p.name,
+			Capacity:      p.size,
+			Used:          p.used(),
+			HighWater:     p.highWater,
+			Fragmentation: p.fragmentation(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package mosalloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+)
+
+func testConfig() Config {
+	return Config{
+		HeapPool: PoolConfig{Intervals: []Interval{
+			{Size: mem.Page4K, Length: 8 << 20},
+			{Size: mem.Page2M, Length: 16 << 20},
+			{Size: mem.Page4K, Length: 8 << 20},
+		}},
+		AnonPool: PoolConfig{Intervals: []Interval{
+			{Size: mem.Page2M, Length: 16 << 20},
+			{Size: mem.Page4K, Length: 16 << 20},
+		}},
+		FilePoolBytes: 8 << 20,
+	}
+}
+
+func attachTest(t *testing.T) (*libc.Process, *Mosalloc) {
+	t.Helper()
+	proc, err := libc.NewProcess(1 << 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Attach(proc, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc, m
+}
+
+func TestAttachReservesMosaic(t *testing.T) {
+	proc, m := attachTest(t)
+	// The heap pool is one contiguous range with the configured mosaic.
+	hr := m.HeapRegion()
+	if hr.Len() != 32<<20 {
+		t.Fatalf("heap region = %v", hr)
+	}
+	checks := []struct {
+		off  uint64
+		want mem.PageSize
+	}{
+		{0, mem.Page4K},
+		{8<<20 - 4096, mem.Page4K},
+		{8 << 20, mem.Page2M},
+		{24<<20 - 1, mem.Page2M},
+		{24 << 20, mem.Page4K},
+		{32<<20 - 1, mem.Page4K},
+	}
+	for _, c := range checks {
+		_, size, ok := proc.Space().Translate(hr.Start + mem.Addr(c.off))
+		if !ok || size != c.want {
+			t.Errorf("heap offset %#x: size=%v ok=%v, want %s", c.off, size, ok, c.want)
+		}
+	}
+	// Every pool address must already be mapped (pools are reserved up front).
+	for _, r := range []mem.Region{m.HeapRegion(), m.AnonRegion(), m.FileRegion()} {
+		for v := r.Start; v < r.End; v += mem.Addr(4 << 20) {
+			if _, _, ok := proc.Space().Translate(v); !ok {
+				t.Fatalf("pool address %#x not mapped", uint64(v))
+			}
+		}
+	}
+}
+
+func TestAttachRejectsBadConfig(t *testing.T) {
+	proc, err := libc.NewProcess(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(proc, Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestMallocServedFromHeapPool(t *testing.T) {
+	proc, m := attachTest(t)
+	a, err := proc.Malloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeapRegion().Contains(a) {
+		t.Errorf("malloc result %#x outside heap pool %v", uint64(a), m.HeapRegion())
+	}
+	// Large mallocs stay on the heap too: the mallopt neutralization kills
+	// the direct-mmap path (the libhugetlbfs bug, fixed).
+	b, err := proc.Malloc(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeapRegion().Contains(b) {
+		t.Errorf("large malloc %#x escaped the heap pool", uint64(b))
+	}
+	if st := proc.MallocState().Stats(); st.DirectMmaps != 0 || st.ArenaSpawns != 0 {
+		t.Errorf("raw paths used: %+v", st)
+	}
+}
+
+func TestContentionStaysInPool(t *testing.T) {
+	proc, m := attachTest(t)
+	proc.MallocState().SetContention(2)
+	for i := 0; i < 50; i++ {
+		a, err := proc.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.HeapRegion().Contains(a) {
+			t.Fatalf("allocation %d at %#x escaped the heap pool", i, uint64(a))
+		}
+	}
+	if st := proc.MallocState().Stats(); st.ArenaSpawns != 0 {
+		t.Errorf("arenas spawned despite M_ARENA_MAX=1: %+v", st)
+	}
+}
+
+func TestAnonMmapUsesMosaic(t *testing.T) {
+	proc, m := attachTest(t)
+	// First allocation lands at the pool base, which testConfig backs
+	// with 2MB pages.
+	a, err := proc.Mmap(4<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != m.AnonRegion().Start {
+		t.Errorf("first anon map at %#x, want pool base %#x", uint64(a), uint64(m.AnonRegion().Start))
+	}
+	if size, _ := m.PageSizeAt(a); size != mem.Page2M {
+		t.Errorf("anon map backed by %s, want 2MB", size)
+	}
+	// An allocation past the 2MB window is 4KB-backed.
+	b, err := proc.Mmap(14<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := m.PageSizeAt(b + mem.Addr(13<<20)); size != mem.Page4K {
+		t.Errorf("tail of second map backed by %v, want 4KB", size)
+	}
+}
+
+func TestFileMmapAlways4K(t *testing.T) {
+	proc, m := attachTest(t)
+	a, err := proc.Mmap(1<<20, libc.MapFlags{Kind: libc.MapFileBacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.FileRegion().Contains(a) {
+		t.Errorf("file map %#x outside file pool", uint64(a))
+	}
+	if size, _ := m.PageSizeAt(a); size != mem.Page4K {
+		t.Errorf("file map backed by %s, want 4KB", size)
+	}
+}
+
+func TestFirstFitReuse(t *testing.T) {
+	proc, _ := attachTest(t)
+	a, err := proc.Mmap(1<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := proc.Mmap(1<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Munmap(a, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	c, err := proc.Mmap(1<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("first fit should reuse freed range: got %#x, want %#x", uint64(c), uint64(a))
+	}
+	_ = b
+}
+
+func TestHeapPoolExhaustion(t *testing.T) {
+	proc, _ := attachTest(t)
+	// The heap pool holds 32MB; allocating far beyond must fail cleanly.
+	var err error
+	for i := 0; i < 64; i++ {
+		if _, err = proc.Malloc(1 << 20); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+func TestAnonPoolExhaustion(t *testing.T) {
+	proc, _ := attachTest(t)
+	_, err := proc.Mmap(33<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+func TestMunmapErrors(t *testing.T) {
+	proc, m := attachTest(t)
+	// Unmapping a never-mapped pool address fails.
+	if err := proc.Munmap(m.AnonRegion().Start, 4096); err == nil {
+		t.Error("munmap of unallocated pool range should fail")
+	}
+	// Munmap inside the heap pool is invalid.
+	if err := proc.Munmap(m.HeapRegion().Start, 4096); err == nil {
+		t.Error("munmap inside heap pool should fail")
+	}
+	// Wrong length fails.
+	a, _ := proc.Mmap(8192, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err := proc.Munmap(a, 4096); err == nil {
+		t.Error("munmap with wrong length should fail")
+	}
+}
+
+func TestMunmapOutsidePoolsForwards(t *testing.T) {
+	proc, err := libc.NewProcess(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map before attach, unmap after: the request must reach the kernel.
+	pre, err := proc.Mmap(4096, libc.MapFlags{Kind: libc.MapAnonymous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Attach(proc, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Munmap(pre, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().ForwardedOps != 1 {
+		t.Errorf("ForwardedOps = %d, want 1", m.Stats().ForwardedOps)
+	}
+}
+
+func TestSbrkDirect(t *testing.T) {
+	proc, m := attachTest(t)
+	base, err := proc.Sbrk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != m.HeapRegion().Start {
+		t.Errorf("sbrk(0) = %#x, want heap pool base %#x", uint64(base), uint64(m.HeapRegion().Start))
+	}
+	if _, err := proc.Sbrk(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Sbrk(-(2 << 20)); err == nil {
+		t.Error("shrinking below pool base should fail")
+	}
+}
+
+func TestDetachRestores(t *testing.T) {
+	proc, m := attachTest(t)
+	m.Detach()
+	m.Detach() // idempotent
+	// New large malloc goes back to the kernel's direct-mmap path.
+	a, err := proc.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HeapRegion().Contains(a) || m.AnonRegion().Contains(a) {
+		t.Errorf("post-detach malloc %#x still in a pool", uint64(a))
+	}
+	if st := proc.MallocState().Stats(); st.DirectMmaps != 1 {
+		t.Errorf("DirectMmaps = %d, want 1 after detach", st.DirectMmaps)
+	}
+}
+
+func TestUsageAndFragmentation(t *testing.T) {
+	proc, m := attachTest(t)
+	a, _ := proc.Mmap(2<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	b, _ := proc.Mmap(2<<20, libc.MapFlags{Kind: libc.MapAnonymous})
+	_ = b
+	if err := proc.Munmap(a, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	var anon PoolUsage
+	for _, u := range m.Usage() {
+		if u.Name == "anon" {
+			anon = u
+		}
+	}
+	if anon.Capacity != 32<<20 {
+		t.Errorf("anon capacity = %d", anon.Capacity)
+	}
+	if anon.Used != 2<<20 {
+		t.Errorf("anon used = %d, want %d", anon.Used, 2<<20)
+	}
+	if anon.HighWater != 4<<20 {
+		t.Errorf("anon high water = %d, want %d", anon.HighWater, 4<<20)
+	}
+	if anon.Fragmentation != 2<<20 {
+		t.Errorf("anon fragmentation = %d, want %d", anon.Fragmentation, 2<<20)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	proc, m := attachTest(t)
+	_, _ = proc.Malloc(100)
+	_, _ = proc.Mmap(4096, libc.MapFlags{Kind: libc.MapAnonymous})
+	_, _ = proc.Mmap(4096, libc.MapFlags{Kind: libc.MapFileBacked})
+	st := m.Stats()
+	if st.SbrkCalls == 0 || st.AnonMaps != 1 || st.FileMaps != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Property: any interleaving of anon mmap/munmap keeps live blocks disjoint,
+// inside the pool, and always 4KB-aligned.
+func TestAnonPoolProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		proc, err := libc.NewProcess(1 << 38)
+		if err != nil {
+			return false
+		}
+		m, err := Attach(proc, testConfig())
+		if err != nil {
+			return false
+		}
+		live := make(map[mem.Addr]uint64)
+		for i := 0; i < 150; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				for a, l := range live {
+					if err := proc.Munmap(a, l); err != nil {
+						return false
+					}
+					delete(live, a)
+					break
+				}
+				continue
+			}
+			length := uint64(rng.Intn(1<<20) + 1)
+			a, err := proc.Mmap(length, libc.MapFlags{Kind: libc.MapAnonymous})
+			if err != nil {
+				if errors.Is(err, ErrPoolExhausted) {
+					continue
+				}
+				return false
+			}
+			rounded := uint64(mem.AlignUp(mem.Addr(length), mem.Page4K))
+			if !mem.IsAligned(a, mem.Page4K) || !m.AnonRegion().ContainsRegion(mem.NewRegion(a, rounded)) {
+				return false
+			}
+			for b, bl := range live {
+				rb := uint64(mem.AlignUp(mem.Addr(bl), mem.Page4K))
+				if a < b+mem.Addr(rb) && b < a+mem.Addr(rounded) {
+					return false
+				}
+			}
+			live[a] = length
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

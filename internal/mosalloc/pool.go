@@ -1,0 +1,203 @@
+package mosalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"mosaic/internal/mem"
+)
+
+// Policy selects the free-space search strategy of the mmap pools. The
+// paper chose first fit for its runtime/utilization balance (§V) and left
+// "better, more efficient memory management algorithms" as future work;
+// the alternatives are provided for exactly that exploration.
+type Policy int
+
+// Allocation policies.
+const (
+	// FirstFit takes the lowest-addressed gap that fits (the paper's
+	// choice).
+	FirstFit Policy = iota
+	// BestFit takes the smallest gap that fits, minimizing leftover
+	// fragments at the cost of a full scan.
+	BestFit
+	// NextFit resumes scanning from the previous allocation, trading
+	// utilization for constant-ish scan cost.
+	NextFit
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case NextFit:
+		return "next-fit"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// poolBlock is one live allocation inside an mmap-style pool.
+type poolBlock struct {
+	region mem.Region
+}
+
+// pool tracks one of Mosalloc's three memory pools: a pre-mapped contiguous
+// virtual range whose page-size mosaic is fixed at attach time. The heap
+// pool uses the brk cursor; the mmap pools use first-fit over live blocks.
+type pool struct {
+	name   string
+	base   mem.Addr
+	size   uint64
+	cfg    PoolConfig
+	policy Policy
+	// nextCursor is NextFit's resume point (an absolute address).
+	nextCursor mem.Addr
+
+	// brk is the heap-pool program break (unused by mmap pools).
+	brk mem.Addr
+	// blocks are live mmap allocations, sorted by start address.
+	blocks []poolBlock
+	// highWater is the highest offset ever used, for utilization stats.
+	highWater uint64
+}
+
+func newPool(name string, base mem.Addr, cfg PoolConfig) *pool {
+	return &pool{name: name, base: base, size: cfg.Size(), cfg: cfg, brk: base}
+}
+
+func (p *pool) region() mem.Region { return mem.NewRegion(p.base, p.size) }
+
+func (p *pool) contains(a mem.Addr) bool { return p.region().Contains(a) }
+
+// sbrk moves the heap-pool break, mirroring the kernel's brk semantics but
+// bounded by the pool capacity. Pages are pre-mapped, so no mapping happens.
+func (p *pool) sbrk(incr int64) (mem.Addr, error) {
+	old := p.brk
+	if incr == 0 {
+		return old, nil
+	}
+	next := mem.Addr(int64(p.brk) + incr)
+	if next < p.base {
+		return 0, fmt.Errorf("mosalloc: %s pool break below base", p.name)
+	}
+	if uint64(next-p.base) > p.size {
+		return 0, fmt.Errorf("%w: %s pool needs %d bytes, capacity %d",
+			ErrPoolExhausted, p.name, uint64(next-p.base), p.size)
+	}
+	p.brk = next
+	p.noteHighWater(uint64(next - p.base))
+	return old, nil
+}
+
+// alloc finds a gap of the given length (rounded up to 4KB) among the live
+// blocks according to the pool's policy — first fit by default, per the
+// paper's choice for the anonymous pool (§V). It returns the block's base
+// address.
+func (p *pool) alloc(length uint64) (mem.Addr, error) {
+	length = uint64(mem.AlignUp(mem.Addr(length), mem.Page4K))
+	if length == 0 {
+		return 0, fmt.Errorf("mosalloc: zero-length allocation in %s pool", p.name)
+	}
+	type gap struct {
+		idx  int // insertion index into p.blocks
+		base mem.Addr
+		len  uint64
+	}
+	var gaps []gap
+	cursor := p.base
+	for i, b := range p.blocks {
+		if g := uint64(b.region.Start - cursor); g >= length {
+			gaps = append(gaps, gap{idx: i, base: cursor, len: g})
+		}
+		cursor = b.region.End
+	}
+	if g := uint64(p.base + mem.Addr(p.size) - cursor); g >= length {
+		gaps = append(gaps, gap{idx: len(p.blocks), base: cursor, len: g})
+	}
+	if len(gaps) == 0 {
+		return 0, fmt.Errorf("%w: %s pool cannot fit %d bytes", ErrPoolExhausted, p.name, length)
+	}
+	chosen := gaps[0]
+	switch p.policy {
+	case BestFit:
+		for _, g := range gaps[1:] {
+			if g.len < chosen.len {
+				chosen = g
+			}
+		}
+	case NextFit:
+		for _, g := range gaps {
+			if g.base+mem.Addr(g.len) > p.nextCursor {
+				// First gap at or past the resume point; allocate at the
+				// cursor if it falls inside this gap.
+				if p.nextCursor > g.base && uint64(g.base+mem.Addr(g.len)-p.nextCursor) >= length {
+					chosen = gap{idx: g.idx, base: p.nextCursor, len: g.len}
+				} else {
+					chosen = g
+				}
+				break
+			}
+		}
+	}
+	addr := p.insertAt(chosen.idx, chosen.base, length)
+	p.nextCursor = addr + mem.Addr(length)
+	return addr, nil
+}
+
+func (p *pool) insertAt(i int, base mem.Addr, length uint64) mem.Addr {
+	blk := poolBlock{region: mem.NewRegion(base, length)}
+	p.blocks = append(p.blocks, poolBlock{})
+	copy(p.blocks[i+1:], p.blocks[i:])
+	p.blocks[i] = blk
+	p.noteHighWater(uint64(blk.region.End - p.base))
+	return base
+}
+
+// free releases the block starting at addr. The pool's pages stay mapped —
+// Mosalloc reserves its pools up front — but the range becomes reusable by
+// later first-fit allocations.
+func (p *pool) free(addr mem.Addr, length uint64) error {
+	length = uint64(mem.AlignUp(mem.Addr(length), mem.Page4K))
+	i := sort.Search(len(p.blocks), func(i int) bool { return p.blocks[i].region.Start >= addr })
+	if i >= len(p.blocks) || p.blocks[i].region.Start != addr {
+		return fmt.Errorf("mosalloc: %s pool: no block at %#x", p.name, uint64(addr))
+	}
+	if p.blocks[i].region.Len() != length {
+		return fmt.Errorf("mosalloc: %s pool: block at %#x is %d bytes, munmap of %d",
+			p.name, uint64(addr), p.blocks[i].region.Len(), length)
+	}
+	p.blocks = append(p.blocks[:i], p.blocks[i+1:]...)
+	return nil
+}
+
+func (p *pool) noteHighWater(off uint64) {
+	if off > p.highWater {
+		p.highWater = off
+	}
+}
+
+// used returns the number of bytes currently allocated from the pool.
+func (p *pool) used() uint64 {
+	if p.name == "heap" {
+		return uint64(p.brk - p.base)
+	}
+	var n uint64
+	for _, b := range p.blocks {
+		n += b.region.Len()
+	}
+	return n
+}
+
+// fragmentation returns bytes below the high-water mark not currently in
+// use — the cost of the simple top-only reclamation policy the paper
+// measures at <1% for its workloads.
+func (p *pool) fragmentation() uint64 {
+	u := p.used()
+	if p.highWater < u {
+		return 0
+	}
+	return p.highWater - u
+}

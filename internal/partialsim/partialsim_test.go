@@ -1,0 +1,185 @@
+package partialsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/cpu"
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+func buildSpace(t *testing.T, size uint64, ps mem.PageSize) *mem.AddressSpace {
+	t.Helper()
+	as, err := mem.NewAddressSpace(1 << 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size = uint64(mem.AlignUp(mem.Addr(size), ps))
+	if err := as.Map(mem.NewRegion(0x2000_0000_0000, size), ps); err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func mixedTrace(seed int64, n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder("mix", n)
+	for i := 0; i < n; i++ {
+		b.Compute(uint64(rng.Intn(30)))
+		va := mem.Addr(0x2000_0000_0000 + rng.Uint64()%(48<<20))
+		if rng.Intn(2) == 0 {
+			b.LoadDep(va)
+		} else {
+			b.Load(va)
+		}
+	}
+	return b.Trace()
+}
+
+func TestHMMatchFullMachine(t *testing.T) {
+	tr := mixedTrace(1, 20000)
+	plat := arch.Broadwell.Scaled()
+
+	as1 := buildSpace(t, 48<<20, mem.Page4K)
+	sim, err := New(plat, as1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	as2 := buildSpace(t, 48<<20, mem.Page4K)
+	machine, err := cpu.New(plat, as2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := machine.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pm.H != full.H || pm.M != full.M {
+		t.Errorf("partial H/M = %d/%d, full machine = %d/%d", pm.H, pm.M, full.H, full.M)
+	}
+	if pm.Lookups != full.TLBLookups {
+		t.Errorf("lookups = %d vs %d", pm.Lookups, full.TLBLookups)
+	}
+	if pm.M > 0 && pm.C == 0 {
+		t.Error("misses without walk cycles")
+	}
+}
+
+// With program-cache simulation enabled, the walker sees the same cache
+// states as in the full machine, so C matches exactly — the "perfectly
+// accurate partial simulator" of §VII-D.
+func TestCMatchesWithProgramCache(t *testing.T) {
+	tr := mixedTrace(2, 20000)
+	plat := arch.SandyBridge.Scaled()
+
+	as1 := buildSpace(t, 48<<20, mem.Page4K)
+	sim, err := New(plat, as1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SimulateProgramCache = true
+	pm, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	as2 := buildSpace(t, 48<<20, mem.Page4K)
+	machine, err := cpu.New(plat, as2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := machine.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pm.C != full.C {
+		t.Errorf("partial C = %d, full machine C = %d", pm.C, full.C)
+	}
+}
+
+// Without program-cache simulation, walk cycles are underestimated (the
+// walker's PTE lines never get evicted by program data) — the fidelity/
+// speed trade-off of §II-B.
+func TestWalkerOnlyCacheUnderestimatesC(t *testing.T) {
+	tr := mixedTrace(3, 20000)
+	plat := arch.SandyBridge.Scaled()
+
+	as1 := buildSpace(t, 48<<20, mem.Page4K)
+	cheap, err := New(plat, as1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapM, err := cheap.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	as2 := buildSpace(t, 48<<20, mem.Page4K)
+	precise, err := New(plat, as2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise.SimulateProgramCache = true
+	preciseM, err := precise.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cheapM.M != preciseM.M {
+		t.Fatalf("M must not depend on cache fidelity: %d vs %d", cheapM.M, preciseM.M)
+	}
+	if cheapM.C >= preciseM.C {
+		t.Errorf("walker-only C (%d) should underestimate program-cache C (%d)", cheapM.C, preciseM.C)
+	}
+}
+
+func TestHugepagesReduceMetrics(t *testing.T) {
+	tr := mixedTrace(4, 20000)
+	plat := arch.Haswell.Scaled()
+
+	run := func(ps mem.PageSize) Metrics {
+		as := buildSpace(t, 48<<20, ps)
+		m, err := Run(plat, as, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m4k, m2m := run(mem.Page4K), run(mem.Page2M)
+	if m2m.M >= m4k.M/10 {
+		t.Errorf("2MB misses %d not far below 4KB misses %d", m2m.M, m4k.M)
+	}
+	if m2m.C >= m4k.C {
+		t.Errorf("2MB walk cycles %d not below 4KB %d", m2m.C, m4k.C)
+	}
+	if m2m.WalkRefs >= m4k.WalkRefs {
+		t.Errorf("2MB walk refs %d not below 4KB %d", m2m.WalkRefs, m4k.WalkRefs)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	as := buildSpace(t, 1<<20, mem.Page4K)
+	b := trace.NewBuilder("bad", 1)
+	b.Load(0xdead0000)
+	if _, err := Run(arch.SandyBridge.Scaled(), as, b.Trace()); err == nil {
+		t.Error("unmapped access should fault")
+	}
+}
+
+func TestInvalidPlatformRejected(t *testing.T) {
+	as := buildSpace(t, 1<<20, mem.Page4K)
+	bad := arch.SandyBridge
+	bad.PageWalkers = 0
+	if _, err := New(bad, as); err == nil {
+		t.Error("invalid platform should be rejected")
+	}
+}

@@ -1,0 +1,98 @@
+// Package pmu defines the performance-monitoring counters the paper's
+// runtime models consume (Table 2) plus the cache-load events behind its
+// Table 7. The timing model (internal/cpu) populates a Counters value per
+// run; everything downstream — model fitting, error metrics, report
+// rendering — reads only this type, mirroring how the paper's pipeline
+// reads only the Intel PMU.
+package pmu
+
+import "fmt"
+
+// Counters is one run's worth of performance-counter readings.
+type Counters struct {
+	// R: runtime — unhalted execution cycles (Table 2).
+	R uint64
+	// H: translations that missed the L1 TLB but hit the L2 TLB.
+	H uint64
+	// M: translations that missed both TLB levels (page walks).
+	M uint64
+	// C: walk cycles — cycles spent walking the page table. Each active
+	// hardware walker contributes its busy cycles, so with two walkers C
+	// can legitimately exceed R (the Broadwell/gups effect of §VI-D).
+	C uint64
+
+	// Instructions retired.
+	Instructions uint64
+
+	// Cache load events, split program/walker as in Table 7.
+	L1DLoadsProgram  uint64
+	L1DLoadsWalker   uint64
+	L2LoadsProgram   uint64
+	L2LoadsWalker    uint64
+	L3LoadsProgram   uint64
+	L3LoadsWalker    uint64
+	DRAMLoadsProgram uint64
+	DRAMLoadsWalker  uint64
+
+	// TLB lookup volume, for derived rates.
+	TLBLookups uint64
+}
+
+// IPC returns instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.R == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.R)
+}
+
+// MPKI returns L2 TLB misses per kilo-instruction.
+func (c Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.M) / float64(c.Instructions)
+}
+
+// WalkCycleShare returns C/R, the fraction of runtime the table walkers
+// were busy (can exceed 1 with multiple walkers).
+func (c Counters) WalkCycleShare() float64 {
+	if c.R == 0 {
+		return 0
+	}
+	return float64(c.C) / float64(c.R)
+}
+
+// AvgWalkLatency returns C/M, the mean cycles per walk.
+func (c Counters) AvgWalkLatency() float64 {
+	if c.M == 0 {
+		return 0
+	}
+	return float64(c.C) / float64(c.M)
+}
+
+// String formats the headline counters.
+func (c Counters) String() string {
+	return fmt.Sprintf("R=%d H=%d M=%d C=%d I=%d", c.R, c.H, c.M, c.C, c.Instructions)
+}
+
+// Sample pairs the model inputs (H, M, C) with the measured runtime R —
+// one point in the space the runtime models are fitted and validated on.
+type Sample struct {
+	// Layout is a human-readable identifier of the memory layout that
+	// produced this sample (e.g. "4KB", "2MB", "grow-3/8").
+	Layout  string
+	H, M, C float64
+	R       float64
+}
+
+// SampleFrom extracts a model sample from raw counters.
+func SampleFrom(layout string, c Counters) Sample {
+	return Sample{
+		Layout: layout,
+		H:      float64(c.H),
+		M:      float64(c.M),
+		C:      float64(c.C),
+		R:      float64(c.R),
+	}
+}

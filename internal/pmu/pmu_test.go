@@ -1,0 +1,47 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{R: 1000, H: 10, M: 20, C: 500, Instructions: 2000}
+	if got := c.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+	if got := c.MPKI(); got != 10.0 {
+		t.Errorf("MPKI = %v, want 10", got)
+	}
+	if got := c.WalkCycleShare(); got != 0.5 {
+		t.Errorf("WalkCycleShare = %v, want 0.5", got)
+	}
+	if got := c.AvgWalkLatency(); got != 25.0 {
+		t.Errorf("AvgWalkLatency = %v, want 25", got)
+	}
+}
+
+func TestDerivedMetricsZeroSafe(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 || c.MPKI() != 0 || c.WalkCycleShare() != 0 || c.AvgWalkLatency() != 0 {
+		t.Error("zero counters should yield zero rates, not NaN")
+	}
+}
+
+func TestSampleFrom(t *testing.T) {
+	c := Counters{R: 100, H: 1, M: 2, C: 3}
+	s := SampleFrom("4KB", c)
+	if s.Layout != "4KB" || s.R != 100 || s.H != 1 || s.M != 2 || s.C != 3 {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{R: 1, H: 2, M: 3, C: 4, Instructions: 5}
+	s := c.String()
+	for _, want := range []string{"R=1", "H=2", "M=3", "C=4", "I=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

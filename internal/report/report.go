@@ -1,0 +1,227 @@
+// Package report renders experiment results as text: aligned tables for
+// the paper's Tables 6–8 and model-error matrices (Figures 2, 5, 6), and
+// ASCII scatter charts for the runtime-vs-walk-cycles figures (3, 7–11).
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mosaic/internal/experiment"
+)
+
+// Table is a simple aligned-text table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w, c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", w, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	switch {
+	case v >= 0.1:
+		return fmt.Sprintf("%.0f%%", v*100)
+	case v >= 0.01:
+		return fmt.Sprintf("%.1f%%", v*100)
+	default:
+		return fmt.Sprintf("%.2f%%", v*100)
+	}
+}
+
+// ModelErrorTable renders a map of model→error in a fixed model order.
+func ModelErrorTable(title string, errs map[string]float64, order []string) string {
+	t := NewTable("model", "max error")
+	for _, name := range order {
+		if e, ok := errs[name]; ok {
+			t.AddRow(name, Pct(e))
+		}
+	}
+	return title + "\n" + t.String()
+}
+
+// PerBenchmarkTable renders one platform's Figure 5/6 matrix.
+func PerBenchmarkTable(title string, pb *experiment.PerBenchErrors, geo bool) string {
+	header := append([]string{"benchmark"}, pb.Models...)
+	t := NewTable(header...)
+	data := pb.Max
+	if geo {
+		data = pb.Geo
+	}
+	for i, w := range pb.Workloads {
+		row := []string{w}
+		for _, v := range data[i] {
+			row = append(row, Pct(v))
+		}
+		t.AddRow(row...)
+	}
+	return title + "\n" + t.String()
+}
+
+// Chart renders an ASCII scatter of the measured samples ('o') with model
+// prediction overlays (one rune per model) on a width×height grid.
+func Chart(cv *experiment.Curve, width, height int, modelRunes map[string]rune) string {
+	if len(cv.Points) == 0 {
+		return "(no data)\n"
+	}
+	minC, maxC := cv.Points[0].C, cv.Points[0].C
+	minR, maxR := cv.Points[0].R, cv.Points[0].R
+	consider := func(c, r float64) {
+		minC, maxC = math.Min(minC, c), math.Max(maxC, c)
+		minR, maxR = math.Min(minR, r), math.Max(maxR, r)
+	}
+	for i, p := range cv.Points {
+		consider(p.C, p.R)
+		for _, preds := range cv.Predictions {
+			consider(p.C, preds[i])
+		}
+	}
+	if maxC == minC {
+		maxC = minC + 1
+	}
+	if maxR == minR {
+		maxR = minR + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	place := func(c, r float64, ch rune) {
+		x := int((c - minC) / (maxC - minC) * float64(width-1))
+		y := int((r - minR) / (maxR - minR) * float64(height-1))
+		row := height - 1 - y
+		if grid[row][x] == ' ' || ch == 'o' {
+			grid[row][x] = ch
+		}
+	}
+	// Models first so measured points win collisions.
+	names := make([]string, 0, len(cv.Predictions))
+	for name := range cv.Predictions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch, ok := modelRunes[name]
+		if !ok {
+			ch = '+'
+		}
+		for i, p := range cv.Points {
+			place(p.C, cv.Predictions[name][i], ch)
+		}
+	}
+	for _, p := range cv.Points {
+		place(p.C, p.R, 'o')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s — runtime vs walk cycles\n", cv.Workload, cv.Platform)
+	fmt.Fprintf(&b, "R max %.3g\n", maxR)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "R min %.3g; C in [%.3g, %.3g]\n", minR, minC, maxC)
+	b.WriteString("legend: o measured")
+	for _, name := range names {
+		ch, ok := modelRunes[name]
+		if !ok {
+			ch = '+'
+		}
+		fmt.Fprintf(&b, ", %c %s (max err %s)", ch, name, Pct(cv.Errors[name]))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table7Text renders the 4KB-vs-2MB counter comparison.
+func Table7Text(ds *experiment.Dataset, rows []experiment.Table7Row) string {
+	t := NewTable("counter", "program 4KB", "program 2MB", "walker 4KB", "walker 2MB")
+	fmtN := func(n uint64) string { return fmt.Sprintf("%d", n) }
+	for _, r := range rows {
+		if r.WalkerSplit {
+			t.AddRow(r.Name, fmtN(r.Program4K), fmtN(r.Program2M), fmtN(r.Walker4K), fmtN(r.Walker2M))
+		} else {
+			t.AddRow(r.Name, fmtN(r.Program4K), fmtN(r.Program2M), "", "")
+		}
+	}
+	title := fmt.Sprintf("Table 7: %s on %s, 4KB vs 2MB pages", ds.Workload, ds.Platform)
+	return title + "\n" + t.String()
+}
+
+// Table8Text renders the R² grid.
+func Table8Text(rows []experiment.Table8Row, platforms []string) string {
+	header := []string{"workload"}
+	for _, p := range platforms {
+		header = append(header, p+":C", p+":M", p+":H")
+	}
+	t := NewTable(header...)
+	for _, r := range rows {
+		row := []string{r.Workload}
+		for _, p := range platforms {
+			if vals, ok := r.R2[p]; ok {
+				for _, v := range vals {
+					row = append(row, fmt.Sprintf("%.2f", v))
+				}
+			} else {
+				row = append(row, "-", "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return "Table 8: R² of single-variable linear regression (C, M, H)\n" + t.String()
+}

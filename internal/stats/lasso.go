@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+)
+
+// LassoFit is a fitted L1-regularized polynomial regression. The paper
+// uses Lasso for Mosmodel both to fight overfitting and to select the
+// relevant inputs: with 54 samples and 20 candidate terms, Lasso keeps at
+// most a handful of nonzero coefficients (the one-in-ten rule, §VI-C).
+type LassoFit struct {
+	Terms    []Monomial
+	Coefs    []float64 // on standardized features; Coefs[bias] is intercept
+	scaler   *Scaler
+	Lambda   float64
+	VarNames []string
+}
+
+// FitPolyLasso fits an L1-penalized polynomial of the given total degree
+// by cyclic coordinate descent on standardized features. lambda is the
+// penalty in units of the standardized problem; the intercept is never
+// penalized.
+func FitPolyLasso(X [][]float64, y []float64, degree int, lambda float64, varNames []string) (*LassoFit, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrDimension
+	}
+	scaler, err := FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	xs := scaler.Transform(X)
+	terms := Monomials(len(X[0]), degree)
+	n, p := len(xs), len(terms)
+
+	// Build and standardize the feature matrix (bias column excluded from
+	// standardization and penalty).
+	feats := make([][]float64, n)
+	for i, row := range xs {
+		feats[i] = Expand(row, terms)
+	}
+	fs, err := FitScaler(feats)
+	if err != nil {
+		return nil, err
+	}
+	// Column-major standardized features for fast coordinate updates.
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			if terms[j].TotalDegree() == 0 {
+				cols[j][i] = 1
+			} else {
+				cols[j][i] = (feats[i][j] - fs.Mean[j]) / fs.Std[j]
+			}
+		}
+	}
+	yMean := 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(n)
+
+	beta := make([]float64, p)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = y[i] - yMean
+	}
+	// Coordinate descent.
+	const maxIter = 2000
+	const tol = 1e-10
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < p; j++ {
+			if terms[j].TotalDegree() == 0 {
+				continue // intercept handled via yMean
+			}
+			col := cols[j]
+			// rho = (1/n) Σ col_i (resid_i + col_i βj); columns have unit
+			// variance so the denominator is 1.
+			var rho float64
+			for i := 0; i < n; i++ {
+				rho += col[i] * (resid[i] + col[i]*beta[j])
+			}
+			rho /= float64(n)
+			nb := softThreshold(rho, lambda)
+			if d := nb - beta[j]; d != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= d * col[i]
+				}
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+				beta[j] = nb
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	// Fold the feature standardization back into raw-feature coefficients
+	// and intercept (both still over scaler-standardized inputs).
+	coefs := make([]float64, p)
+	intercept := yMean
+	for j := 0; j < p; j++ {
+		if terms[j].TotalDegree() == 0 {
+			continue
+		}
+		coefs[j] = beta[j] / fs.Std[j]
+		intercept -= beta[j] * fs.Mean[j] / fs.Std[j]
+	}
+	for j := 0; j < p; j++ {
+		if terms[j].TotalDegree() == 0 {
+			coefs[j] = intercept
+		}
+	}
+	return &LassoFit{Terms: terms, Coefs: coefs, scaler: scaler, Lambda: lambda, VarNames: varNames}, nil
+}
+
+func softThreshold(x, l float64) float64 {
+	switch {
+	case x > l:
+		return x - l
+	case x < -l:
+		return x + l
+	}
+	return 0
+}
+
+// Predict evaluates the fit at raw input x.
+func (f *LassoFit) Predict(x []float64) float64 {
+	feats := Expand(f.scaler.TransformRow(x), f.Terms)
+	var sum float64
+	for i, c := range f.Coefs {
+		sum += c * feats[i]
+	}
+	return sum
+}
+
+// NonzeroCoefs counts non-bias coefficients above tol in magnitude.
+func (f *LassoFit) NonzeroCoefs(tol float64) int {
+	n := 0
+	for i, c := range f.Coefs {
+		if f.Terms[i].TotalDegree() == 0 {
+			continue
+		}
+		if c > tol || c < -tol {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectedTerms names the surviving terms (for reporting which inputs
+// Lasso selected, §VII-C).
+func (f *LassoFit) SelectedTerms(tol float64) []string {
+	var out []string
+	for i, c := range f.Coefs {
+		if f.Terms[i].TotalDegree() == 0 {
+			continue
+		}
+		if c > tol || c < -tol {
+			out = append(out, f.Terms[i].Name(f.VarNames))
+		}
+	}
+	return out
+}

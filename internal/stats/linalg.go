@@ -1,0 +1,170 @@
+// Package stats provides the regression machinery behind the paper's new
+// models (§VII): ordinary least squares, polynomial feature expansion,
+// Lasso regression via coordinate descent (the paper's tool for selecting
+// the relevant inputs of Mosmodel), K-fold cross-validation (Table 6), and
+// the error metrics of Equations 1–2 plus the R² of Table 8.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the fitting routines.
+var (
+	ErrDimension = errors.New("stats: dimension mismatch")
+	ErrSingular  = errors.New("stats: singular system")
+	ErrNoData    = errors.New("stats: no data")
+)
+
+// LeastSquares solves min ‖Xβ − y‖² by the normal equations with a tiny
+// ridge jitter for numerical safety. X is row-major (n rows, p columns).
+func LeastSquares(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, ErrDimension
+	}
+	p := len(X[0])
+	if p == 0 || n < p {
+		return nil, fmt.Errorf("%w: %d rows for %d parameters", ErrDimension, n, p)
+	}
+	// A = XᵀX (p×p), b = Xᵀy.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for r := 0; r < n; r++ {
+		row := X[r]
+		if len(row) != p {
+			return nil, ErrDimension
+		}
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	// Ridge jitter proportional to the diagonal scale.
+	var diag float64
+	for i := 0; i < p; i++ {
+		diag += a[i][i]
+	}
+	jitter := 1e-10 * (diag/float64(p) + 1)
+	for i := 0; i < p; i++ {
+		a[i][i] += jitter
+	}
+	return solveCholesky(a, b)
+}
+
+// solveCholesky solves A x = b for symmetric positive-definite A, in place.
+func solveCholesky(a [][]float64, b []float64) ([]float64, error) {
+	p := len(a)
+	// Decompose A = L Lᵀ.
+	l := make([][]float64, p)
+	for i := range l {
+		l[i] = make([]float64, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward solve L z = b.
+	z := make([]float64, p)
+	for i := 0; i < p; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	// Back solve Lᵀ x = z.
+	x := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < p; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x, nil
+}
+
+// Scaler standardizes columns to zero mean and unit variance.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler learns per-column statistics. Constant columns get Std 1 so
+// they transform to zero rather than NaN.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, ErrNoData
+	}
+	p := len(X[0])
+	s := &Scaler{Mean: make([]float64, p), Std: make([]float64, p)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns the standardized copy of X.
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformRow standardizes a single row.
+func (s *Scaler) TransformRow(x []float64) []float64 {
+	r := make([]float64, len(x))
+	for j, v := range x {
+		r[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return r
+}

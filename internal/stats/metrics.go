@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MaxAbsRelErr is the paper's Equation 1: the maximal |y−ŷ|/y over the
+// samples — the headline metric of every figure.
+func MaxAbsRelErr(y, yhat []float64) float64 {
+	var worst float64
+	for i := range y {
+		if y[i] == 0 {
+			continue
+		}
+		e := math.Abs((y[i] - yhat[i]) / y[i])
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// GeoMeanAbsRelErr is the paper's Equation 2: the geometric mean of the
+// absolute relative errors. Exact zeros (models pass through their anchor
+// points) are clamped to a tiny floor so the product stays meaningful.
+func GeoMeanAbsRelErr(y, yhat []float64) float64 {
+	const floor = 1e-9
+	var logSum float64
+	n := 0
+	for i := range y {
+		if y[i] == 0 {
+			continue
+		}
+		e := math.Abs((y[i] - yhat[i]) / y[i])
+		if e < floor {
+			e = floor
+		}
+		logSum += math.Log(e)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// R2 is the coefficient of determination of Table 8: 1 − SSres/SStot,
+// clamped at 0 (the paper reports 0 when the best regressor is the mean).
+func R2(y, yhat []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0 {
+		return 0
+	}
+	return r2
+}
+
+// KFoldIndices partitions {0…n−1} into k shuffled folds (§VI-C's
+// cross-validation protocol for Table 6).
+func KFoldIndices(n, k int, seed int64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Monomial is one polynomial term: per-variable exponents.
+type Monomial []int
+
+// TotalDegree returns the sum of exponents.
+func (m Monomial) TotalDegree() int {
+	d := 0
+	for _, e := range m {
+		d += e
+	}
+	return d
+}
+
+// Name renders the term for the given variable names, e.g. "C^2*M".
+func (m Monomial) Name(vars []string) string {
+	var parts []string
+	for i, e := range m {
+		switch {
+		case e == 1:
+			parts = append(parts, vars[i])
+		case e > 1:
+			parts = append(parts, fmt.Sprintf("%s^%d", vars[i], e))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "*")
+}
+
+// Monomials enumerates all terms in nvars variables up to the given total
+// degree, ordered by total degree (bias first) then reverse-lexicographic
+// within a degree. Three variables at degree three yield the 20 terms of
+// Mosmodel (Equation 3).
+func Monomials(nvars, degree int) []Monomial {
+	var out []Monomial
+	for d := 0; d <= degree; d++ {
+		var walk func(prefix []int, remaining, left int)
+		walk = func(prefix []int, remaining, left int) {
+			if remaining == 1 {
+				m := make(Monomial, 0, nvars)
+				m = append(m, prefix...)
+				m = append(m, left)
+				out = append(out, m)
+				return
+			}
+			for e := left; e >= 0; e-- {
+				walk(append(prefix, e), remaining-1, left-e)
+			}
+		}
+		walk(nil, nvars, d)
+	}
+	return out
+}
+
+// Expand evaluates the monomials for one input row.
+func Expand(x []float64, terms []Monomial) []float64 {
+	out := make([]float64, len(terms))
+	for i, m := range terms {
+		v := 1.0
+		for j, e := range m {
+			for k := 0; k < e; k++ {
+				v *= x[j]
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// PolyFit is a fitted polynomial regression in one or more variables,
+// with internal input standardization for conditioning.
+type PolyFit struct {
+	Terms  []Monomial
+	Coefs  []float64
+	scaler *Scaler
+	// VarNames label the input variables for reporting.
+	VarNames []string
+}
+
+// FitPoly fits an OLS polynomial of the given total degree to (X, y).
+func FitPoly(X [][]float64, y []float64, degree int, varNames []string) (*PolyFit, error) {
+	if len(X) == 0 {
+		return nil, ErrNoData
+	}
+	scaler, err := FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	xs := scaler.Transform(X)
+	terms := Monomials(len(X[0]), degree)
+	feats := make([][]float64, len(xs))
+	for i, row := range xs {
+		feats[i] = Expand(row, terms)
+	}
+	coefs, err := Solve(feats, y)
+	if err != nil {
+		return nil, err
+	}
+	return &PolyFit{Terms: terms, Coefs: coefs, scaler: scaler, VarNames: varNames}, nil
+}
+
+// FitPolyTerms fits OLS on an explicit subset of monomials (the "relaxed
+// Lasso" debiasing step: Lasso selects the terms, OLS refits them without
+// shrinkage). The bias monomial is added if missing.
+func FitPolyTerms(X [][]float64, y []float64, terms []Monomial, varNames []string) (*PolyFit, error) {
+	if len(X) == 0 {
+		return nil, ErrNoData
+	}
+	hasBias := false
+	for _, m := range terms {
+		if m.TotalDegree() == 0 {
+			hasBias = true
+		}
+	}
+	if !hasBias {
+		bias := make(Monomial, len(X[0]))
+		terms = append([]Monomial{bias}, terms...)
+	}
+	scaler, err := FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	xs := scaler.Transform(X)
+	feats := make([][]float64, len(xs))
+	for i, row := range xs {
+		feats[i] = Expand(row, terms)
+	}
+	coefs, err := Solve(feats, y)
+	if err != nil {
+		return nil, err
+	}
+	return &PolyFit{Terms: terms, Coefs: coefs, scaler: scaler, VarNames: varNames}, nil
+}
+
+// Predict evaluates the fitted polynomial at x (raw, unscaled input).
+func (f *PolyFit) Predict(x []float64) float64 {
+	feats := Expand(f.scaler.TransformRow(x), f.Terms)
+	var sum float64
+	for i, c := range f.Coefs {
+		sum += c * feats[i]
+	}
+	return sum
+}
+
+// NonzeroCoefs counts coefficients with magnitude above tol, excluding the
+// bias term.
+func (f *PolyFit) NonzeroCoefs(tol float64) int {
+	n := 0
+	for i, c := range f.Coefs {
+		if f.Terms[i].TotalDegree() == 0 {
+			continue
+		}
+		if c > tol || c < -tol {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the fitted polynomial.
+func (f *PolyFit) String() string {
+	var parts []string
+	for i, c := range f.Coefs {
+		if c == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%+.4g·%s", c, f.Terms[i].Name(f.VarNames)))
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,100 @@
+package stats
+
+import "math"
+
+// QRLeastSquares solves min ‖Xβ − y‖² by Householder QR factorization —
+// numerically more robust than the normal equations when the polynomial
+// feature matrix is badly conditioned (squared condition number vs the
+// original). LeastSquares (Cholesky) remains the fast path; the model
+// fitting falls back to QR when Cholesky reports a singular system.
+func QRLeastSquares(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, ErrDimension
+	}
+	p := len(X[0])
+	if p == 0 || n < p {
+		return nil, ErrDimension
+	}
+	// Working copies: R starts as X, rhs as y.
+	r := make([][]float64, n)
+	for i := range X {
+		if len(X[i]) != p {
+			return nil, ErrDimension
+		}
+		r[i] = append([]float64(nil), X[i]...)
+	}
+	rhs := append([]float64(nil), y...)
+
+	// Householder reflections, column by column.
+	for k := 0; k < p; k++ {
+		// norm of the k-th column below the diagonal.
+		var norm float64
+		for i := k; i < n; i++ {
+			norm += r[i][k] * r[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if r[k][k] > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, normalized implicitly through beta.
+		v := make([]float64, n-k)
+		v[0] = r[k][k] - norm
+		for i := k + 1; i < n; i++ {
+			v[i-k] = r[i][k]
+		}
+		var vtv float64
+		for _, vi := range v {
+			vtv += vi * vi
+		}
+		if vtv == 0 {
+			return nil, ErrSingular
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to the remaining columns and rhs.
+		for j := k; j < p; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i-k] * r[i][j]
+			}
+			f := 2 * dot / vtv
+			for i := k; i < n; i++ {
+				r[i][j] -= f * v[i-k]
+			}
+		}
+		var dot float64
+		for i := k; i < n; i++ {
+			dot += v[i-k] * rhs[i]
+		}
+		f := 2 * dot / vtv
+		for i := k; i < n; i++ {
+			rhs[i] -= f * v[i-k]
+		}
+	}
+
+	// Back-substitute R β = Qᵀy (upper p×p block).
+	beta := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for j := i + 1; j < p; j++ {
+			sum -= r[i][j] * beta[j]
+		}
+		if r[i][i] == 0 {
+			return nil, ErrSingular
+		}
+		beta[i] = sum / r[i][i]
+	}
+	return beta, nil
+}
+
+// Solve is the least-squares entry point the fitters use: Cholesky first
+// (one symmetric p×p factorization), QR as the robust fallback.
+func Solve(X [][]float64, y []float64) ([]float64, error) {
+	beta, err := LeastSquares(X, y)
+	if err == nil {
+		return beta, nil
+	}
+	return QRLeastSquares(X, y)
+}

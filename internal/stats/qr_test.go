@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRExactLine(t *testing.T) {
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta, err := QRLeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+// Property: QR and Cholesky agree on well-conditioned random problems.
+func TestQRMatchesCholesky(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 40, 4
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, p)
+			row[0] = 1
+			for j := 1; j < p; j++ {
+				row[j] = rng.NormFloat64()
+			}
+			X[i] = row
+			y[i] = rng.NormFloat64()
+		}
+		a, err1 := LeastSquares(X, y)
+		b, err2 := QRLeastSquares(X, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-6*(math.Abs(a[j])+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QR survives conditioning that is hard on the normal equations: nearly
+// collinear columns.
+func TestQRIllConditioned(t *testing.T) {
+	n := 50
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		// Second and third columns nearly identical.
+		X[i] = []float64{1, x, x * (1 + 1e-9)}
+		y[i] = 1 + 2*x
+	}
+	beta, err := QRLeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be right even if individual coefficients split
+	// arbitrarily between the collinear columns.
+	for i := 0; i < n; i++ {
+		pred := beta[0]*X[i][0] + beta[1]*X[i][1] + beta[2]*X[i][2]
+		if math.Abs(pred-y[i]) > 1e-4 {
+			t.Fatalf("row %d: pred %v want %v", i, pred, y[i])
+		}
+	}
+}
+
+func TestQRErrors(t *testing.T) {
+	if _, err := QRLeastSquares(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := QRLeastSquares([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("underdetermined should fail")
+	}
+	if _, err := QRLeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	// All-zero column is singular.
+	X := [][]float64{{1, 0}, {1, 0}, {1, 0}}
+	if _, err := QRLeastSquares(X, []float64{1, 2, 3}); err == nil {
+		t.Error("zero column should report singular")
+	}
+}
+
+func TestSolveFallsBackToQR(t *testing.T) {
+	// A well-conditioned system must solve either way.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}}
+	y := []float64{1, 2, 3}
+	beta, err := Solve(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[1]-1) > 1e-9 {
+		t.Errorf("beta = %v", beta)
+	}
+}

@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x, exactly.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-6 || math.Abs(beta[1]-3) > 1e-6 {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		X[i] = []float64{1, x, x * x}
+		y[i] = 1 + 2*x - 0.5*x*x + rng.NormFloat64()*0.01
+	}
+	beta, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -0.5}
+	for j := range want {
+		if math.Abs(beta[j]-want[j]) > 0.05 {
+			t.Errorf("beta[%d] = %v, want %v", j, beta[j], want[j])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("more params than rows should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 200}, {5, 300}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.Transform(X)
+	for j := 0; j < 2; j++ {
+		var mean, va float64
+		for i := range xs {
+			mean += xs[i][j]
+		}
+		mean /= 3
+		for i := range xs {
+			va += (xs[i][j] - mean) * (xs[i][j] - mean)
+		}
+		if math.Abs(mean) > 1e-9 || math.Abs(va/3-1) > 1e-9 {
+			t.Errorf("column %d not standardized: mean=%v var=%v", j, mean, va/3)
+		}
+	}
+	// Constant column: no NaN.
+	s2, _ := FitScaler([][]float64{{5}, {5}})
+	if got := s2.TransformRow([]float64{5})[0]; got != 0 || math.IsNaN(got) {
+		t.Errorf("constant column transform = %v", got)
+	}
+}
+
+func TestMonomialsCount(t *testing.T) {
+	// C(n+d, d) terms for n vars, degree d.
+	cases := []struct{ nvars, degree, want int }{
+		{1, 1, 2},
+		{1, 3, 4},
+		{3, 1, 4},
+		{3, 2, 10},
+		{3, 3, 20}, // Mosmodel's 20 terms (Equation 3)
+	}
+	for _, c := range cases {
+		got := Monomials(c.nvars, c.degree)
+		if len(got) != c.want {
+			t.Errorf("Monomials(%d,%d) = %d terms, want %d", c.nvars, c.degree, len(got), c.want)
+		}
+		seen := map[string]bool{}
+		vars := []string{"a", "b", "c"}[:c.nvars]
+		for _, m := range got {
+			name := m.Name(vars)
+			if seen[name] {
+				t.Errorf("duplicate term %s", name)
+			}
+			seen[name] = true
+			if m.TotalDegree() > c.degree {
+				t.Errorf("term %s exceeds degree", name)
+			}
+		}
+	}
+}
+
+func TestMonomialName(t *testing.T) {
+	vars := []string{"H", "M", "C"}
+	if got := (Monomial{0, 0, 0}).Name(vars); got != "1" {
+		t.Errorf("bias name = %q", got)
+	}
+	if got := (Monomial{1, 0, 2}).Name(vars); got != "H*C^2" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestFitPolyRecoversCubic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 60
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1e8 // realistic counter magnitudes
+		X[i] = []float64{x}
+		xr := x / 1e8
+		y[i] = 5e8 + 3e8*xr - 2e8*xr*xr + 1e8*xr*xr*xr
+	}
+	f, err := FitPoly(X, y, 3, []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, n)
+	for i := range X {
+		preds[i] = f.Predict(X[i])
+	}
+	if e := MaxAbsRelErr(y, preds); e > 1e-6 {
+		t.Errorf("cubic fit max error = %v", e)
+	}
+}
+
+func TestFitPolyUnderdetermined(t *testing.T) {
+	// 3 samples cannot fit 4 cubic coefficients.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	if _, err := FitPoly(X, y, 3, []string{"x"}); err == nil {
+		t.Error("underdetermined fit should fail")
+	}
+}
+
+func TestLassoShrinksToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 80
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b, c}
+		// Only the first variable matters.
+		y[i] = 10 + 5*a + rng.NormFloat64()*0.001
+	}
+	f, err := FitPolyLasso(X, y, 1, 0.05, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz := f.NonzeroCoefs(1e-6); nz != 1 {
+		t.Errorf("Lasso kept %d coefficients, want 1 (only a matters): %v", nz, f.SelectedTerms(1e-6))
+	}
+	sel := f.SelectedTerms(1e-6)
+	if len(sel) != 1 || sel[0] != "a" {
+		t.Errorf("selected = %v, want [a]", sel)
+	}
+}
+
+func TestLassoZeroLambdaMatchesOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 50
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		X[i] = []float64{x}
+		y[i] = 3 + 2*x
+	}
+	f, err := FitPolyLasso(X, y, 1, 0, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, n)
+	for i := range X {
+		preds[i] = f.Predict(X[i])
+	}
+	if e := MaxAbsRelErr(y, preds); e > 1e-6 {
+		t.Errorf("lambda=0 Lasso max error = %v, want exact fit", e)
+	}
+}
+
+func TestLassoLargerLambdaSparser(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 54
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		h, m, c := rng.Float64()*1e6, rng.Float64()*1e6, rng.Float64()*1e8
+		X[i] = []float64{h, m, c}
+		y[i] = 1e9 + 0.7*c + 1e-7*c*c/1e2 + 3*m + rng.NormFloat64()*1e5
+	}
+	small, _ := FitPolyLasso(X, y, 3, 0.001, []string{"H", "M", "C"})
+	large, _ := FitPolyLasso(X, y, 3, 0.2, []string{"H", "M", "C"})
+	if large.NonzeroCoefs(1e-9) > small.NonzeroCoefs(1e-9) {
+		t.Errorf("larger lambda kept more coefficients: %d > %d",
+			large.NonzeroCoefs(1e-9), small.NonzeroCoefs(1e-9))
+	}
+}
+
+func TestMaxAbsRelErr(t *testing.T) {
+	y := []float64{100, 200, 0}
+	yhat := []float64{110, 190, 5}
+	if got := MaxAbsRelErr(y, yhat); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("max error = %v, want 0.1 (zero-y samples skipped)", got)
+	}
+	if MaxAbsRelErr(nil, nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestGeoMeanAbsRelErr(t *testing.T) {
+	y := []float64{100, 100}
+	yhat := []float64{110, 101} // errors 0.1 and 0.01
+	want := math.Sqrt(0.1 * 0.01)
+	if got := GeoMeanAbsRelErr(y, yhat); math.Abs(got-want) > 1e-9 {
+		t.Errorf("geomean = %v, want %v", got, want)
+	}
+	// Exact predictions clamp rather than zeroing the product.
+	if got := GeoMeanAbsRelErr([]float64{1, 1}, []float64{1, 2}); got <= 0 {
+		t.Errorf("geomean with exact sample = %v, want > 0", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(y, mean); got != 0 {
+		t.Errorf("mean-predictor R2 = %v, want 0", got)
+	}
+	// Worse than the mean clamps to 0, as in Table 8.
+	if got := R2(y, []float64{4, 3, 2, 1}); got != 0 {
+		t.Errorf("bad-predictor R2 = %v, want clamp 0", got)
+	}
+	if R2(nil, nil) != 0 {
+		t.Error("empty R2 should be 0")
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 0 {
+		t.Error("constant y should give 0 (no variance to explain)")
+	}
+}
+
+func TestKFoldIndices(t *testing.T) {
+	folds := KFoldIndices(54, 6, 1)
+	if len(folds) != 6 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		if len(f) != 9 {
+			t.Errorf("fold size %d, want 9", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 54 {
+		t.Errorf("covered %d indices", len(seen))
+	}
+	// k > n clamps; k < 2 clamps.
+	if got := KFoldIndices(3, 10, 1); len(got) != 3 {
+		t.Errorf("k>n: %d folds", len(got))
+	}
+	if got := KFoldIndices(10, 1, 1); len(got) != 2 {
+		t.Errorf("k<2: %d folds", len(got))
+	}
+}
+
+// Property: predictions of FitPoly are invariant to input scaling of the
+// problem (the internal standardization works).
+func TestFitPolyScaleInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		X := make([][]float64, n)
+		Xbig := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := rng.Float64()
+			X[i] = []float64{x}
+			Xbig[i] = []float64{x * 1e9}
+			y[i] = 2 + x + 0.5*x*x
+		}
+		f1, err1 := FitPoly(X, y, 2, []string{"x"})
+		f2, err2 := FitPoly(Xbig, y, 2, []string{"x"})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			p1, p2 := f1.Predict(X[i]), f2.Predict(Xbig[i])
+			if math.Abs(p1-p2) > 1e-6*(math.Abs(p1)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

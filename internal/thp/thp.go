@@ -1,0 +1,93 @@
+// Package thp models Linux Transparent Huge Pages (§V-A): khugepaged-style
+// background promotion of 2MB-aligned, fully-populated 4KB ranges to 2MB
+// pages. Unlike Mosalloc, THP gives the user no control over *which*
+// regions get hugepages, supports only 2MB (not 1GB) pages, and its
+// promotions depend on physical-memory fragmentation — the three
+// limitations the paper lists as motivation for Mosalloc.
+package thp
+
+import (
+	"math/rand"
+
+	"mosaic/internal/mem"
+)
+
+// Config tunes the modelled THP policy.
+type Config struct {
+	// Enabled corresponds to /sys/.../transparent_hugepage/enabled=always.
+	// When false, Scan does nothing (the "never" mode).
+	Enabled bool
+	// SuccessRate is the probability that a promotion attempt finds a free
+	// 2MB-contiguous physical region. Real THP degrades as physical memory
+	// fragments; 1.0 models a freshly booted machine.
+	SuccessRate float64
+	// Seed makes fragmentation-induced promotion failures deterministic.
+	Seed int64
+}
+
+// DefaultConfig is THP "always" on an unfragmented machine.
+func DefaultConfig() Config {
+	return Config{Enabled: true, SuccessRate: 1.0}
+}
+
+// Stats reports what a scan did.
+type Stats struct {
+	// Scanned is the number of 2MB-aligned candidate chunks examined.
+	Scanned int
+	// Promoted is the number of chunks re-backed with a 2MB page.
+	Promoted int
+	// FailedAlloc counts promotions skipped by fragmentation.
+	FailedAlloc int
+	// Misaligned counts bytes that can never be promoted because they sit
+	// in mappings too small or misaligned to contain a 2MB chunk.
+	Misaligned uint64
+}
+
+// Daemon is the modelled khugepaged: it scans an address space and
+// promotes eligible ranges.
+type Daemon struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a daemon.
+func New(cfg Config) *Daemon {
+	return &Daemon{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Scan walks every 4KB mapping of the space and promotes each 2MB-aligned,
+// 2MB-sized chunk to a hugepage, subject to the configured success rate.
+// It models one full khugepaged pass over a fully-populated address space
+// (the simulated mappings are always resident, so "fully populated" is
+// every chunk).
+func (d *Daemon) Scan(space *mem.AddressSpace) (Stats, error) {
+	var st Stats
+	if !d.cfg.Enabled {
+		return st, nil
+	}
+	// Snapshot: Replace mutates the mapping list.
+	for _, m := range space.Mappings() {
+		if m.Size != mem.Page4K {
+			continue
+		}
+		start := mem.AlignUp(m.Region.Start, mem.Page2M)
+		end := mem.AlignDown(m.Region.End, mem.Page2M)
+		if end <= start {
+			st.Misaligned += m.Region.Len()
+			continue
+		}
+		st.Misaligned += uint64(start-m.Region.Start) + uint64(m.Region.End-end)
+		for v := start; v < end; v += mem.Addr(mem.Page2M) {
+			st.Scanned++
+			if d.cfg.SuccessRate < 1 && d.rng.Float64() >= d.cfg.SuccessRate {
+				st.FailedAlloc++
+				continue
+			}
+			if err := space.Replace(mem.NewRegion(v, uint64(mem.Page2M)), mem.Page2M); err != nil {
+				return st, err
+			}
+			st.Promoted++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,145 @@
+package thp
+
+import (
+	"testing"
+
+	"mosaic/internal/mem"
+)
+
+func space(t *testing.T) *mem.AddressSpace {
+	t.Helper()
+	as, err := mem.NewAddressSpace(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestScanPromotesAlignedChunks(t *testing.T) {
+	as := space(t)
+	// 8MB of 4KB pages at a 2MB-aligned base: 4 promotable chunks.
+	r := mem.NewRegion(mem.Addr(mem.Page1G), 8<<20)
+	if err := as.Map(r, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(DefaultConfig()).Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 4 || st.Promoted != 4 {
+		t.Errorf("scanned/promoted = %d/%d, want 4/4", st.Scanned, st.Promoted)
+	}
+	if got := as.PagesBySize()[mem.Page2M]; got != 4 {
+		t.Errorf("2MB pages = %d, want 4", got)
+	}
+	if got := as.PagesBySize()[mem.Page4K]; got != 0 {
+		t.Errorf("4KB pages = %d, want 0", got)
+	}
+	// Translations still resolve everywhere with the new size.
+	for v := r.Start; v < r.End; v += 0x1000 {
+		if _, size, ok := as.Translate(v); !ok || size != mem.Page2M {
+			t.Fatalf("%#x: ok=%v size=%v", uint64(v), ok, size)
+		}
+	}
+}
+
+func TestScanLeavesMisalignedTails(t *testing.T) {
+	as := space(t)
+	// Start 4KB past a 2MB boundary: the head (2MB-4KB) and any tail stay 4KB.
+	start := mem.Addr(mem.Page1G) + 0x1000
+	if err := as.Map(mem.NewRegion(start, 4<<20), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(DefaultConfig()).Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promoted != 1 {
+		t.Errorf("promoted = %d, want 1 (only the single aligned chunk)", st.Promoted)
+	}
+	if st.Misaligned == 0 {
+		t.Error("misaligned bytes not reported")
+	}
+	// The head page is still 4KB-backed.
+	if _, size, _ := as.Translate(start); size != mem.Page4K {
+		t.Errorf("head backed by %v, want 4KB", size)
+	}
+}
+
+func TestScanDisabled(t *testing.T) {
+	as := space(t)
+	if err := as.Map(mem.NewRegion(mem.Addr(mem.Page1G), 4<<20), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(Config{Enabled: false}).Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 0 || st.Promoted != 0 {
+		t.Errorf("disabled daemon did work: %+v", st)
+	}
+	if got := as.PagesBySize()[mem.Page2M]; got != 0 {
+		t.Errorf("2MB pages = %d, want 0", got)
+	}
+}
+
+func TestFragmentationLimitsPromotion(t *testing.T) {
+	as := space(t)
+	if err := as.Map(mem.NewRegion(mem.Addr(mem.Page1G), 32<<20), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(Config{Enabled: true, SuccessRate: 0.5, Seed: 1}).Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promoted == 0 || st.FailedAlloc == 0 {
+		t.Errorf("50%% success rate should promote some and fail some: %+v", st)
+	}
+	if st.Promoted+st.FailedAlloc != st.Scanned {
+		t.Errorf("accounting broken: %+v", st)
+	}
+	// Deterministic under the same seed.
+	as2 := space(t)
+	if err := as2.Map(mem.NewRegion(mem.Addr(mem.Page1G), 32<<20), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := New(Config{Enabled: true, SuccessRate: 0.5, Seed: 1}).Scan(as2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Promoted != st.Promoted {
+		t.Errorf("same seed, different promotions: %d vs %d", st2.Promoted, st.Promoted)
+	}
+}
+
+func TestScanIgnoresHugeMappings(t *testing.T) {
+	as := space(t)
+	if err := as.Map(mem.NewRegion(mem.Addr(mem.Page1G), 4<<20), mem.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(DefaultConfig()).Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 0 {
+		t.Errorf("2MB mappings must not be rescanned: %+v", st)
+	}
+}
+
+func TestSecondScanIdempotent(t *testing.T) {
+	as := space(t)
+	if err := as.Map(mem.NewRegion(mem.Addr(mem.Page1G), 8<<20), mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	d := New(DefaultConfig())
+	if _, err := d.Scan(as); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Scan(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promoted != 0 {
+		t.Errorf("second scan promoted %d chunks", st.Promoted)
+	}
+}

@@ -1,0 +1,269 @@
+// Package tlb models the two-level TLB of the platforms in the paper's
+// Table 4: a per-page-size split L1 TLB and a second-level "STLB" that,
+// depending on the microarchitecture, holds 4KB translations only
+// (SandyBridge/IvyBridge), shares entries between 4KB and 2MB pages
+// (Haswell onward), and may add dedicated 1GB entries (Broadwell onward).
+//
+// The package reports exactly the events the paper's models consume
+// (Table 2): H — translations that missed the L1 TLB but hit the L2 TLB;
+// M — translations that missed both and required a page walk.
+package tlb
+
+import (
+	"fmt"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/mem"
+)
+
+// Outcome classifies one translation lookup.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// L1Hit: translated by the first-level TLB, no added latency.
+	L1Hit Outcome = iota
+	// L2Hit: missed L1, hit the L2 TLB (one "H" event, ~7 cycles).
+	L2Hit
+	// Miss: missed both levels; a page walk is required (one "M" event).
+	Miss
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case L1Hit:
+		return "L1Hit"
+	case L2Hit:
+		return "L2Hit"
+	case Miss:
+		return "Miss"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// entry is one TLB entry: a tagged virtual page number.
+type entry struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// setAssoc is a set-associative translation structure with LRU replacement.
+type setAssoc struct {
+	sets    int
+	assoc   int
+	setMask uint64
+	entries []entry
+	tick    uint64
+}
+
+// newSetAssoc builds a structure with the given total entries and target
+// associativity. If entries do not divide into power-of-two sets of the
+// requested ways, the structure degrades to fully associative, which is
+// how the small structures (e.g. 4×1GB L1, 16×1GB L2) behave anyway.
+func newSetAssoc(entries, assoc int) *setAssoc {
+	if entries <= 0 {
+		return nil
+	}
+	if assoc <= 0 || assoc > entries || entries%assoc != 0 {
+		return &setAssoc{sets: 1, assoc: entries, entries: make([]entry, entries)}
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		return &setAssoc{sets: 1, assoc: entries, entries: make([]entry, entries)}
+	}
+	return &setAssoc{
+		sets:    sets,
+		assoc:   assoc,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, entries),
+	}
+}
+
+func (s *setAssoc) lookup(idx, tag uint64) bool {
+	if s == nil {
+		return false
+	}
+	set := int(idx & s.setMask)
+	base := set * s.assoc
+	s.tick++
+	for i := 0; i < s.assoc; i++ {
+		e := &s.entries[base+i]
+		if e.valid && e.tag == tag {
+			e.lru = s.tick
+			return true
+		}
+	}
+	return false
+}
+
+func (s *setAssoc) insert(idx, tag uint64) {
+	if s == nil {
+		return
+	}
+	set := int(idx & s.setMask)
+	base := set * s.assoc
+	s.tick++
+	victim := base
+	for i := 0; i < s.assoc; i++ {
+		e := &s.entries[base+i]
+		if e.valid && e.tag == tag {
+			e.lru = s.tick
+			return
+		}
+		if !e.valid {
+			e.valid = true
+			e.tag = tag
+			e.lru = s.tick
+			return
+		}
+		if e.lru < s.entries[victim].lru {
+			victim = base + i
+		}
+	}
+	s.entries[victim] = entry{tag: tag, valid: true, lru: s.tick}
+}
+
+func (s *setAssoc) flush() {
+	if s == nil {
+		return
+	}
+	for i := range s.entries {
+		s.entries[i] = entry{}
+	}
+}
+
+// Stats counts translation events per page size plus the aggregates the
+// runtime models use.
+type Stats struct {
+	Lookups uint64
+	L1Hits  uint64
+	// L2Hits is the paper's H: L1 misses that hit the L2 TLB.
+	L2Hits uint64
+	// Misses is the paper's M: translations that required a page walk.
+	Misses uint64
+	// Per-page-size miss breakdown.
+	MissBySize map[mem.PageSize]uint64
+}
+
+// TLB is one core's two-level TLB.
+type TLB struct {
+	cfg arch.TLBConfig
+	// Split L1, one structure per page size.
+	l1 map[mem.PageSize]*setAssoc
+	// L2: shared 4K(+2M) structure and optional dedicated 1GB structure.
+	l2    *setAssoc
+	l21g  *setAssoc
+	stats Stats
+}
+
+// sizeCode tags shared-structure entries so 4KB and 2MB translations of
+// numerically equal page numbers never alias.
+func sizeCode(ps mem.PageSize) uint64 {
+	switch ps {
+	case mem.Page4K:
+		return 1
+	case mem.Page2M:
+		return 2
+	case mem.Page1G:
+		return 3
+	}
+	return 0
+}
+
+func tagOf(v mem.Addr, ps mem.PageSize) uint64 {
+	return mem.PageNumber(v, ps)<<2 | sizeCode(ps)
+}
+
+// New builds a TLB from a platform's configuration.
+func New(cfg arch.TLBConfig) *TLB {
+	t := &TLB{
+		cfg: cfg,
+		l1: map[mem.PageSize]*setAssoc{
+			mem.Page4K: newSetAssoc(cfg.L1Entries4K, cfg.L1Assoc),
+			mem.Page2M: newSetAssoc(cfg.L1Entries2M, cfg.L1Assoc),
+			mem.Page1G: newSetAssoc(cfg.L1Entries1G, cfg.L1Assoc),
+		},
+		l2: newSetAssoc(cfg.L2Entries4K, cfg.L2Assoc),
+	}
+	if cfg.L2Entries1G > 0 {
+		t.l21g = newSetAssoc(cfg.L2Entries1G, cfg.L2Assoc)
+	}
+	t.stats.MissBySize = make(map[mem.PageSize]uint64, 3)
+	return t
+}
+
+// l2Holds reports whether the L2 TLB caches translations of this size.
+func (t *TLB) l2Holds(ps mem.PageSize) bool {
+	switch ps {
+	case mem.Page4K:
+		return t.l2 != nil
+	case mem.Page2M:
+		return t.cfg.L2Shared2M && t.l2 != nil
+	case mem.Page1G:
+		return t.l21g != nil
+	}
+	return false
+}
+
+// Lookup translates one access to a page of the given size. On an L2 hit
+// the translation is refilled into the L1. On a miss the caller performs a
+// page walk and must call Insert with the walk's result.
+func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
+	t.stats.Lookups++
+	vpn := mem.PageNumber(v, ps)
+	tag := tagOf(v, ps)
+	if t.l1[ps].lookup(vpn, tag) {
+		t.stats.L1Hits++
+		return L1Hit
+	}
+	if t.l2Holds(ps) {
+		l2 := t.l2
+		if ps == mem.Page1G {
+			l2 = t.l21g
+		}
+		if l2.lookup(vpn, tag) {
+			t.stats.L2Hits++
+			t.l1[ps].insert(vpn, tag)
+			return L2Hit
+		}
+	}
+	t.stats.Misses++
+	t.stats.MissBySize[ps]++
+	return Miss
+}
+
+// Insert installs a completed walk's translation into the L1 and (where
+// supported) the L2.
+func (t *TLB) Insert(v mem.Addr, ps mem.PageSize) {
+	vpn := mem.PageNumber(v, ps)
+	tag := tagOf(v, ps)
+	t.l1[ps].insert(vpn, tag)
+	if t.l2Holds(ps) {
+		if ps == mem.Page1G {
+			t.l21g.insert(vpn, tag)
+		} else {
+			t.l2.insert(vpn, tag)
+		}
+	}
+}
+
+// Flush empties both levels (counters are kept).
+func (t *TLB) Flush() {
+	for _, s := range t.l1 {
+		s.flush()
+	}
+	t.l2.flush()
+	t.l21g.flush()
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats {
+	out := t.stats
+	out.MissBySize = make(map[mem.PageSize]uint64, len(t.stats.MissBySize))
+	for k, v := range t.stats.MissBySize {
+		out.MissBySize[k] = v
+	}
+	return out
+}

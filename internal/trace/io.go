@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"mosaic/internal/mem"
+)
+
+// Binary trace format: generating a workload costs graph construction and
+// kernel execution, so traces are worth persisting between sessions (the
+// same practice as shipping SPEC traces to simulator users).
+//
+//	magic   [8]byte  "MOSTRC01"
+//	nameLen uint16   workload name length
+//	name    []byte
+//	count   uint64   number of accesses
+//	records count × { va uint64, gap uint32, flags uint8 }
+//
+// flags: bit0 = write, bit1 = dependent. All integers little-endian.
+
+var traceMagic = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '1'}
+
+const (
+	flagWrite = 1 << 0
+	flagDep   = 1 << 1
+)
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(traceMagic); err != nil {
+		return written, err
+	}
+	if len(t.Name) > 1<<16-1 {
+		return written, fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	if err := put(uint16(len(t.Name))); err != nil {
+		return written, err
+	}
+	if err := put([]byte(t.Name)); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(t.Accesses))); err != nil {
+		return written, err
+	}
+	for _, a := range t.Accesses {
+		var flags uint8
+		if a.Write {
+			flags |= flagWrite
+		}
+		if a.Dep {
+			flags |= flagDep
+		}
+		if err := put(uint64(a.VA)); err != nil {
+			return written, err
+		}
+		if err := put(a.Gap); err != nil {
+			return written, err
+		}
+		if err := put(flags); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo, replacing the
+// receiver's contents.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var read int64
+	get := func(v any) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		read += int64(binary.Size(v))
+		return nil
+	}
+	var magic [8]byte
+	if err := get(&magic); err != nil {
+		return read, err
+	}
+	if magic != traceMagic {
+		return read, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var nameLen uint16
+	if err := get(&nameLen); err != nil {
+		return read, err
+	}
+	name := make([]byte, nameLen)
+	if err := get(name); err != nil {
+		return read, err
+	}
+	var count uint64
+	if err := get(&count); err != nil {
+		return read, err
+	}
+	const maxAccesses = 1 << 28 // a sanity bound, not a design limit
+	if count > maxAccesses {
+		return read, fmt.Errorf("trace: implausible access count %d", count)
+	}
+	// Grow incrementally rather than trusting the header's count: a forged
+	// count must not trigger a giant up-front allocation.
+	accesses := make([]Access, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		var va uint64
+		var gap uint32
+		var flags uint8
+		if err := get(&va); err != nil {
+			return read, err
+		}
+		if err := get(&gap); err != nil {
+			return read, err
+		}
+		if err := get(&flags); err != nil {
+			return read, err
+		}
+		accesses = append(accesses, Access{
+			VA:    mem.Addr(va),
+			Gap:   gap,
+			Write: flags&flagWrite != 0,
+			Dep:   flags&flagDep != 0,
+		})
+	}
+	t.Name = string(name)
+	t.Accesses = accesses
+	return read, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file written by Save.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var t Trace
+	if _, err := t.ReadFrom(f); err != nil {
+		return nil, fmt.Errorf("trace: loading %s: %w", path, err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"mosaic/internal/mem"
+)
+
+func randomTestTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("random/test", n)
+	for i := 0; i < n; i++ {
+		b.Compute(uint64(rng.Intn(100)))
+		va := mem.Addr(rng.Uint64() % (1 << 47))
+		switch rng.Intn(4) {
+		case 0:
+			b.Load(va)
+		case 1:
+			b.LoadDep(va)
+		case 2:
+			b.Store(va)
+		default:
+			b.StoreDep(va)
+		}
+	}
+	return b.Trace()
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	orig := randomTestTrace(1, 5000)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Accesses) != len(orig.Accesses) {
+		t.Fatalf("length %d vs %d", len(got.Accesses), len(orig.Accesses))
+	}
+	for i := range orig.Accesses {
+		if got.Accesses[i] != orig.Accesses[i] {
+			t.Fatalf("access %d: %+v vs %+v", i, got.Accesses[i], orig.Accesses[i])
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	orig := randomTestTrace(2, 1000)
+	path := filepath.Join(t.TempDir(), "t.mostrace")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Instructions() != orig.Instructions() {
+		t.Errorf("loaded %d/%d, want %d/%d", got.Len(), got.Instructions(), orig.Len(), orig.Instructions())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("garbage should be rejected")
+	}
+	// Truncated valid prefix.
+	orig := randomTestTrace(3, 100)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := tr.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should be rejected")
+	}
+	// Implausible count.
+	head := append([]byte{}, buf.Bytes()[:10+len(orig.Name)]...)
+	head = append(head, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := tr.ReadFrom(bytes.NewReader(head)); err == nil {
+		t.Error("absurd count should be rejected")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func FuzzTraceReadFrom(f *testing.F) {
+	orig := randomTestTrace(4, 50)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MOSTRC01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		// Must never panic, only return errors.
+		_, _ = tr.ReadFrom(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,190 @@
+// Package trace defines the memory access traces that connect workloads to
+// the machine model. A workload runs once against the allocation stack and
+// records the loads/stores it would issue; the same trace then replays on
+// any platform under any Mosalloc layout, because Mosalloc's pool placement
+// is layout-independent (pools sit at fixed bases and first-fit advances
+// identically regardless of the page mosaic behind it).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"mosaic/internal/mem"
+)
+
+// Access is one memory reference: the virtual address touched, whether it
+// is a store, and the number of instructions executed since the previous
+// recorded reference (the "gap" the timing model converts to base cycles).
+type Access struct {
+	VA    mem.Addr
+	Gap   uint32
+	Write bool
+	// Dep marks an access whose address depends on the previous access's
+	// result (pointer chasing). Dependent misses serialize the pipeline;
+	// independent ones overlap under memory-level parallelism — the
+	// distinction that lets walk cycles exceed runtime on two-walker
+	// machines (§VI-D).
+	Dep bool
+}
+
+// Trace is a complete recorded execution.
+type Trace struct {
+	Name     string
+	Accesses []Access
+}
+
+// Instructions returns the total instruction count the trace represents:
+// every recorded access is itself one instruction plus its gap.
+func (t *Trace) Instructions() uint64 {
+	var n uint64
+	for _, a := range t.Accesses {
+		n += uint64(a.Gap) + 1
+	}
+	return n
+}
+
+// Len returns the number of recorded accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Footprint returns the total bytes of distinct 4KB pages the trace
+// touches — the workload's resident memory footprint.
+func (t *Trace) Footprint() uint64 {
+	pages := make(map[uint64]struct{})
+	for _, a := range t.Accesses {
+		pages[mem.PageNumber(a.VA, mem.Page4K)] = struct{}{}
+	}
+	return uint64(len(pages)) * uint64(mem.Page4K)
+}
+
+// Extent returns the smallest region containing every access.
+func (t *Trace) Extent() mem.Region {
+	if len(t.Accesses) == 0 {
+		return mem.Region{}
+	}
+	lo, hi := t.Accesses[0].VA, t.Accesses[0].VA
+	for _, a := range t.Accesses {
+		if a.VA < lo {
+			lo = a.VA
+		}
+		if a.VA > hi {
+			hi = a.VA
+		}
+	}
+	return mem.Region{Start: lo, End: hi + 1}
+}
+
+// Validate checks the trace for obvious defects.
+func (t *Trace) Validate() error {
+	if len(t.Accesses) == 0 {
+		return fmt.Errorf("trace %q: empty", t.Name)
+	}
+	return nil
+}
+
+// Builder accumulates a trace during workload execution.
+type Builder struct {
+	name     string
+	accesses []Access
+	// pending counts instructions executed since the last recorded access.
+	pending uint64
+}
+
+// NewBuilder starts a trace with the given name and capacity hint.
+func NewBuilder(name string, capacityHint int) *Builder {
+	return &Builder{name: name, accesses: make([]Access, 0, capacityHint)}
+}
+
+// Compute records n instructions of non-memory work.
+func (b *Builder) Compute(n uint64) { b.pending += n }
+
+// Load records an independent read of va.
+func (b *Builder) Load(va mem.Addr) { b.access(va, false, false) }
+
+// LoadDep records a read of va whose address depends on the previous
+// access's result (a pointer-chase step).
+func (b *Builder) LoadDep(va mem.Addr) { b.access(va, false, true) }
+
+// Store records an independent write of va.
+func (b *Builder) Store(va mem.Addr) { b.access(va, true, false) }
+
+// StoreDep records a dependent write of va.
+func (b *Builder) StoreDep(va mem.Addr) { b.access(va, true, true) }
+
+func (b *Builder) access(va mem.Addr, write, dep bool) {
+	gap := b.pending
+	if gap > 1<<30 {
+		gap = 1 << 30
+	}
+	b.accesses = append(b.accesses, Access{VA: va, Gap: uint32(gap), Write: write, Dep: dep})
+	b.pending = 0
+}
+
+// Trace finalizes and returns the built trace.
+func (b *Builder) Trace() *Trace {
+	return &Trace{Name: b.name, Accesses: b.accesses}
+}
+
+// Len returns the number of accesses recorded so far.
+func (b *Builder) Len() int { return len(b.accesses) }
+
+// PageHistogram counts accesses per aligned chunk of the given size —
+// the shape of the simulated-PEBS profile the sliding-window heuristic
+// consumes. The result maps chunk base address to access count.
+func (t *Trace) PageHistogram(chunk mem.PageSize) map[mem.Addr]uint64 {
+	out := make(map[mem.Addr]uint64)
+	for _, a := range t.Accesses {
+		out[mem.AlignDown(a.VA, chunk)]++
+	}
+	return out
+}
+
+// SortedChunks returns the histogram keys in address order.
+func SortedChunks(h map[mem.Addr]uint64) []mem.Addr {
+	keys := make([]mem.Addr, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Sample returns the blind-sampling window of the trace (§II-C of the
+// paper: fast-forward `skip` accesses, then keep `length`): the common
+// practice for taming multi-hour workloads in both full and partial
+// simulation studies. The result aliases the receiver's backing array.
+func (t *Trace) Sample(skip, length int) *Trace {
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > len(t.Accesses) {
+		skip = len(t.Accesses)
+	}
+	end := skip + length
+	if length < 0 || end > len(t.Accesses) {
+		end = len(t.Accesses)
+	}
+	return &Trace{
+		Name:     fmt.Sprintf("%s[%d:%d]", t.Name, skip, end),
+		Accesses: t.Accesses[skip:end],
+	}
+}
+
+// MultiSample keeps `window` accesses out of every `period` (a periodic
+// multi-window sampler, the simple cousin of SimPoint's phase-aware
+// sampling that §II-C contrasts with blind sampling). The windows are
+// concatenated into one trace.
+func (t *Trace) MultiSample(period, window int) *Trace {
+	if period <= 0 || window <= 0 || window >= period {
+		return t
+	}
+	out := &Trace{Name: fmt.Sprintf("%s[every %d keep %d]", t.Name, period, window)}
+	for start := 0; start < len(t.Accesses); start += period {
+		end := start + window
+		if end > len(t.Accesses) {
+			end = len(t.Accesses)
+		}
+		out.Accesses = append(out.Accesses, t.Accesses[start:end]...)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"testing"
+
+	"mosaic/internal/mem"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t", 4)
+	b.Compute(10)
+	b.Load(0x1000)
+	b.Compute(5)
+	b.StoreDep(0x2000)
+	b.LoadDep(0x3000)
+	b.Store(0x4000)
+	tr := b.Trace()
+	if tr.Name != "t" || tr.Len() != 4 {
+		t.Fatalf("trace = %q len %d", tr.Name, tr.Len())
+	}
+	a := tr.Accesses
+	if a[0].Gap != 10 || a[0].Write || a[0].Dep {
+		t.Errorf("access 0 = %+v", a[0])
+	}
+	if a[1].Gap != 5 || !a[1].Write || !a[1].Dep {
+		t.Errorf("access 1 = %+v", a[1])
+	}
+	if a[2].Gap != 0 || a[2].Write || !a[2].Dep {
+		t.Errorf("access 2 = %+v", a[2])
+	}
+	if a[3].Write != true || a[3].Dep {
+		t.Errorf("access 3 = %+v", a[3])
+	}
+	// Instructions: each access is 1 instruction plus its gap.
+	if got := tr.Instructions(); got != 10+5+4 {
+		t.Errorf("instructions = %d, want 19", got)
+	}
+}
+
+func TestFootprintAndExtent(t *testing.T) {
+	b := NewBuilder("t", 3)
+	b.Load(0x1000)
+	b.Load(0x1800) // same 4KB page
+	b.Load(0x9000)
+	tr := b.Trace()
+	if fp := tr.Footprint(); fp != 2*4096 {
+		t.Errorf("footprint = %d, want %d", fp, 2*4096)
+	}
+	ext := tr.Extent()
+	if ext.Start != 0x1000 || ext.End != 0x9001 {
+		t.Errorf("extent = %v", ext)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Trace{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty trace should fail validation")
+	}
+	b := NewBuilder("x", 1)
+	b.Load(1)
+	if err := b.Trace().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHistogram(t *testing.T) {
+	b := NewBuilder("t", 5)
+	for i := 0; i < 3; i++ {
+		b.Load(0x100000)
+	}
+	b.Load(0x300000)
+	b.Load(0x300008)
+	tr := b.Trace()
+	h := tr.PageHistogram(mem.Page2M)
+	if h[0] != 3 {
+		t.Errorf("chunk 0 count = %d, want 3", h[0])
+	}
+	if h[mem.Addr(mem.Page2M)] != 2 {
+		t.Errorf("chunk 1 count = %d, want 2", h[mem.Addr(mem.Page2M)])
+	}
+	chunks := SortedChunks(h)
+	if len(chunks) != 2 || chunks[0] != 0 || chunks[1] != mem.Addr(mem.Page2M) {
+		t.Errorf("sorted chunks = %v", chunks)
+	}
+}
+
+func TestGapClamping(t *testing.T) {
+	b := NewBuilder("t", 1)
+	b.Compute(1 << 40) // absurdly large gap
+	b.Load(0x1000)
+	if g := b.Trace().Accesses[0].Gap; g != 1<<30 {
+		t.Errorf("gap = %d, want clamp at 2^30", g)
+	}
+}
+
+func TestEmptyTraceExtent(t *testing.T) {
+	tr := &Trace{}
+	if !tr.Extent().Empty() {
+		t.Error("empty trace should have empty extent")
+	}
+	if tr.Footprint() != 0 {
+		t.Error("empty trace should have zero footprint")
+	}
+}
+
+func TestSample(t *testing.T) {
+	b := NewBuilder("t", 10)
+	for i := 0; i < 10; i++ {
+		b.Load(mem.Addr(i) << 12)
+	}
+	tr := b.Trace()
+	s := tr.Sample(3, 4)
+	if s.Len() != 4 {
+		t.Fatalf("sample length %d, want 4", s.Len())
+	}
+	if s.Accesses[0].VA != 3<<12 || s.Accesses[3].VA != 6<<12 {
+		t.Errorf("sample window wrong: %+v", s.Accesses)
+	}
+	// Degenerate windows clamp.
+	if tr.Sample(20, 5).Len() != 0 {
+		t.Error("skip past end should be empty")
+	}
+	if tr.Sample(8, 100).Len() != 2 {
+		t.Error("overlong window should clamp to the tail")
+	}
+	if tr.Sample(-1, -1).Len() != 10 {
+		t.Error("negative args should degrade to the whole trace")
+	}
+}
+
+func TestMultiSample(t *testing.T) {
+	b := NewBuilder("t", 100)
+	for i := 0; i < 100; i++ {
+		b.Load(mem.Addr(i) << 12)
+	}
+	tr := b.Trace()
+	s := tr.MultiSample(10, 3)
+	if s.Len() != 30 {
+		t.Fatalf("multisample length %d, want 30", s.Len())
+	}
+	// Each window starts on a period boundary.
+	if s.Accesses[3].VA != 10<<12 || s.Accesses[6].VA != 20<<12 {
+		t.Errorf("windows misplaced: %v %v", s.Accesses[3].VA, s.Accesses[6].VA)
+	}
+	// Invalid parameters return the trace unchanged.
+	if tr.MultiSample(0, 3) != tr || tr.MultiSample(5, 5) != tr {
+		t.Error("invalid parameters should return the receiver")
+	}
+}

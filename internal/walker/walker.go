@@ -1,0 +1,173 @@
+// Package walker models the hardware page-table walker: the unit that
+// services L2 TLB misses by reading up to four page-table entries through
+// the cache hierarchy. Page-walk caches (PWCs) let the walker skip upper
+// levels; hugepages shorten the walk structurally (a 2MB page needs three
+// loads, a 1GB page two). Walker loads are tagged so the cache hierarchy
+// counts them separately — the program/walker split of the paper's Table 7.
+package walker
+
+import (
+	"mosaic/internal/arch"
+	"mosaic/internal/cache"
+	"mosaic/internal/mem"
+)
+
+// pwc is one fully associative page-walk cache with LRU replacement.
+type pwc struct {
+	keys []uint64
+	lru  []uint64
+	tick uint64
+}
+
+func newPWC(entries int) *pwc {
+	if entries <= 0 {
+		return nil
+	}
+	return &pwc{keys: make([]uint64, 0, entries), lru: make([]uint64, 0, entries)}
+}
+
+func (p *pwc) lookup(key uint64) bool {
+	if p == nil {
+		return false
+	}
+	p.tick++
+	for i, k := range p.keys {
+		if k == key {
+			p.lru[i] = p.tick
+			return true
+		}
+	}
+	return false
+}
+
+func (p *pwc) insert(key uint64) {
+	if p == nil {
+		return
+	}
+	p.tick++
+	for i, k := range p.keys {
+		if k == key {
+			p.lru[i] = p.tick
+			return
+		}
+	}
+	if len(p.keys) < cap(p.keys) {
+		p.keys = append(p.keys, key)
+		p.lru = append(p.lru, p.tick)
+		return
+	}
+	victim := 0
+	for i := 1; i < len(p.lru); i++ {
+		if p.lru[i] < p.lru[victim] {
+			victim = i
+		}
+	}
+	p.keys[victim] = key
+	p.lru[victim] = p.tick
+}
+
+// Result describes one serviced walk.
+type Result struct {
+	// Latency is the walk's duration in cycles: the sum of the memory
+	// latencies of the entry loads (they are dependent, hence serial).
+	Latency int
+	// Refs is the number of page-table entry loads issued.
+	Refs int
+	// Skipped is the number of upper levels resolved by PWC hits.
+	Skipped int
+	// Phys and Size are the translation's result.
+	Phys mem.Addr
+	Size mem.PageSize
+	// Fault reports a missing translation (never happens in the
+	// experiments: pools are fully pre-mapped).
+	Fault bool
+}
+
+// Stats aggregates walker activity.
+type Stats struct {
+	Walks      uint64
+	WalkCycles uint64
+	EntryLoads uint64
+	PWCHitPML4 uint64
+	PWCHitPDPT uint64
+	PWCHitPD   uint64
+	Faults     uint64
+}
+
+// Walker services page walks against one page table through one cache
+// hierarchy.
+type Walker struct {
+	pt      *mem.PageTable
+	hier    *cache.Hierarchy
+	pwcPML4 *pwc // caches PML4 entries, keyed by VA bits 47:39
+	pwcPDPT *pwc // caches PDPT entries, keyed by VA bits 47:30
+	pwcPD   *pwc // caches PD entries, keyed by VA bits 47:21
+	stats   Stats
+}
+
+// New builds a walker with the platform's PWC sizes.
+func New(pt *mem.PageTable, hier *cache.Hierarchy, cfg arch.PWCConfig) *Walker {
+	return &Walker{
+		pt:      pt,
+		hier:    hier,
+		pwcPML4: newPWC(cfg.PML4Entries),
+		pwcPDPT: newPWC(cfg.PDPTEntries),
+		pwcPD:   newPWC(cfg.PDEntries),
+	}
+}
+
+// Walk services one L2 TLB miss for virtual address v. The walker first
+// consults its PWCs, deepest level first, then issues the remaining
+// dependent entry loads through the cache hierarchy and sums their
+// latencies — the four (or fewer) non-overlapping reads the paper
+// describes in §II-B.
+func (w *Walker) Walk(v mem.Addr) Result {
+	w.stats.Walks++
+
+	skip := 0
+	switch {
+	case w.pwcPD.lookup(uint64(v) >> 21):
+		skip = 3
+		w.stats.PWCHitPD++
+	case w.pwcPDPT.lookup(uint64(v) >> 30):
+		skip = 2
+		w.stats.PWCHitPDPT++
+	case w.pwcPML4.lookup(uint64(v) >> 39):
+		skip = 1
+		w.stats.PWCHitPML4++
+	}
+
+	tr, ok := w.pt.WalkFrom(v, skip)
+	res := Result{Skipped: skip}
+	if !ok {
+		w.stats.Faults++
+		res.Fault = true
+		return res
+	}
+	for i := 0; i < tr.NumRefs; i++ {
+		_, lat := w.hier.Access(tr.Refs[i].EntryPhys, true)
+		res.Latency += lat
+		res.Refs++
+	}
+	w.stats.EntryLoads += uint64(res.Refs)
+	w.stats.WalkCycles += uint64(res.Latency)
+	res.Phys = tr.Phys
+	res.Size = tr.Size
+
+	// Install the non-terminal entries this walk traversed into the PWCs.
+	// The terminal entry goes to the TLB (the caller's job), not the PWC.
+	leafLevel := tr.Size.Level()
+	if leafLevel < 4 {
+		w.pwcPML4.insert(uint64(v) >> 39)
+	}
+	if leafLevel < 3 {
+		w.pwcPDPT.insert(uint64(v) >> 30)
+	}
+	if leafLevel < 2 {
+		w.pwcPD.insert(uint64(v) >> 21)
+	}
+	return res
+}
+
+// Stats returns a copy of the counters.
+func (w *Walker) Stats() Stats { return w.stats }

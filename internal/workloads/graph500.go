@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/graph"
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// Graph500 is the Graph500 benchmark: generate and compress a Kronecker
+// graph, then run BFS over it. The benchmark allocates its structures with
+// mmap/brk directly (the reason libhugetlbfs cannot handle it, §V).
+//
+// Scaling: the paper's 2/4/8GB problems become Kronecker scales 17–19
+// (÷64 footprint).
+type Graph500 struct {
+	name  string
+	scale int
+}
+
+// NewGraph500 builds an instance; label is the paper's size label.
+func NewGraph500(label string, scale int) *Graph500 {
+	return &Graph500{name: "graph500/" + label, scale: scale}
+}
+
+// Name implements Workload.
+func (g *Graph500) Name() string { return g.name }
+
+// Suite implements Workload.
+func (g *Graph500) Suite() string { return "graph500" }
+
+const g500EdgeFactor = 8
+
+func (g *Graph500) arraysBytes() (offsets, edges, nodes uint64) {
+	n := uint64(1) << g.scale
+	m := n * g500EdgeFactor
+	return (n + 1) * 4, m * 4, n * 32
+}
+
+// PoolBytes implements Workload: graph500 allocates through mmap.
+func (g *Graph500) PoolBytes() (heap, anon uint64) {
+	o, e, nd := g.arraysBytes()
+	return roundPool(1 << 20), roundPool(o + e + 2*nd)
+}
+
+// Generate implements Workload.
+func (g *Graph500) Generate(alloc *Allocator) (*trace.Trace, error) {
+	gr := graph.GenerateKronecker(g.scale, g500EdgeFactor, seedFor(g.name))
+	o, e, nd := g.arraysBytes()
+	offsetsVA, err := alloc.MmapAnon(o)
+	if err != nil {
+		return nil, fmt.Errorf("graph500: %w", err)
+	}
+	edgesVA, err := alloc.MmapAnon(e)
+	if err != nil {
+		return nil, fmt.Errorf("graph500: %w", err)
+	}
+	parentVA, err := alloc.MmapAnon(nd)
+	if err != nil {
+		return nil, fmt.Errorf("graph500: %w", err)
+	}
+	scratchVA, err := alloc.MmapAnon(nd)
+	if err != nil {
+		return nil, fmt.Errorf("graph500: %w", err)
+	}
+
+	b := trace.NewBuilder(g.name, accessBudget)
+	// Phase 1 (kernel 1, "construction"): stream the edge list into the
+	// CSR arrays — sequential writes, a small share of the trace.
+	constructionBudget := accessBudget / 25
+	stride := uint64(gr.M()*4) / uint64(constructionBudget/2+1)
+	if stride < 8 {
+		stride = 8
+	}
+	for off := uint64(0); off < e && b.Len() < constructionBudget; off += stride {
+		b.Compute(12)
+		b.Load(edgesVA + mem.Addr(off))
+		b.Store(offsetsVA + mem.Addr(off%o))
+	}
+
+	// Phase 2 (kernel 2): BFS from a high-degree root.
+	lay := graph.Layout{
+		Offsets: offsetsVA,
+		Edges:   edgesVA,
+		NodeA:   parentVA,
+		NodeB:   scratchVA,
+	}
+	// Graph500 runs 64 BFS iterations from random roots; the trace samples
+	// a few, starting with the largest-component source.
+	rng := rand.New(rand.NewSource(seedFor(g.name) + 1))
+	roots := []uint32{gr.LargestComponentSource()}
+	for len(roots) < 4 {
+		roots = append(roots, uint32(rng.Intn(gr.N)))
+	}
+	skip := 1_000_000
+	for _, root := range roots {
+		if b.Len() >= accessBudget {
+			break
+		}
+		graph.BFS(gr, root, lay, b, graph.Budget{Skip: skip, Max: accessBudget - b.Len()})
+		skip = 0
+	}
+	return b.Trace(), nil
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// GUPS is the HPCC RandomAccess benchmark: read-modify-write updates at
+// uniformly random positions of one huge table. It is the most TLB-hostile
+// pattern possible — every access is a fresh random page — and the pattern
+// with the highest memory-level parallelism, since updates are mutually
+// independent. On two-walker machines this is the workload whose walk
+// cycles exceed its runtime (§VI-D).
+//
+// Scaling: the paper's 8/16/32GB tables become 32/64/128MB (÷256).
+type GUPS struct {
+	name  string
+	bytes uint64
+}
+
+// NewGUPS builds a GUPS instance; label is the paper's size label.
+func NewGUPS(label string, tableBytes uint64) *GUPS {
+	return &GUPS{name: "gups/" + label, bytes: tableBytes}
+}
+
+// Name implements Workload.
+func (g *GUPS) Name() string { return g.name }
+
+// Suite implements Workload.
+func (g *GUPS) Suite() string { return "gups" }
+
+// PoolBytes implements Workload: the table lives in the anonymous pool.
+func (g *GUPS) PoolBytes() (heap, anon uint64) {
+	return roundPool(1 << 20), roundPool(g.bytes)
+}
+
+// Generate implements Workload.
+func (g *GUPS) Generate(alloc *Allocator) (*trace.Trace, error) {
+	table, err := alloc.MmapAnon(g.bytes)
+	if err != nil {
+		return nil, fmt.Errorf("gups: allocating table: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(g.name)))
+	b := trace.NewBuilder(g.name, accessBudget)
+
+	// The update loop: tiny instruction gaps, independent RMW pairs.
+	for b.Len() < accessBudget {
+		off := mem.Addr(rng.Uint64()%(g.bytes/8)) * 8
+		b.Compute(6)
+		b.Load(table + off)
+		b.Compute(2)
+		b.Store(table + off)
+	}
+	return b.Trace(), nil
+}

@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// MCF models SPEC CPU2006's 429.mcf: network-simplex optimization whose
+// hot loop chases arc and node pointers through a large, poorly-ordered
+// graph — long dependent chains over a big heap, the canonical
+// latency-bound SPEC workload (Figure 3's subject).
+//
+// Scaling: mcf's ~1.7GB becomes ~48MB (÷36).
+type MCF struct {
+	arcBytes  uint64
+	nodeBytes uint64
+}
+
+// NewMCF builds the spec06/mcf workload.
+func NewMCF() *MCF {
+	return &MCF{arcBytes: 40 << 20, nodeBytes: 8 << 20}
+}
+
+// Name implements Workload.
+func (m *MCF) Name() string { return "spec06/mcf" }
+
+// Suite implements Workload.
+func (m *MCF) Suite() string { return "spec06" }
+
+// PoolBytes implements Workload: mcf mallocs its arc and node arrays.
+func (m *MCF) PoolBytes() (heap, anon uint64) {
+	return roundPool(m.arcBytes + m.nodeBytes), roundPool(1 << 20)
+}
+
+// Generate implements Workload.
+func (m *MCF) Generate(alloc *Allocator) (*trace.Trace, error) {
+	arcs, err := alloc.Malloc(m.arcBytes)
+	if err != nil {
+		return nil, fmt.Errorf("mcf: arcs: %w", err)
+	}
+	nodes, err := alloc.Malloc(m.nodeBytes)
+	if err != nil {
+		return nil, fmt.Errorf("mcf: nodes: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(m.Name())))
+	b := trace.NewBuilder(m.Name(), accessBudget)
+
+	const arcStride = 64 // one arc struct per cache line
+	numArcs := m.arcBytes / arcStride
+	numNodes := m.nodeBytes / arcStride
+	// Build a pseudo-random arc permutation to chase (a cyclic tour), the
+	// memory behaviour of mcf's price-out loop.
+	cursor := rng.Uint64() % numArcs
+	for b.Len() < accessBudget {
+		// Pricing pass: chase a run of arcs, touching both endpoints'
+		// node records (also dependent — the node index lives in the arc).
+		runLen := 8 + rng.Intn(24)
+		for i := 0; i < runLen && b.Len() < accessBudget; i++ {
+			b.Compute(9)
+			b.LoadDep(arcs + mem.Addr(cursor*arcStride))
+			nodeIdx := (cursor*2654435761 + uint64(i)) % numNodes
+			b.LoadDep(nodes + mem.Addr(nodeIdx*arcStride))
+			// Occasional potential update.
+			if rng.Intn(4) == 0 {
+				b.StoreDep(nodes + mem.Addr(nodeIdx*arcStride))
+			}
+			cursor = (cursor*6364136223846793005 + 1442695040888963407) % numArcs
+		}
+		// Basket refill: a short sequential scan.
+		start := rng.Uint64() % (numArcs - 32)
+		for i := uint64(0); i < 32 && b.Len() < accessBudget; i++ {
+			b.Compute(4)
+			b.Load(arcs + mem.Addr((start+i)*arcStride))
+		}
+	}
+	return b.Trace(), nil
+}
+
+// Omnetpp models SPEC's omnetpp: a discrete-event network simulator whose
+// hot structure is the future-event set (a binary heap). Heap sift
+// operations produce dependent accesses with strided, shrinking locality;
+// event payloads add random dependent touches.
+type Omnetpp struct {
+	name      string
+	heapBytes uint64
+	// fanout controls how deep sifts run (spec17's larger config sifts
+	// deeper through a bigger event set).
+	fanout int
+}
+
+// NewOmnetpp builds an omnetpp-like workload. Scaling: spec06's ~175MB
+// becomes 24MB; spec17_s's ~250MB becomes 56MB.
+func NewOmnetpp(name string, heapBytes uint64, fanout int) *Omnetpp {
+	return &Omnetpp{name: name, heapBytes: heapBytes, fanout: fanout}
+}
+
+// Name implements Workload.
+func (o *Omnetpp) Name() string { return o.name }
+
+// Suite implements Workload.
+func (o *Omnetpp) Suite() string {
+	if len(o.name) >= 6 {
+		return o.name[:6]
+	}
+	return o.name
+}
+
+// PoolBytes implements Workload.
+func (o *Omnetpp) PoolBytes() (heap, anon uint64) {
+	return roundPool(o.heapBytes + o.heapBytes/2), roundPool(1 << 20)
+}
+
+// Generate implements Workload.
+func (o *Omnetpp) Generate(alloc *Allocator) (*trace.Trace, error) {
+	heapVA, err := alloc.Malloc(o.heapBytes)
+	if err != nil {
+		return nil, fmt.Errorf("omnetpp: event heap: %w", err)
+	}
+	msgBytes := o.heapBytes / 2
+	msgs, err := alloc.Malloc(msgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("omnetpp: messages: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(o.name)))
+	b := trace.NewBuilder(o.name, accessBudget)
+
+	const slot = 32 // event record
+	slots := o.heapBytes / slot
+	for b.Len() < accessBudget {
+		// Pop-min: sift down from the root. Index doubling gives strided
+		// accesses: hot near the root (cache/TLB friendly), cold at the
+		// leaves.
+		idx := uint64(1)
+		b.Compute(12)
+		for idx < slots && b.Len() < accessBudget {
+			b.LoadDep(heapVA + mem.Addr(idx*slot))
+			b.Compute(5)
+			idx = idx*2 + uint64(rng.Intn(2))
+			if rng.Intn(o.fanout) == 0 {
+				break // event settled early
+			}
+		}
+		// Handle the event: touch its message payload (random dependent).
+		msgOff := mem.Addr(rng.Uint64() % (msgBytes / 64) * 64)
+		b.LoadDep(msgs + msgOff)
+		b.Compute(40)
+		if rng.Intn(3) != 0 {
+			b.StoreDep(msgs + msgOff)
+		}
+		// Push: sift up — short dependent chain near a random leaf.
+		idx = 1 + rng.Uint64()%(slots-1)
+		for idx > 1 && b.Len() < accessBudget {
+			b.StoreDep(heapVA + mem.Addr(idx*slot))
+			b.Compute(4)
+			idx /= 2
+			if idx < 8 {
+				break
+			}
+		}
+	}
+	return b.Trace(), nil
+}
+
+// Xalancbmk models SPEC CPU2017's 623.xalancbmk_s: XSLT transformation of
+// a large XML DOM. The hot pattern is depth-first tree traversal through
+// pointer-linked nodes plus string-table lookups. Its 475MB footprint
+// (Table 7) becomes ~30MB (÷16): small enough that 2MB pages eliminate
+// all TLB misses on Broadwell, large enough that 4KB pages thrash — the
+// Table 7 contrast.
+type Xalancbmk struct {
+	domBytes     uint64
+	stringsBytes uint64
+}
+
+// NewXalancbmk builds the spec17/xalancbmk_s workload.
+func NewXalancbmk() *Xalancbmk {
+	return &Xalancbmk{domBytes: 26 << 20, stringsBytes: 3 << 20}
+}
+
+// Name implements Workload.
+func (x *Xalancbmk) Name() string { return "spec17/xalancbmk_s" }
+
+// Suite implements Workload.
+func (x *Xalancbmk) Suite() string { return "spec17" }
+
+// PoolBytes implements Workload.
+func (x *Xalancbmk) PoolBytes() (heap, anon uint64) {
+	return roundPool(x.domBytes + x.stringsBytes), roundPool(1 << 20)
+}
+
+// Generate implements Workload.
+func (x *Xalancbmk) Generate(alloc *Allocator) (*trace.Trace, error) {
+	dom, err := alloc.Malloc(x.domBytes)
+	if err != nil {
+		return nil, fmt.Errorf("xalancbmk: DOM: %w", err)
+	}
+	strs, err := alloc.Malloc(x.stringsBytes)
+	if err != nil {
+		return nil, fmt.Errorf("xalancbmk: strings: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(x.Name())))
+	b := trace.NewBuilder(x.Name(), accessBudget)
+
+	const nodeSize = 128 // DOM node with attributes
+	numNodes := x.domBytes / nodeSize
+	// DFS over an implicit tree whose children are scattered by a hash —
+	// allocation order vs document order mismatch, as in real DOMs.
+	var stack []uint64
+	stack = append(stack, 0)
+	for b.Len() < accessBudget {
+		if len(stack) == 0 {
+			stack = append(stack, rng.Uint64()%numNodes)
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b.Compute(8)
+		b.LoadDep(dom + mem.Addr(node*nodeSize))
+		// Attribute/string lookups: symbol interning concentrates on a
+		// small hot subset of the table (Zipf-like), which is the cache-
+		// resident structure the page walker's fills evict — Table 7's
+		// extra cache loads under 4KB pages.
+		hot := x.stringsBytes / 32 // the hot interned symbols
+		for k := 0; k < 4 && b.Len() < accessBudget; k++ {
+			span := hot
+			if k == 3 && node%8 == 0 {
+				span = x.stringsBytes // occasional cold string
+			}
+			soff := mem.Addr((node*2654435761 + uint64(k)*12289) % (span / 64) * 64)
+			b.LoadDep(strs + soff)
+			b.Compute(6)
+		}
+		// Push children (hashed positions → random pages).
+		kids := rng.Intn(3)
+		for k := 0; k <= kids; k++ {
+			child := (node*48271 + uint64(k)*2246822519 + 1) % numNodes
+			stack = append(stack, child)
+		}
+		// Output construction: occasional sequential writes.
+		if rng.Intn(4) == 0 && b.Len() < accessBudget {
+			b.Store(strs + mem.Addr(rng.Uint64()%(x.stringsBytes/64)*64))
+		}
+	}
+	return b.Trace(), nil
+}

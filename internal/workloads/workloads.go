@@ -1,0 +1,108 @@
+// Package workloads reimplements the paper's benchmark suite (Table 5) as
+// trace-generating kernels: GUPS random access, Graph500 BFS, XSBench Monte
+// Carlo lookups, SPEC-like mcf/omnetpp/xalancbmk kernels, and the GAPBS
+// kernels (bc, pr, bfs, sssp) on synthetic twitter/road/web graphs.
+//
+// Workload names keep the paper's labels ("gups/16GB"); footprints are
+// scaled down by a constant factor per suite (documented on each workload)
+// so the full 19-workload × 3-platform × 54-layout sweep runs in minutes.
+// What the runtime models consume is the *relationship* between (H, M, C)
+// and R, which depends on access structure, not absolute footprint.
+package workloads
+
+import (
+	"fmt"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// Allocator is the allocation interface workloads use: the glibc wrappers
+// of the modelled process (with or without Mosalloc attached).
+type Allocator struct {
+	proc *libc.Process
+}
+
+// NewAllocator wraps a process.
+func NewAllocator(p *libc.Process) *Allocator { return &Allocator{proc: p} }
+
+// Malloc allocates heap memory.
+func (a *Allocator) Malloc(n uint64) (mem.Addr, error) { return a.proc.Malloc(n) }
+
+// MmapAnon maps anonymous memory (big arrays, as real benchmarks do for
+// multi-GB tables).
+func (a *Allocator) MmapAnon(n uint64) (mem.Addr, error) {
+	return a.proc.Mmap(n, libc.MapFlags{Kind: libc.MapAnonymous})
+}
+
+// Workload is one benchmark configuration.
+type Workload interface {
+	// Name is the paper's label, e.g. "gups/16GB".
+	Name() string
+	// Suite is the benchmark suite, e.g. "gups", "gapbs".
+	Suite() string
+	// PoolBytes returns the heap and anonymous pool capacities the
+	// workload needs (upper bounds used to size Mosalloc's pools).
+	PoolBytes() (heap, anon uint64)
+	// Generate allocates the workload's data through alloc and returns
+	// the recorded access trace.
+	Generate(alloc *Allocator) (*trace.Trace, error)
+}
+
+// accessBudget is the per-workload trace length: long enough to exercise
+// the TLB and caches through many reuse distances, short enough that the
+// full sweep stays fast.
+const accessBudget = 120_000
+
+// All returns the 19 workloads of the paper's Table 8, in its row order.
+func All() []Workload {
+	return []Workload{
+		NewGUPS("32GB", 128<<20),
+		NewGUPS("16GB", 64<<20),
+		NewGUPS("8GB", 32<<20),
+		NewMCF(),
+		NewOmnetpp("spec06/omnetpp", 24<<20, 14),
+		NewOmnetpp("spec17/omnetpp_s", 56<<20, 22),
+		NewXalancbmk(),
+		NewGraph500("2GB", 18),
+		NewGraph500("4GB", 19),
+		NewGraph500("8GB", 20),
+		NewXSBench("4GB", 32<<20),
+		NewXSBench("8GB", 64<<20),
+		NewXSBench("16GB", 128<<20),
+		NewGAPBS("bc", "twitter"),
+		NewGAPBS("bfs", "road"),
+		NewGAPBS("bfs", "twitter"),
+		NewGAPBS("pr", "twitter"),
+		NewGAPBS("sssp", "twitter"),
+		NewGAPBS("sssp", "web"),
+	}
+}
+
+// ByName returns the workload with the given paper label.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// seedFor derives a stable per-workload RNG seed from its name.
+func seedFor(name string) int64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// roundPool rounds a pool requirement up to a 2MB multiple plus slack so
+// layout windows always align.
+func roundPool(n uint64) uint64 {
+	n += n / 8
+	return uint64(mem.AlignUp(mem.Addr(n), mem.Page2M))
+}

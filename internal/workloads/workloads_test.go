@@ -1,0 +1,269 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+	"mosaic/internal/trace"
+)
+
+// generate runs a workload against a fresh process with Mosalloc attached
+// using all-4KB pools sized from the workload's own requirements.
+func generate(t *testing.T, w Workload) *trace.Trace {
+	t.Helper()
+	proc, err := libc.NewProcess(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, anon := w.PoolBytes()
+	cfg := mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page4K, heap),
+		AnonPool:      mosalloc.Uniform(mem.Page4K, anon),
+		FilePoolBytes: 1 << 20,
+	}
+	m, err := mosalloc.Attach(proc, cfg)
+	if err != nil {
+		t.Fatalf("%s: attach: %v", w.Name(), err)
+	}
+	tr, err := w.Generate(NewAllocator(proc))
+	if err != nil {
+		t.Fatalf("%s: generate: %v", w.Name(), err)
+	}
+	// Every access must land inside a Mosalloc pool, or we could not
+	// re-layout it.
+	hr, ar := m.HeapRegion(), m.AnonRegion()
+	for i, a := range tr.Accesses {
+		if !hr.Contains(a.VA) && !ar.Contains(a.VA) {
+			t.Fatalf("%s: access %d at %#x escapes the pools", w.Name(), i, uint64(a.VA))
+		}
+	}
+	return tr
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d workloads, want 19 (Table 8)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name()] {
+			t.Errorf("duplicate workload %s", w.Name())
+		}
+		seen[w.Name()] = true
+	}
+	// Spot-check the paper's labels.
+	for _, name := range []string{
+		"gups/32GB", "gups/16GB", "gups/8GB",
+		"spec06/mcf", "spec06/omnetpp", "spec17/omnetpp_s", "spec17/xalancbmk_s",
+		"graph500/2GB", "graph500/4GB", "graph500/8GB",
+		"xsbench/4GB", "xsbench/8GB", "xsbench/16GB",
+		"gapbs/bc-twitter", "gapbs/bfs-road", "gapbs/bfs-twitter",
+		"gapbs/pr-twitter", "gapbs/sssp-twitter", "gapbs/sssp-web",
+	} {
+		if !seen[name] {
+			t.Errorf("missing workload %s", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("gups/8GB")
+	if err != nil || w.Name() != "gups/8GB" {
+		t.Errorf("ByName = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestSuites(t *testing.T) {
+	for _, w := range All() {
+		if !strings.HasPrefix(w.Name(), w.Suite()) {
+			t.Errorf("%s: suite %q is not a name prefix", w.Name(), w.Suite())
+		}
+	}
+}
+
+// One generation test per suite exercises every workload type without
+// blowing up test time; TestAllWorkloadsGenerate covers the rest in -short
+// -excluded mode below.
+func TestGUPSGenerate(t *testing.T) {
+	tr := generate(t, NewGUPS("8GB", 32<<20))
+	if tr.Len() < accessBudget {
+		t.Errorf("trace too short: %d", tr.Len())
+	}
+	// GUPS is independent random access: no dependent accesses.
+	for _, a := range tr.Accesses[:100] {
+		if a.Dep {
+			t.Fatal("gups accesses must be independent")
+		}
+	}
+	// Footprint should approach the table size for this many accesses.
+	if tr.Footprint() < 20<<20 {
+		t.Errorf("footprint = %d, want most of 32MB", tr.Footprint())
+	}
+}
+
+func TestMCFGenerate(t *testing.T) {
+	tr := generate(t, NewMCF())
+	dep := 0
+	for _, a := range tr.Accesses {
+		if a.Dep {
+			dep++
+		}
+	}
+	// mcf is pointer chasing: dependent accesses dominate.
+	if float64(dep)/float64(tr.Len()) < 0.5 {
+		t.Errorf("mcf dependent share = %.2f, want > 0.5", float64(dep)/float64(tr.Len()))
+	}
+}
+
+func TestXSBenchGenerate(t *testing.T) {
+	tr := generate(t, NewXSBench("4GB", 32<<20))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dep, ind := 0, 0
+	for _, a := range tr.Accesses {
+		if a.Dep {
+			dep++
+		} else {
+			ind++
+		}
+	}
+	if dep == 0 || ind == 0 {
+		t.Errorf("xsbench should mix dependent (%d) and independent (%d) accesses", dep, ind)
+	}
+}
+
+func TestGraph500Generate(t *testing.T) {
+	tr := generate(t, NewGraph500("2GB", 17))
+	if tr.Len() < accessBudget/2 {
+		t.Errorf("trace too short: %d", tr.Len())
+	}
+	writes := 0
+	for _, a := range tr.Accesses {
+		if a.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Error("graph500 construction should record stores")
+	}
+}
+
+func TestGAPBSGenerate(t *testing.T) {
+	for _, w := range []Workload{
+		NewGAPBS("pr", "twitter"),
+		NewGAPBS("bfs", "road"),
+	} {
+		tr := generate(t, w)
+		if tr.Len() < accessBudget/2 {
+			t.Errorf("%s: trace too short: %d", w.Name(), tr.Len())
+		}
+	}
+}
+
+func TestGAPBSUnknownKernel(t *testing.T) {
+	w := NewGAPBS("bogus", "twitter")
+	proc, _ := libc.NewProcess(1 << 40)
+	heap, anon := w.PoolBytes()
+	cfg := mosalloc.Config{
+		HeapPool:      mosalloc.Uniform(mem.Page4K, heap),
+		AnonPool:      mosalloc.Uniform(mem.Page4K, anon),
+		FilePoolBytes: 1 << 20,
+	}
+	if _, err := mosalloc.Attach(proc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Generate(NewAllocator(proc)); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestOmnetppGenerate(t *testing.T) {
+	tr := generate(t, NewOmnetpp("spec06/omnetpp", 24<<20, 14))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXalancbmkGenerate(t *testing.T) {
+	tr := generate(t, NewXalancbmk())
+	// Footprint stays near the configured 30MB.
+	if fp := tr.Footprint(); fp > 36<<20 {
+		t.Errorf("footprint = %dMB, want ≤ 36MB", fp>>20)
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	a := generate(t, NewGUPS("8GB", 32<<20))
+	b := generate(t, NewGUPS("8GB", 32<<20))
+	if a.Len() != b.Len() {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatalf("access %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSeedForStable(t *testing.T) {
+	if seedFor("x") != seedFor("x") {
+		t.Error("seedFor not stable")
+	}
+	if seedFor("a") == seedFor("b") {
+		t.Error("different names should (almost surely) differ")
+	}
+	if seedFor("gups/8GB") < 0 {
+		t.Error("seed must be non-negative")
+	}
+}
+
+func TestPoolBytesAligned(t *testing.T) {
+	for _, w := range All() {
+		heap, anon := w.PoolBytes()
+		if heap%uint64(mem.Page2M) != 0 || anon%uint64(mem.Page2M) != 0 {
+			t.Errorf("%s: pool bytes %d/%d not 2MB-aligned", w.Name(), heap, anon)
+		}
+	}
+}
+
+// The paper measures Mosalloc's extra memory consumption (from top-only
+// reclamation) at under 1% for its workloads (§V); ours behave the same.
+func TestMosallocOverheadUnder1Percent(t *testing.T) {
+	for _, w := range []Workload{NewGUPS("8GB", 32<<20), NewMCF(), NewXSBench("4GB", 32<<20)} {
+		proc, err := libc.NewProcess(1 << 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heap, anon := w.PoolBytes()
+		cfg := mosalloc.Config{
+			HeapPool:      mosalloc.Uniform(mem.Page4K, heap),
+			AnonPool:      mosalloc.Uniform(mem.Page4K, anon),
+			FilePoolBytes: 1 << 20,
+		}
+		m, err := mosalloc.Attach(proc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Generate(NewAllocator(proc)); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range m.Usage() {
+			if u.HighWater == 0 {
+				continue
+			}
+			frag := float64(u.Fragmentation) / float64(u.HighWater)
+			if frag > 0.01 {
+				t.Errorf("%s: %s pool fragmentation %.2f%% exceeds 1%%",
+					w.Name(), u.Name, 100*frag)
+			}
+		}
+	}
+}

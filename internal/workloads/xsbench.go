@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// XSBench models the XSBench Monte Carlo neutron-transport kernel: each
+// lookup binary-searches a unionized energy grid, then gathers cross-
+// section rows for a handful of nuclides at grid-dependent offsets. The
+// binary search is a dependent chain; the gathers are independent — a mix
+// between mcf's chasing and gups' scatter.
+//
+// Scaling: the paper's 4/8/16GB problems become 32/64/128MB (÷128).
+type XSBench struct {
+	name  string
+	bytes uint64
+}
+
+// NewXSBench builds an instance; label is the paper's size label.
+func NewXSBench(label string, bytes uint64) *XSBench {
+	return &XSBench{name: "xsbench/" + label, bytes: bytes}
+}
+
+// Name implements Workload.
+func (x *XSBench) Name() string { return x.name }
+
+// Suite implements Workload.
+func (x *XSBench) Suite() string { return "xsbench" }
+
+// Array split: 1/8 unionized energy grid, 7/8 nuclide cross-section data.
+func (x *XSBench) split() (gridBytes, xsBytes uint64) {
+	return x.bytes / 8, x.bytes - x.bytes/8
+}
+
+// PoolBytes implements Workload: XSBench mallocs its arrays (it is one of
+// the multithreaded workloads whose contention arenas libhugetlbfs loses;
+// Mosalloc keeps them on the heap pool).
+func (x *XSBench) PoolBytes() (heap, anon uint64) {
+	return roundPool(x.bytes), roundPool(1 << 20)
+}
+
+// Generate implements Workload.
+func (x *XSBench) Generate(alloc *Allocator) (*trace.Trace, error) {
+	gridBytes, xsBytes := x.split()
+	gridVA, err := alloc.Malloc(gridBytes)
+	if err != nil {
+		return nil, fmt.Errorf("xsbench: grid: %w", err)
+	}
+	xsVA, err := alloc.Malloc(xsBytes)
+	if err != nil {
+		return nil, fmt.Errorf("xsbench: cross sections: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seedFor(x.name)))
+	b := trace.NewBuilder(x.name, accessBudget)
+
+	gridEntries := gridBytes / 16 // (energy, index) pairs
+	const nuclidesPerLookup = 6
+	for b.Len() < accessBudget {
+		// Binary search over the energy grid: a dependent chain whose
+		// successive probes shrink toward the target (decent locality at
+		// the tail, page-crossing at the head).
+		lo, hi := uint64(0), gridEntries
+		b.Compute(10)
+		for hi-lo > 1 && b.Len() < accessBudget {
+			mid := (lo + hi) / 2
+			b.Compute(3)
+			b.LoadDep(gridVA + mem.Addr(mid*16))
+			if rng.Intn(2) == 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		// Gather cross-section rows: independent random reads.
+		for n := 0; n < nuclidesPerLookup && b.Len() < accessBudget; n++ {
+			off := mem.Addr(rng.Uint64() % (xsBytes / 64) * 64)
+			b.Compute(4)
+			b.Load(xsVA + off)
+		}
+		b.Compute(30) // macroscopic XS accumulation
+	}
+	return b.Trace(), nil
+}

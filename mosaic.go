@@ -1,0 +1,291 @@
+// Package mosaic reproduces "Predicting Execution Times With Partial
+// Simulations in Virtual Memory Research: Why and How" (MICRO 2020) as a
+// library: the Mosalloc mosaic memory allocator, a modelled x86-64
+// virtual-memory subsystem (TLBs, page-walk caches, hardware walkers,
+// cache hierarchy, timing), the paper's benchmark workloads, its layout-
+// selection heuristics, and all nine runtime models — Basu, Pham, Gandhi,
+// Alam, Yaniv, poly1/2/3 and Mosmodel.
+//
+// The typical flow mirrors the paper's pipeline (Figure 1 and §VI):
+//
+//	runner := mosaic.NewRunner()
+//	w, _ := mosaic.WorkloadByName("gups/8GB")
+//	ds, _ := runner.Collect(w, mosaic.SandyBridge) // 54 layouts + baselines
+//	m, _ := mosaic.NewModel("mosmodel")
+//	maxErr, geoErr, _ := mosaic.EvaluateModel(m, ds.Samples)
+//
+// All heavy machinery lives in internal packages; this package re-exports
+// the stable surface.
+package mosaic
+
+import (
+	"mosaic/internal/arch"
+	"mosaic/internal/cpu"
+	"mosaic/internal/experiment"
+	"mosaic/internal/layout"
+	"mosaic/internal/libc"
+	"mosaic/internal/libhugetlbfs"
+	"mosaic/internal/mem"
+	"mosaic/internal/models"
+	"mosaic/internal/mosalloc"
+	"mosaic/internal/partialsim"
+	"mosaic/internal/pmu"
+	"mosaic/internal/stats"
+	"mosaic/internal/thp"
+	"mosaic/internal/trace"
+	"mosaic/internal/workloads"
+)
+
+// Core value types, re-exported.
+type (
+	// Addr is a virtual or physical address in the modelled machine.
+	Addr = mem.Addr
+	// PageSize is one of the three x86-64 page sizes.
+	PageSize = mem.PageSize
+	// Platform describes one modelled processor (Tables 3–4).
+	Platform = arch.Platform
+	// Counters are the PMU readings of one run (Table 2).
+	Counters = pmu.Counters
+	// Sample is one (H, M, C) → R measurement point.
+	Sample = pmu.Sample
+	// Trace is a recorded memory-access stream.
+	Trace = trace.Trace
+	// Workload is one benchmark configuration (Table 5).
+	Workload = workloads.Workload
+	// Allocator is the allocation interface workloads draw memory from.
+	Allocator = workloads.Allocator
+	// Layout is one named Mosalloc pool configuration.
+	Layout = layout.Layout
+	// LayoutTarget describes a workload's pool usage, from which the
+	// layout heuristics generate mosaics.
+	LayoutTarget = layout.Target
+	// MissProfile is the simulated-PEBS TLB-miss histogram driving the
+	// sliding-window heuristic.
+	MissProfile = layout.MissProfile
+	// Model is a runtime model R̂(H, M, C).
+	Model = models.Model
+	// PartialMetrics is the partial simulator's output: the virtual-memory
+	// metrics (H, M, C) without a runtime — what a runtime model turns
+	// into a prediction (Figure 1).
+	PartialMetrics = partialsim.Metrics
+	// Breakdown decomposes a modelled runtime into base work, translation
+	// stalls, walker queueing, and data stalls — a diagnostic no real PMU
+	// offers.
+	Breakdown = cpu.Breakdown
+	// Dataset holds one (workload, platform) pair's measurements.
+	Dataset = experiment.Dataset
+	// Runner orchestrates trace generation, layout replay, and caching.
+	Runner = experiment.Runner
+	// Process is a modelled process with the glibc-like allocation stack.
+	Process = libc.Process
+	// Mosalloc is the mosaic memory allocator attached to a process.
+	Mosalloc = mosalloc.Mosalloc
+	// MosallocConfig configures Mosalloc's three pools.
+	MosallocConfig = mosalloc.Config
+	// PoolConfig is one pool's page-size mosaic.
+	PoolConfig = mosalloc.PoolConfig
+	// LibHugeTLBFS is the modelled libhugetlbfs library (§V-A): uniform
+	// hugepages via the morecore hook only — the pre-Mosalloc approach,
+	// limitations and bug included.
+	LibHugeTLBFS = libhugetlbfs.Lib
+	// THPConfig tunes the modelled transparent-hugepage daemon.
+	THPConfig = thp.Config
+	// THPStats reports one khugepaged-style promotion pass.
+	THPStats = thp.Stats
+)
+
+// The three architectural page sizes.
+const (
+	Page4K = mem.Page4K
+	Page2M = mem.Page2M
+	Page1G = mem.Page1G
+)
+
+// The modelled platforms of the paper's Table 3 (experimental machines)
+// and Table 4 (TLB survey).
+var (
+	SandyBridge = arch.SandyBridge
+	IvyBridge   = arch.IvyBridge
+	Haswell     = arch.Haswell
+	Broadwell   = arch.Broadwell
+	Skylake     = arch.Skylake
+)
+
+// Platforms returns the paper's three experimental machines.
+func Platforms() []Platform { return arch.Experimental }
+
+// PlatformByName looks a platform up by name.
+func PlatformByName(name string) (Platform, error) { return arch.ByName(name) }
+
+// Workloads returns the 19 benchmark configurations of Table 8.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks a workload up by its paper label (e.g. "gups/8GB").
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// ModelNames lists all nine runtime models in the paper's figure order.
+func ModelNames() []string {
+	var out []string
+	for _, f := range models.Registry() {
+		out = append(out, f().Name())
+	}
+	return out
+}
+
+// NewModel creates a fresh, unfitted runtime model by name.
+func NewModel(name string) (Model, error) { return models.ByName(name) }
+
+// EvaluateModel fits the model on the samples and returns its maximal and
+// geometric-mean relative errors (the paper's Equations 1–2).
+func EvaluateModel(m Model, samples []Sample) (maxErr, geoErr float64, err error) {
+	return models.Evaluate(m, samples)
+}
+
+// CrossValidateModel runs K-fold cross-validation (§VI-C) for the named
+// model and returns the worst held-out-fold maximal error.
+func CrossValidateModel(name string, samples []Sample, k int, seed int64) (float64, error) {
+	factory := func() Model {
+		m, err := models.ByName(name)
+		if err != nil {
+			panic(err) // name validated below before first use
+		}
+		return m
+	}
+	if _, err := models.ByName(name); err != nil {
+		return 0, err
+	}
+	return models.CrossValidate(factory, samples, k, seed)
+}
+
+// MaxAbsRelErr is Equation 1: the worst |R−R̂|/R over the samples.
+func MaxAbsRelErr(y, yhat []float64) float64 { return stats.MaxAbsRelErr(y, yhat) }
+
+// GeoMeanAbsRelErr is Equation 2: the geometric mean of |R−R̂|/R.
+func GeoMeanAbsRelErr(y, yhat []float64) float64 { return stats.GeoMeanAbsRelErr(y, yhat) }
+
+// NewRunner builds the experiment pipeline (54-layout standard protocol,
+// parallel replays, per-(workload, platform) caching).
+func NewRunner() *Runner { return experiment.NewRunner() }
+
+// NewProcess creates a modelled process with the given bytes of simulated
+// physical memory.
+func NewProcess(physMem uint64) (*Process, error) { return libc.NewProcess(physMem) }
+
+// NewAllocator wraps a process for workload trace generation.
+func NewAllocator(p *Process) *Allocator { return workloads.NewAllocator(p) }
+
+// FuncWorkload adapts a function into a Workload, so library users can run
+// the full 54-layout pipeline — and fit Mosmodel — on their own
+// applications' access patterns.
+type FuncWorkload struct {
+	// WorkloadName labels the workload ("myapp/queries").
+	WorkloadName string
+	// SuiteName groups related workloads; defaults to WorkloadName.
+	SuiteName string
+	// HeapBytes and AnonBytes size the Mosalloc pools the workload needs.
+	HeapBytes uint64
+	AnonBytes uint64
+	// GenerateFunc allocates through alloc and records the access trace.
+	GenerateFunc func(alloc *Allocator) (*Trace, error)
+}
+
+// Name implements Workload.
+func (f *FuncWorkload) Name() string { return f.WorkloadName }
+
+// Suite implements Workload.
+func (f *FuncWorkload) Suite() string {
+	if f.SuiteName != "" {
+		return f.SuiteName
+	}
+	return f.WorkloadName
+}
+
+// PoolBytes implements Workload.
+func (f *FuncWorkload) PoolBytes() (heap, anon uint64) {
+	round := func(n uint64) uint64 {
+		n += n / 8
+		return uint64(mem.AlignUp(mem.Addr(max(n, 1<<20)), Page2M))
+	}
+	return round(f.HeapBytes), round(f.AnonBytes)
+}
+
+// Generate implements Workload.
+func (f *FuncWorkload) Generate(alloc *Allocator) (*Trace, error) {
+	return f.GenerateFunc(alloc)
+}
+
+// AttachMosalloc reserves the configured pools and interposes Mosalloc on
+// the process's allocation paths, as LD_PRELOAD does on a real process.
+func AttachMosalloc(p *Process, cfg MosallocConfig) (*Mosalloc, error) {
+	return mosalloc.Attach(p, cfg)
+}
+
+// ParseLayout parses a pool mosaic like "4KB:8MB,2MB:16MB,4KB:8MB".
+func ParseLayout(s string) (PoolConfig, error) { return mosalloc.ParseLayout(s) }
+
+// UniformPool builds a single-page-size pool covering at least `bytes`.
+func UniformPool(size PageSize, bytes uint64) PoolConfig {
+	return mosalloc.Uniform(size, bytes)
+}
+
+// WindowPool builds a pool whose [start, end) window is backed with
+// `inner` pages and the rest with 4KB pages.
+func WindowPool(bytes, start, end uint64, inner PageSize) PoolConfig {
+	return mosalloc.Window(bytes, start, end, inner)
+}
+
+// ProfileMisses replays a trace through the platform's (scaled) TLB under
+// an all-4KB layout and histograms the misses over the target's space —
+// the simulated-PEBS step of the sliding-window heuristic (§VI-B).
+func ProfileMisses(tr *Trace, p Platform, t LayoutTarget) MissProfile {
+	return layout.ProfileMisses(tr, p.Scaled().TLB, t)
+}
+
+// Run measures one workload on one platform under one layout, returning
+// the performance counters — a single experimental sample.
+func Run(w Workload, p Platform, lay Layout) (Counters, error) {
+	r := experiment.NewRunner()
+	wd, err := r.Prepare(w)
+	if err != nil {
+		return Counters{}, err
+	}
+	return r.RunLayout(wd, p, lay)
+}
+
+// RunTrace replays a trace against a process's address space on the
+// (scaled) platform and returns the counters. Use it to measure address
+// spaces prepared by other policies — THP promotion, libhugetlbfs, or a
+// plain 4KB kernel — rather than Mosalloc layouts.
+func RunTrace(p Platform, proc *Process, tr *Trace) (Counters, error) {
+	machine, err := cpu.New(p.Scaled(), proc.Space())
+	if err != nil {
+		return Counters{}, err
+	}
+	return machine.Run(tr)
+}
+
+// RunTraceDetailed is RunTrace plus the runtime breakdown.
+func RunTraceDetailed(p Platform, proc *Process, tr *Trace) (Counters, Breakdown, error) {
+	machine, err := cpu.New(p.Scaled(), proc.Space())
+	if err != nil {
+		return Counters{}, Breakdown{}, err
+	}
+	return machine.RunDetailed(tr)
+}
+
+// AttachLibhugetlbfs interposes the modelled libhugetlbfs on the process:
+// morecore allocations land on a uniform hugepage heap of the given page
+// size and capacity; mmap and brk remain untouched (its documented
+// limitation), and the contention-arena bug of §V-C is preserved.
+func AttachLibhugetlbfs(p *Process, pageSize PageSize, capacity uint64) (*LibHugeTLBFS, error) {
+	return libhugetlbfs.Attach(p, pageSize, capacity)
+}
+
+// RunTHPScan performs one transparent-hugepage promotion pass over the
+// process's address space (khugepaged's job).
+func RunTHPScan(p *Process, cfg THPConfig) (THPStats, error) {
+	return thp.New(cfg).Scan(p.Space())
+}
+
+// DefaultTHPConfig is THP "always" on an unfragmented machine.
+func DefaultTHPConfig() THPConfig { return thp.DefaultConfig() }

@@ -1,0 +1,148 @@
+package mosaic_test
+
+import (
+	"testing"
+
+	"mosaic"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The README quickstart, as a test: measure a workload under three
+	// layouts through the public API only.
+	w, err := mosaic.WorkloadByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := mosaic.NewRunner()
+	wd, err := runner.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := wd.Target
+	c4, err := runner.RunLayout(wd, mosaic.SandyBridge, target.Baseline4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := runner.RunLayout(wd, mosaic.SandyBridge, target.Baseline2M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.R <= c2.R || c4.M <= c2.M {
+		t.Errorf("hugepages should help: 4KB %v, 2MB %v", c4, c2)
+	}
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if got := len(mosaic.Workloads()); got != 19 {
+		t.Errorf("workloads = %d, want 19", got)
+	}
+	if got := len(mosaic.Platforms()); got != 3 {
+		t.Errorf("platforms = %d, want 3", got)
+	}
+	names := mosaic.ModelNames()
+	if len(names) != 9 {
+		t.Errorf("models = %d, want 9", len(names))
+	}
+	for _, n := range names {
+		if _, err := mosaic.NewModel(n); err != nil {
+			t.Errorf("NewModel(%s): %v", n, err)
+		}
+	}
+	if _, err := mosaic.PlatformByName("SandyBridge"); err != nil {
+		t.Error(err)
+	}
+	if _, err := mosaic.WorkloadByName("spec06/mcf"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeModelFit(t *testing.T) {
+	samples := []mosaic.Sample{
+		{Layout: "4KB", H: 100, M: 200, C: 4000, R: 10000},
+		{Layout: "2MB", H: 10, M: 20, C: 400, R: 7000},
+	}
+	m, err := mosaic.NewModel("yaniv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, geoErr, err := mosaic.EvaluateModel(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yaniv passes through both anchors exactly.
+	if maxErr > 1e-9 {
+		t.Errorf("maxErr = %v", maxErr)
+	}
+	_ = geoErr
+}
+
+func TestFacadeErrorMetrics(t *testing.T) {
+	y := []float64{100, 200}
+	yhat := []float64{90, 220}
+	if got := mosaic.MaxAbsRelErr(y, yhat); got != 0.1 {
+		t.Errorf("MaxAbsRelErr = %v", got)
+	}
+	if got := mosaic.GeoMeanAbsRelErr(y, yhat); got <= 0 {
+		t.Errorf("GeoMeanAbsRelErr = %v", got)
+	}
+}
+
+func TestFacadeCrossValidate(t *testing.T) {
+	samples := make([]mosaic.Sample, 30)
+	for i := range samples {
+		c := float64(i) * 1e5
+		samples[i] = mosaic.Sample{Layout: "mid", C: c, M: c / 30, H: c / 60, R: 1e7 + 0.7*c}
+	}
+	samples[0].Layout = "2MB"
+	samples[len(samples)-1].Layout = "4KB"
+	e, err := mosaic.CrossValidateModel("poly1", samples, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.01 {
+		t.Errorf("CV error %v on linear ground truth", e)
+	}
+	if _, err := mosaic.CrossValidateModel("bogus", samples, 5, 1); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestFacadeMosallocFlow(t *testing.T) {
+	proc, err := mosaic.NewProcess(1 << 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := mosaic.ParseLayout("4KB:8MB,2MB:16MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msl, err := mosaic.AttachMosalloc(proc, mosaic.MosallocConfig{
+		HeapPool:      heap,
+		AnonPool:      mosaic.UniformPool(mosaic.Page2M, 16<<20),
+		FilePoolBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := proc.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msl.HeapRegion().Contains(a) {
+		t.Error("malloc escaped the heap pool")
+	}
+	if ps, ok := msl.PageSizeAt(a); !ok || ps != mosaic.Page4K {
+		t.Errorf("first heap MB should be 4KB-backed, got %v/%v", ps, ok)
+	}
+}
+
+func TestFacadeWindowPool(t *testing.T) {
+	cfg := mosaic.WindowPool(32<<20, 8<<20, 16<<20, mosaic.Page2M)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	by := cfg.BytesBySize()
+	if by[mosaic.Page2M] != 8<<20 {
+		t.Errorf("window bytes = %d", by[mosaic.Page2M])
+	}
+}
