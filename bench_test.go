@@ -603,6 +603,45 @@ func BenchmarkReplay(b *testing.B) {
 	b.ReportMetric(float64(wd.Trace.Len()), "accesses/replay")
 }
 
+// BenchmarkSweepQuick measures an end-to-end Quick-protocol sweep — 2
+// workloads × 3 platforms, 60 replays — through the staged pipeline:
+// sweep-wide scheduler, pooled engines, address spaces shared across
+// platforms. Traces are cached on disk outside the timer so iterations
+// measure the planning and replay stages the engine layer accelerates,
+// on a fresh Runner each time (no dataset cache hits).
+func BenchmarkSweepQuick(b *testing.B) {
+	var ws []workloads.Workload
+	for _, name := range []string{"gups/8GB", "spec06/mcf"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	plats := []arch.Platform{arch.SandyBridge, arch.Haswell, arch.Broadwell}
+	dir := b.TempDir()
+	warm := experiment.NewRunner()
+	warm.TraceDir = dir
+	for _, w := range ws {
+		if _, err := warm.Prepare(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner()
+		r.Proto = experiment.Quick
+		r.TraceDir = dir
+		dss, err := r.CollectAll(ws, plats, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dss) != len(ws)*len(plats) {
+			b.Fatalf("%d datasets, want %d", len(dss), len(ws)*len(plats))
+		}
+	}
+}
+
 // BenchmarkTraceGeneration measures workload trace generation.
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -22,13 +22,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"time"
 
 	"mosaic/internal/arch"
 	"mosaic/internal/experiment"
 	"mosaic/internal/models"
 	"mosaic/internal/pmu"
 	"mosaic/internal/report"
+	"mosaic/internal/sim"
 	"mosaic/internal/workloads"
 )
 
@@ -41,6 +41,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "use the 9-layout quick protocol instead of the 54-layout standard")
 		wlFlag    = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
 		platFlag  = flag.String("platforms", "", "comma-separated platform subset (default: Broadwell,Haswell,SandyBridge)")
+		parallel  = flag.Int("parallelism", 0, "worker-pool size for the measurement sweep (default: GOMAXPROCS)")
 		traceDir  = flag.String("tracedir", "", "directory for caching workload traces across runs")
 		jsonFlag  = flag.Bool("json", false, "dump the collected datasets as JSON instead of rendering figures")
 		svgDir    = flag.String("svg", "", "also write per-figure SVG charts into this directory")
@@ -50,6 +51,9 @@ func main() {
 	app := &bench{runner: experiment.NewRunner()}
 	if *quick {
 		app.runner.Proto = experiment.Quick
+	}
+	if *parallel > 0 {
+		app.runner.Parallelism = *parallel
 	}
 	app.runner.TraceDir = *traceDir
 	app.svgDir = *svgDir
@@ -124,34 +128,42 @@ type bench struct {
 	svgDir    string
 }
 
-// collectAll measures every (workload, platform) dataset, reporting
-// progress on stderr, and returns the TLB-sensitive ones (the paper's
-// inclusion criterion).
+// progressLine renders one sweep progress report on stderr: stage, job
+// counts, effective worker count, elapsed time, and the scheduler's ETA.
+func progressLine(p sim.Progress) {
+	eta := "    -"
+	if p.ETA > 0 {
+		eta = fmt.Sprintf("%4.0fs", p.ETA.Seconds())
+	}
+	fmt.Fprintf(os.Stderr, "\r[%-7s %4d/%d] workers=%-2d %6.1fs ETA %s  %-44.44s",
+		p.Stage, p.Done, p.Total, p.Workers, p.Elapsed.Seconds(), eta, p.Label)
+}
+
+// collectAll measures every (workload, platform) dataset through the
+// sweep-wide scheduler, reporting staged progress on stderr, and returns
+// the TLB-sensitive ones (the paper's inclusion criterion).
 func (b *bench) collectAll() ([]*experiment.Dataset, error) {
 	if b.collected != nil {
 		return b.collected, nil
 	}
-	var out []*experiment.Dataset
-	total := len(b.workloads) * len(b.platforms)
-	done := 0
-	start := time.Now()
-	for _, p := range b.platforms {
-		for _, w := range b.workloads {
-			ds, err := b.runner.Collect(w, p)
-			if err != nil {
-				return nil, err
-			}
-			done++
-			fmt.Fprintf(os.Stderr, "\r[%3d/%d] %-40s %5.1fs", done, total,
-				w.Name()+" on "+p.Name, time.Since(start).Seconds())
-			if ds.TLBSensitive {
-				out = append(out, ds)
-			} else {
-				fmt.Fprintf(os.Stderr, "\n  (excluding %s on %s: not TLB-sensitive)\n", w.Name(), p.Name)
-			}
-		}
+	all, err := b.runner.CollectAll(b.workloads, b.platforms, progressLine)
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintln(os.Stderr)
+	var out []*experiment.Dataset
+	for _, ds := range all {
+		if ds.TLBSensitive {
+			out = append(out, ds)
+		} else {
+			fmt.Fprintf(os.Stderr, "  (excluding %s on %s: not TLB-sensitive)\n", ds.Workload, ds.Platform)
+		}
+	}
+	for _, st := range b.runner.StageTimes() {
+		if st.Count > 0 {
+			fmt.Fprintf(os.Stderr, "  stage %-7s %4d× %8.1fs total\n", st.Stage, st.Count, st.Total.Seconds())
+		}
+	}
 	b.collected = out
 	return out, nil
 }
@@ -178,27 +190,24 @@ func (b *bench) exportJSON() error {
 		Samples      []pmuSampleJSON
 		Sample1G     pmuSampleJSON
 	}
-	var out []entry
-	for _, p := range b.platforms {
-		for _, w := range b.workloads {
-			ds, err := b.runner.Collect(w, p)
-			if err != nil {
-				return err
-			}
-			e := entry{
-				Workload:     ds.Workload,
-				Platform:     ds.Platform,
-				TLBSensitive: ds.TLBSensitive,
-				Sample1G:     sampleJSON(ds.Sample1G),
-			}
-			for _, s := range ds.Samples {
-				e.Samples = append(e.Samples, sampleJSON(s))
-			}
-			out = append(out, e)
-			fmt.Fprintf(os.Stderr, ".")
-		}
+	all, err := b.runner.CollectAll(b.workloads, b.platforms, progressLine)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintln(os.Stderr)
+	var out []entry
+	for _, ds := range all {
+		e := entry{
+			Workload:     ds.Workload,
+			Platform:     ds.Platform,
+			TLBSensitive: ds.TLBSensitive,
+			Sample1G:     sampleJSON(ds.Sample1G),
+		}
+		for _, s := range ds.Samples {
+			e.Samples = append(e.Samples, sampleJSON(s))
+		}
+		out = append(out, e)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mosaic/internal/arch"
 	"mosaic/internal/mem"
@@ -38,23 +39,30 @@ func (l Level) String() string {
 	return fmt.Sprintf("Level(%d)", int(l))
 }
 
-// line is one cache line's tag state.
-type line struct {
-	tag   uint64
-	valid bool
-	lru   uint64
-}
-
 // Cache is one set-associative, LRU-replacement cache level indexed and
-// tagged by physical address.
+// tagged by physical address. A lookup scans only the set's tags; recency
+// is an exact per-set linked list of way indices, so an insert reads its
+// victim straight off the list tail instead of scanning every way's
+// last-touch time. Untouched (invalid) ways start at the tail in way
+// order, so fills consume way 0, 1, ... first — the same victim sequence
+// a timestamp scan with first-index tie-breaking produces.
 type Cache struct {
 	name     string
 	sets     int
 	assoc    int
 	lineBits uint
-	lines    []line // sets*assoc, set-major
-	tick     uint64
-	latency  int
+	pow2     bool   // sets is a power of two
+	setMask  uint64 // sets-1 when pow2
+	fastM    uint64 // Lemire fastmod magic otherwise
+	// tags holds block number + 1 per line; 0 marks an invalid line.
+	tags []uint64
+	// prev/next hold each line's recency-list neighbors as way indices
+	// (prev is toward the MRU head, next toward the LRU tail); head/tail
+	// hold each set's MRU and LRU way. prev[head] and next[tail] are
+	// unused.
+	prev, next []uint16
+	head, tail []uint16
+	latency    int
 }
 
 // NewCache builds a cache level from its configuration.
@@ -74,28 +82,95 @@ func NewCache(name string, cfg arch.CacheConfig) (*Cache, error) {
 	for 1<<lineBits < cfg.LineBytes {
 		lineBits++
 	}
-	return &Cache{
+	if cfg.Assoc > 1<<16 {
+		return nil, fmt.Errorf("cache: %s associativity %d exceeds %d ways", name, cfg.Assoc, 1<<16)
+	}
+	c := &Cache{
 		name:     name,
 		sets:     sets,
 		assoc:    cfg.Assoc,
 		lineBits: lineBits,
-		lines:    make([]line, sets*cfg.Assoc),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		prev:     make([]uint16, sets*cfg.Assoc),
+		next:     make([]uint16, sets*cfg.Assoc),
+		head:     make([]uint16, sets),
+		tail:     make([]uint16, sets),
 		latency:  cfg.LatencyCycle,
-	}, nil
+	}
+	if sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.setMask = uint64(sets - 1)
+	} else {
+		c.fastM = ^uint64(0)/uint64(sets) + 1
+	}
+	c.initRecency()
+	return c, nil
+}
+
+// initRecency orders every set's recency list way assoc-1 (MRU) down to
+// way 0 (LRU), so untouched ways are victimized in ascending way order.
+func (c *Cache) initRecency() {
+	for set := 0; set < c.sets; set++ {
+		base := set * c.assoc
+		for w := 0; w < c.assoc; w++ {
+			if w > 0 {
+				c.next[base+w] = uint16(w - 1)
+			}
+			if w < c.assoc-1 {
+				c.prev[base+w] = uint16(w + 1)
+			}
+		}
+		c.head[set] = uint16(c.assoc - 1)
+		c.tail[set] = 0
+	}
+}
+
+// touch moves way i to the MRU head of its set's recency list.
+func (c *Cache) touch(base, set, i int) {
+	h := int(c.head[set])
+	if h == i {
+		return
+	}
+	p := c.prev[base+i]
+	if int(c.tail[set]) == i {
+		c.tail[set] = p
+	} else {
+		n := c.next[base+i]
+		c.prev[base+int(n)] = p
+		c.next[base+int(p)] = n
+	}
+	c.prev[base+h] = uint16(i)
+	c.next[base+i] = uint16(h)
+	c.head[set] = uint16(i)
+}
+
+// setIndex maps a block number to its set. Real L3 slices are not
+// power-of-two counts (e.g. 15MB/20-way = 12288 sets), and a hardware
+// divide per probe dominates the scan itself, so non-power-of-two sets use
+// Lemire's exact fastmod when the block number fits 32 bits.
+func (c *Cache) setIndex(blk uint64) int {
+	switch {
+	case c.pow2:
+		return int(blk & c.setMask)
+	case blk <= 0xffffffff:
+		hi, _ := bits.Mul64(c.fastM*blk, uint64(c.sets))
+		return int(hi)
+	default:
+		return int(blk % uint64(c.sets))
+	}
 }
 
 // Lookup probes the cache for the line containing phys; on a hit the line's
 // recency is refreshed.
 func (c *Cache) Lookup(phys mem.Addr) bool {
 	blk := uint64(phys) >> c.lineBits
-	set := int(blk % uint64(c.sets))
-	tag := blk // full block number as tag (set bits included, harmless)
+	set := c.setIndex(blk)
 	base := set * c.assoc
-	c.tick++
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
-			l.lru = c.tick
+	tagv := blk + 1 // full block number as tag (set bits included, harmless)
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tagv {
+			c.touch(base, set, i)
 			return true
 		}
 	}
@@ -107,27 +182,16 @@ func (c *Cache) Lookup(phys mem.Addr) bool {
 // line was evicted.
 func (c *Cache) Insert(phys mem.Addr) (mem.Addr, bool) {
 	blk := uint64(phys) >> c.lineBits
-	set := int(blk % uint64(c.sets))
+	set := c.setIndex(blk)
 	base := set * c.assoc
-	c.tick++
-	victim := base
-	for i := 0; i < c.assoc; i++ {
-		l := &c.lines[base+i]
-		if !l.valid {
-			l.valid = true
-			l.tag = blk
-			l.lru = c.tick
-			return 0, false
-		}
-		if l.lru < c.lines[victim].lru {
-			victim = base + i
-		}
+	victim := int(c.tail[set])
+	old := c.tags[base+victim]
+	c.tags[base+victim] = blk + 1
+	c.touch(base, set, victim)
+	if old == 0 {
+		return 0, false
 	}
-	v := &c.lines[victim]
-	old := mem.Addr(v.tag << c.lineBits)
-	v.tag = blk
-	v.lru = c.tick
-	return old, true
+	return mem.Addr((old - 1) << c.lineBits), true
 }
 
 // Latency returns the level's hit latency in cycles.
@@ -139,11 +203,18 @@ func (c *Cache) Sets() int { return c.sets }
 // Assoc returns the associativity (for tests).
 func (c *Cache) Assoc() int { return c.assoc }
 
-// Flush invalidates every line.
+// Flush invalidates every line and restores the initial recency order.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
+	c.initRecency()
+}
+
+// Reset restores the just-built state: a Reset cache behaves
+// bit-identically to a freshly constructed one.
+func (c *Cache) Reset() {
+	c.Flush()
 }
 
 // LoadCounts splits per-level load counts by requester, mirroring the
@@ -216,38 +287,50 @@ func (h *Hierarchy) SetWalkerPrivate(p arch.Platform) error {
 // lines in every level just like program loads do, producing the cache
 // pollution the paper measures.
 func (h *Hierarchy) Access(phys mem.Addr, walker bool) (Level, int) {
-	count := func(lc *LoadCounts) {
-		if walker {
-			lc.Walker++
-		} else {
-			lc.Program++
+	if walker {
+		if h.walkerPrivate != nil {
+			h.stats.L1Loads.Walker++
+			if h.walkerPrivate.Lookup(phys) {
+				return LevelL2, h.walkerPrivate.Latency()
+			}
+			h.stats.DRAMLoads.Walker++
+			h.walkerPrivate.Insert(phys)
+			return LevelDRAM, h.dramLat
 		}
-	}
-	if walker && h.walkerPrivate != nil {
-		count(&h.stats.L1Loads)
-		if h.walkerPrivate.Lookup(phys) {
-			return LevelL2, h.walkerPrivate.Latency()
+		h.stats.L1Loads.Walker++
+		if h.l1.Lookup(phys) {
+			return LevelL1, h.l1.Latency()
 		}
-		count(&h.stats.DRAMLoads)
-		h.walkerPrivate.Insert(phys)
-		return LevelDRAM, h.dramLat
+		h.stats.L2Loads.Walker++
+		if h.l2.Lookup(phys) {
+			h.l1.Insert(phys)
+			return LevelL2, h.l2.Latency()
+		}
+		h.stats.L3Loads.Walker++
+		if h.l3.Lookup(phys) {
+			h.l1.Insert(phys)
+			h.l2.Insert(phys)
+			return LevelL3, h.l3.Latency()
+		}
+		h.stats.DRAMLoads.Walker++
+	} else {
+		h.stats.L1Loads.Program++
+		if h.l1.Lookup(phys) {
+			return LevelL1, h.l1.Latency()
+		}
+		h.stats.L2Loads.Program++
+		if h.l2.Lookup(phys) {
+			h.l1.Insert(phys)
+			return LevelL2, h.l2.Latency()
+		}
+		h.stats.L3Loads.Program++
+		if h.l3.Lookup(phys) {
+			h.l1.Insert(phys)
+			h.l2.Insert(phys)
+			return LevelL3, h.l3.Latency()
+		}
+		h.stats.DRAMLoads.Program++
 	}
-	count(&h.stats.L1Loads)
-	if h.l1.Lookup(phys) {
-		return LevelL1, h.l1.Latency()
-	}
-	count(&h.stats.L2Loads)
-	if h.l2.Lookup(phys) {
-		h.l1.Insert(phys)
-		return LevelL2, h.l2.Latency()
-	}
-	count(&h.stats.L3Loads)
-	if h.l3.Lookup(phys) {
-		h.l1.Insert(phys)
-		h.l2.Insert(phys)
-		return LevelL3, h.l3.Latency()
-	}
-	count(&h.stats.DRAMLoads)
 	h.l1.Insert(phys)
 	h.l2.Insert(phys)
 	h.l3.Insert(phys)
@@ -262,6 +345,18 @@ func (h *Hierarchy) Flush() {
 	h.l1.Flush()
 	h.l2.Flush()
 	h.l3.Flush()
+}
+
+// Reset restores the hierarchy to its just-built state: all levels emptied
+// with recency clocks rewound, counters zeroed, and the walker-private
+// ablation cache removed. The set-associative line arrays are retained, so
+// pooled engines skip reallocating them on every replay.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+	h.walkerPrivate = nil
+	h.stats = Stats{}
 }
 
 // DRAMLatency returns the modelled DRAM access latency.

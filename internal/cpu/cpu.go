@@ -71,6 +71,31 @@ func New(plat arch.Platform, space *mem.AddressSpace) (*Machine, error) {
 // Platform returns the machine's platform definition.
 func (m *Machine) Platform() arch.Platform { return m.plat }
 
+// Reset re-targets the machine at a platform and address space, restoring
+// just-built state so a Reset machine replays any trace bit-identically to
+// a freshly constructed one. When the platform is unchanged the allocated
+// TLB, cache, and walker structures are retained and merely cleared, which
+// is what lets the simulation engine pool (internal/sim) avoid rebuilding
+// the set-associative arrays for each of a sweep's thousands of replays.
+func (m *Machine) Reset(plat arch.Platform, space *mem.AddressSpace) error {
+	if plat != m.plat {
+		rebuilt, err := New(plat, space)
+		if err != nil {
+			return err
+		}
+		*m = *rebuilt
+		return nil
+	}
+	m.space = space
+	m.tlb.Reset()
+	m.hier.Reset()
+	m.walk.Reset(space.PageTable())
+	for i := range m.walkerFree {
+		m.walkerFree[i] = 0
+	}
+	return nil
+}
+
 // TLB exposes the TLB (for profiling tools and tests).
 func (m *Machine) TLB() *tlb.TLB { return m.tlb }
 

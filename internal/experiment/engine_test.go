@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/cpu"
+	"mosaic/internal/sim"
+	"mosaic/internal/workloads"
+)
+
+// TestCollectCountersBitIdenticalAcrossParallelism is the engine layer's
+// determinism contract at the dataset level: the full counter sets — not
+// just the derived samples — must match bit for bit between a serial and a
+// wide-parallel collection, because every replay runs on private (Reset)
+// engine state over immutable shared translation state.
+func TestCollectCountersBitIdenticalAcrossParallelism(t *testing.T) {
+	w, err := workloads.ByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(par int) *Dataset {
+		r := quickRunner()
+		r.Parallelism = par
+		ds, err := r.Collect(w, arch.SandyBridge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a := collect(1)
+	b := collect(8)
+	if len(a.Counters) != len(b.Counters) || len(a.Counters) == 0 {
+		t.Fatalf("counter sets sized %d and %d", len(a.Counters), len(b.Counters))
+	}
+	for name, ca := range a.Counters {
+		cb, ok := b.Counters[name]
+		if !ok {
+			t.Fatalf("layout %s missing from parallel run", name)
+		}
+		if ca != cb {
+			t.Fatalf("layout %s counters differ:\nserial   %+v\nparallel %+v", name, ca, cb)
+		}
+	}
+}
+
+// TestCollectAllMatchesIsolatedCollects: a multi-pair sweep (where pairs
+// share the scheduler, engine pool, and space cache) must reproduce each
+// pair's counters exactly as an isolated single-pair collection does.
+func TestCollectAllMatchesIsolatedCollects(t *testing.T) {
+	gups, err := workloads.ByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcf, err := workloads.ByName("spec06/mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []workloads.Workload{gups, mcf}
+	plats := []arch.Platform{arch.SandyBridge, arch.Haswell}
+
+	sweep := quickRunner()
+	sweep.Parallelism = 8
+	dss, err := sweep.CollectAll(ws, plats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 4 {
+		t.Fatalf("%d datasets, want 4", len(dss))
+	}
+
+	for _, ds := range dss {
+		w, err := workloads.ByName(ds.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, err := arch.ByName(ds.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso := quickRunner()
+		iso.Parallelism = 1
+		want, err := iso.Collect(w, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, wc := range want.Counters {
+			if gc := ds.Counters[name]; gc != wc {
+				t.Fatalf("%s: layout %s differs between sweep and isolated run:\nsweep    %+v\nisolated %+v",
+					ds.Workload+"@"+ds.Platform, name, gc, wc)
+			}
+		}
+	}
+}
+
+// TestCollectMatchesFreshBuildReference is the golden check for the whole
+// staged pipeline: replaying each protocol layout with a from-scratch
+// machine over a privately built address space — no pooling, no space
+// sharing, no scheduler — must reproduce the sweep's counters bit for bit.
+func TestCollectMatchesFreshBuildReference(t *testing.T) {
+	w, err := workloads.ByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := quickRunner()
+	r.Parallelism = 8
+	ds, err := r.Collect(w, arch.Haswell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wd, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := &pairPlan{w: w, plat: arch.Haswell, key: w.Name() + "@" + arch.Haswell.Name, wd: wd}
+	for _, lay := range r.planLayouts(pair) {
+		space, err := sim.BuildSpace(physMem, lay.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cpu.New(arch.Haswell.Scaled(), space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Run(wd.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := ds.Counters[lay.Name]
+		if !ok {
+			t.Fatalf("layout %s missing from dataset", lay.Name)
+		}
+		if got != want {
+			t.Fatalf("layout %s: pipeline diverged from fresh-build reference:\npipeline %+v\nfresh    %+v",
+				lay.Name, got, want)
+		}
+	}
+}

@@ -3,6 +3,13 @@
 // build the 54-layout protocol from a simulated-PEBS miss profile, replay
 // the trace on each platform under each layout, and evaluate all nine
 // runtime models on the resulting samples.
+//
+// Measurement runs as a staged pipeline on the simulation-engine layer
+// (internal/sim): prepare (trace generation, once per workload) → plan
+// (miss profile + layout protocol, once per workload-platform pair) →
+// space (address-space construction, once per distinct layout
+// configuration, shared read-only across platforms) → replay (pooled
+// engines over a sweep-wide worker pool).
 package experiment
 
 import (
@@ -15,13 +22,13 @@ import (
 	"sync"
 
 	"mosaic/internal/arch"
-	"mosaic/internal/cpu"
 	"mosaic/internal/layout"
 	"mosaic/internal/libc"
 	"mosaic/internal/mem"
 	"mosaic/internal/mosalloc"
 	"mosaic/internal/partialsim"
 	"mosaic/internal/pmu"
+	"mosaic/internal/sim"
 	"mosaic/internal/trace"
 	"mosaic/internal/workloads"
 )
@@ -52,12 +59,17 @@ type WorkloadData struct {
 	Target   layout.Target
 }
 
-// Runner coordinates the pipeline, caching traces and datasets.
+// Runner coordinates the pipeline, caching traces, datasets, and engines.
 type Runner struct {
 	mu       sync.Mutex
 	prepared map[string]*WorkloadData
 	datasets map[string]*Dataset
-	// Parallelism bounds concurrent replays (default: GOMAXPROCS).
+	// engines pools full machines and partial simulators per platform so
+	// replays reuse TLB/cache/walker allocations instead of rebuilding them.
+	engines sim.Pool
+	// timing accumulates per-stage wall time across the runner's lifetime.
+	timing sim.Timing
+	// Parallelism bounds concurrent pipeline jobs (default: GOMAXPROCS).
 	Parallelism int
 	// Proto selects the layout protocol.
 	Proto Protocol
@@ -75,6 +87,10 @@ func NewRunner() *Runner {
 		Proto:       Standard,
 	}
 }
+
+// StageTimes returns the per-stage pipeline timing accumulated so far
+// (prepare / plan / space / replay).
+func (r *Runner) StageTimes() []sim.StageTime { return r.timing.Snapshot() }
 
 // Prepare generates (once) the workload's trace under an all-4KB Mosalloc
 // configuration and derives the layout target from the pool high-water
@@ -95,6 +111,33 @@ func (r *Runner) Prepare(w workloads.Workload) (*WorkloadData, error) {
 		return wd, nil
 	}
 
+	var wd *WorkloadData
+	err := r.timing.Time(sim.StagePrepare, func() error {
+		var err error
+		wd, err = r.generate(w)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.saveCached(wd); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	// Another goroutine may have prepared the workload concurrently; keep
+	// the first stored value so callers share one WorkloadData.
+	if prev, ok := r.prepared[w.Name()]; ok {
+		wd = prev
+	} else {
+		r.prepared[w.Name()] = wd
+	}
+	r.mu.Unlock()
+	return wd, nil
+}
+
+// generate runs the prepare stage: one traced execution of the workload
+// against the allocation stack under an all-4KB configuration.
+func (r *Runner) generate(w workloads.Workload) (*WorkloadData, error) {
 	proc, err := libc.NewProcess(physMem)
 	if err != nil {
 		return nil, err
@@ -141,20 +184,17 @@ func (r *Runner) Prepare(w workloads.Workload) (*WorkloadData, error) {
 	if err := wd.Target.Validate(); err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", w.Name(), err)
 	}
-	if err := r.saveCached(wd); err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.prepared[w.Name()] = wd
-	r.mu.Unlock()
 	return wd, nil
 }
 
-// cachePaths returns the trace and sidecar file names for a workload.
+// cachePaths returns the trace and sidecar file names for a workload. The
+// sanitized name alone is ambiguous ("a/b" and "a_b" collide), so an
+// FNV-1a hash of the full name disambiguates the file stem.
 func (r *Runner) cachePaths(name string) (traceFile, targetFile string) {
 	safe := strings.NewReplacer("/", "_", " ", "_").Replace(name)
-	return filepath.Join(r.TraceDir, safe+".mostrace"),
-		filepath.Join(r.TraceDir, safe+".target.json")
+	stem := fmt.Sprintf("%s-%08x", safe, uint32(fnv1a(name)))
+	return filepath.Join(r.TraceDir, stem+".mostrace"),
+		filepath.Join(r.TraceDir, stem+".target.json")
 }
 
 // loadCached restores a workload's trace and target from TraceDir.
@@ -167,6 +207,9 @@ func (r *Runner) loadCached(w workloads.Workload) (*WorkloadData, error) {
 	tr, err := trace.Load(traceFile)
 	if err != nil {
 		return nil, nil // absent or corrupt: regenerate
+	}
+	if tr.Name != w.Name() {
+		return nil, nil // foreign trace under a colliding file name
 	}
 	raw, err := os.ReadFile(targetFile)
 	if err != nil {
@@ -201,29 +244,54 @@ func (r *Runner) saveCached(wd *WorkloadData) error {
 	return os.WriteFile(targetFile, raw, 0o644)
 }
 
+// buildSpace runs the address-space stage for one layout: a modelled
+// process with Mosalloc attached under the layout's pool configuration.
+func (r *Runner) buildSpace(lay layout.Layout) (*mem.AddressSpace, error) {
+	var space *mem.AddressSpace
+	err := r.timing.Time(sim.StageSpace, func() error {
+		var err error
+		space, err = sim.BuildSpace(physMem, lay.Cfg)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+	}
+	return space, nil
+}
+
+// replay runs the replay stage: one pooled full machine over the trace.
+// plat must already be Scaled.
+func (r *Runner) replay(wd *WorkloadData, plat arch.Platform, lay layout.Layout, space *mem.AddressSpace) (pmu.Counters, error) {
+	eng, err := r.engines.Full(plat, space)
+	if err != nil {
+		return pmu.Counters{}, err
+	}
+	var res sim.Result
+	err = r.timing.Time(sim.StageReplay, func() error {
+		var err error
+		res, err = eng.Run(wd.Trace)
+		return err
+	})
+	if err != nil {
+		// A faulted engine is dropped rather than pooled.
+		return pmu.Counters{}, fmt.Errorf("experiment: %s on %s under %s: %w",
+			wd.Workload.Name(), plat.Name, lay.Name, err)
+	}
+	r.engines.Put(eng)
+	return res.Counters, nil
+}
+
 // RunLayout replays the workload's trace on the platform under one layout
 // and returns the counters — one experimental sample.
 // Platforms are applied in their Scaled() form (see arch.Platform.Scaled)
 // so hardware reach matches the scaled workload footprints.
 func (r *Runner) RunLayout(wd *WorkloadData, plat arch.Platform, lay layout.Layout) (pmu.Counters, error) {
 	plat = plat.Scaled()
-	proc, err := libc.NewProcess(physMem)
+	space, err := r.buildSpace(lay)
 	if err != nil {
 		return pmu.Counters{}, err
 	}
-	if _, err := mosalloc.Attach(proc, lay.Cfg); err != nil {
-		return pmu.Counters{}, fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
-	}
-	machine, err := cpu.New(plat, proc.Space())
-	if err != nil {
-		return pmu.Counters{}, err
-	}
-	ctr, err := machine.Run(wd.Trace)
-	if err != nil {
-		return pmu.Counters{}, fmt.Errorf("experiment: %s on %s under %s: %w",
-			wd.Workload.Name(), plat.Name, lay.Name, err)
-	}
-	return ctr, nil
+	return r.replay(wd, plat, lay, space)
 }
 
 // PartialSimulate replays the workload's trace through the partial
@@ -234,19 +302,32 @@ func (r *Runner) RunLayout(wd *WorkloadData, plat arch.Platform, lay layout.Layo
 // accurate partial simulator").
 func (r *Runner) PartialSimulate(wd *WorkloadData, plat arch.Platform, lay layout.Layout, highFidelity bool) (partialsim.Metrics, error) {
 	plat = plat.Scaled()
-	proc, err := libc.NewProcess(physMem)
+	space, err := r.buildSpace(lay)
 	if err != nil {
 		return partialsim.Metrics{}, err
 	}
-	if _, err := mosalloc.Attach(proc, lay.Cfg); err != nil {
-		return partialsim.Metrics{}, fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
-	}
-	sim, err := partialsim.New(plat, proc.Space())
+	eng, err := r.engines.Partial(plat, space)
 	if err != nil {
 		return partialsim.Metrics{}, err
 	}
-	sim.SimulateProgramCache = highFidelity
-	return sim.Run(wd.Trace)
+	eng.HighFidelity = highFidelity
+	var res sim.Result
+	err = r.timing.Time(sim.StageReplay, func() error {
+		var err error
+		res, err = eng.Run(wd.Trace)
+		return err
+	})
+	if err != nil {
+		return partialsim.Metrics{}, err
+	}
+	r.engines.Put(eng)
+	return partialsim.Metrics{
+		H:        res.Counters.H,
+		M:        res.Counters.M,
+		C:        res.Counters.C,
+		Lookups:  res.Counters.TLBLookups,
+		WalkRefs: res.WalkRefs,
+	}, nil
 }
 
 // Dataset holds every measurement for one (workload, platform) pair.
@@ -276,60 +357,195 @@ func (d *Dataset) Baseline(name string) (pmu.Sample, bool) {
 }
 
 // Collect measures the full protocol for one workload on one platform,
-// caching the result. Layout replays run in parallel.
+// caching the result. It is CollectAll over a single pair: layout replays
+// share the sweep-wide worker pool, engine pool, and space cache.
 func (r *Runner) Collect(w workloads.Workload, plat arch.Platform) (*Dataset, error) {
-	key := w.Name() + "@" + plat.Name
-	r.mu.Lock()
-	if ds, ok := r.datasets[key]; ok {
-		r.mu.Unlock()
-		return ds, nil
-	}
-	r.mu.Unlock()
-
-	wd, err := r.Prepare(w)
+	dss, err := r.CollectAll([]workloads.Workload{w}, []arch.Platform{plat}, nil)
 	if err != nil {
 		return nil, err
 	}
-	profile := layout.ProfileMisses(wd.Trace, plat.Scaled().TLB, wd.Target)
-	var lays []layout.Layout
-	switch r.Proto {
-	case Quick:
-		lays = wd.Target.GrowingWindows(8)
-	case Extended:
-		lays = wd.Target.Extended(profile, seedFor(key))
-	default:
-		lays = wd.Target.Standard(profile, seedFor(key))
-	}
-	lays = append(lays, wd.Target.Baseline1G())
+	return dss[0], nil
+}
 
-	counters := make([]pmu.Counters, len(lays))
-	errs := make([]error, len(lays))
-	sem := make(chan struct{}, max(1, r.Parallelism))
-	var wg sync.WaitGroup
-	for i := range lays {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			counters[i], errs[i] = r.RunLayout(wd, plat, lays[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+// pairPlan tracks one (workload, platform) dataset through the sweep.
+type pairPlan struct {
+	w    workloads.Workload
+	plat arch.Platform // unscaled; Scaled() at use sites
+	key  string
+	wd   *WorkloadData
+	lays []layout.Layout
+	ctrs []pmu.Counters
+}
+
+// CollectAll measures every (workload, platform) dataset through one
+// sweep-wide scheduler and returns them in (platform-major, workload-minor)
+// order. The pipeline runs in stages: prepare traces (parallel across
+// workloads), plan protocols (parallel across pairs), then flatten every
+// (workload, platform, layout) replay into one bounded worker pool.
+// Address spaces are built once per distinct layout configuration and
+// shared read-only across the platforms that replay it; engines are pooled
+// and Reset between replays. onProgress, when non-nil, receives progress
+// reports (with ETA) after each completed job of each stage.
+//
+// Results are bit-identical to collecting each pair in isolation at any
+// parallelism: every replay runs on private (Reset) engine state over
+// immutable shared translation state.
+func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onProgress func(sim.Progress)) ([]*Dataset, error) {
+	workers := max(1, r.Parallelism)
+
+	// Figure out which pairs still need measuring. Job order groups pairs
+	// by workload so the layouts a workload shares across platforms stay
+	// live in the space cache only while that workload's replays drain.
+	var pending []*pairPlan
+	seen := make(map[string]bool)
+	for _, w := range ws {
+		for _, p := range plats {
+			key := w.Name() + "@" + p.Name
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r.mu.Lock()
+			_, have := r.datasets[key]
+			r.mu.Unlock()
+			if !have {
+				pending = append(pending, &pairPlan{w: w, plat: p, key: key})
+			}
 		}
 	}
 
-	ds := &Dataset{
-		Workload: w.Name(),
-		Platform: plat.Name,
-		Counters: make(map[string]pmu.Counters, len(lays)),
+	// Stage 1: prepare — trace generation, once per distinct workload.
+	var uws []workloads.Workload
+	uniq := make(map[string]bool)
+	for _, pair := range pending {
+		if !uniq[pair.w.Name()] {
+			uniq[pair.w.Name()] = true
+			uws = append(uws, pair.w)
+		}
 	}
-	for i, lay := range lays {
-		ds.Counters[lay.Name] = counters[i]
-		sample := pmu.SampleFrom(lay.Name, counters[i])
+	sched := sim.Scheduler{Workers: workers, Stage: sim.StagePrepare.String(), OnProgress: onProgress}
+	err := sched.Run(len(uws),
+		func(i int) string { return uws[i].Name() },
+		func(i int) error { _, err := r.Prepare(uws[i]); return err })
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: plan — miss profile and layout protocol per pair.
+	sched = sim.Scheduler{Workers: workers, Stage: sim.StagePlan.String(), OnProgress: onProgress}
+	err = sched.Run(len(pending),
+		func(i int) string { return pending[i].key },
+		func(i int) error {
+			pair := pending[i]
+			wd, err := r.Prepare(pair.w)
+			if err != nil {
+				return err
+			}
+			pair.wd = wd
+			return r.timing.Time(sim.StagePlan, func() error {
+				pair.lays = r.planLayouts(pair)
+				pair.ctrs = make([]pmu.Counters, len(pair.lays))
+				return nil
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: replay — every (workload, platform, layout) job in one
+	// flat worker pool, with shared spaces and pooled engines.
+	spaces := sim.NewSpaceCache(physMem)
+	spaces.Timing = &r.timing
+	type job struct {
+		pair     *pairPlan
+		li       int
+		spaceKey string
+	}
+	var jobs []job
+	for _, pair := range pending {
+		for li, lay := range pair.lays {
+			jobs = append(jobs, job{pair: pair, li: li, spaceKey: spaces.Register(lay.Cfg)})
+		}
+	}
+	sched = sim.Scheduler{Workers: workers, Stage: sim.StageReplay.String(), OnProgress: onProgress}
+	err = sched.Run(len(jobs),
+		func(i int) string { return jobs[i].pair.key + "/" + jobs[i].pair.lays[jobs[i].li].Name },
+		func(i int) error {
+			j := jobs[i]
+			defer spaces.Release(j.spaceKey)
+			lay := j.pair.lays[j.li]
+			space, err := spaces.Get(j.spaceKey, lay.Cfg)
+			if err != nil {
+				return fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+			}
+			ctr, err := r.replay(j.pair.wd, j.pair.plat.Scaled(), lay, space)
+			if err != nil {
+				return err
+			}
+			j.pair.ctrs[j.li] = ctr
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble and cache the datasets.
+	for _, pair := range pending {
+		ds, err := assemble(pair)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		// Keep a dataset another caller may have stored concurrently.
+		if prev, ok := r.datasets[pair.key]; ok {
+			ds = prev
+		} else {
+			r.datasets[pair.key] = ds
+		}
+		r.mu.Unlock()
+	}
+
+	out := make([]*Dataset, 0, len(ws)*len(plats))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range plats {
+		for _, w := range ws {
+			ds, ok := r.datasets[w.Name()+"@"+p.Name]
+			if !ok {
+				return nil, fmt.Errorf("experiment: dataset %s@%s missing after sweep", w.Name(), p.Name)
+			}
+			out = append(out, ds)
+		}
+	}
+	return out, nil
+}
+
+// planLayouts generates the pair's protocol layouts plus the 1GB
+// validation point.
+func (r *Runner) planLayouts(pair *pairPlan) []layout.Layout {
+	profile := layout.ProfileMisses(pair.wd.Trace, pair.plat.Scaled().TLB, pair.wd.Target)
+	var lays []layout.Layout
+	switch r.Proto {
+	case Quick:
+		lays = pair.wd.Target.GrowingWindows(8)
+	case Extended:
+		lays = pair.wd.Target.Extended(profile, seedFor(pair.key))
+	default:
+		lays = pair.wd.Target.Standard(profile, seedFor(pair.key))
+	}
+	return append(lays, pair.wd.Target.Baseline1G())
+}
+
+// assemble folds a pair's counters into a Dataset.
+func assemble(pair *pairPlan) (*Dataset, error) {
+	ds := &Dataset{
+		Workload: pair.w.Name(),
+		Platform: pair.plat.Name,
+		Counters: make(map[string]pmu.Counters, len(pair.lays)),
+	}
+	for i, lay := range pair.lays {
+		ds.Counters[lay.Name] = pair.ctrs[i]
+		sample := pmu.SampleFrom(lay.Name, pair.ctrs[i])
 		if lay.Name == "1GB" {
 			ds.Sample1G = sample
 		} else {
@@ -341,18 +557,20 @@ func (r *Runner) Collect(w workloads.Workload, plat arch.Platform) (*Dataset, er
 		return nil, fmt.Errorf("experiment: protocol produced no 4KB baseline")
 	}
 	ds.TLBSensitive = s4k.R > 0 && (s4k.R-ds.Sample1G.R)/s4k.R >= 0.05
-	r.mu.Lock()
-	r.datasets[key] = ds
-	r.mu.Unlock()
 	return ds, nil
+}
+
+// fnv1a hashes a string with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // seedFor derives a stable seed from a dataset key.
 func seedFor(key string) int64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return int64(h & 0x7fffffffffffffff)
+	return int64(fnv1a(key) & 0x7fffffffffffffff)
 }

@@ -233,13 +233,23 @@ func (pt *PageTable) WalkFrom(v Addr, skip int) (Translation, bool) {
 	return tr, ok
 }
 
-// Translate resolves v without recording walk references.
+// Translate resolves v without recording walk references. It runs on every
+// simulated access, so it walks the radix tree directly instead of paying
+// Walk's Translation bookkeeping.
 func (pt *PageTable) Translate(v Addr) (phys Addr, size PageSize, ok bool) {
-	tr, ok := pt.Walk(v)
-	if !ok {
-		return 0, 0, false
+	node := pt.root
+	for level := TopLevel; level >= 1; level-- {
+		e := &node.entries[indexAt(v, level)]
+		if !e.present {
+			return 0, 0, false
+		}
+		if e.leaf {
+			size = sizeAtLevel(level)
+			return e.phys + (v & size.Mask()), size, true
+		}
+		node = e.next
 	}
-	return tr.Phys, tr.Size, true
+	return 0, 0, false
 }
 
 // Tables returns the number of live table node pages (including the root).

@@ -88,6 +88,31 @@ func New(plat arch.Platform, space *mem.AddressSpace) (*Simulator, error) {
 	}, nil
 }
 
+// Platform returns the simulator's platform definition.
+func (s *Simulator) Platform() arch.Platform { return s.plat }
+
+// Reset re-targets the simulator at a platform and address space, restoring
+// just-built state (including SimulateProgramCache = false) so a Reset
+// simulator replays bit-identically to a fresh one. When the platform is
+// unchanged the TLB, cache, and walker allocations are retained and merely
+// cleared, enabling engine pooling across a sweep's replays.
+func (s *Simulator) Reset(plat arch.Platform, space *mem.AddressSpace) error {
+	if plat != s.plat {
+		rebuilt, err := New(plat, space)
+		if err != nil {
+			return err
+		}
+		*s = *rebuilt
+		return nil
+	}
+	s.space = space
+	s.tlb.Reset()
+	s.hier.Reset()
+	s.walk.Reset(space.PageTable())
+	s.SimulateProgramCache = false
+	return nil
+}
+
 // Run replays the trace through the virtual-memory subsystem and returns
 // the metrics. It errors if an access touches unmapped memory.
 func (s *Simulator) Run(tr *trace.Trace) (Metrics, error) {

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage labels one phase of the staged replay pipeline, for the timing
+// counters and progress reports.
+type Stage int
+
+// Pipeline stages.
+const (
+	// StagePrepare is workload trace generation (once per workload).
+	StagePrepare Stage = iota
+	// StagePlan is per-(workload, platform) protocol planning: the
+	// simulated-PEBS miss profile and layout generation.
+	StagePlan
+	// StageSpace is address-space construction (once per distinct layout
+	// configuration).
+	StageSpace
+	// StageReplay is trace replay through an engine.
+	StageReplay
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePrepare:
+		return "prepare"
+	case StagePlan:
+		return "plan"
+	case StageSpace:
+		return "space"
+	case StageReplay:
+		return "replay"
+	}
+	return "stage?"
+}
+
+// Timing accumulates wall time and completion counts per pipeline stage
+// across concurrently running jobs. The zero value is ready to use.
+type Timing struct {
+	nanos [numStages]atomic.Int64
+	count [numStages]atomic.Int64
+}
+
+// Observe records one completed unit of work in a stage.
+func (t *Timing) Observe(s Stage, d time.Duration) {
+	t.nanos[s].Add(int64(d))
+	t.count[s].Add(1)
+}
+
+// Time wraps fn with an Observe of its duration.
+func (t *Timing) Time(s Stage, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	t.Observe(s, time.Since(start))
+	return err
+}
+
+// StageTime is one stage's aggregate timing.
+type StageTime struct {
+	Stage Stage
+	// Total is the summed wall time across all (possibly concurrent) units.
+	Total time.Duration
+	// Count is the number of completed units.
+	Count int64
+}
+
+// Snapshot returns the per-stage aggregates, in stage order.
+func (t *Timing) Snapshot() []StageTime {
+	out := make([]StageTime, 0, int(numStages))
+	for s := Stage(0); s < numStages; s++ {
+		out = append(out, StageTime{
+			Stage: s,
+			Total: time.Duration(t.nanos[s].Load()),
+			Count: t.count[s].Load(),
+		})
+	}
+	return out
+}
+
+// Progress is one scheduler progress report, delivered after each completed
+// job.
+type Progress struct {
+	// Stage names the phase the scheduler is running.
+	Stage string
+	// Done and Total count jobs in this phase.
+	Done, Total int
+	// Label describes the most recently finished job.
+	Label string
+	// Workers is the effective worker-pool size.
+	Workers int
+	// Elapsed is the time since the phase started; ETA linearly
+	// extrapolates the remaining time from the completion rate.
+	Elapsed, ETA time.Duration
+}
+
+// Scheduler runs a flat job list on one bounded worker pool. It is the
+// sweep-wide replacement for per-dataset semaphores: every job of every
+// (workload, platform) pair competes for the same workers, so the pool
+// stays saturated until the whole sweep drains.
+type Scheduler struct {
+	// Workers bounds concurrency (values < 1 mean 1).
+	Workers int
+	// Stage names the phase in progress reports.
+	Stage string
+	// OnProgress, when set, receives a report after each completed job.
+	// Reports are delivered serially.
+	OnProgress func(Progress)
+}
+
+// Run executes jobs 0..n-1 via fn, at most Workers at a time, and returns
+// the lowest-indexed error. All jobs are attempted regardless of failures,
+// matching the drain-then-report behavior sweeps want (a failed layout
+// must not abort the replays already in flight).
+func (s *Scheduler) Run(n int, label func(int) string, fn func(int) error) error {
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes progress reports
+		done int
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+				if s.OnProgress != nil {
+					mu.Lock()
+					done++
+					p := Progress{
+						Stage:   s.Stage,
+						Done:    done,
+						Total:   n,
+						Workers: workers,
+						Elapsed: time.Since(start),
+					}
+					if label != nil {
+						p.Label = label(i)
+					}
+					if done > 0 && done < n {
+						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(n-done))
+					}
+					s.OnProgress(p)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

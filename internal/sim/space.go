@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mosaic/internal/libc"
+	"mosaic/internal/mem"
+	"mosaic/internal/mosalloc"
+)
+
+// BuildSpace is the pipeline's address-space stage: one modelled process
+// with Mosalloc attached under the given pool configuration. After Attach
+// the pools are fully pre-mapped and replays only read translations, so the
+// returned space is immutable for replay purposes and safe to share
+// read-only across concurrently running engines.
+func BuildSpace(physMem uint64, cfg mosalloc.Config) (*mem.AddressSpace, error) {
+	proc, err := libc.NewProcess(physMem)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mosalloc.Attach(proc, cfg); err != nil {
+		return nil, err
+	}
+	return proc.Space(), nil
+}
+
+// SpaceKey canonically identifies a Mosalloc configuration. Layouts from
+// different platforms (or different protocols) that resolve to the same
+// pool mosaics share one key — and therefore one built address space.
+func SpaceKey(cfg mosalloc.Config) string {
+	return fmt.Sprintf("%s|%s|%d|%d",
+		cfg.HeapPool.String(), cfg.AnonPool.String(), cfg.FilePoolBytes, int(cfg.AnonPolicy))
+}
+
+type spaceEntry struct {
+	refs  int
+	once  sync.Once
+	space *mem.AddressSpace
+	err   error
+}
+
+// SpaceCache shares built address spaces between the jobs of one sweep.
+// The caller Registers every planned use up front, Gets the space inside
+// each job (the first Get builds it, all Gets agree via sync.Once), and
+// Releases after the job; when the last planned use releases, the entry is
+// dropped so the sweep never holds more spaces than its remaining jobs
+// need.
+type SpaceCache struct {
+	physMem uint64
+	// Timing, when set, observes each actual space build under StageSpace
+	// (shared-hit Gets are not counted).
+	Timing  *Timing
+	mu      sync.Mutex
+	entries map[string]*spaceEntry
+}
+
+// NewSpaceCache builds a cache whose spaces model physMem bytes of
+// simulated physical memory.
+func NewSpaceCache(physMem uint64) *SpaceCache {
+	return &SpaceCache{physMem: physMem, entries: make(map[string]*spaceEntry)}
+}
+
+// Register records one planned use of the configuration and returns its
+// key. Call once per job before scheduling.
+func (c *SpaceCache) Register(cfg mosalloc.Config) string {
+	key := SpaceKey(cfg)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &spaceEntry{}
+		c.entries[key] = e
+	}
+	e.refs++
+	c.mu.Unlock()
+	return key
+}
+
+// Get returns the shared space for a Registered key, building it on first
+// use. Concurrent Gets block until the single build completes.
+func (c *SpaceCache) Get(key string, cfg mosalloc.Config) (*mem.AddressSpace, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		// Unregistered use: build privately rather than fail.
+		return BuildSpace(c.physMem, cfg)
+	}
+	e.once.Do(func() {
+		start := time.Now()
+		e.space, e.err = BuildSpace(c.physMem, cfg)
+		if c.Timing != nil {
+			c.Timing.Observe(StageSpace, time.Since(start))
+		}
+	})
+	return e.space, e.err
+}
+
+// Release drops one planned use; at zero remaining uses the entry (and its
+// space) becomes collectable.
+func (c *SpaceCache) Release(key string) {
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		e.refs--
+		if e.refs <= 0 {
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Live reports the number of cached entries (for tests).
+func (c *SpaceCache) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

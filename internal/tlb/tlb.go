@@ -42,19 +42,16 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
-// entry is one TLB entry: a tagged virtual page number.
-type entry struct {
-	tag   uint64
-	valid bool
-	lru   uint64
-}
-
 // setAssoc is a set-associative translation structure with LRU replacement.
+// Tags and recencies live in separate set-major arrays so the hot probe
+// loop scans tags alone; a tag of 0 marks an invalid entry (real tags are
+// never 0 — tagOf's size code occupies the low bits).
 type setAssoc struct {
 	sets    int
 	assoc   int
 	setMask uint64
-	entries []entry
+	tags    []uint64
+	lru     []uint64
 	tick    uint64
 }
 
@@ -66,18 +63,16 @@ func newSetAssoc(entries, assoc int) *setAssoc {
 	if entries <= 0 {
 		return nil
 	}
-	if assoc <= 0 || assoc > entries || entries%assoc != 0 {
-		return &setAssoc{sets: 1, assoc: entries, entries: make([]entry, entries)}
-	}
-	sets := entries / assoc
-	if sets&(sets-1) != 0 {
-		return &setAssoc{sets: 1, assoc: entries, entries: make([]entry, entries)}
+	sets := 1
+	if assoc > 0 && assoc <= entries && entries%assoc == 0 && (entries/assoc)&(entries/assoc-1) == 0 {
+		sets = entries / assoc
 	}
 	return &setAssoc{
 		sets:    sets,
-		assoc:   assoc,
+		assoc:   entries / sets,
 		setMask: uint64(sets - 1),
-		entries: make([]entry, entries),
+		tags:    make([]uint64, entries),
+		lru:     make([]uint64, entries),
 	}
 }
 
@@ -85,13 +80,12 @@ func (s *setAssoc) lookup(idx, tag uint64) bool {
 	if s == nil {
 		return false
 	}
-	set := int(idx & s.setMask)
-	base := set * s.assoc
+	base := int(idx&s.setMask) * s.assoc
 	s.tick++
-	for i := 0; i < s.assoc; i++ {
-		e := &s.entries[base+i]
-		if e.valid && e.tag == tag {
-			e.lru = s.tick
+	tags := s.tags[base : base+s.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			s.lru[base+i] = s.tick
 			return true
 		}
 	}
@@ -102,35 +96,45 @@ func (s *setAssoc) insert(idx, tag uint64) {
 	if s == nil {
 		return
 	}
-	set := int(idx & s.setMask)
-	base := set * s.assoc
+	base := int(idx&s.setMask) * s.assoc
 	s.tick++
-	victim := base
-	for i := 0; i < s.assoc; i++ {
-		e := &s.entries[base+i]
-		if e.valid && e.tag == tag {
-			e.lru = s.tick
+	tags := s.tags[base : base+s.assoc]
+	lru := s.lru[base : base+s.assoc]
+	victim := 0
+	for i := range tags {
+		if tags[i] == tag {
+			lru[i] = s.tick
 			return
 		}
-		if !e.valid {
-			e.valid = true
-			e.tag = tag
-			e.lru = s.tick
+		if tags[i] == 0 {
+			tags[i] = tag
+			lru[i] = s.tick
 			return
 		}
-		if e.lru < s.entries[victim].lru {
-			victim = base + i
+		if lru[i] < lru[victim] {
+			victim = i
 		}
 	}
-	s.entries[victim] = entry{tag: tag, valid: true, lru: s.tick}
+	tags[victim] = tag
+	lru[victim] = s.tick
 }
 
 func (s *setAssoc) flush() {
 	if s == nil {
 		return
 	}
-	for i := range s.entries {
-		s.entries[i] = entry{}
+	for i := range s.tags {
+		s.tags[i] = 0
+		s.lru[i] = 0
+	}
+}
+
+// reset is flush plus a rewind of the recency clock, so lookups after a
+// reset behave bit-identically to a freshly built structure.
+func (s *setAssoc) reset() {
+	s.flush()
+	if s != nil {
+		s.tick = 0
 	}
 }
 
@@ -151,11 +155,27 @@ type Stats struct {
 type TLB struct {
 	cfg arch.TLBConfig
 	// Split L1, one structure per page size.
-	l1 map[mem.PageSize]*setAssoc
+	l14k, l12m, l11g *setAssoc
 	// L2: shared 4K(+2M) structure and optional dedicated 1GB structure.
 	l2    *setAssoc
 	l21g  *setAssoc
 	stats Stats
+	// missBySize indexes miss counts by sizeCode; Stats() materializes the
+	// public map so the per-miss hot path never touches one.
+	missBySize [4]uint64
+}
+
+// l1For returns the first-level structure for a page size.
+func (t *TLB) l1For(ps mem.PageSize) *setAssoc {
+	switch ps {
+	case mem.Page4K:
+		return t.l14k
+	case mem.Page2M:
+		return t.l12m
+	case mem.Page1G:
+		return t.l11g
+	}
+	return nil
 }
 
 // sizeCode tags shared-structure entries so 4KB and 2MB translations of
@@ -179,18 +199,15 @@ func tagOf(v mem.Addr, ps mem.PageSize) uint64 {
 // New builds a TLB from a platform's configuration.
 func New(cfg arch.TLBConfig) *TLB {
 	t := &TLB{
-		cfg: cfg,
-		l1: map[mem.PageSize]*setAssoc{
-			mem.Page4K: newSetAssoc(cfg.L1Entries4K, cfg.L1Assoc),
-			mem.Page2M: newSetAssoc(cfg.L1Entries2M, cfg.L1Assoc),
-			mem.Page1G: newSetAssoc(cfg.L1Entries1G, cfg.L1Assoc),
-		},
-		l2: newSetAssoc(cfg.L2Entries4K, cfg.L2Assoc),
+		cfg:  cfg,
+		l14k: newSetAssoc(cfg.L1Entries4K, cfg.L1Assoc),
+		l12m: newSetAssoc(cfg.L1Entries2M, cfg.L1Assoc),
+		l11g: newSetAssoc(cfg.L1Entries1G, cfg.L1Assoc),
+		l2:   newSetAssoc(cfg.L2Entries4K, cfg.L2Assoc),
 	}
 	if cfg.L2Entries1G > 0 {
 		t.l21g = newSetAssoc(cfg.L2Entries1G, cfg.L2Assoc)
 	}
-	t.stats.MissBySize = make(map[mem.PageSize]uint64, 3)
 	return t
 }
 
@@ -214,7 +231,7 @@ func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 	t.stats.Lookups++
 	vpn := mem.PageNumber(v, ps)
 	tag := tagOf(v, ps)
-	if t.l1[ps].lookup(vpn, tag) {
+	if t.l1For(ps).lookup(vpn, tag) {
 		t.stats.L1Hits++
 		return L1Hit
 	}
@@ -225,12 +242,12 @@ func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 		}
 		if l2.lookup(vpn, tag) {
 			t.stats.L2Hits++
-			t.l1[ps].insert(vpn, tag)
+			t.l1For(ps).insert(vpn, tag)
 			return L2Hit
 		}
 	}
 	t.stats.Misses++
-	t.stats.MissBySize[ps]++
+	t.missBySize[sizeCode(ps)]++
 	return Miss
 }
 
@@ -239,7 +256,7 @@ func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 func (t *TLB) Insert(v mem.Addr, ps mem.PageSize) {
 	vpn := mem.PageNumber(v, ps)
 	tag := tagOf(v, ps)
-	t.l1[ps].insert(vpn, tag)
+	t.l1For(ps).insert(vpn, tag)
 	if t.l2Holds(ps) {
 		if ps == mem.Page1G {
 			t.l21g.insert(vpn, tag)
@@ -249,11 +266,25 @@ func (t *TLB) Insert(v mem.Addr, ps mem.PageSize) {
 	}
 }
 
+// Reset restores the TLB to its just-built state: every entry invalidated,
+// recency clocks rewound, counters zeroed. A Reset TLB behaves
+// bit-identically to a freshly constructed one, which is what lets the
+// simulation engine pool reuse TLBs across replays.
+func (t *TLB) Reset() {
+	t.l14k.reset()
+	t.l12m.reset()
+	t.l11g.reset()
+	t.l2.reset()
+	t.l21g.reset()
+	t.stats = Stats{}
+	t.missBySize = [4]uint64{}
+}
+
 // Flush empties both levels (counters are kept).
 func (t *TLB) Flush() {
-	for _, s := range t.l1 {
-		s.flush()
-	}
+	t.l14k.flush()
+	t.l12m.flush()
+	t.l11g.flush()
 	t.l2.flush()
 	t.l21g.flush()
 }
@@ -261,9 +292,11 @@ func (t *TLB) Flush() {
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats {
 	out := t.stats
-	out.MissBySize = make(map[mem.PageSize]uint64, len(t.stats.MissBySize))
-	for k, v := range t.stats.MissBySize {
-		out.MissBySize[k] = v
+	out.MissBySize = make(map[mem.PageSize]uint64, 3)
+	for _, ps := range []mem.PageSize{mem.Page4K, mem.Page2M, mem.Page1G} {
+		if n := t.missBySize[sizeCode(ps)]; n > 0 {
+			out.MissBySize[ps] = n
+		}
 	}
 	return out
 }

@@ -66,6 +66,17 @@ func (p *pwc) insert(key uint64) {
 	p.lru[victim] = p.tick
 }
 
+// reset empties the PWC and rewinds its recency clock, restoring
+// just-built behavior.
+func (p *pwc) reset() {
+	if p == nil {
+		return
+	}
+	p.keys = p.keys[:0]
+	p.lru = p.lru[:0]
+	p.tick = 0
+}
+
 // Result describes one serviced walk.
 type Result struct {
 	// Latency is the walk's duration in cycles: the sum of the memory
@@ -171,3 +182,14 @@ func (w *Walker) Walk(v mem.Addr) Result {
 
 // Stats returns a copy of the counters.
 func (w *Walker) Stats() Stats { return w.stats }
+
+// Reset re-targets the walker at a (possibly different) page table and
+// clears the PWCs and counters. A Reset walker walks bit-identically to a
+// freshly built one while keeping its PWC storage allocated.
+func (w *Walker) Reset(pt *mem.PageTable) {
+	w.pt = pt
+	w.pwcPML4.reset()
+	w.pwcPDPT.reset()
+	w.pwcPD.reset()
+	w.stats = Stats{}
+}
