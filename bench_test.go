@@ -12,6 +12,8 @@ package mosaic
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -25,6 +27,7 @@ import (
 	"mosaic/internal/mosalloc"
 	"mosaic/internal/pmu"
 	"mosaic/internal/tlb"
+	"mosaic/internal/trace"
 	"mosaic/internal/walker"
 	"mosaic/internal/workloads"
 )
@@ -548,7 +551,7 @@ func BenchmarkPageWalk(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w := walker.New(as.PageTable(), h, arch.Broadwell.Scaled().PWC)
+	w := walker.New(mem.NewTranslator(as.PageTable()), h, arch.Broadwell.Scaled().PWC)
 	rng := rand.New(rand.NewSource(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -661,6 +664,39 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		}
 		if _, err := w.Generate(workloads.NewAllocator(proc)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceLoad measures loading a cached workload trace from disk in
+// the default (MOSTRC02) format — the cost every cached-trace sweep pays
+// per workload before any replay starts.
+func BenchmarkTraceLoad(b *testing.B) {
+	w, err := workloads.ByName("gups/8GB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wd, err := benchRunner.Prepare(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "trace.mostrc")
+	if err := wd.Trace.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != wd.Trace.Len() {
+			b.Fatalf("loaded %d accesses, want %d", tr.Len(), wd.Trace.Len())
 		}
 	}
 }

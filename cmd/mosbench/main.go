@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -45,8 +47,37 @@ func main() {
 		traceDir  = flag.String("tracedir", "", "directory for caching workload traces across runs")
 		jsonFlag  = flag.Bool("json", false, "dump the collected datasets as JSON instead of rendering figures")
 		svgDir    = flag.String("svg", "", "also write per-figure SVG charts into this directory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The profile is written on the way out (after defers run), so it
+		// reflects the heap at the end of the sweep.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	app := &bench{runner: experiment.NewRunner()}
 	if *quick {

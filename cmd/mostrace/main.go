@@ -63,11 +63,12 @@ func main() {
 
 func mix(tr *trace.Trace) (writes, deps float64) {
 	var w, d int
-	for _, a := range tr.Accesses {
-		if a.Write {
+	cols := tr.Columns()
+	for i := 0; i < cols.Len(); i++ {
+		if cols.Write(i) {
 			w++
 		}
-		if a.Dep {
+		if cols.Dep(i) {
 			d++
 		}
 	}

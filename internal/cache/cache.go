@@ -40,12 +40,13 @@ func (l Level) String() string {
 }
 
 // Cache is one set-associative, LRU-replacement cache level indexed and
-// tagged by physical address. A lookup scans only the set's tags; recency
-// is an exact per-set linked list of way indices, so an insert reads its
-// victim straight off the list tail instead of scanning every way's
-// last-touch time. Untouched (invalid) ways start at the tail in way
-// order, so fills consume way 0, 1, ... first — the same victim sequence
-// a timestamp scan with first-index tie-breaking produces.
+// tagged by physical address. Each set's tags are kept in recency order —
+// slot 0 is the MRU line, the last slot the LRU victim — so recency is
+// maintained by moving a hit tag to the front of its set (a ≤76-byte copy
+// within the lines the probe already streamed) instead of updating side
+// arrays. Invalid lines drift to the back and are victimized first, and a
+// re-ordered set hits and evicts identically to any other exact-LRU
+// bookkeeping.
 type Cache struct {
 	name     string
 	sets     int
@@ -54,15 +55,14 @@ type Cache struct {
 	pow2     bool   // sets is a power of two
 	setMask  uint64 // sets-1 when pow2
 	fastM    uint64 // Lemire fastmod magic otherwise
-	// tags holds block number + 1 per line; 0 marks an invalid line.
-	tags []uint64
-	// prev/next hold each line's recency-list neighbors as way indices
-	// (prev is toward the MRU head, next toward the LRU tail); head/tail
-	// hold each set's MRU and LRU way. prev[head] and next[tail] are
-	// unused.
-	prev, next []uint16
-	head, tail []uint16
-	latency    int
+	// tags holds block number + 1 per line; 0 marks an invalid line. Tags
+	// are 32-bit: modelled physical memory tops out at 64GB (2^36) and
+	// lines are ≥64B, so block numbers need at most 30 bits — and halving
+	// the tag width halves the bytes every probe streams through the set.
+	// Insert enforces the width, so an out-of-range address fails loudly
+	// rather than aliasing.
+	tags    []uint32
+	latency int
 }
 
 // NewCache builds a cache level from its configuration.
@@ -90,11 +90,7 @@ func NewCache(name string, cfg arch.CacheConfig) (*Cache, error) {
 		sets:     sets,
 		assoc:    cfg.Assoc,
 		lineBits: lineBits,
-		tags:     make([]uint64, sets*cfg.Assoc),
-		prev:     make([]uint16, sets*cfg.Assoc),
-		next:     make([]uint16, sets*cfg.Assoc),
-		head:     make([]uint16, sets),
-		tail:     make([]uint16, sets),
+		tags:     make([]uint32, sets*cfg.Assoc),
 		latency:  cfg.LatencyCycle,
 	}
 	if sets&(sets-1) == 0 {
@@ -103,45 +99,7 @@ func NewCache(name string, cfg arch.CacheConfig) (*Cache, error) {
 	} else {
 		c.fastM = ^uint64(0)/uint64(sets) + 1
 	}
-	c.initRecency()
 	return c, nil
-}
-
-// initRecency orders every set's recency list way assoc-1 (MRU) down to
-// way 0 (LRU), so untouched ways are victimized in ascending way order.
-func (c *Cache) initRecency() {
-	for set := 0; set < c.sets; set++ {
-		base := set * c.assoc
-		for w := 0; w < c.assoc; w++ {
-			if w > 0 {
-				c.next[base+w] = uint16(w - 1)
-			}
-			if w < c.assoc-1 {
-				c.prev[base+w] = uint16(w + 1)
-			}
-		}
-		c.head[set] = uint16(c.assoc - 1)
-		c.tail[set] = 0
-	}
-}
-
-// touch moves way i to the MRU head of its set's recency list.
-func (c *Cache) touch(base, set, i int) {
-	h := int(c.head[set])
-	if h == i {
-		return
-	}
-	p := c.prev[base+i]
-	if int(c.tail[set]) == i {
-		c.tail[set] = p
-	} else {
-		n := c.next[base+i]
-		c.prev[base+int(n)] = p
-		c.next[base+int(p)] = n
-	}
-	c.prev[base+h] = uint16(i)
-	c.next[base+i] = uint16(h)
-	c.head[set] = uint16(i)
 }
 
 // setIndex maps a block number to its set. Real L3 slices are not
@@ -161,37 +119,56 @@ func (c *Cache) setIndex(blk uint64) int {
 }
 
 // Lookup probes the cache for the line containing phys; on a hit the line's
-// recency is refreshed.
+// recency is refreshed by moving its tag to the set's MRU slot.
 func (c *Cache) Lookup(phys mem.Addr) bool {
-	blk := uint64(phys) >> c.lineBits
+	return c.lookupB(uint64(phys) >> c.lineBits)
+}
+
+// lookupB is Lookup on a pre-shifted block number — the hierarchy computes
+// the block once per access and probes every level with it.
+func (c *Cache) lookupB(blk uint64) bool {
 	set := c.setIndex(blk)
 	base := set * c.assoc
-	tagv := blk + 1 // full block number as tag (set bits included, harmless)
+	tagv := uint32(blk) + 1 // full block number as tag (set bits included, harmless)
 	tags := c.tags[base : base+c.assoc]
-	for i := range tags {
+	// Slot 0 first: repeated touches of a hot line are the common case,
+	// and an MRU hit needs no re-ordering at all.
+	if tags[0] == tagv {
+		return true
+	}
+	for i := 1; i < len(tags); i++ {
 		if tags[i] == tagv {
-			c.touch(base, set, i)
+			// Shift by hand: the move is 1–19 words, far below the size
+			// where a memmove call beats a simple backward loop.
+			for j := i; j > 0; j-- {
+				tags[j] = tags[j-1]
+			}
+			tags[0] = tagv
 			return true
 		}
 	}
 	return false
 }
 
-// Insert fills the line containing phys, evicting the set's LRU victim.
-// It returns the evicted block's physical address and whether a valid
-// line was evicted.
-func (c *Cache) Insert(phys mem.Addr) (mem.Addr, bool) {
-	blk := uint64(phys) >> c.lineBits
+// Insert fills the line containing phys, evicting the set's LRU victim
+// (which simply falls off the back of the set — the model has no writeback
+// traffic, so nobody needs the victim's identity). The caller guarantees
+// the line is not already present: Hierarchy.Access only inserts into
+// levels whose lookup just missed.
+func (c *Cache) Insert(phys mem.Addr) {
+	c.insertB(uint64(phys) >> c.lineBits)
+}
+
+// insertB is Insert on a pre-shifted block number.
+func (c *Cache) insertB(blk uint64) {
+	if blk >= 1<<32-1 {
+		panic(fmt.Sprintf("cache: %s: block %#x exceeds the 32-bit tag width", c.name, blk))
+	}
 	set := c.setIndex(blk)
 	base := set * c.assoc
-	victim := int(c.tail[set])
-	old := c.tags[base+victim]
-	c.tags[base+victim] = blk + 1
-	c.touch(base, set, victim)
-	if old == 0 {
-		return 0, false
-	}
-	return mem.Addr((old - 1) << c.lineBits), true
+	tags := c.tags[base : base+c.assoc]
+	copy(tags[1:], tags[:len(tags)-1])
+	tags[0] = uint32(blk) + 1
 }
 
 // Latency returns the level's hit latency in cycles.
@@ -203,12 +180,11 @@ func (c *Cache) Sets() int { return c.sets }
 // Assoc returns the associativity (for tests).
 func (c *Cache) Assoc() int { return c.assoc }
 
-// Flush invalidates every line and restores the initial recency order.
+// Flush invalidates every line.
 func (c *Cache) Flush() {
 	for i := range c.tags {
 		c.tags[i] = 0
 	}
-	c.initRecency()
 }
 
 // Reset restores the just-built state: a Reset cache behaves
@@ -243,8 +219,15 @@ type Stats struct {
 // parts (pre-Skylake-SP inclusive L3).
 type Hierarchy struct {
 	l1, l2, l3 *Cache
-	dramLat    int
-	stats      Stats
+	// lineBits is the levels' shared line shift: every modelled platform
+	// uses 64B lines at all levels, so Access shifts the address into a
+	// block number once and probes each level with it. uniform guards the
+	// (hypothetical) mixed-line-size configuration, which falls back to
+	// per-level shifting.
+	lineBits uint
+	uniform  bool
+	dramLat  int
+	stats    Stats
 	// walkerPrivate, when non-nil, gives the walker a private cache: its
 	// loads no longer touch the shared hierarchy at all — an ablation knob
 	// that removes cache pollution while preserving walker locality
@@ -266,7 +249,12 @@ func NewHierarchy(p arch.Platform) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{l1: l1, l2: l2, l3: l3, dramLat: p.DRAMLat}, nil
+	return &Hierarchy{
+		l1: l1, l2: l2, l3: l3,
+		lineBits: l1.lineBits,
+		uniform:  l1.lineBits == l2.lineBits && l2.lineBits == l3.lineBits,
+		dramLat:  p.DRAMLat,
+	}, nil
 }
 
 // SetWalkerPrivate toggles the no-pollution ablation: walker loads are
@@ -287,47 +275,95 @@ func (h *Hierarchy) SetWalkerPrivate(p arch.Platform) error {
 // lines in every level just like program loads do, producing the cache
 // pollution the paper measures.
 func (h *Hierarchy) Access(phys mem.Addr, walker bool) (Level, int) {
-	if walker {
-		if h.walkerPrivate != nil {
-			h.stats.L1Loads.Walker++
-			if h.walkerPrivate.Lookup(phys) {
-				return LevelL2, h.walkerPrivate.Latency()
-			}
-			h.stats.DRAMLoads.Walker++
-			h.walkerPrivate.Insert(phys)
-			return LevelDRAM, h.dramLat
+	if walker && h.walkerPrivate != nil {
+		h.stats.L1Loads.Walker++
+		if h.walkerPrivate.Lookup(phys) {
+			return LevelL2, h.walkerPrivate.latency
 		}
+		h.stats.DRAMLoads.Walker++
+		h.walkerPrivate.Insert(phys)
+		return LevelDRAM, h.dramLat
+	}
+	if !h.uniform {
+		return h.accessSlow(phys, walker)
+	}
+	blk := uint64(phys) >> h.lineBits
+	if walker {
+		h.stats.L1Loads.Walker++
+		if h.l1.lookupB(blk) {
+			return LevelL1, h.l1.latency
+		}
+		h.stats.L2Loads.Walker++
+		if h.l2.lookupB(blk) {
+			h.l1.insertB(blk)
+			return LevelL2, h.l2.latency
+		}
+		h.stats.L3Loads.Walker++
+		if h.l3.lookupB(blk) {
+			h.l1.insertB(blk)
+			h.l2.insertB(blk)
+			return LevelL3, h.l3.latency
+		}
+		h.stats.DRAMLoads.Walker++
+	} else {
+		h.stats.L1Loads.Program++
+		if h.l1.lookupB(blk) {
+			return LevelL1, h.l1.latency
+		}
+		h.stats.L2Loads.Program++
+		if h.l2.lookupB(blk) {
+			h.l1.insertB(blk)
+			return LevelL2, h.l2.latency
+		}
+		h.stats.L3Loads.Program++
+		if h.l3.lookupB(blk) {
+			h.l1.insertB(blk)
+			h.l2.insertB(blk)
+			return LevelL3, h.l3.latency
+		}
+		h.stats.DRAMLoads.Program++
+	}
+	h.l1.insertB(blk)
+	h.l2.insertB(blk)
+	h.l3.insertB(blk)
+	return LevelDRAM, h.dramLat
+}
+
+// accessSlow handles hierarchies whose levels disagree on line size (no
+// modelled platform does): each level shifts the address itself.
+func (h *Hierarchy) accessSlow(phys mem.Addr, walker bool) (Level, int) {
+	if walker {
 		h.stats.L1Loads.Walker++
 		if h.l1.Lookup(phys) {
-			return LevelL1, h.l1.Latency()
+			return LevelL1, h.l1.latency
 		}
 		h.stats.L2Loads.Walker++
 		if h.l2.Lookup(phys) {
 			h.l1.Insert(phys)
-			return LevelL2, h.l2.Latency()
+			return LevelL2, h.l2.latency
 		}
 		h.stats.L3Loads.Walker++
 		if h.l3.Lookup(phys) {
 			h.l1.Insert(phys)
 			h.l2.Insert(phys)
-			return LevelL3, h.l3.Latency()
+			return LevelL3, h.l3.latency
 		}
 		h.stats.DRAMLoads.Walker++
 	} else {
 		h.stats.L1Loads.Program++
 		if h.l1.Lookup(phys) {
-			return LevelL1, h.l1.Latency()
+			return LevelL1, h.l1.latency
 		}
 		h.stats.L2Loads.Program++
 		if h.l2.Lookup(phys) {
 			h.l1.Insert(phys)
-			return LevelL2, h.l2.Latency()
+			return LevelL2, h.l2.latency
 		}
 		h.stats.L3Loads.Program++
 		if h.l3.Lookup(phys) {
 			h.l1.Insert(phys)
 			h.l2.Insert(phys)
-			return LevelL3, h.l3.Latency()
+			return LevelL3, h.l3.latency
 		}
 		h.stats.DRAMLoads.Program++
 	}

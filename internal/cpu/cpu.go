@@ -41,6 +41,9 @@ import (
 type Machine struct {
 	plat  arch.Platform
 	space *mem.AddressSpace
+	// trans memoizes VA→(phys, pagesize) above the page-table radix walk;
+	// sound because translation state is immutable during replay.
+	trans *mem.Translator
 	tlb   *tlb.TLB
 	hier  *cache.Hierarchy
 	walk  *walker.Walker
@@ -58,12 +61,14 @@ func New(plat arch.Platform, space *mem.AddressSpace) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	trans := mem.NewTranslator(space.PageTable())
 	return &Machine{
 		plat:       plat,
 		space:      space,
+		trans:      trans,
 		tlb:        tlb.New(plat.TLB),
 		hier:       hier,
-		walk:       walker.New(space.PageTable(), hier, plat.PWC),
+		walk:       walker.New(trans, hier, plat.PWC),
 		walkerFree: make([]float64, plat.PageWalkers),
 	}, nil
 }
@@ -87,9 +92,10 @@ func (m *Machine) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 		return nil
 	}
 	m.space = space
+	m.trans.Reset(space.PageTable())
 	m.tlb.Reset()
 	m.hier.Reset()
-	m.walk.Reset(space.PageTable())
+	m.walk.Reset(m.trans)
 	for i := range m.walkerFree {
 		m.walkerFree[i] = 0
 	}
@@ -126,64 +132,120 @@ func (b Breakdown) Total() float64 {
 	return b.Base + b.TLBHit + b.WalkStall + b.WalkQueue + b.DataStall
 }
 
+// runState is one replay's in-flight model state, kept separate from the
+// Machine so the fused batch kernel (RunBatch) can advance many machines
+// through the same trace block by block.
+type runState struct {
+	now          float64 // runtime clock, cycles
+	walkCycles   uint64  // the C counter: busy cycles summed per walker
+	instructions uint64
+	// missRate is an exponentially weighted moving average of L2 TLB
+	// misses per instruction. The out-of-order engine's ability to
+	// hide a dependent miss improves as the recent miss frequency
+	// drops — the paper's observation that CPUs become increasingly
+	// effective at alleviating TLB misses as their frequency
+	// approaches zero (§I, Figure 3).
+	missRate float64
+	bd       Breakdown
+}
+
+const rateTau = 30000.0 // EWMA horizon, instructions
+
+// invRateTau trades the replay loop's per-access divide for a multiply.
+const invRateTau = 1 / rateTau
+
 // Run replays the trace and returns the resulting performance counters.
 // It errors if any access touches unmapped memory.
 func (m *Machine) Run(tr *trace.Trace) (pmu.Counters, error) {
-	ctr, _, err := m.runAccesses(tr.Name, tr.Accesses)
+	ctr, _, err := m.runTrace(tr)
 	return ctr, err
 }
 
 // RunDetailed is Run plus the runtime breakdown.
 func (m *Machine) RunDetailed(tr *trace.Trace) (pmu.Counters, Breakdown, error) {
-	return m.runAccesses(tr.Name, tr.Accesses)
+	return m.runTrace(tr)
 }
 
-func (m *Machine) runAccesses(name string, accesses []trace.Access) (pmu.Counters, Breakdown, error) {
-	var (
-		now          float64 // runtime clock, cycles
-		walkCycles   uint64  // the C counter: busy cycles summed per walker
-		instructions uint64
-		// missRate is an exponentially weighted moving average of L2 TLB
-		// misses per instruction. The out-of-order engine's ability to
-		// hide a dependent miss improves as the recent miss frequency
-		// drops — the paper's observation that CPUs become increasingly
-		// effective at alleviating TLB misses as their frequency
-		// approaches zero (§I, Figure 3).
-		missRate float64
-		bd       Breakdown
-	)
-	const rateTau = 30000.0 // EWMA horizon, instructions
+func (m *Machine) runTrace(tr *trace.Trace) (pmu.Counters, Breakdown, error) {
+	var st runState
+	cols := tr.Columns()
+	if err := m.replayRange(tr.Name, &st, cols, 0, cols.Len()); err != nil {
+		return pmu.Counters{}, Breakdown{}, err
+	}
+	return m.counters(&st), st.bd, nil
+}
+
+// FuseBlock is the number of accesses a fused batch replays per machine
+// before advancing to the next machine: large enough to amortize the
+// per-machine switch, small enough that the block's trace columns (~50KB)
+// stay cache-resident while every machine in the batch streams them.
+const FuseBlock = 262144
+
+// RunBatch replays one trace through several machines — one per layout of
+// a sweep's protocol — in a single fused pass over the trace: each block of
+// accesses is decoded once and replayed through every machine before the
+// next block is touched, so the trace's memory bandwidth and decode cost
+// are amortized across the whole batch. All machines must share a platform
+// family but may (and normally do) sit on different address spaces.
+//
+// Counters are bit-identical to running each machine over the whole trace
+// alone: machines share no mutable state, and each one still sees every
+// access in order.
+func RunBatch(ms []*Machine, tr *trace.Trace) ([]pmu.Counters, error) {
+	cols := tr.Columns()
+	states := make([]runState, len(ms))
+	n := cols.Len()
+	for lo := 0; lo < n; lo += FuseBlock {
+		hi := min(lo+FuseBlock, n)
+		for k, m := range ms {
+			if err := m.replayRange(tr.Name, &states[k], cols, lo, hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]pmu.Counters, len(ms))
+	for k, m := range ms {
+		out[k] = m.counters(&states[k])
+	}
+	return out, nil
+}
+
+// replayRange advances one replay's state through accesses [lo, hi).
+func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo, hi int) error {
 	ooo := m.plat.OOO
 	l1Lat := float64(m.plat.L1D.LatencyCycle)
 	l2tlbLat := float64(m.plat.TLB.L2LatencyCycles)
+	baseCPI := m.plat.BaseCPI
 
-	for i := range accesses {
-		a := &accesses[i]
-		work := float64(a.Gap) + 1
-		instructions += uint64(a.Gap) + 1
-		now += work * m.plat.BaseCPI
-		bd.Base += work * m.plat.BaseCPI
-		if decay := 1 - work/rateTau; decay > 0 {
-			missRate *= decay
+	for i := lo; i < hi; i++ {
+		va := cols.VA(i)
+		gap := cols.Gap(i)
+		dep := cols.Dep(i)
+		work := float64(gap) + 1
+		st.instructions += uint64(gap) + 1
+		st.now += work * baseCPI
+		st.bd.Base += work * baseCPI
+		if decay := 1 - work*invRateTau; decay > 0 {
+			st.missRate *= decay
 		} else {
-			missRate = 0
+			st.missRate = 0
 		}
 
-		phys, ps, ok := m.space.Translate(a.VA)
+		phys, ps, ok := m.trans.Translate(va)
 		if !ok {
-			return pmu.Counters{}, Breakdown{}, fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(a.VA))
+			return fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(va))
 		}
 
-		switch m.tlb.Lookup(a.VA, ps) {
+		switch m.tlb.Lookup(va, ps) {
 		case tlb.L1Hit:
 			// Translation is free.
 		case tlb.L2Hit:
 			hide := ooo.L2TLBHitHide
-			if !a.Dep {
+			if !dep {
 				hide = ooo.IndepWalkHide
 			}
-			now += l2tlbLat * (1 - hide)
-			bd.TLBHit += l2tlbLat * (1 - hide)
+			st.now += l2tlbLat * (1 - hide)
+			st.bd.TLBHit += l2tlbLat * (1 - hide)
 		case tlb.Miss:
 			// Claim the earliest-available hardware walker.
 			idx := 0
@@ -192,37 +254,37 @@ func (m *Machine) runAccesses(name string, accesses []trace.Access) (pmu.Counter
 					idx = j
 				}
 			}
-			start := now
+			start := st.now
 			if m.walkerFree[idx] > start {
 				start = m.walkerFree[idx]
 			}
-			res := m.walk.Walk(a.VA)
+			res := m.walk.Walk(va)
 			if res.Fault {
-				return pmu.Counters{}, Breakdown{}, fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(a.VA))
+				return fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(va))
 			}
 			lat := float64(res.Latency)
 			m.walkerFree[idx] = start + lat
-			walkCycles += uint64(res.Latency)
+			st.walkCycles += uint64(res.Latency)
 
-			queueWait := start - now
+			queueWait := start - st.now
 			var hide float64
-			if a.Dep {
+			if dep {
 				// Dependent chains expose the walk; hiding improves as the
 				// recent miss frequency drops (hide = HideMax at zero
 				// frequency, vanishing when every access misses).
-				hide = ooo.HideMax / (1 + ooo.HideGap*missRate)
+				hide = ooo.HideMax / (1 + ooo.HideGap*st.missRate)
 			} else {
 				// Independent misses overlap well, bounded by walker
 				// throughput (queueWait) below; isolated misses vanish
 				// almost entirely into the out-of-order window.
 				hide = ooo.IndepWalkHide +
-					(0.97-ooo.IndepWalkHide)/(1+ooo.HideGap*missRate)
+					(0.97-ooo.IndepWalkHide)/(1+ooo.HideGap*st.missRate)
 			}
-			now += queueWait + lat*(1-hide)
-			bd.WalkQueue += queueWait
-			bd.WalkStall += lat * (1 - hide)
-			missRate += 1 / rateTau
-			m.tlb.Insert(a.VA, ps)
+			st.now += queueWait + lat*(1-hide)
+			st.bd.WalkQueue += queueWait
+			st.bd.WalkStall += lat * (1 - hide)
+			st.missRate += 1 / rateTau
+			m.tlb.Insert(va, ps)
 		}
 
 		// The data reference itself. Stores are charged like loads: a
@@ -232,22 +294,26 @@ func (m *Machine) runAccesses(name string, accesses []trace.Access) (pmu.Counter
 		lvl, dlat := m.hier.Access(phys, false)
 		if lvl != cache.LevelL1 {
 			hide := ooo.DataHide
-			if !a.Dep {
+			if !dep {
 				hide = ooo.IndepDataHide
 			}
-			now += (float64(dlat) - l1Lat) * (1 - hide)
-			bd.DataStall += (float64(dlat) - l1Lat) * (1 - hide)
+			st.now += (float64(dlat) - l1Lat) * (1 - hide)
+			st.bd.DataStall += (float64(dlat) - l1Lat) * (1 - hide)
 		}
 	}
+	return nil
+}
 
+// counters harvests the machine's component statistics into the PMU view.
+func (m *Machine) counters(st *runState) pmu.Counters {
 	ts := m.tlb.Stats()
 	cs := m.hier.Stats()
-	ctr := pmu.Counters{
-		R:                uint64(now),
+	return pmu.Counters{
+		R:                uint64(st.now),
 		H:                ts.L2Hits,
 		M:                ts.Misses,
-		C:                walkCycles,
-		Instructions:     instructions,
+		C:                st.walkCycles,
+		Instructions:     st.instructions,
 		L1DLoadsProgram:  cs.L1Loads.Program,
 		L1DLoadsWalker:   cs.L1Loads.Walker,
 		L2LoadsProgram:   cs.L2Loads.Program,
@@ -258,5 +324,4 @@ func (m *Machine) runAccesses(name string, accesses []trace.Access) (pmu.Counter
 		DRAMLoadsWalker:  cs.DRAMLoads.Walker,
 		TLBLookups:       ts.Lookups,
 	}
-	return ctr, bd, nil
 }

@@ -40,8 +40,8 @@ func TestTraceCacheRoundTrip(t *testing.T) {
 	if wd2.Trace.Len() != wd1.Trace.Len() {
 		t.Fatalf("cached trace length %d, want %d", wd2.Trace.Len(), wd1.Trace.Len())
 	}
-	for i := range wd1.Trace.Accesses {
-		if wd1.Trace.Accesses[i] != wd2.Trace.Accesses[i] {
+	for i := 0; i < wd1.Trace.Len(); i++ {
+		if wd1.Trace.At(i) != wd2.Trace.At(i) {
 			t.Fatal("cached trace differs from generated trace")
 		}
 	}

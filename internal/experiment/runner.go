@@ -262,23 +262,46 @@ func (r *Runner) buildSpace(lay layout.Layout) (*mem.AddressSpace, error) {
 // replay runs the replay stage: one pooled full machine over the trace.
 // plat must already be Scaled.
 func (r *Runner) replay(wd *WorkloadData, plat arch.Platform, lay layout.Layout, space *mem.AddressSpace) (pmu.Counters, error) {
-	eng, err := r.engines.Full(plat, space)
+	ctrs, err := r.replayBatch(wd, plat, []layout.Layout{lay}, []*mem.AddressSpace{space})
 	if err != nil {
 		return pmu.Counters{}, err
 	}
-	var res sim.Result
-	err = r.timing.Time(sim.StageReplay, func() error {
+	return ctrs[0], nil
+}
+
+// replayBatch runs the replay stage for a span of one pair's layouts: N
+// pooled full machines — one per layout — advance through the trace in a
+// single fused pass (sim.RunBatch), so the trace columns are streamed from
+// memory once per block instead of once per layout. Counters are
+// bit-identical to replaying each layout alone. plat must already be Scaled.
+func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, spaces []*mem.AddressSpace) ([]pmu.Counters, error) {
+	engines := make([]sim.Engine, len(lays))
+	for i, space := range spaces {
+		eng, err := r.engines.Full(plat, space)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	var results []sim.Result
+	err := r.timing.Time(sim.StageReplay, func() error {
 		var err error
-		res, err = eng.Run(wd.Trace)
+		results, err = sim.RunBatch(engines, wd.Trace)
 		return err
 	})
 	if err != nil {
-		// A faulted engine is dropped rather than pooled.
-		return pmu.Counters{}, fmt.Errorf("experiment: %s on %s under %s: %w",
-			wd.Workload.Name(), plat.Name, lay.Name, err)
+		// Faulted engines are dropped rather than pooled.
+		return nil, fmt.Errorf("experiment: %s on %s under %s..%s: %w",
+			wd.Workload.Name(), plat.Name, lays[0].Name, lays[len(lays)-1].Name, err)
 	}
-	r.engines.Put(eng)
-	return res.Counters, nil
+	for _, eng := range engines {
+		r.engines.Put(eng)
+	}
+	ctrs := make([]pmu.Counters, len(results))
+	for i, res := range results {
+		ctrs[i] = res.Counters
+	}
+	return ctrs, nil
 }
 
 // RunLayout replays the workload's trace on the platform under one layout
@@ -452,37 +475,65 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 		return nil, err
 	}
 
-	// Stage 3: replay — every (workload, platform, layout) job in one
-	// flat worker pool, with shared spaces and pooled engines.
+	// Stage 3: replay — every (workload, platform) pair's layouts, chunked
+	// into fused batches sized to keep the worker pool saturated, in one
+	// flat worker pool with shared spaces and pooled engines. A job replays
+	// its span of same-pair layouts in a single pass over the trace
+	// (Runner.replayBatch).
 	spaces := sim.NewSpaceCache(physMem)
 	spaces.Timing = &r.timing
 	type job struct {
-		pair     *pairPlan
-		li       int
-		spaceKey string
+		pair      *pairPlan
+		lo, hi    int      // layout index span [lo, hi)
+		spaceKeys []string // one per layout in the span
 	}
+	totalLayouts := 0
+	for _, pair := range pending {
+		totalLayouts += len(pair.lays)
+	}
+	span := sim.BatchSpan(totalLayouts, workers)
 	var jobs []job
 	for _, pair := range pending {
-		for li, lay := range pair.lays {
-			jobs = append(jobs, job{pair: pair, li: li, spaceKey: spaces.Register(lay.Cfg)})
+		for lo := 0; lo < len(pair.lays); lo += span {
+			hi := min(lo+span, len(pair.lays))
+			keys := make([]string, 0, hi-lo)
+			for _, lay := range pair.lays[lo:hi] {
+				keys = append(keys, spaces.Register(lay.Cfg))
+			}
+			jobs = append(jobs, job{pair: pair, lo: lo, hi: hi, spaceKeys: keys})
 		}
 	}
 	sched = sim.Scheduler{Workers: workers, Stage: sim.StageReplay.String(), OnProgress: onProgress}
 	err = sched.Run(len(jobs),
-		func(i int) string { return jobs[i].pair.key + "/" + jobs[i].pair.lays[jobs[i].li].Name },
+		func(i int) string {
+			j := jobs[i]
+			lays := j.pair.lays[j.lo:j.hi]
+			if len(lays) == 1 {
+				return j.pair.key + "/" + lays[0].Name
+			}
+			return j.pair.key + "/" + lays[0].Name + ".." + lays[len(lays)-1].Name
+		},
 		func(i int) error {
 			j := jobs[i]
-			defer spaces.Release(j.spaceKey)
-			lay := j.pair.lays[j.li]
-			space, err := spaces.Get(j.spaceKey, lay.Cfg)
-			if err != nil {
-				return fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+			defer func() {
+				for _, k := range j.spaceKeys {
+					spaces.Release(k)
+				}
+			}()
+			lays := j.pair.lays[j.lo:j.hi]
+			batch := make([]*mem.AddressSpace, len(lays))
+			for k, lay := range lays {
+				space, err := spaces.Get(j.spaceKeys[k], lay.Cfg)
+				if err != nil {
+					return fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+				}
+				batch[k] = space
 			}
-			ctr, err := r.replay(j.pair.wd, j.pair.plat.Scaled(), lay, space)
+			ctrs, err := r.replayBatch(j.pair.wd, j.pair.plat.Scaled(), lays, batch)
 			if err != nil {
 				return err
 			}
-			j.pair.ctrs[j.li] = ctr
+			copy(j.pair.ctrs[j.lo:j.hi], ctrs)
 			return nil
 		})
 	if err != nil {

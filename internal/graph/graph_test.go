@@ -265,7 +265,7 @@ func TestBudgetSkipFastForwards(t *testing.T) {
 		t.Errorf("skip=1000: recorded %d, want %d", skipped.Len(), full.Len()-1000)
 	}
 	// The first recorded access matches the full trace at offset 1000.
-	if skipped.Trace().Accesses[0].VA != full.Trace().Accesses[1000].VA {
+	if skipped.Trace().At(0).VA != full.Trace().At(1000).VA {
 		t.Error("fast-forward changed the execution")
 	}
 }

@@ -17,10 +17,12 @@ func ProfileMisses(tr *trace.Trace, cfg arch.TLBConfig, t Target) MissProfile {
 	n := (t.Space() + chunk - 1) / chunk
 	p := MissProfile{ChunkSize: chunk, Counts: make([]uint64, n)}
 	tb := tlb.New(cfg)
-	for _, a := range tr.Accesses {
-		if tb.Lookup(a.VA, mem.Page4K) == tlb.Miss {
-			tb.Insert(a.VA, mem.Page4K)
-			if off, ok := t.ConcatOffset(a.VA); ok {
+	cols := tr.Columns()
+	for i := 0; i < cols.Len(); i++ {
+		va := cols.VA(i)
+		if tb.Lookup(va, mem.Page4K) == tlb.Miss {
+			tb.Insert(va, mem.Page4K)
+			if off, ok := t.ConcatOffset(va); ok {
 				p.Counts[off/chunk]++
 			}
 		}

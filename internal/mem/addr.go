@@ -8,7 +8,10 @@
 // x86-64 virtual-memory structures the paper's experiments depend on.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a 64-bit virtual or physical address. The two spaces are kept
 // distinct by convention: functions document which one they expect.
@@ -72,7 +75,11 @@ func AlignUp(a Addr, s PageSize) Addr { return (a + s.Mask()) &^ s.Mask() }
 func IsAligned(a Addr, s PageSize) bool { return a&s.Mask() == 0 }
 
 // PageNumber returns the virtual (or physical) page number of a for size s.
-func PageNumber(a Addr, s PageSize) uint64 { return uint64(a) / uint64(s) }
+// Page sizes are powers of two, so the division is a shift — this runs on
+// every simulated TLB lookup, where a hardware divide would be felt.
+func PageNumber(a Addr, s PageSize) uint64 {
+	return uint64(a) >> uint(bits.TrailingZeros64(uint64(s)))
+}
 
 // Region is a half-open interval [Start, End) of addresses.
 type Region struct {

@@ -189,6 +189,16 @@ func (pt *PageTable) Unmap(v Addr, size PageSize) (Addr, error) {
 // (no translation installed).
 func (pt *PageTable) Walk(v Addr) (Translation, bool) {
 	var tr Translation
+	ok := pt.walkInto(v, &tr)
+	return tr, ok
+}
+
+// walkInto is Walk writing into a caller-provided Translation, so hot paths
+// (the Translator's fallback) can reuse one scratch buffer instead of
+// copying the 88-byte struct per walk.
+func (pt *PageTable) walkInto(v Addr, tr *Translation) bool {
+	tr.NumRefs = 0
+	tr.Phys, tr.Size = 0, 0
 	node := pt.root
 	for level := TopLevel; level >= 1; level-- {
 		idx := indexAt(v, level)
@@ -199,17 +209,17 @@ func (pt *PageTable) Walk(v Addr) (Translation, bool) {
 		}
 		tr.NumRefs++
 		if !e.present {
-			return tr, false
+			return false
 		}
 		if e.leaf {
 			size := sizeAtLevel(level)
 			tr.Size = size
 			tr.Phys = e.phys + (v & size.Mask())
-			return tr, true
+			return true
 		}
 		node = e.next
 	}
-	return tr, false
+	return false
 }
 
 // WalkFrom performs a partial walk that starts below skipLevels already-
@@ -217,20 +227,24 @@ func (pt *PageTable) Walk(v Addr) (Translation, bool) {
 // walk from the PML4; skip=2 starts at the PD. The returned refs contain
 // only the loads actually issued.
 func (pt *PageTable) WalkFrom(v Addr, skip int) (Translation, bool) {
-	full, ok := pt.Walk(v)
-	if skip <= 0 {
-		return full, ok
-	}
-	if skip >= full.NumRefs {
-		skip = full.NumRefs - 1
-	}
 	var tr Translation
-	tr.Phys, tr.Size = full.Phys, full.Size
-	for i := skip; i < full.NumRefs; i++ {
-		tr.Refs[tr.NumRefs] = full.Refs[i]
-		tr.NumRefs++
-	}
+	ok := pt.walkFromInto(v, skip, &tr)
 	return tr, ok
+}
+
+// walkFromInto is WalkFrom writing into a caller-provided Translation.
+// Entries of tr.Refs beyond tr.NumRefs are left unspecified.
+func (pt *PageTable) walkFromInto(v Addr, skip int, tr *Translation) bool {
+	ok := pt.walkInto(v, tr)
+	if skip <= 0 {
+		return ok
+	}
+	if skip >= tr.NumRefs {
+		skip = tr.NumRefs - 1
+	}
+	copy(tr.Refs[:], tr.Refs[skip:tr.NumRefs])
+	tr.NumRefs -= skip
+	return ok
 }
 
 // Translate resolves v without recording walk references. It runs on every

@@ -1,0 +1,165 @@
+package mem
+
+// Translator is the replay engines' translation fast path: a direct-mapped
+// memo over PageTable.Translate, keyed by 2MB-aligned virtual region. Every
+// simulated access resolves VA→(phys, pagesize) before the TLB model runs,
+// and the radix walk — up to four dependent pointer loads — dominated the
+// replay profile. The memo collapses it to one array probe plus at most one
+// leaf-entry read:
+//
+//   - a region backed by 4KB pages memoizes its level-1 table node, so a
+//     hit costs one probe plus one PTE read;
+//   - a region inside a 2MB or 1GB page memoizes the region's physical
+//     base directly, so a hit is probe + add.
+//
+// The memo is only sound while the page table is immutable, which is
+// exactly the replay contract (internal/sim shares spaces read-only across
+// engines). Reset clears it, so a pooled engine re-targeted at a new space
+// never sees stale translations.
+type Translator struct {
+	pt *PageTable
+	// tags[i] holds regionTag+1 (0 = empty). The arrays are parallel:
+	// node[i] is the level-1 table for 4KB-backed regions (nil otherwise),
+	// and base[i]/size[i] describe the leaf for hugepage-backed regions.
+	tags []uint64
+	node []*tableNode
+	base []Addr
+	size []PageSize
+	// upper[3i..3i+3) are the upper-level entry loads (PML4, PDPT, PD —
+	// constant across a 2MB region) a walk of region i performs, letting
+	// WalkFrom serve walker refs without re-walking the radix tree. For a
+	// hugepage region the terminal entry occupies the last used slot.
+	upper []Addr
+}
+
+// translatorEntries sizes the direct-mapped memo: 8192 2MB regions cover a
+// 16GB working set — the largest bundled workload footprint — with zero
+// conflicts for a contiguous pool.
+const translatorEntries = 8192
+
+// regionShift aligns memo regions to 2MB: the finest granularity at which
+// x86-64 translations are homogeneous (a 2MB region is either part of one
+// hugepage or mapped by exactly one level-1 table).
+const regionShift = 21
+
+// NewTranslator builds a memoized fast path over pt.
+func NewTranslator(pt *PageTable) *Translator {
+	return &Translator{
+		pt:   pt,
+		tags: make([]uint64, translatorEntries),
+		node: make([]*tableNode, translatorEntries),
+		base: make([]Addr, translatorEntries),
+		size: make([]PageSize, translatorEntries),
+		upper: make([]Addr, 3*translatorEntries),
+	}
+}
+
+// Reset clears the memo and re-targets it at pt. It must be called whenever
+// the engine holding the Translator is re-targeted, and whenever the page
+// table may have changed.
+func (t *Translator) Reset(pt *PageTable) {
+	t.pt = pt
+	clear(t.tags)
+	clear(t.node)
+}
+
+// Translate resolves v to its physical address and backing page size,
+// exactly as PageTable.Translate does.
+func (t *Translator) Translate(v Addr) (Addr, PageSize, bool) {
+	tag := uint64(v>>regionShift) + 1
+	idx := (tag - 1) & (translatorEntries - 1)
+	if t.tags[idx] != tag {
+		if !t.fill(idx, tag, v) {
+			return 0, 0, false
+		}
+	}
+	if n := t.node[idx]; n != nil {
+		e := &n.entries[indexAt(v, 1)]
+		if !e.present {
+			return 0, 0, false
+		}
+		return e.phys + (v & Addr(Page4K-1)), Page4K, true
+	}
+	return t.base[idx] + (v & (Addr(1)<<regionShift - 1)), t.size[idx], true
+}
+
+// WalkFrom fills tr with the result PageTable.WalkFrom(v, skip) would
+// return, reporting the same ok. The upper-level refs come from the memo
+// (they are constant across a 2MB region); only a 4KB region's level-1 ref
+// depends on the individual address. Entries of tr.Refs beyond tr.NumRefs
+// are left unspecified — tr is a scratch buffer, not a value to compare.
+// Regions whose upper levels fault are not memoizable and fall back to the
+// radix walk, which records the exact partial ref sequence.
+func (t *Translator) WalkFrom(v Addr, skip int, tr *Translation) bool {
+	tag := uint64(v>>regionShift) + 1
+	idx := (tag - 1) & (translatorEntries - 1)
+	if t.tags[idx] != tag {
+		if !t.fill(idx, tag, v) {
+			return t.pt.walkFromInto(v, skip, tr)
+		}
+	}
+	n := t.node[idx]
+	nrefs := 4
+	if n == nil {
+		nrefs = 5 - t.size[idx].Level() // 1GB page → 2 refs, 2MB → 3
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= nrefs {
+		skip = nrefs - 1
+	}
+	base := idx * 3
+	k := 0
+	for r := skip; r < nrefs; r++ {
+		if r < 3 {
+			tr.Refs[k] = WalkRef{Level: TopLevel - r, EntryPhys: t.upper[base+uint64(r)]}
+		} else {
+			tr.Refs[k] = WalkRef{Level: 1, EntryPhys: n.phys + Addr(indexAt(v, 1)*EntryBytes)}
+		}
+		k++
+	}
+	tr.NumRefs = k
+	if n != nil {
+		e := &n.entries[indexAt(v, 1)]
+		if !e.present {
+			tr.Phys, tr.Size = 0, 0
+			return false
+		}
+		tr.Phys, tr.Size = e.phys+(v&Addr(Page4K-1)), Page4K
+		return true
+	}
+	tr.Phys, tr.Size = t.base[idx]+(v&(Addr(1)<<regionShift-1)), t.size[idx]
+	return true
+}
+
+// fill classifies v's 2MB region by walking the upper levels once and
+// installs the memo entry. It reports false when no upper-level path exists
+// (every address in the region faults); such regions are not cached, which
+// is fine — replays treat a fault as a fatal error.
+func (t *Translator) fill(idx, tag uint64, v Addr) bool {
+	node := t.pt.root
+	for level := TopLevel; level >= 2; level-- {
+		i := indexAt(v, level)
+		e := &node.entries[i]
+		t.upper[idx*3+uint64(TopLevel-level)] = node.phys + Addr(i*EntryBytes)
+		if !e.present {
+			return false
+		}
+		if e.leaf {
+			// A 1GB (level 3) or 2MB (level 2) page covers this region;
+			// memoize the region's physical base within it.
+			size := sizeAtLevel(level)
+			t.tags[idx] = tag
+			t.node[idx] = nil
+			t.base[idx] = e.phys + ((v &^ (Addr(1)<<regionShift - 1)) & size.Mask())
+			t.size[idx] = size
+			return true
+		}
+		node = e.next
+	}
+	// node is now the level-1 table mapping this region's 4KB pages.
+	t.tags[idx] = tag
+	t.node[idx] = node
+	return true
+}

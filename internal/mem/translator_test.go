@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTranslatorMatchesPageTable checks the memoized fast path against the
+// plain radix walk over a mosaic of all three page sizes, mapped and
+// unmapped holes included, with repeated probes to exercise memo hits.
+func TestTranslatorMatchesPageTable(t *testing.T) {
+	as, err := NewAddressSpace(1 << 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Addr(0x4000000000) // 256GB, 1GB-aligned
+	if err := as.Map(NewRegion(base, uint64(Page1G)), Page1G); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(base+Addr(Page1G), 4*uint64(Page2M)), Page2M); err != nil {
+		t.Fatal(err)
+	}
+	// A 4KB area with a hole: map two 2MB-aligned stretches of 4KB pages,
+	// leaving the 2MB region between them partially unmapped.
+	small := base + 2*Addr(Page1G)
+	if err := as.Map(NewRegion(small, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(small+Addr(Page2M)+64<<10, 128<<10), Page4K); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTranslator(as.PageTable())
+	probe := func(v Addr) {
+		t.Helper()
+		p1, s1, ok1 := tr.Translate(v)
+		p2, s2, ok2 := as.PageTable().Translate(v)
+		if p1 != p2 || s1 != s2 || ok1 != ok2 {
+			t.Fatalf("va %#x: translator (%#x,%v,%v) vs page table (%#x,%v,%v)",
+				uint64(v), uint64(p1), s1, ok1, uint64(p2), s2, ok2)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		// Spread probes across the whole mosaic plus unmapped surroundings.
+		v := base + Addr(rng.Uint64()%(3*uint64(Page1G)))
+		probe(v)
+	}
+	// Edges: region boundaries, page boundaries, the partial region's hole.
+	for _, v := range []Addr{
+		base, base + Addr(Page1G) - 1, base + Addr(Page1G), base + Addr(Page1G) + Addr(Page2M),
+		small, small + 4095, small + 4096, small + Addr(Page2M) - 1,
+		small + Addr(Page2M), small + Addr(Page2M) + 64<<10, small + Addr(Page2M) + 64<<10 + 128<<10,
+		0, 1 << 46,
+	} {
+		probe(v)
+	}
+
+	// Reset must survive re-targeting at a different table.
+	as2, err := NewAddressSpace(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as2.Map(NewRegion(base, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset(as2.PageTable())
+	p, s, ok := tr.Translate(base + 123)
+	p2, s2, ok2 := as2.PageTable().Translate(base + 123)
+	if p != p2 || s != s2 || ok != ok2 {
+		t.Fatalf("after Reset: (%#x,%v,%v) vs (%#x,%v,%v)", uint64(p), s, ok, uint64(p2), s2, ok2)
+	}
+}
+
+// TestTranslatorWalkFromMatchesPageTable checks the memoized walk-ref path
+// against PageTable.WalkFrom over the same mosaic of page sizes, for every
+// PWC skip depth, including faulting addresses (unmapped holes and regions
+// with no upper-level path).
+func TestTranslatorWalkFromMatchesPageTable(t *testing.T) {
+	as, err := NewAddressSpace(1 << 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Addr(0x4000000000)
+	if err := as.Map(NewRegion(base, uint64(Page1G)), Page1G); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(base+Addr(Page1G), 4*uint64(Page2M)), Page2M); err != nil {
+		t.Fatal(err)
+	}
+	small := base + 2*Addr(Page1G)
+	if err := as.Map(NewRegion(small, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(small+Addr(Page2M)+64<<10, 128<<10), Page4K); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTranslator(as.PageTable())
+	probe := func(v Addr, skip int) {
+		t.Helper()
+		var got Translation
+		ok1 := tr.WalkFrom(v, skip, &got)
+		want, ok2 := as.PageTable().WalkFrom(v, skip)
+		if ok1 != ok2 || got.NumRefs != want.NumRefs || got.Phys != want.Phys || got.Size != want.Size {
+			t.Fatalf("va %#x skip %d: translator (refs=%d phys=%#x size=%v ok=%v) vs page table (refs=%d phys=%#x size=%v ok=%v)",
+				uint64(v), skip, got.NumRefs, uint64(got.Phys), got.Size, ok1,
+				want.NumRefs, uint64(want.Phys), want.Size, ok2)
+		}
+		for i := 0; i < got.NumRefs; i++ {
+			if got.Refs[i] != want.Refs[i] {
+				t.Fatalf("va %#x skip %d ref %d: %+v vs %+v", uint64(v), skip, i, got.Refs[i], want.Refs[i])
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		v := base + Addr(rng.Uint64()%(3*uint64(Page1G)))
+		probe(v, rng.Intn(4))
+	}
+	for _, v := range []Addr{
+		base, base + Addr(Page1G) - 1, base + Addr(Page1G),
+		small, small + Addr(Page2M) - 1, small + Addr(Page2M), // hole: L1 table absent
+		small + Addr(Page2M) + 64<<10,
+		0, 1 << 46, // no upper-level path at all
+	} {
+		for skip := 0; skip <= 4; skip++ {
+			probe(v, skip)
+		}
+	}
+}
+
+// TestTranslatorConflictEviction forces two regions onto the same memo slot
+// and checks both keep translating correctly as they evict each other.
+func TestTranslatorConflictEviction(t *testing.T) {
+	as, err := NewAddressSpace(1 << 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 2MB regions whose (va>>21) differ by exactly translatorEntries
+	// collide in the direct-mapped memo.
+	a := Addr(uint64(translatorEntries) << regionShift)
+	b := a + Addr(uint64(translatorEntries)<<regionShift)
+	if err := as.Map(NewRegion(a, uint64(Page2M)), Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(NewRegion(b, uint64(Page2M)), Page2M); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranslator(as.PageTable())
+	for i := 0; i < 100; i++ {
+		v := a + Addr(i*4096+i)
+		p1, s1, ok1 := tr.Translate(v)
+		p2, s2, ok2 := as.PageTable().Translate(v)
+		if p1 != p2 || s1 != s2 || ok1 != ok2 {
+			t.Fatalf("region A va %#x diverged", uint64(v))
+		}
+		w := b + Addr(i*7919)
+		p1, s1, ok1 = tr.Translate(w)
+		p2, s2, ok2 = as.PageTable().Translate(w)
+		if p1 != p2 || s1 != s2 || ok1 != ok2 {
+			t.Fatalf("region B va %#x diverged", uint64(w))
+		}
+	}
+}
+
+func BenchmarkTranslatorVsPageTable(b *testing.B) {
+	as, err := NewAddressSpace(1 << 34)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := Addr(0x4000000000)
+	if err := as.Map(NewRegion(base, 1<<30), Page4K); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]Addr, 8192)
+	for i := range addrs {
+		addrs[i] = base + Addr(rng.Uint64()%(1<<30))
+	}
+	b.Run("pagetable", func(b *testing.B) {
+		pt := as.PageTable()
+		for i := 0; i < b.N; i++ {
+			pt.Translate(addrs[i%len(addrs)])
+		}
+	})
+	b.Run("translator", func(b *testing.B) {
+		tr := NewTranslator(as.PageTable())
+		for i := 0; i < b.N; i++ {
+			tr.Translate(addrs[i%len(addrs)])
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 
 	"mosaic/internal/arch"
 	"mosaic/internal/cache"
+	"mosaic/internal/cpu"
 	"mosaic/internal/mem"
 	"mosaic/internal/tlb"
 	"mosaic/internal/trace"
@@ -59,6 +60,9 @@ type Metrics struct {
 type Simulator struct {
 	plat  arch.Platform
 	space *mem.AddressSpace
+	// trans memoizes VA→(phys, pagesize) above the page-table radix walk;
+	// sound because translation state is immutable during replay.
+	trans *mem.Translator
 	tlb   *tlb.TLB
 	hier  *cache.Hierarchy
 	walk  *walker.Walker
@@ -79,12 +83,14 @@ func New(plat arch.Platform, space *mem.AddressSpace) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	trans := mem.NewTranslator(space.PageTable())
 	return &Simulator{
 		plat:  plat,
 		space: space,
+		trans: trans,
 		tlb:   tlb.New(plat.TLB),
 		hier:  hier,
-		walk:  walker.New(space.PageTable(), hier, plat.PWC),
+		walk:  walker.New(trans, hier, plat.PWC),
 	}, nil
 }
 
@@ -106,9 +112,10 @@ func (s *Simulator) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 		return nil
 	}
 	s.space = space
+	s.trans.Reset(space.PageTable())
 	s.tlb.Reset()
 	s.hier.Reset()
-	s.walk.Reset(space.PageTable())
+	s.walk.Reset(s.trans)
 	s.SimulateProgramCache = false
 	return nil
 }
@@ -117,26 +124,57 @@ func (s *Simulator) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 // the metrics. It errors if an access touches unmapped memory.
 func (s *Simulator) Run(tr *trace.Trace) (Metrics, error) {
 	var m Metrics
-	for i := range tr.Accesses {
-		a := &tr.Accesses[i]
-		phys, ps, ok := s.space.Translate(a.VA)
+	cols := tr.Columns()
+	if err := s.replayRange(&m, cols, 0, cols.Len()); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// RunBatch replays one trace through several simulators in a single fused
+// pass over the trace blocks, mirroring cpu.RunBatch: each block of
+// accesses is streamed through every simulator before the next block, so
+// the trace columns stay cache-resident across the whole batch. Metrics
+// are bit-identical to running each simulator alone — simulators share no
+// mutable state and each sees every access in order, whatever mix of
+// SimulateProgramCache settings the batch carries.
+func RunBatch(ss []*Simulator, tr *trace.Trace) ([]Metrics, error) {
+	cols := tr.Columns()
+	out := make([]Metrics, len(ss))
+	n := cols.Len()
+	for lo := 0; lo < n; lo += cpu.FuseBlock {
+		hi := min(lo+cpu.FuseBlock, n)
+		for k, s := range ss {
+			if err := s.replayRange(&out[k], cols, lo, hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// replayRange advances one replay's metrics through accesses [lo, hi).
+func (s *Simulator) replayRange(m *Metrics, cols *trace.Columns, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		va := cols.VA(i)
+		phys, ps, ok := s.trans.Translate(va)
 		if !ok {
-			return Metrics{}, fmt.Errorf("partialsim: access %d faults at %#x", i, uint64(a.VA))
+			return fmt.Errorf("partialsim: access %d faults at %#x", i, uint64(va))
 		}
 		m.Lookups++
-		switch s.tlb.Lookup(a.VA, ps) {
+		switch s.tlb.Lookup(va, ps) {
 		case tlb.L1Hit:
 		case tlb.L2Hit:
 			m.H++
 		case tlb.Miss:
 			m.M++
-			res := s.walk.Walk(a.VA)
+			res := s.walk.Walk(va)
 			if res.Fault {
-				return Metrics{}, fmt.Errorf("partialsim: walk faults at %#x", uint64(a.VA))
+				return fmt.Errorf("partialsim: walk faults at %#x", uint64(va))
 			}
 			m.C += uint64(res.Latency)
 			m.WalkRefs += uint64(res.Refs)
-			s.tlb.Insert(a.VA, ps)
+			s.tlb.Insert(va, ps)
 		}
 		if s.SimulateProgramCache {
 			// Same order as the full machine: the data reference follows
@@ -144,7 +182,7 @@ func (s *Simulator) Run(tr *trace.Trace) (Metrics, error) {
 			s.hier.Access(phys, false)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // Run is the one-shot convenience: build a simulator and replay the trace.

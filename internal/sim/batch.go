@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"mosaic/internal/cpu"
+	"mosaic/internal/partialsim"
+	"mosaic/internal/pmu"
+	"mosaic/internal/trace"
+)
+
+// FuseMinBytes gates the fused kernels by trace size. Fusing a batch means
+// every engine's model state (TLB, caches, translator — roughly a megabyte
+// each) is re-streamed at each block switch; that only pays off when the
+// alternative — re-streaming the whole trace once per engine — is more
+// expensive, i.e. when the trace's columns dwarf the last-level cache.
+// Below the threshold each engine replays the (cache-resident) trace alone.
+// Tests lower this to force the fused path on small fixtures.
+var FuseMinBytes = 64 << 20
+
+// RunBatch replays one trace through several engines — one per layout of a
+// sweep's protocol. Large traces (≥ FuseMinBytes) replay in a single fused
+// pass over the trace blocks (see cpu.RunBatch); small ones, and batches
+// mixing engine kinds, fall back to running each engine alone. Results are
+// bit-identical either way: engines share no mutable state, and fusion
+// only re-orders which engine touches which trace block first.
+func RunBatch(engines []Engine, tr *trace.Trace) ([]Result, error) {
+	if len(engines) == 1 || tr.Columns().Bytes() < FuseMinBytes {
+		out := make([]Result, len(engines))
+		for i, e := range engines {
+			res, err := e.Run(tr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+
+	fulls := make([]*cpu.Machine, 0, len(engines))
+	for _, e := range engines {
+		f, ok := e.(*Full)
+		if !ok {
+			fulls = nil
+			break
+		}
+		fulls = append(fulls, f.Machine())
+	}
+	if len(fulls) == len(engines) {
+		ctrs, err := cpu.RunBatch(fulls, tr)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(ctrs))
+		for i, c := range ctrs {
+			out[i] = Result{Counters: c}
+		}
+		return out, nil
+	}
+
+	partials := make([]*partialsim.Simulator, 0, len(engines))
+	for _, e := range engines {
+		p, ok := e.(*Partial)
+		if !ok {
+			partials = nil
+			break
+		}
+		p.s.SimulateProgramCache = p.HighFidelity
+		partials = append(partials, p.s)
+	}
+	if len(partials) == len(engines) {
+		ms, err := partialsim.RunBatch(partials, tr)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(ms))
+		for i, m := range ms {
+			out[i] = Result{
+				Counters: pmu.Counters{H: m.H, M: m.M, C: m.C, TLBLookups: m.Lookups},
+				WalkRefs: m.WalkRefs,
+			}
+		}
+		return out, nil
+	}
+
+	out := make([]Result, len(engines))
+	for i, e := range engines {
+		res, err := e.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// BatchSpan picks how many layouts one replay job should fuse: enough to
+// amortize the trace pass across the batch, but never so many that the
+// sweep's job list shrinks below ~2 jobs per worker — a fully fused pair is
+// worthless if it leaves workers idle. The span is capped at 16 because the
+// fused kernel's win flattens once the batch's combined TLB/cache state no
+// longer fits beside the trace block.
+func BatchSpan(jobs, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	span := jobs / (2 * workers)
+	if span < 1 {
+		return 1
+	}
+	if span > 16 {
+		return 16
+	}
+	return span
+}

@@ -43,16 +43,18 @@ func (o Outcome) String() string {
 }
 
 // setAssoc is a set-associative translation structure with LRU replacement.
-// Tags and recencies live in separate set-major arrays so the hot probe
-// loop scans tags alone; a tag of 0 marks an invalid entry (real tags are
-// never 0 — tagOf's size code occupies the low bits).
+// A tag of 0 marks an invalid entry (real tags are never 0 — tagOf's size
+// code occupies the low bits). Each set's tags sit in recency order — slot 0
+// MRU, last slot LRU — the same move-to-front scheme as cache.Cache, so a
+// hit refreshes recency by shifting the tag to the front of the set and an
+// insert victimizes whatever occupies the back. Invalid entries drift to the
+// back and are consumed first, and a re-ordered set hits and evicts
+// identically to any other exact-LRU bookkeeping.
 type setAssoc struct {
 	sets    int
 	assoc   int
 	setMask uint64
 	tags    []uint64
-	lru     []uint64
-	tick    uint64
 }
 
 // newSetAssoc builds a structure with the given total entries and target
@@ -72,7 +74,6 @@ func newSetAssoc(entries, assoc int) *setAssoc {
 		assoc:   entries / sets,
 		setMask: uint64(sets - 1),
 		tags:    make([]uint64, entries),
-		lru:     make([]uint64, entries),
 	}
 }
 
@@ -81,11 +82,18 @@ func (s *setAssoc) lookup(idx, tag uint64) bool {
 		return false
 	}
 	base := int(idx&s.setMask) * s.assoc
-	s.tick++
 	tags := s.tags[base : base+s.assoc]
-	for i := range tags {
+	// Slot 0 first: repeated translations of one page are the common case,
+	// and an MRU hit needs no re-ordering at all.
+	if tags[0] == tag {
+		return true
+	}
+	for i := 1; i < len(tags); i++ {
 		if tags[i] == tag {
-			s.lru[base+i] = s.tick
+			for j := i; j > 0; j-- {
+				tags[j] = tags[j-1]
+			}
+			tags[0] = tag
 			return true
 		}
 	}
@@ -97,26 +105,17 @@ func (s *setAssoc) insert(idx, tag uint64) {
 		return
 	}
 	base := int(idx&s.setMask) * s.assoc
-	s.tick++
 	tags := s.tags[base : base+s.assoc]
-	lru := s.lru[base : base+s.assoc]
-	victim := 0
-	for i := range tags {
-		if tags[i] == tag {
-			lru[i] = s.tick
-			return
-		}
-		if tags[i] == 0 {
-			tags[i] = tag
-			lru[i] = s.tick
-			return
-		}
-		if lru[i] < lru[victim] {
-			victim = i
+	// An insert of a tag the set already holds just refreshes its recency.
+	shift := len(tags) - 1
+	for i, t := range tags {
+		if t == tag {
+			shift = i
+			break
 		}
 	}
-	tags[victim] = tag
-	lru[victim] = s.tick
+	copy(tags[1:shift+1], tags[:shift])
+	tags[0] = tag
 }
 
 func (s *setAssoc) flush() {
@@ -125,17 +124,13 @@ func (s *setAssoc) flush() {
 	}
 	for i := range s.tags {
 		s.tags[i] = 0
-		s.lru[i] = 0
 	}
 }
 
-// reset is flush plus a rewind of the recency clock, so lookups after a
-// reset behave bit-identically to a freshly built structure.
+// reset restores just-built state; with recency kept in tag order that is
+// exactly what flush does.
 func (s *setAssoc) reset() {
 	s.flush()
-	if s != nil {
-		s.tick = 0
-	}
 }
 
 // Stats counts translation events per page size plus the aggregates the
@@ -229,9 +224,11 @@ func (t *TLB) l2Holds(ps mem.PageSize) bool {
 // page walk and must call Insert with the walk's result.
 func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 	t.stats.Lookups++
+	code := sizeCode(ps)
 	vpn := mem.PageNumber(v, ps)
-	tag := tagOf(v, ps)
-	if t.l1For(ps).lookup(vpn, tag) {
+	tag := vpn<<2 | code
+	l1 := t.l1For(ps)
+	if l1.lookup(vpn, tag) {
 		t.stats.L1Hits++
 		return L1Hit
 	}
@@ -242,12 +239,12 @@ func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 		}
 		if l2.lookup(vpn, tag) {
 			t.stats.L2Hits++
-			t.l1For(ps).insert(vpn, tag)
+			l1.insert(vpn, tag)
 			return L2Hit
 		}
 	}
 	t.stats.Misses++
-	t.missBySize[sizeCode(ps)]++
+	t.missBySize[code]++
 	return Miss
 }
 
@@ -255,7 +252,7 @@ func (t *TLB) Lookup(v mem.Addr, ps mem.PageSize) Outcome {
 // supported) the L2.
 func (t *TLB) Insert(v mem.Addr, ps mem.PageSize) {
 	vpn := mem.PageNumber(v, ps)
-	tag := tagOf(v, ps)
+	tag := vpn<<2 | sizeCode(ps)
 	t.l1For(ps).insert(vpn, tag)
 	if t.l2Holds(ps) {
 		if ps == mem.Page1G {

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/mem"
+)
+
+// strideTestTrace models the common workload shapes: mostly small positive
+// VA strides with occasional far jumps and short gaps — the regime the v02
+// delta encoding targets.
+func strideTestTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("stride/test", n)
+	va := mem.Addr(0x2000_0000_0000)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			va = mem.Addr(0x2000_0000_0000 + rng.Uint64()%(1<<33))
+		case 1:
+			va -= mem.Addr(rng.Uint64() % (1 << 16))
+		default:
+			va += mem.Addr(rng.Uint64() % (1 << 13))
+		}
+		b.Compute(uint64(rng.Intn(50)))
+		if rng.Intn(3) == 0 {
+			b.StoreDep(va)
+		} else {
+			b.Load(va)
+		}
+	}
+	return b.Trace()
+}
+
+func TestColumnsRoundTripRows(t *testing.T) {
+	tr := randomTestTrace(11, 1000)
+	c := tr.Columns()
+	if c.Len() != 1000 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for i, a := range c.Rows() {
+		if a != tr.At(i) {
+			t.Fatalf("row %d: %+v vs %+v", i, a, tr.At(i))
+		}
+	}
+}
+
+func TestColumnsSliceUnalignedOffsets(t *testing.T) {
+	tr := randomTestTrace(12, 500)
+	// Slice at offsets that do not land on 64-bit bitset word boundaries,
+	// then slice the slice again.
+	s := tr.Sample(13, 200)
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i) != tr.At(13+i) {
+			t.Fatalf("slice access %d: %+v vs parent %+v", i, s.At(i), tr.At(13+i))
+		}
+	}
+	s2 := s.Sample(7, 50)
+	for i := 0; i < s2.Len(); i++ {
+		if s2.At(i) != tr.At(20+i) {
+			t.Fatalf("nested slice access %d diverges", i)
+		}
+	}
+}
+
+func TestV02SmallerThanV01(t *testing.T) {
+	for _, tc := range []struct {
+		tr *Trace
+		// maxRatio is the acceptable v02/v01 size ratio: strided traces
+		// (every bundled workload's shape) must compress well; even a
+		// pathological uniform-random-over-2^47 trace must still shrink.
+		maxRatio float64
+	}{{strideTestTrace(1, 50000), 0.40}, {randomTestTrace(2, 50000), 0.75}} {
+		tr := tc.tr
+		var v1, v2 bytes.Buffer
+		if _, err := tr.WriteToV01(&v1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.WriteTo(&v2); err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(v2.Len()) / float64(v1.Len())
+		t.Logf("%s: v01 %d bytes, v02 %d bytes (%.1f%%)", tr.Name, v1.Len(), v2.Len(), 100*ratio)
+		if ratio > tc.maxRatio {
+			t.Errorf("%s: v02 is %.1f%% of v01, want ≤ %.0f%%", tr.Name, 100*ratio, 100*tc.maxRatio)
+		}
+	}
+}
+
+func TestV01StillLoads(t *testing.T) {
+	orig := randomTestTrace(3, 7000)
+	var buf bytes.Buffer
+	if _, err := orig.WriteToV01(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Len() != orig.Len() {
+		t.Fatalf("v01 reload: %q len %d", got.Name, got.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if got.At(i) != orig.At(i) {
+			t.Fatalf("access %d: %+v vs %+v", i, got.At(i), orig.At(i))
+		}
+	}
+}
+
+func TestV02RejectsForgedBlocks(t *testing.T) {
+	orig := randomTestTrace(4, 100)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	headerLen := 8 + 2 + len(orig.Name) + 8
+
+	// Forged block count larger than the remaining accesses.
+	forged := append([]byte{}, raw...)
+	forged[headerLen] = 0xff
+	forged[headerLen+1] = 0xff
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader(forged)); err == nil {
+		t.Error("oversized block count should be rejected")
+	}
+
+	// Forged payload length beyond the worst-case bound.
+	forged = append([]byte{}, raw...)
+	forged[headerLen+4] = 0xff
+	forged[headerLen+5] = 0xff
+	forged[headerLen+6] = 0xff
+	if _, err := tr.ReadFrom(bytes.NewReader(forged)); err == nil {
+		t.Error("oversized payload length should be rejected")
+	}
+
+	// Truncated mid-block.
+	if _, err := tr.ReadFrom(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Error("truncated v02 stream should be rejected")
+	}
+}
+
+// FuzzTraceRoundTrip covers both wire formats: any input that decodes must
+// re-encode (in v01 and v02) to a stream that decodes back to the same
+// trace, and no input — truncated, forged, or random — may panic.
+func FuzzTraceRoundTrip(f *testing.F) {
+	for seed, n := range map[int64]int{5: 40, 6: 0, 7: 300} {
+		tr := randomTestTrace(seed, n)
+		var v1, v2 bytes.Buffer
+		if _, err := tr.WriteToV01(&v1); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := tr.WriteTo(&v2); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
+		f.Add(v2.Bytes())
+	}
+	f.Add([]byte("MOSTRC01"))
+	f.Add([]byte("MOSTRC02"))
+	f.Add([]byte("MOSTRC02\x00\x00\x08\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(data)); err != nil {
+			return // malformed inputs must only error, never panic
+		}
+		for name, enc := range map[string]func(*Trace, *bytes.Buffer) error{
+			"v01": func(tr *Trace, b *bytes.Buffer) error { _, err := tr.WriteToV01(b); return err },
+			"v02": func(tr *Trace, b *bytes.Buffer) error { _, err := tr.WriteTo(b); return err },
+		} {
+			var buf bytes.Buffer
+			if err := enc(&tr, &buf); err != nil {
+				t.Fatalf("%s: re-encoding a decoded trace: %v", name, err)
+			}
+			var back Trace
+			if _, err := back.ReadFrom(&buf); err != nil {
+				t.Fatalf("%s: re-decoding: %v", name, err)
+			}
+			if back.Name != tr.Name || back.Len() != tr.Len() {
+				t.Fatalf("%s: round trip changed shape: %q/%d vs %q/%d",
+					name, back.Name, back.Len(), tr.Name, tr.Len())
+			}
+			for i := 0; i < tr.Len(); i++ {
+				if back.At(i) != tr.At(i) {
+					t.Fatalf("%s: access %d changed: %+v vs %+v", name, i, back.At(i), tr.At(i))
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkTraceLoad measures on-disk decode throughput for both formats —
+// the figure that bounds how fast cached traces come back at session start.
+func BenchmarkTraceLoad(b *testing.B) {
+	tr := strideTestTrace(9, 1<<20)
+	var v1, v2 bytes.Buffer
+	if _, err := tr.WriteToV01(&v1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tr.WriteTo(&v2); err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		raw  []byte
+	}{{"v01", v1.Bytes()}, {"v02", v2.Bytes()}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(tc.raw)))
+			for i := 0; i < b.N; i++ {
+				var got Trace
+				if _, err := got.ReadFrom(bytes.NewReader(tc.raw)); err != nil {
+					b.Fatal(err)
+				}
+				if got.Len() != tr.Len() {
+					b.Fatal("short read")
+				}
+			}
+			b.ReportMetric(float64(len(tc.raw))/float64(tr.Len()), "bytes/access")
+		})
+	}
+}

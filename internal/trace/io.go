@@ -10,9 +10,12 @@ import (
 	"mosaic/internal/mem"
 )
 
-// Binary trace format: generating a workload costs graph construction and
+// Binary trace formats: generating a workload costs graph construction and
 // kernel execution, so traces are worth persisting between sessions (the
-// same practice as shipping SPEC traces to simulator users).
+// same practice as shipping SPEC traces to simulator users). Two wire
+// formats exist (see docs/trace-format.md for the full specification):
+//
+// MOSTRC01 — the flat row format:
 //
 //	magic   [8]byte  "MOSTRC01"
 //	nameLen uint16   workload name length
@@ -20,126 +23,351 @@ import (
 //	count   uint64   number of accesses
 //	records count × { va uint64, gap uint32, flags uint8 }
 //
-// flags: bit0 = write, bit1 = dependent. All integers little-endian.
+// MOSTRC02 — the block-columnar format. Accesses are grouped into blocks
+// of up to v02BlockCap; within a block the columns are encoded separately
+// (delta+zigzag varint VAs, varint gaps, 2-bit packed flags), which
+// shrinks the bundled workload traces by half or more:
+//
+//	magic   [8]byte  "MOSTRC02"
+//	nameLen uint16
+//	name    []byte
+//	count   uint64   total accesses across all blocks
+//	blocks  until count accesses are consumed:
+//	  n          uint32  accesses in this block (1..v02BlockCap)
+//	  payloadLen uint32  bytes of encoded columns that follow
+//	  payload:
+//	    uvarint(va[0]), then n-1 × zigzag-uvarint(va[i]-va[i-1])
+//	    n × uvarint(gap[i])
+//	    ceil(n/4) flag bytes: access j → byte j/4, bits (j%4)*2
+//	                          (bit0 = write, bit1 = dependent)
+//
+// flags: bit0 = write, bit1 = dependent. All fixed-width integers are
+// little-endian. Readers accept both formats (dispatch on magic); writers
+// emit v02 unless WriteToV01 is called explicitly.
 
-var traceMagic = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '1'}
+var (
+	traceMagicV01 = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '1'}
+	traceMagicV02 = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '2'}
+)
 
 const (
 	flagWrite = 1 << 0
 	flagDep   = 1 << 1
+
+	// v01RecordBytes is the fixed size of one MOSTRC01 record.
+	v01RecordBytes = 8 + 4 + 1
+	// v02BlockCap bounds accesses per MOSTRC02 block; 4096 keeps a block's
+	// decoded columns (~50KB) inside the L2 cache of every modelled core.
+	v02BlockCap = 4096
+	// maxAccesses is a sanity bound on header counts, not a design limit.
+	maxAccesses = 1 << 28
+	// maxNameLen bounds the workload-name field.
+	maxNameLen = 1<<16 - 1
 )
 
-// WriteTo serializes the trace.
+// v02MaxPayload bounds a block's payload length: worst-case varints for
+// every column plus the flag bytes.
+func v02MaxPayload(n int) int {
+	return n*(binary.MaxVarintLen64+binary.MaxVarintLen32) + (n+3)/4
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteTo serializes the trace in the MOSTRC02 block-columnar format.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var written int64
-	put := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
+	n, err := writeHeader(bw, traceMagicV02, t.Name, uint64(t.cols.Len()))
+	written += n
+	if err != nil {
+		return written, err
+	}
+
+	var head [8]byte
+	payload := make([]byte, 0, v02MaxPayload(v02BlockCap))
+	cols := &t.cols
+	for lo := 0; lo < cols.Len(); lo += v02BlockCap {
+		hi := min(lo+v02BlockCap, cols.Len())
+		payload = payload[:0]
+		// VA column: absolute first, then zigzag deltas.
+		payload = binary.AppendUvarint(payload, cols.va[lo])
+		for i := lo + 1; i < hi; i++ {
+			payload = binary.AppendUvarint(payload, zigzag(int64(cols.va[i])-int64(cols.va[i-1])))
 		}
-		written += int64(binary.Size(v))
-		return nil
-	}
-	if err := put(traceMagic); err != nil {
-		return written, err
-	}
-	if len(t.Name) > 1<<16-1 {
-		return written, fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
-	}
-	if err := put(uint16(len(t.Name))); err != nil {
-		return written, err
-	}
-	if err := put([]byte(t.Name)); err != nil {
-		return written, err
-	}
-	if err := put(uint64(len(t.Accesses))); err != nil {
-		return written, err
-	}
-	for _, a := range t.Accesses {
-		var flags uint8
-		if a.Write {
-			flags |= flagWrite
+		// Gap column.
+		for i := lo; i < hi; i++ {
+			payload = binary.AppendUvarint(payload, uint64(cols.gap[i]))
 		}
-		if a.Dep {
-			flags |= flagDep
+		// Flag column: 2 bits per access.
+		var fb byte
+		for i := lo; i < hi; i++ {
+			j := i - lo
+			if cols.Write(i) {
+				fb |= flagWrite << ((j % 4) * 2)
+			}
+			if cols.Dep(i) {
+				fb |= flagDep << ((j % 4) * 2)
+			}
+			if j%4 == 3 {
+				payload = append(payload, fb)
+				fb = 0
+			}
 		}
-		if err := put(uint64(a.VA)); err != nil {
+		if (hi-lo)%4 != 0 {
+			payload = append(payload, fb)
+		}
+		binary.LittleEndian.PutUint32(head[0:4], uint32(hi-lo))
+		binary.LittleEndian.PutUint32(head[4:8], uint32(len(payload)))
+		if _, err := bw.Write(head[:]); err != nil {
 			return written, err
 		}
-		if err := put(a.Gap); err != nil {
+		written += 8
+		if _, err := bw.Write(payload); err != nil {
 			return written, err
 		}
-		if err := put(flags); err != nil {
-			return written, err
-		}
+		written += int64(len(payload))
 	}
 	return written, bw.Flush()
 }
 
-// ReadFrom deserializes a trace written by WriteTo, replacing the
-// receiver's contents.
-func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var read int64
-	get := func(v any) error {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		read += int64(binary.Size(v))
-		return nil
+// WriteToV01 serializes the trace in the legacy MOSTRC01 row format.
+func (t *Trace) WriteToV01(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	n, err := writeHeader(bw, traceMagicV01, t.Name, uint64(t.cols.Len()))
+	written += n
+	if err != nil {
+		return written, err
 	}
-	var magic [8]byte
-	if err := get(&magic); err != nil {
-		return read, err
-	}
-	if magic != traceMagic {
-		return read, fmt.Errorf("trace: bad magic %q", magic[:])
-	}
-	var nameLen uint16
-	if err := get(&nameLen); err != nil {
-		return read, err
-	}
-	name := make([]byte, nameLen)
-	if err := get(name); err != nil {
-		return read, err
-	}
-	var count uint64
-	if err := get(&count); err != nil {
-		return read, err
-	}
-	const maxAccesses = 1 << 28 // a sanity bound, not a design limit
-	if count > maxAccesses {
-		return read, fmt.Errorf("trace: implausible access count %d", count)
-	}
-	// Grow incrementally rather than trusting the header's count: a forged
-	// count must not trigger a giant up-front allocation.
-	accesses := make([]Access, 0, min(count, 1<<16))
-	for i := uint64(0); i < count; i++ {
-		var va uint64
-		var gap uint32
+	// One buffered manual encoder instead of three reflective binary.Write
+	// calls per record: the records are packed into a scratch buffer in
+	// 13-byte strides and flushed in chunks.
+	const chunk = 4096
+	buf := make([]byte, 0, chunk*v01RecordBytes)
+	cols := &t.cols
+	for i := 0; i < cols.Len(); i++ {
 		var flags uint8
-		if err := get(&va); err != nil {
-			return read, err
+		if cols.Write(i) {
+			flags |= flagWrite
 		}
-		if err := get(&gap); err != nil {
-			return read, err
+		if cols.Dep(i) {
+			flags |= flagDep
 		}
-		if err := get(&flags); err != nil {
-			return read, err
+		buf = binary.LittleEndian.AppendUint64(buf, cols.va[i])
+		buf = binary.LittleEndian.AppendUint32(buf, cols.gap[i])
+		buf = append(buf, flags)
+		if len(buf) >= chunk*v01RecordBytes {
+			if _, err := bw.Write(buf); err != nil {
+				return written, err
+			}
+			written += int64(len(buf))
+			buf = buf[:0]
 		}
-		accesses = append(accesses, Access{
-			VA:    mem.Addr(va),
-			Gap:   gap,
-			Write: flags&flagWrite != 0,
-			Dep:   flags&flagDep != 0,
-		})
 	}
-	t.Name = string(name)
-	t.Accesses = accesses
-	return read, nil
+	if _, err := bw.Write(buf); err != nil {
+		return written, err
+	}
+	written += int64(len(buf))
+	return written, bw.Flush()
 }
 
-// Save writes the trace to a file.
+// writeHeader emits the common magic/name/count prefix.
+func writeHeader(bw *bufio.Writer, magic [8]byte, name string, count uint64) (int64, error) {
+	if len(name) > maxNameLen {
+		return 0, fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	var head [10]byte
+	copy(head[0:8], magic[:])
+	binary.LittleEndian.PutUint16(head[8:10], uint16(len(name)))
+	if _, err := bw.Write(head[:]); err != nil {
+		return 0, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return int64(10), err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], count)
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return int64(10 + len(name)), err
+	}
+	return int64(10 + len(name) + 8), nil
+}
+
+// countingReader tracks bytes consumed from the underlying reader.
+type countingReader struct {
+	br   *bufio.Reader
+	read int64
+}
+
+func (c *countingReader) full(p []byte) error {
+	n, err := io.ReadFull(c.br, p)
+	c.read += int64(n)
+	return err
+}
+
+// ReadFrom deserializes a trace written by WriteTo or WriteToV01 (dispatch
+// on the magic), replacing the receiver's contents.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{br: bufio.NewReaderSize(r, 1<<20)}
+	var magic [8]byte
+	if err := cr.full(magic[:]); err != nil {
+		return cr.read, err
+	}
+	var v2 bool
+	switch magic {
+	case traceMagicV01:
+	case traceMagicV02:
+		v2 = true
+	default:
+		return cr.read, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var head [10]byte
+	if err := cr.full(head[:2]); err != nil {
+		return cr.read, err
+	}
+	nameLen := binary.LittleEndian.Uint16(head[:2])
+	name := make([]byte, nameLen)
+	if err := cr.full(name); err != nil {
+		return cr.read, err
+	}
+	if err := cr.full(head[:8]); err != nil {
+		return cr.read, err
+	}
+	count := binary.LittleEndian.Uint64(head[:8])
+	if count > maxAccesses {
+		return cr.read, fmt.Errorf("trace: implausible access count %d", count)
+	}
+
+	var cols Columns
+	// Grow incrementally rather than trusting the header's count: a forged
+	// count must not trigger a giant up-front allocation.
+	cols.Grow(int(min(count, 1<<16)))
+	var err error
+	if v2 {
+		err = readV02(cr, &cols, count)
+	} else {
+		err = readV01(cr, &cols, count)
+	}
+	if err != nil {
+		return cr.read, err
+	}
+	t.Name = string(name)
+	t.cols = cols
+	return cr.read, nil
+}
+
+// readV01 decodes the fixed-width record stream with one buffered manual
+// decoder instead of three reflective binary.Read calls per record.
+func readV01(cr *countingReader, cols *Columns, count uint64) error {
+	const chunk = 4096
+	buf := make([]byte, chunk*v01RecordBytes)
+	for done := uint64(0); done < count; {
+		n := min(uint64(chunk), count-done)
+		b := buf[:n*v01RecordBytes]
+		if err := cr.full(b); err != nil {
+			return fmt.Errorf("trace: truncated at access %d: %w", done, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			rec := b[i*v01RecordBytes:]
+			flags := rec[12]
+			cols.Append(Access{
+				VA:    mem.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+				Gap:   binary.LittleEndian.Uint32(rec[8:12]),
+				Write: flags&flagWrite != 0,
+				Dep:   flags&flagDep != 0,
+			})
+		}
+		done += n
+	}
+	return nil
+}
+
+// readV02 decodes the block-columnar stream.
+func readV02(cr *countingReader, cols *Columns, count uint64) error {
+	var head [8]byte
+	payload := make([]byte, 0, v02MaxPayload(v02BlockCap))
+	for done := uint64(0); done < count; {
+		if err := cr.full(head[:]); err != nil {
+			return fmt.Errorf("trace: truncated block header at access %d: %w", done, err)
+		}
+		n := binary.LittleEndian.Uint32(head[0:4])
+		payloadLen := binary.LittleEndian.Uint32(head[4:8])
+		if n == 0 || n > v02BlockCap || uint64(n) > count-done {
+			return fmt.Errorf("trace: forged block size %d (%d of %d accesses consumed)", n, done, count)
+		}
+		if int(payloadLen) > v02MaxPayload(int(n)) {
+			return fmt.Errorf("trace: forged block payload length %d for %d accesses", payloadLen, n)
+		}
+		if cap(payload) < int(payloadLen) {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if err := cr.full(payload); err != nil {
+			return fmt.Errorf("trace: truncated block at access %d: %w", done, err)
+		}
+		if err := decodeBlock(payload, cols, int(n)); err != nil {
+			return fmt.Errorf("trace: block at access %d: %w", done, err)
+		}
+		done += uint64(n)
+	}
+	return nil
+}
+
+// decodeBlock appends one block's n accesses from its encoded payload.
+func decodeBlock(payload []byte, cols *Columns, n int) error {
+	pos := 0
+	varint := func() (uint64, bool) {
+		v, w := binary.Uvarint(payload[pos:])
+		if w <= 0 {
+			return 0, false
+		}
+		pos += w
+		return v, true
+	}
+	vas := make([]uint64, n)
+	va, ok := varint()
+	if !ok {
+		return fmt.Errorf("bad first VA varint")
+	}
+	vas[0] = va
+	for i := 1; i < n; i++ {
+		d, ok := varint()
+		if !ok {
+			return fmt.Errorf("bad VA delta varint (access %d)", i)
+		}
+		va = uint64(int64(va) + unzigzag(d))
+		vas[i] = va
+	}
+	gaps := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		g, ok := varint()
+		if !ok || g > 1<<32-1 {
+			return fmt.Errorf("bad gap varint (access %d)", i)
+		}
+		gaps[i] = uint32(g)
+	}
+	flagBytes := (n + 3) / 4
+	if len(payload)-pos != flagBytes {
+		return fmt.Errorf("flag section is %d bytes, want %d", len(payload)-pos, flagBytes)
+	}
+	flags := payload[pos:]
+	for i := 0; i < n; i++ {
+		f := flags[i/4] >> ((i % 4) * 2)
+		cols.Append(Access{
+			VA:    mem.Addr(vas[i]),
+			Gap:   gaps[i],
+			Write: f&flagWrite != 0,
+			Dep:   f&flagDep != 0,
+		})
+	}
+	return nil
+}
+
+// Save writes the trace to a file (in the current default format).
 func (t *Trace) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -152,7 +380,7 @@ func (t *Trace) Save(path string) error {
 	return f.Close()
 }
 
-// Load reads a trace from a file written by Save.
+// Load reads a trace from a file written by Save (either format).
 func Load(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {

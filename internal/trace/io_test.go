@@ -42,12 +42,12 @@ func TestRoundTripBuffer(t *testing.T) {
 	if got.Name != orig.Name {
 		t.Errorf("name = %q", got.Name)
 	}
-	if len(got.Accesses) != len(orig.Accesses) {
-		t.Fatalf("length %d vs %d", len(got.Accesses), len(orig.Accesses))
+	if got.Len() != orig.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), orig.Len())
 	}
-	for i := range orig.Accesses {
-		if got.Accesses[i] != orig.Accesses[i] {
-			t.Fatalf("access %d: %+v vs %+v", i, got.Accesses[i], orig.Accesses[i])
+	for i := 0; i < orig.Len(); i++ {
+		if got.At(i) != orig.At(i) {
+			t.Fatalf("access %d: %+v vs %+v", i, got.At(i), orig.At(i))
 		}
 	}
 }

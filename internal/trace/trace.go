@@ -4,10 +4,16 @@
 // any platform under any Mosalloc layout, because Mosalloc's pool placement
 // is layout-independent (pools sit at fixed bases and first-fit advances
 // identically regardless of the page mosaic behind it).
+//
+// Traces are stored columnar (see Columns): the replay engines iterate the
+// address and gap columns directly, and the on-disk format encodes the
+// columns block-by-block. Access is the row-shaped record used to build
+// traces and to inspect single entries.
 package trace
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"mosaic/internal/mem"
@@ -30,53 +36,84 @@ type Access struct {
 
 // Trace is a complete recorded execution.
 type Trace struct {
-	Name     string
-	Accesses []Access
+	Name string
+	cols Columns
 }
+
+// New builds a trace from row records (a convenience for tests and tools;
+// workloads use Builder).
+func New(name string, accesses []Access) *Trace {
+	t := &Trace{Name: name}
+	t.cols.Grow(len(accesses))
+	for _, a := range accesses {
+		t.cols.Append(a)
+	}
+	return t
+}
+
+// Columns exposes the trace's columnar storage — the view the replay
+// kernels iterate.
+func (t *Trace) Columns() *Columns { return &t.cols }
+
+// At returns access i.
+func (t *Trace) At(i int) Access { return t.cols.At(i) }
+
+// Len returns the number of recorded accesses.
+func (t *Trace) Len() int { return t.cols.Len() }
 
 // Instructions returns the total instruction count the trace represents:
 // every recorded access is itself one instruction plus its gap.
 func (t *Trace) Instructions() uint64 {
-	var n uint64
-	for _, a := range t.Accesses {
-		n += uint64(a.Gap) + 1
+	n := uint64(t.cols.Len())
+	for _, g := range t.cols.gap {
+		n += uint64(g)
 	}
 	return n
 }
 
-// Len returns the number of recorded accesses.
-func (t *Trace) Len() int { return len(t.Accesses) }
-
 // Footprint returns the total bytes of distinct 4KB pages the trace
-// touches — the workload's resident memory footprint.
+// touches — the workload's resident memory footprint. It sorts a copy of
+// the page-number column and counts run boundaries rather than building a
+// per-page map (prepare-stage traces run to tens of millions of accesses,
+// and map inserts were the stage's dominant allocation).
 func (t *Trace) Footprint() uint64 {
-	pages := make(map[uint64]struct{})
-	for _, a := range t.Accesses {
-		pages[mem.PageNumber(a.VA, mem.Page4K)] = struct{}{}
+	if t.cols.Len() == 0 {
+		return 0
 	}
-	return uint64(len(pages)) * uint64(mem.Page4K)
+	pages := make([]uint64, t.cols.Len())
+	for i, va := range t.cols.va {
+		pages[i] = mem.PageNumber(mem.Addr(va), mem.Page4K)
+	}
+	slices.Sort(pages)
+	distinct := uint64(1)
+	for i := 1; i < len(pages); i++ {
+		if pages[i] != pages[i-1] {
+			distinct++
+		}
+	}
+	return distinct * uint64(mem.Page4K)
 }
 
 // Extent returns the smallest region containing every access.
 func (t *Trace) Extent() mem.Region {
-	if len(t.Accesses) == 0 {
+	if t.cols.Len() == 0 {
 		return mem.Region{}
 	}
-	lo, hi := t.Accesses[0].VA, t.Accesses[0].VA
-	for _, a := range t.Accesses {
-		if a.VA < lo {
-			lo = a.VA
+	lo, hi := t.cols.va[0], t.cols.va[0]
+	for _, va := range t.cols.va {
+		if va < lo {
+			lo = va
 		}
-		if a.VA > hi {
-			hi = a.VA
+		if va > hi {
+			hi = va
 		}
 	}
-	return mem.Region{Start: lo, End: hi + 1}
+	return mem.Region{Start: mem.Addr(lo), End: mem.Addr(hi) + 1}
 }
 
 // Validate checks the trace for obvious defects.
 func (t *Trace) Validate() error {
-	if len(t.Accesses) == 0 {
+	if t.cols.Len() == 0 {
 		return fmt.Errorf("trace %q: empty", t.Name)
 	}
 	return nil
@@ -84,15 +121,17 @@ func (t *Trace) Validate() error {
 
 // Builder accumulates a trace during workload execution.
 type Builder struct {
-	name     string
-	accesses []Access
+	name string
+	cols Columns
 	// pending counts instructions executed since the last recorded access.
 	pending uint64
 }
 
 // NewBuilder starts a trace with the given name and capacity hint.
 func NewBuilder(name string, capacityHint int) *Builder {
-	return &Builder{name: name, accesses: make([]Access, 0, capacityHint)}
+	b := &Builder{name: name}
+	b.cols.Grow(capacityHint)
+	return b
 }
 
 // Compute records n instructions of non-memory work.
@@ -116,26 +155,45 @@ func (b *Builder) access(va mem.Addr, write, dep bool) {
 	if gap > 1<<30 {
 		gap = 1 << 30
 	}
-	b.accesses = append(b.accesses, Access{VA: va, Gap: uint32(gap), Write: write, Dep: dep})
+	b.cols.Append(Access{VA: va, Gap: uint32(gap), Write: write, Dep: dep})
 	b.pending = 0
 }
 
 // Trace finalizes and returns the built trace.
 func (b *Builder) Trace() *Trace {
-	return &Trace{Name: b.name, Accesses: b.accesses}
+	return &Trace{Name: b.name, cols: b.cols}
 }
 
 // Len returns the number of accesses recorded so far.
-func (b *Builder) Len() int { return len(b.accesses) }
+func (b *Builder) Len() int { return b.cols.Len() }
 
 // PageHistogram counts accesses per aligned chunk of the given size —
 // the shape of the simulated-PEBS profile the sliding-window heuristic
-// consumes. The result maps chunk base address to access count.
+// consumes. The result maps chunk base address to access count. The counts
+// are accumulated by sorting a copy of the aligned-address column and
+// scanning runs, so the map sees one insert per distinct chunk instead of
+// one lookup per access.
 func (t *Trace) PageHistogram(chunk mem.PageSize) map[mem.Addr]uint64 {
 	out := make(map[mem.Addr]uint64)
-	for _, a := range t.Accesses {
-		out[mem.AlignDown(a.VA, chunk)]++
+	if t.cols.Len() == 0 {
+		return out
 	}
+	bases := make([]uint64, t.cols.Len())
+	mask := ^(uint64(chunk) - 1)
+	for i, va := range t.cols.va {
+		bases[i] = va & mask
+	}
+	slices.Sort(bases)
+	run := bases[0]
+	n := uint64(0)
+	for _, b := range bases {
+		if b != run {
+			out[mem.Addr(run)] = n
+			run, n = b, 0
+		}
+		n++
+	}
+	out[mem.Addr(run)] = n
 	return out
 }
 
@@ -152,21 +210,21 @@ func SortedChunks(h map[mem.Addr]uint64) []mem.Addr {
 // Sample returns the blind-sampling window of the trace (§II-C of the
 // paper: fast-forward `skip` accesses, then keep `length`): the common
 // practice for taming multi-hour workloads in both full and partial
-// simulation studies. The result aliases the receiver's backing array.
+// simulation studies. The result aliases the receiver's backing columns.
 func (t *Trace) Sample(skip, length int) *Trace {
 	if skip < 0 {
 		skip = 0
 	}
-	if skip > len(t.Accesses) {
-		skip = len(t.Accesses)
+	if skip > t.cols.Len() {
+		skip = t.cols.Len()
 	}
 	end := skip + length
-	if length < 0 || end > len(t.Accesses) {
-		end = len(t.Accesses)
+	if length < 0 || end > t.cols.Len() {
+		end = t.cols.Len()
 	}
 	return &Trace{
-		Name:     fmt.Sprintf("%s[%d:%d]", t.Name, skip, end),
-		Accesses: t.Accesses[skip:end],
+		Name: fmt.Sprintf("%s[%d:%d]", t.Name, skip, end),
+		cols: t.cols.Slice(skip, end),
 	}
 }
 
@@ -179,12 +237,14 @@ func (t *Trace) MultiSample(period, window int) *Trace {
 		return t
 	}
 	out := &Trace{Name: fmt.Sprintf("%s[every %d keep %d]", t.Name, period, window)}
-	for start := 0; start < len(t.Accesses); start += period {
+	for start := 0; start < t.cols.Len(); start += period {
 		end := start + window
-		if end > len(t.Accesses) {
-			end = len(t.Accesses)
+		if end > t.cols.Len() {
+			end = t.cols.Len()
 		}
-		out.Accesses = append(out.Accesses, t.Accesses[start:end]...)
+		for i := start; i < end; i++ {
+			out.cols.Append(t.cols.At(i))
+		}
 	}
 	return out
 }

@@ -18,7 +18,7 @@ func TestBuilderBasics(t *testing.T) {
 	if tr.Name != "t" || tr.Len() != 4 {
 		t.Fatalf("trace = %q len %d", tr.Name, tr.Len())
 	}
-	a := tr.Accesses
+	a := tr.Columns().Rows()
 	if a[0].Gap != 10 || a[0].Write || a[0].Dep {
 		t.Errorf("access 0 = %+v", a[0])
 	}
@@ -88,7 +88,7 @@ func TestGapClamping(t *testing.T) {
 	b := NewBuilder("t", 1)
 	b.Compute(1 << 40) // absurdly large gap
 	b.Load(0x1000)
-	if g := b.Trace().Accesses[0].Gap; g != 1<<30 {
+	if g := b.Trace().At(0).Gap; g != 1<<30 {
 		t.Errorf("gap = %d, want clamp at 2^30", g)
 	}
 }
@@ -113,8 +113,8 @@ func TestSample(t *testing.T) {
 	if s.Len() != 4 {
 		t.Fatalf("sample length %d, want 4", s.Len())
 	}
-	if s.Accesses[0].VA != 3<<12 || s.Accesses[3].VA != 6<<12 {
-		t.Errorf("sample window wrong: %+v", s.Accesses)
+	if s.At(0).VA != 3<<12 || s.At(3).VA != 6<<12 {
+		t.Errorf("sample window wrong: %+v", s.Columns().Rows())
 	}
 	// Degenerate windows clamp.
 	if tr.Sample(20, 5).Len() != 0 {
@@ -139,8 +139,8 @@ func TestMultiSample(t *testing.T) {
 		t.Fatalf("multisample length %d, want 30", s.Len())
 	}
 	// Each window starts on a period boundary.
-	if s.Accesses[3].VA != 10<<12 || s.Accesses[6].VA != 20<<12 {
-		t.Errorf("windows misplaced: %v %v", s.Accesses[3].VA, s.Accesses[6].VA)
+	if s.At(3).VA != 10<<12 || s.At(6).VA != 20<<12 {
+		t.Errorf("windows misplaced: %v %v", s.At(3).VA, s.At(6).VA)
 	}
 	// Invalid parameters return the trace unchanged.
 	if tr.MultiSample(0, 3) != tr || tr.MultiSample(5, 5) != tr {

@@ -13,27 +13,54 @@ import (
 )
 
 // pwc is one fully associative page-walk cache with LRU replacement.
+// Recency is an exact linked list of entry indices (the scheme cache.Cache
+// uses), so refreshing an already-MRU key — the common case, since a walk
+// re-inserts the keys its own PWC lookup just hit — is a single compare,
+// and eviction reads the victim off the list tail.
 type pwc struct {
-	keys []uint64
-	lru  []uint64
-	tick uint64
+	keys       []uint64
+	prev, next []uint16
+	head, tail uint16
+	n          int // filled entries; keys[:n] are live
 }
 
 func newPWC(entries int) *pwc {
 	if entries <= 0 {
 		return nil
 	}
-	return &pwc{keys: make([]uint64, 0, entries), lru: make([]uint64, 0, entries)}
+	return &pwc{
+		keys: make([]uint64, entries),
+		prev: make([]uint16, entries),
+		next: make([]uint16, entries),
+	}
+}
+
+// touch moves live entry i to the MRU head.
+func (p *pwc) touch(i int) {
+	h := int(p.head)
+	if h == i {
+		return
+	}
+	pr := p.prev[i]
+	if int(p.tail) == i {
+		p.tail = pr
+	} else {
+		n := p.next[i]
+		p.prev[n] = pr
+		p.next[pr] = n
+	}
+	p.prev[h] = uint16(i)
+	p.next[i] = uint16(h)
+	p.head = uint16(i)
 }
 
 func (p *pwc) lookup(key uint64) bool {
 	if p == nil {
 		return false
 	}
-	p.tick++
-	for i, k := range p.keys {
+	for i, k := range p.keys[:p.n] {
 		if k == key {
-			p.lru[i] = p.tick
+			p.touch(i)
 			return true
 		}
 	}
@@ -44,37 +71,40 @@ func (p *pwc) insert(key uint64) {
 	if p == nil {
 		return
 	}
-	p.tick++
-	for i, k := range p.keys {
+	if p.n > 0 && p.keys[p.head] == key {
+		return // already MRU — the usual case right after a hit
+	}
+	for i, k := range p.keys[:p.n] {
 		if k == key {
-			p.lru[i] = p.tick
+			p.touch(i)
 			return
 		}
 	}
-	if len(p.keys) < cap(p.keys) {
-		p.keys = append(p.keys, key)
-		p.lru = append(p.lru, p.tick)
+	if p.n < len(p.keys) {
+		i := p.n
+		p.keys[i] = key
+		if i == 0 {
+			p.head, p.tail = 0, 0
+		} else {
+			p.prev[p.head] = uint16(i)
+			p.next[i] = p.head
+			p.head = uint16(i)
+		}
+		p.n++
 		return
 	}
-	victim := 0
-	for i := 1; i < len(p.lru); i++ {
-		if p.lru[i] < p.lru[victim] {
-			victim = i
-		}
-	}
+	victim := int(p.tail)
 	p.keys[victim] = key
-	p.lru[victim] = p.tick
+	p.touch(victim)
 }
 
-// reset empties the PWC and rewinds its recency clock, restoring
-// just-built behavior.
+// reset empties the PWC, restoring just-built behavior.
 func (p *pwc) reset() {
 	if p == nil {
 		return
 	}
-	p.keys = p.keys[:0]
-	p.lru = p.lru[:0]
-	p.tick = 0
+	p.n = 0
+	p.head, p.tail = 0, 0
 }
 
 // Result describes one serviced walk.
@@ -108,18 +138,24 @@ type Stats struct {
 // Walker services page walks against one page table through one cache
 // hierarchy.
 type Walker struct {
-	pt      *mem.PageTable
+	trans   *mem.Translator
 	hier    *cache.Hierarchy
 	pwcPML4 *pwc // caches PML4 entries, keyed by VA bits 47:39
 	pwcPDPT *pwc // caches PDPT entries, keyed by VA bits 47:30
 	pwcPD   *pwc // caches PD entries, keyed by VA bits 47:21
 	stats   Stats
+	// scratch is the reused walk-result buffer; refs are consumed before
+	// the next walk overwrites it.
+	scratch mem.Translation
 }
 
-// New builds a walker with the platform's PWC sizes.
-func New(pt *mem.PageTable, hier *cache.Hierarchy, cfg arch.PWCConfig) *Walker {
+// New builds a walker with the platform's PWC sizes. Walks resolve through
+// trans — typically the same memo the owning machine translates with, so a
+// TLB miss's walk refs come from a region entry the preceding translation
+// just touched.
+func New(trans *mem.Translator, hier *cache.Hierarchy, cfg arch.PWCConfig) *Walker {
 	return &Walker{
-		pt:      pt,
+		trans:   trans,
 		hier:    hier,
 		pwcPML4: newPWC(cfg.PML4Entries),
 		pwcPDPT: newPWC(cfg.PDPTEntries),
@@ -148,7 +184,8 @@ func (w *Walker) Walk(v mem.Addr) Result {
 		w.stats.PWCHitPML4++
 	}
 
-	tr, ok := w.pt.WalkFrom(v, skip)
+	tr := &w.scratch
+	ok := w.trans.WalkFrom(v, skip, tr)
 	res := Result{Skipped: skip}
 	if !ok {
 		w.stats.Faults++
@@ -183,11 +220,12 @@ func (w *Walker) Walk(v mem.Addr) Result {
 // Stats returns a copy of the counters.
 func (w *Walker) Stats() Stats { return w.stats }
 
-// Reset re-targets the walker at a (possibly different) page table and
+// Reset re-targets the walker at a (possibly different) translator and
 // clears the PWCs and counters. A Reset walker walks bit-identically to a
-// freshly built one while keeping its PWC storage allocated.
-func (w *Walker) Reset(pt *mem.PageTable) {
-	w.pt = pt
+// freshly built one while keeping its PWC storage allocated. The caller is
+// responsible for resetting trans itself (the owning machine shares it).
+func (w *Walker) Reset(trans *mem.Translator) {
+	w.trans = trans
 	w.pwcPML4.reset()
 	w.pwcPDPT.reset()
 	w.pwcPD.reset()

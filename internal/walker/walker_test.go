@@ -37,7 +37,7 @@ func TestWalkRefCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		// No PWC: all levels load from memory.
-		w := New(as.PageTable(), h, arch.PWCConfig{})
+		w := New(mem.NewTranslator(as.PageTable()), h, arch.PWCConfig{})
 		res := w.Walk(base + 5)
 		if res.Fault {
 			t.Fatalf("%s: fault", c.size)
@@ -59,7 +59,7 @@ func TestPWCSkipsLevels(t *testing.T) {
 	if err := as.Map(mem.NewRegion(0, 64<<20), mem.Page4K); err != nil {
 		t.Fatal(err)
 	}
-	w := New(as.PageTable(), h, arch.SandyBridge.PWC)
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.SandyBridge.PWC)
 	// First walk: cold PWC, 4 refs.
 	r1 := w.Walk(0x1000)
 	if r1.Refs != 4 || r1.Skipped != 0 {
@@ -88,7 +88,7 @@ func TestTerminalEntriesNotInPWC(t *testing.T) {
 	if err := as.Map(mem.NewRegion(0, 4<<20), mem.Page2M); err != nil {
 		t.Fatal(err)
 	}
-	w := New(as.PageTable(), h, arch.SandyBridge.PWC)
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.SandyBridge.PWC)
 	w.Walk(0x1000)
 	r := w.Walk(0x2000) // same 2MB page region; PDPT PWC should hit, PD not
 	if r.Skipped != 2 {
@@ -98,7 +98,7 @@ func TestTerminalEntriesNotInPWC(t *testing.T) {
 
 func TestWalkFault(t *testing.T) {
 	as, h := setup(t)
-	w := New(as.PageTable(), h, arch.SandyBridge.PWC)
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.SandyBridge.PWC)
 	res := w.Walk(0xdead000)
 	if !res.Fault {
 		t.Error("walk of unmapped address should fault")
@@ -113,7 +113,7 @@ func TestWalkerLoadsCountedAsWalker(t *testing.T) {
 	if err := as.Map(mem.NewRegion(0, 2<<20), mem.Page4K); err != nil {
 		t.Fatal(err)
 	}
-	w := New(as.PageTable(), h, arch.PWCConfig{})
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.PWCConfig{})
 	w.Walk(0x1000)
 	st := h.Stats()
 	if st.L1Loads.Walker != 4 || st.L1Loads.Program != 0 {
@@ -126,7 +126,7 @@ func TestWarmWalksGetFaster(t *testing.T) {
 	if err := as.Map(mem.NewRegion(0, 2<<20), mem.Page4K); err != nil {
 		t.Fatal(err)
 	}
-	w := New(as.PageTable(), h, arch.PWCConfig{}) // isolate cache warming
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.PWCConfig{}) // isolate cache warming
 	cold := w.Walk(0x1000).Latency
 	warm := w.Walk(0x1000).Latency
 	if warm >= cold {
@@ -160,7 +160,7 @@ func TestWalkCycleAccounting(t *testing.T) {
 	if err := as.Map(mem.NewRegion(0, 2<<20), mem.Page4K); err != nil {
 		t.Fatal(err)
 	}
-	w := New(as.PageTable(), h, arch.PWCConfig{})
+	w := New(mem.NewTranslator(as.PageTable()), h, arch.PWCConfig{})
 	total := 0
 	for i := 0; i < 10; i++ {
 		total += w.Walk(mem.Addr(i) << 12).Latency

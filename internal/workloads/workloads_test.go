@@ -35,7 +35,7 @@ func generate(t *testing.T, w Workload) *trace.Trace {
 	// Every access must land inside a Mosalloc pool, or we could not
 	// re-layout it.
 	hr, ar := m.HeapRegion(), m.AnonRegion()
-	for i, a := range tr.Accesses {
+	for i, a := range tr.Columns().Rows() {
 		if !hr.Contains(a.VA) && !ar.Contains(a.VA) {
 			t.Fatalf("%s: access %d at %#x escapes the pools", w.Name(), i, uint64(a.VA))
 		}
@@ -97,7 +97,7 @@ func TestGUPSGenerate(t *testing.T) {
 		t.Errorf("trace too short: %d", tr.Len())
 	}
 	// GUPS is independent random access: no dependent accesses.
-	for _, a := range tr.Accesses[:100] {
+	for _, a := range tr.Columns().Rows()[:100] {
 		if a.Dep {
 			t.Fatal("gups accesses must be independent")
 		}
@@ -111,7 +111,7 @@ func TestGUPSGenerate(t *testing.T) {
 func TestMCFGenerate(t *testing.T) {
 	tr := generate(t, NewMCF())
 	dep := 0
-	for _, a := range tr.Accesses {
+	for _, a := range tr.Columns().Rows() {
 		if a.Dep {
 			dep++
 		}
@@ -128,7 +128,7 @@ func TestXSBenchGenerate(t *testing.T) {
 		t.Fatal(err)
 	}
 	dep, ind := 0, 0
-	for _, a := range tr.Accesses {
+	for _, a := range tr.Columns().Rows() {
 		if a.Dep {
 			dep++
 		} else {
@@ -146,7 +146,7 @@ func TestGraph500Generate(t *testing.T) {
 		t.Errorf("trace too short: %d", tr.Len())
 	}
 	writes := 0
-	for _, a := range tr.Accesses {
+	for _, a := range tr.Columns().Rows() {
 		if a.Write {
 			writes++
 		}
@@ -206,8 +206,8 @@ func TestDeterministicTraces(t *testing.T) {
 	if a.Len() != b.Len() {
 		t.Fatal("trace lengths differ")
 	}
-	for i := range a.Accesses {
-		if a.Accesses[i] != b.Accesses[i] {
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
 			t.Fatalf("access %d differs between identical runs", i)
 		}
 	}

@@ -1,0 +1,62 @@
+package mosaic
+
+import (
+	"bytes"
+	"testing"
+
+	"mosaic/internal/trace"
+	"mosaic/internal/workloads"
+)
+
+// TestTraceV02SmallerThanV01 is the on-disk format's acceptance test: for
+// real bundled workload traces (not synthetic fixtures), the block-columnar
+// MOSTRC02 encoding must come in at least 40% under the flat MOSTRC01 row
+// format, and both encodings must round-trip losslessly.
+func TestTraceV02SmallerThanV01(t *testing.T) {
+	for _, name := range []string{"gups/8GB", "spec06/mcf"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, err := benchRunner.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := wd.Trace
+
+		var v01, v02 bytes.Buffer
+		if _, err := tr.WriteToV01(&v01); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.WriteTo(&v02); err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(v02.Len()) / float64(v01.Len())
+		t.Logf("%s: %d accesses, v01 %d bytes, v02 %d bytes (%.1f%%)",
+			name, tr.Len(), v01.Len(), v02.Len(), 100*ratio)
+		if ratio > 0.6 {
+			t.Errorf("%s: v02 is %.1f%% of v01, want ≤ 60%%", name, 100*ratio)
+		}
+
+		for _, enc := range []struct {
+			label string
+			data  *bytes.Buffer
+		}{{"v01", &v01}, {"v02", &v02}} {
+			var got trace.Trace
+			if _, err := got.ReadFrom(bytes.NewReader(enc.data.Bytes())); err != nil {
+				t.Fatalf("%s: reading %s: %v", name, enc.label, err)
+			}
+			if got.Name != tr.Name || got.Len() != tr.Len() {
+				t.Fatalf("%s: %s round-trip: name %q len %d, want %q len %d",
+					name, enc.label, got.Name, got.Len(), tr.Name, tr.Len())
+			}
+			want, have := tr.Columns(), got.Columns()
+			for i := 0; i < tr.Len(); i++ {
+				if want.At(i) != have.At(i) {
+					t.Fatalf("%s: %s round-trip: access %d is %+v, want %+v",
+						name, enc.label, i, have.At(i), want.At(i))
+				}
+			}
+		}
+	}
+}
