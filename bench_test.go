@@ -689,6 +689,7 @@ func BenchmarkTraceLoad(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(fi.Size())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr, err := trace.Load(path)

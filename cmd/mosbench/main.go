@@ -12,6 +12,8 @@
 //	mosbench -quick ...       # 9-layout protocol instead of 54 (fast)
 //	mosbench -workloads a,b   # restrict the workload set
 //	mosbench -platforms x,y   # restrict the platform set
+//	mosbench -sample-period N # sampled replay: measure N/16 accesses per N
+//	mosbench -sample-report   # sampled vs. exact: speedup + max rel. error
 package main
 
 import (
@@ -49,6 +51,19 @@ func main() {
 		svgDir    = flag.String("svg", "", "also write per-figure SVG charts into this directory")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		samplePeriod = flag.Int("sample-period", 0,
+			"sampled replay: accesses per sampling period (0 = exact replay)")
+		sampleWindow = flag.Int("sample-window", 0,
+			"sampled replay: measured accesses per period (default: period/16)")
+		sampleWarmup = flag.Int("sample-warmup", -1,
+			"sampled replay: functional-warmup accesses before each window (default: the window length)")
+		samplePrologue = flag.Int("sample-prologue", -1,
+			"sampled replay: exactly-measured opening accesses, kept out of the extrapolation (default: period/2)")
+		sampleRpt = flag.Bool("sample-report", false,
+			"run the sweep exact and sampled, report replay speedup and max per-counter relative error (with -json: machine-readable)")
+		stretch = flag.Int("stretch", 1,
+			"scale every workload's trace length by this factor (sweep-scale traces for -sample-report; the committed numbers use 32)")
 	)
 	flag.Parse()
 
@@ -87,16 +102,23 @@ func main() {
 		app.runner.Parallelism = *parallel
 	}
 	app.runner.TraceDir = *traceDir
+	app.runner.Sampling = buildSampling(*samplePeriod, *sampleWindow, *sampleWarmup, *samplePrologue)
 	app.svgDir = *svgDir
+	app.stretch = max(1, *stretch)
 	var err error
 	if app.workloads, err = selectWorkloads(*wlFlag); err != nil {
 		fatal(err)
+	}
+	for i, w := range app.workloads {
+		app.workloads[i] = workloads.Stretched(w, app.stretch)
 	}
 	if app.platforms, err = selectPlatforms(*platFlag); err != nil {
 		fatal(err)
 	}
 
 	switch {
+	case *sampleRpt:
+		err = app.sampleReport(app.runner.Sampling, *jsonFlag)
 	case *jsonFlag:
 		err = app.exportJSON()
 	case *allFlag:
@@ -119,6 +141,27 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mosbench:", err)
 	os.Exit(1)
+}
+
+// buildSampling folds the four -sample-* flags into a config: -sample-period
+// alone picks the conventional 1/16 coverage (window = period/16, warmup =
+// window) with a half-period exact prologue, mirroring the shape of
+// sim.DefaultSampling.
+func buildSampling(period, window, warmup, prologue int) sim.Sampling {
+	if period <= 0 {
+		return sim.Sampling{}
+	}
+	s := sim.Sampling{Period: period, MeasureLen: window, WarmupLen: warmup, PrologueLen: prologue}
+	if s.MeasureLen <= 0 {
+		s.MeasureLen = max(1, period/16)
+	}
+	if s.WarmupLen < 0 {
+		s.WarmupLen = s.MeasureLen
+	}
+	if s.PrologueLen < 0 {
+		s.PrologueLen = period / 2
+	}
+	return s
 }
 
 func selectWorkloads(list string) ([]workloads.Workload, error) {
@@ -157,17 +200,38 @@ type bench struct {
 	platforms []arch.Platform
 	collected []*experiment.Dataset
 	svgDir    string
+	stretch   int
 }
 
 // progressLine renders one sweep progress report on stderr: stage, job
 // counts, effective worker count, elapsed time, and the scheduler's ETA.
-func progressLine(p sim.Progress) {
+// Under sampled replay the replay stage also shows how many trace accesses
+// were measured at full fidelity versus skipped (warmed or jumped over).
+func (b *bench) progressLine(p sim.Progress) {
 	eta := "    -"
 	if p.ETA > 0 {
 		eta = fmt.Sprintf("%4.0fs", p.ETA.Seconds())
 	}
-	fmt.Fprintf(os.Stderr, "\r[%-7s %4d/%d] workers=%-2d %6.1fs ETA %s  %-44.44s",
-		p.Stage, p.Done, p.Total, p.Workers, p.Elapsed.Seconds(), eta, p.Label)
+	coverage := ""
+	if b.runner.Sampling.Enabled() && p.Stage == sim.StageReplay.String() {
+		measured, skipped := b.runner.SampledProgress()
+		coverage = fmt.Sprintf(" meas=%s skip=%s", fmtCount(measured), fmtCount(skipped))
+	}
+	fmt.Fprintf(os.Stderr, "\r[%-7s %4d/%d] workers=%-2d %6.1fs ETA %s%s  %-44.44s",
+		p.Stage, p.Done, p.Total, p.Workers, p.Elapsed.Seconds(), eta, coverage, p.Label)
+}
+
+// fmtCount renders an access count compactly (12.3M-style).
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // collectAll measures every (workload, platform) dataset through the
@@ -177,7 +241,7 @@ func (b *bench) collectAll() ([]*experiment.Dataset, error) {
 	if b.collected != nil {
 		return b.collected, nil
 	}
-	all, err := b.runner.CollectAll(b.workloads, b.platforms, progressLine)
+	all, err := b.runner.CollectAll(b.workloads, b.platforms, b.progressLine)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +285,7 @@ func (b *bench) exportJSON() error {
 		Samples      []pmuSampleJSON
 		Sample1G     pmuSampleJSON
 	}
-	all, err := b.runner.CollectAll(b.workloads, b.platforms, progressLine)
+	all, err := b.runner.CollectAll(b.workloads, b.platforms, b.progressLine)
 	if err != nil {
 		return err
 	}

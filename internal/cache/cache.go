@@ -203,6 +203,16 @@ type LoadCounts struct {
 // Total returns program + walker loads.
 func (lc LoadCounts) Total() uint64 { return lc.Program + lc.Walker }
 
+// Sub returns the loads accumulated since the earlier snapshot o.
+func (lc LoadCounts) Sub(o LoadCounts) LoadCounts {
+	return LoadCounts{Program: lc.Program - o.Program, Walker: lc.Walker - o.Walker}
+}
+
+// Add sums two load counts.
+func (lc LoadCounts) Add(o LoadCounts) LoadCounts {
+	return LoadCounts{Program: lc.Program + o.Program, Walker: lc.Walker + o.Walker}
+}
+
 // Stats aggregates hierarchy counters.
 type Stats struct {
 	// Loads that reached each level (L1d loads = all loads; L2 loads =
@@ -212,6 +222,29 @@ type Stats struct {
 	L2Loads   LoadCounts
 	L3Loads   LoadCounts
 	DRAMLoads LoadCounts
+}
+
+// Sub returns the loads accumulated since the earlier snapshot o — the
+// window-differencing primitive of sampled replays, which attribute load
+// counts to measurement windows by snapshotting cumulative stats at the
+// window boundaries.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		L1Loads:   s.L1Loads.Sub(o.L1Loads),
+		L2Loads:   s.L2Loads.Sub(o.L2Loads),
+		L3Loads:   s.L3Loads.Sub(o.L3Loads),
+		DRAMLoads: s.DRAMLoads.Sub(o.DRAMLoads),
+	}
+}
+
+// Add sums two stat sets.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		L1Loads:   s.L1Loads.Add(o.L1Loads),
+		L2Loads:   s.L2Loads.Add(o.L2Loads),
+		L3Loads:   s.L3Loads.Add(o.L3Loads),
+		DRAMLoads: s.DRAMLoads.Add(o.DRAMLoads),
+	}
 }
 
 // Hierarchy is the three-level cache plus DRAM. All levels are mostly-

@@ -181,6 +181,53 @@ func (m *Machine) runTrace(tr *trace.Trace) (pmu.Counters, Breakdown, error) {
 // stay cache-resident while every machine in the batch streams them.
 const FuseBlock = 262144
 
+// statSnap captures the cumulative component counters a replay cannot
+// accumulate in its own loop (the walker's cache loads happen inside
+// walker.Walk). A sampled replay snapshots them at every measurement-window
+// boundary and attributes the difference to the window.
+type statSnap struct {
+	tlb  tlb.Counts
+	hier cache.Stats
+}
+
+func (m *Machine) snapStats() statSnap {
+	return statSnap{tlb: m.tlb.Counts(), hier: m.hier.Stats()}
+}
+
+// sampleSums accumulates the component-stat deltas of a sampled replay's
+// measurement windows: warmup and skipped accesses contribute nothing here,
+// which is exactly what makes windowed counters extrapolatable.
+type sampleSums struct {
+	tlb  tlb.Counts
+	hier cache.Stats
+}
+
+func (s *sampleSums) accumulate(from, to statSnap) {
+	s.tlb = s.tlb.Add(to.tlb.Sub(from.tlb))
+	s.hier = s.hier.Add(to.hier.Sub(from.hier))
+}
+
+// RunSampled replays the trace under a systematic-sampling plan: accesses
+// in measurement windows replay through the full timing model, warmup
+// windows advance model state functionally (warmRange), and everything else
+// is skipped. The returned counters cover only the measured windows —
+// extrapolating them to whole-trace estimates is the caller's job (see
+// internal/sim) — along with the first window's share of those counters
+// (the prologue stratum) and the number of measured accesses.
+//
+// A disabled plan, or one whose windows cover the whole trace, produces
+// counters bit-identical to Run.
+func (m *Machine) RunSampled(tr *trace.Trace, plan trace.SamplePlan) (ctrs, prologue pmu.Counters, measured uint64, err error) {
+	cs, pros, measured, err := RunBatch([]*Machine{m}, tr, plan)
+	if err != nil {
+		return pmu.Counters{}, pmu.Counters{}, 0, err
+	}
+	if pros != nil {
+		prologue = pros[0]
+	}
+	return cs[0], prologue, measured, nil
+}
+
 // RunBatch replays one trace through several machines — one per layout of
 // a sweep's protocol — in a single fused pass over the trace: each block of
 // accesses is decoded once and replayed through every machine before the
@@ -188,26 +235,71 @@ const FuseBlock = 262144
 // are amortized across the whole batch. All machines must share a platform
 // family but may (and normally do) sit on different address spaces.
 //
+// The plan selects the fidelity schedule: a disabled plan replays every
+// access (exact mode); an enabled one replays only its windows, so every
+// machine of the batch measures the same accesses and fusion composes with
+// sampling. The returned measured count is the number of accesses replayed
+// inside measurement windows (the trace length in exact mode), and prologue
+// holds each machine's counters as of the end of the first measurement
+// window — the exactly-measured prologue stratum the caller's stratified
+// extrapolation subtracts out (nil in exact mode).
+//
 // Counters are bit-identical to running each machine over the whole trace
-// alone: machines share no mutable state, and each one still sees every
-// access in order.
-func RunBatch(ms []*Machine, tr *trace.Trace) ([]pmu.Counters, error) {
+// alone under the same plan: machines share no mutable state, and fusion
+// only re-orders which machine touches which trace block first.
+func RunBatch(ms []*Machine, tr *trace.Trace, plan trace.SamplePlan) (ctrs, prologue []pmu.Counters, measured uint64, err error) {
 	cols := tr.Columns()
 	states := make([]runState, len(ms))
-	n := cols.Len()
-	for lo := 0; lo < n; lo += FuseBlock {
-		hi := min(lo+FuseBlock, n)
-		for k, m := range ms {
-			if err := m.replayRange(tr.Name, &states[k], cols, lo, hi); err != nil {
-				return nil, err
+	sampled := plan.Enabled()
+	var sums []sampleSums
+	var bases []statSnap
+	var pro []pmu.Counters
+	if sampled {
+		sums = make([]sampleSums, len(ms))
+		bases = make([]statSnap, len(ms))
+	}
+	for _, w := range cols.Windows(plan) {
+		if w.Measure {
+			measured += uint64(w.Len())
+		}
+		for lo := w.Lo; lo < w.Hi; lo += FuseBlock {
+			hi := min(lo+FuseBlock, w.Hi)
+			for k, m := range ms {
+				if !w.Measure {
+					if err := m.warmRange(tr.Name, &states[k], cols, lo, hi); err != nil {
+						return nil, nil, 0, err
+					}
+					continue
+				}
+				if sampled && lo == w.Lo {
+					bases[k] = m.snapStats()
+				}
+				if err := m.replayRange(tr.Name, &states[k], cols, lo, hi); err != nil {
+					return nil, nil, 0, err
+				}
+				if sampled && hi == w.Hi {
+					sums[k].accumulate(bases[k], m.snapStats())
+				}
+			}
+		}
+		if sampled && w.Measure && pro == nil {
+			// First measurement window just finished: snapshot the prologue
+			// stratum before any periodic window contributes.
+			pro = make([]pmu.Counters, len(ms))
+			for k, m := range ms {
+				pro[k] = m.sampledCounters(&states[k], &sums[k])
 			}
 		}
 	}
 	out := make([]pmu.Counters, len(ms))
 	for k, m := range ms {
-		out[k] = m.counters(&states[k])
+		if sampled {
+			out[k] = m.sampledCounters(&states[k], &sums[k])
+		} else {
+			out[k] = m.counters(&states[k])
+		}
 	}
-	return out, nil
+	return out, pro, measured, nil
 }
 
 // replayRange advances one replay's state through accesses [lo, hi).
@@ -304,6 +396,39 @@ func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo
 	return nil
 }
 
+// warmRange is the functional-warmup path of a sampled replay: it advances
+// the model state — translator memo, TLB contents, PWCs, cache hierarchy —
+// through accesses [lo, hi) with state transitions identical to
+// replayRange's, but skips all cycle accounting: no clock, no walker-queue
+// bookkeeping, no runtime counters. The miss-rate EWMA is still maintained
+// (it is model state) so the latency-hiding model enters each measurement
+// window with a warm estimate of the recent miss frequency.
+func (m *Machine) warmRange(name string, st *runState, cols *trace.Columns, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		va := cols.VA(i)
+		work := float64(cols.Gap(i)) + 1
+		if decay := 1 - work*invRateTau; decay > 0 {
+			st.missRate *= decay
+		} else {
+			st.missRate = 0
+		}
+		phys, ps, ok := m.trans.Translate(va)
+		if !ok {
+			return fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(va))
+		}
+		if m.tlb.Lookup(va, ps) == tlb.Miss {
+			res := m.walk.Walk(va)
+			if res.Fault {
+				return fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(va))
+			}
+			st.missRate += 1 / rateTau
+			m.tlb.Insert(va, ps)
+		}
+		m.hier.Access(phys, false)
+	}
+	return nil
+}
+
 // counters harvests the machine's component statistics into the PMU view.
 func (m *Machine) counters(st *runState) pmu.Counters {
 	ts := m.tlb.Stats()
@@ -323,5 +448,28 @@ func (m *Machine) counters(st *runState) pmu.Counters {
 		DRAMLoadsProgram: cs.DRAMLoads.Program,
 		DRAMLoadsWalker:  cs.DRAMLoads.Walker,
 		TLBLookups:       ts.Lookups,
+	}
+}
+
+// sampledCounters is counters for a sampled replay: component statistics
+// come from the accumulated measurement-window deltas instead of the live
+// (warmup-contaminated) component counters. The run-state counters need no
+// differencing — they only ever advance inside measurement windows.
+func (m *Machine) sampledCounters(st *runState, sums *sampleSums) pmu.Counters {
+	return pmu.Counters{
+		R:                uint64(st.now),
+		H:                sums.tlb.L2Hits,
+		M:                sums.tlb.Misses,
+		C:                st.walkCycles,
+		Instructions:     st.instructions,
+		L1DLoadsProgram:  sums.hier.L1Loads.Program,
+		L1DLoadsWalker:   sums.hier.L1Loads.Walker,
+		L2LoadsProgram:   sums.hier.L2Loads.Program,
+		L2LoadsWalker:    sums.hier.L2Loads.Walker,
+		L3LoadsProgram:   sums.hier.L3Loads.Program,
+		L3LoadsWalker:    sums.hier.L3Loads.Walker,
+		DRAMLoadsProgram: sums.hier.DRAMLoads.Program,
+		DRAMLoadsWalker:  sums.hier.DRAMLoads.Walker,
+		TLBLookups:       sums.tlb.Lookups,
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mosaic/internal/arch"
 	"mosaic/internal/layout"
@@ -69,8 +70,18 @@ type Runner struct {
 	engines sim.Pool
 	// timing accumulates per-stage wall time across the runner's lifetime.
 	timing sim.Timing
+	// measuredAccesses/totalAccesses accumulate sampled-replay coverage
+	// across every replay of the runner's lifetime (zero under exact
+	// replay); SampledProgress reads them for live progress reporting.
+	measuredAccesses atomic.Uint64
+	totalAccesses    atomic.Uint64
 	// Parallelism bounds concurrent pipeline jobs (default: GOMAXPROCS).
 	Parallelism int
+	// Sampling, when enabled, replays every measurement under systematic
+	// interval sampling with functional warmup (see sim.Sampling); counters
+	// in the resulting datasets are extrapolated whole-trace estimates. The
+	// zero value is exact replay.
+	Sampling sim.Sampling
 	// Proto selects the layout protocol.
 	Proto Protocol
 	// TraceDir, when set, caches generated traces (and their layout
@@ -91,6 +102,15 @@ func NewRunner() *Runner {
 // StageTimes returns the per-stage pipeline timing accumulated so far
 // (prepare / plan / space / replay).
 func (r *Runner) StageTimes() []sim.StageTime { return r.timing.Snapshot() }
+
+// SampledProgress returns the accesses measured at full fidelity and the
+// accesses skipped (warmed or jumped over) across every replay so far.
+// Both are zero under exact replay, where coverage isn't tracked.
+func (r *Runner) SampledProgress() (measured, skipped uint64) {
+	measured = r.measuredAccesses.Load()
+	total := r.totalAccesses.Load()
+	return measured, total - measured
+}
 
 // Prepare generates (once) the workload's trace under an all-4KB Mosalloc
 // configuration and derives the layout target from the pool high-water
@@ -262,19 +282,20 @@ func (r *Runner) buildSpace(lay layout.Layout) (*mem.AddressSpace, error) {
 // replay runs the replay stage: one pooled full machine over the trace.
 // plat must already be Scaled.
 func (r *Runner) replay(wd *WorkloadData, plat arch.Platform, lay layout.Layout, space *mem.AddressSpace) (pmu.Counters, error) {
-	ctrs, err := r.replayBatch(wd, plat, []layout.Layout{lay}, []*mem.AddressSpace{space})
+	results, err := r.replayBatch(wd, plat, []layout.Layout{lay}, []*mem.AddressSpace{space})
 	if err != nil {
 		return pmu.Counters{}, err
 	}
-	return ctrs[0], nil
+	return results[0].Counters, nil
 }
 
 // replayBatch runs the replay stage for a span of one pair's layouts: N
 // pooled full machines — one per layout — advance through the trace in a
-// single fused pass (sim.RunBatch), so the trace columns are streamed from
-// memory once per block instead of once per layout. Counters are
-// bit-identical to replaying each layout alone. plat must already be Scaled.
-func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, spaces []*mem.AddressSpace) ([]pmu.Counters, error) {
+// single fused pass (sim.RunBatch) under the runner's sampling config, so
+// the trace columns are streamed from memory once per block instead of
+// once per layout. Counters are bit-identical to replaying each layout
+// alone. plat must already be Scaled.
+func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, spaces []*mem.AddressSpace) ([]sim.Result, error) {
 	engines := make([]sim.Engine, len(lays))
 	for i, space := range spaces {
 		eng, err := r.engines.Full(plat, space)
@@ -286,7 +307,7 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 	var results []sim.Result
 	err := r.timing.Time(sim.StageReplay, func() error {
 		var err error
-		results, err = sim.RunBatch(engines, wd.Trace)
+		results, err = sim.RunBatch(engines, wd.Trace, r.Sampling)
 		return err
 	})
 	if err != nil {
@@ -297,11 +318,11 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 	for _, eng := range engines {
 		r.engines.Put(eng)
 	}
-	ctrs := make([]pmu.Counters, len(results))
-	for i, res := range results {
-		ctrs[i] = res.Counters
+	for _, res := range results {
+		r.measuredAccesses.Add(res.MeasuredAccesses)
+		r.totalAccesses.Add(res.TotalAccesses)
 	}
-	return ctrs, nil
+	return results, nil
 }
 
 // RunLayout replays the workload's trace on the platform under one layout
@@ -337,13 +358,15 @@ func (r *Runner) PartialSimulate(wd *WorkloadData, plat arch.Platform, lay layou
 	var res sim.Result
 	err = r.timing.Time(sim.StageReplay, func() error {
 		var err error
-		res, err = eng.Run(wd.Trace)
+		res, err = eng.RunSampled(wd.Trace, r.Sampling)
 		return err
 	})
 	if err != nil {
 		return partialsim.Metrics{}, err
 	}
 	r.engines.Put(eng)
+	r.measuredAccesses.Add(res.MeasuredAccesses)
+	r.totalAccesses.Add(res.TotalAccesses)
 	return partialsim.Metrics{
 		H:        res.Counters.H,
 		M:        res.Counters.M,
@@ -367,6 +390,13 @@ type Dataset struct {
 	// TLBSensitive is the paper's inclusion criterion: runtime improves
 	// by ≥5% when backed with 1GB pages.
 	TLBSensitive bool
+	// MeasuredAccesses and TotalAccesses record the sampled-replay coverage
+	// behind each layout's counters (identical across the pair's layouts —
+	// the schedule is positional over the shared trace). Both are zero under
+	// exact replay; when MeasuredAccesses < TotalAccesses the counters are
+	// extrapolated estimates.
+	MeasuredAccesses uint64
+	TotalAccesses    uint64
 }
 
 // Baseline returns the sample with the given layout name.
@@ -397,7 +427,7 @@ type pairPlan struct {
 	key  string
 	wd   *WorkloadData
 	lays []layout.Layout
-	ctrs []pmu.Counters
+	res  []sim.Result
 }
 
 // CollectAll measures every (workload, platform) dataset through one
@@ -467,7 +497,7 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 			pair.wd = wd
 			return r.timing.Time(sim.StagePlan, func() error {
 				pair.lays = r.planLayouts(pair)
-				pair.ctrs = make([]pmu.Counters, len(pair.lays))
+				pair.res = make([]sim.Result, len(pair.lays))
 				return nil
 			})
 		})
@@ -529,11 +559,11 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 				}
 				batch[k] = space
 			}
-			ctrs, err := r.replayBatch(j.pair.wd, j.pair.plat.Scaled(), lays, batch)
+			results, err := r.replayBatch(j.pair.wd, j.pair.plat.Scaled(), lays, batch)
 			if err != nil {
 				return err
 			}
-			copy(j.pair.ctrs[j.lo:j.hi], ctrs)
+			copy(j.pair.res[j.lo:j.hi], results)
 			return nil
 		})
 	if err != nil {
@@ -595,13 +625,20 @@ func assemble(pair *pairPlan) (*Dataset, error) {
 		Counters: make(map[string]pmu.Counters, len(pair.lays)),
 	}
 	for i, lay := range pair.lays {
-		ds.Counters[lay.Name] = pair.ctrs[i]
-		sample := pmu.SampleFrom(lay.Name, pair.ctrs[i])
+		ds.Counters[lay.Name] = pair.res[i].Counters
+		sample := pmu.SampleFrom(lay.Name, pair.res[i].Counters)
 		if lay.Name == "1GB" {
 			ds.Sample1G = sample
 		} else {
 			ds.Samples = append(ds.Samples, sample)
 		}
+	}
+	if len(pair.res) > 0 {
+		// Coverage is layout-independent (the window schedule is positional
+		// over the pair's shared trace), so any layout's record stands for
+		// the dataset.
+		ds.MeasuredAccesses = pair.res[0].MeasuredAccesses
+		ds.TotalAccesses = pair.res[0].TotalAccesses
 	}
 	s4k, ok := ds.Baseline("4KB")
 	if !ok {

@@ -131,26 +131,64 @@ func (s *Simulator) Run(tr *trace.Trace) (Metrics, error) {
 	return m, nil
 }
 
+// RunSampled replays the trace under a systematic-sampling plan: accesses
+// in measurement windows accumulate metrics, warmup windows advance the
+// TLB/PWC/cache state without touching the metrics (warmRange), and
+// everything else is skipped. The returned metrics cover only the measured
+// windows — extrapolation is the caller's job (see internal/sim) — along
+// with the first window's share of them (the prologue stratum) and the
+// number of measured accesses. A disabled plan, or one whose windows cover
+// the whole trace, is bit-identical to Run.
+func (s *Simulator) RunSampled(tr *trace.Trace, plan trace.SamplePlan) (metrics, prologue Metrics, measured uint64, err error) {
+	ms, pros, measured, err := RunBatch([]*Simulator{s}, tr, plan)
+	if err != nil {
+		return Metrics{}, Metrics{}, 0, err
+	}
+	if pros != nil {
+		prologue = pros[0]
+	}
+	return ms[0], prologue, measured, nil
+}
+
 // RunBatch replays one trace through several simulators in a single fused
 // pass over the trace blocks, mirroring cpu.RunBatch: each block of
 // accesses is streamed through every simulator before the next block, so
-// the trace columns stay cache-resident across the whole batch. Metrics
-// are bit-identical to running each simulator alone — simulators share no
-// mutable state and each sees every access in order, whatever mix of
-// SimulateProgramCache settings the batch carries.
-func RunBatch(ss []*Simulator, tr *trace.Trace) ([]Metrics, error) {
+// the trace columns stay cache-resident across the whole batch. The plan
+// selects the fidelity schedule (a disabled plan replays every access);
+// measured counts accesses inside measurement windows, and prologue holds
+// each simulator's metrics as of the end of the first measurement window —
+// the exactly-measured prologue stratum (nil in exact mode). Metrics are
+// bit-identical to running each simulator alone under the same plan —
+// simulators share no mutable state and each sees the same windows in
+// order, whatever mix of SimulateProgramCache settings the batch carries.
+func RunBatch(ss []*Simulator, tr *trace.Trace, plan trace.SamplePlan) (metrics, prologue []Metrics, measured uint64, err error) {
 	cols := tr.Columns()
 	out := make([]Metrics, len(ss))
-	n := cols.Len()
-	for lo := 0; lo < n; lo += cpu.FuseBlock {
-		hi := min(lo+cpu.FuseBlock, n)
-		for k, s := range ss {
-			if err := s.replayRange(&out[k], cols, lo, hi); err != nil {
-				return nil, err
+	var pro []Metrics
+	sampled := plan.Enabled()
+	for _, w := range cols.Windows(plan) {
+		if w.Measure {
+			measured += uint64(w.Len())
+		}
+		for lo := w.Lo; lo < w.Hi; lo += cpu.FuseBlock {
+			hi := min(lo+cpu.FuseBlock, w.Hi)
+			for k, s := range ss {
+				var err error
+				if w.Measure {
+					err = s.replayRange(&out[k], cols, lo, hi)
+				} else {
+					err = s.warmRange(cols, lo, hi)
+				}
+				if err != nil {
+					return nil, nil, 0, err
+				}
 			}
 		}
+		if sampled && w.Measure && pro == nil {
+			pro = append([]Metrics(nil), out...)
+		}
 	}
-	return out, nil
+	return out, pro, measured, nil
 }
 
 // replayRange advances one replay's metrics through accesses [lo, hi).
@@ -179,6 +217,31 @@ func (s *Simulator) replayRange(m *Metrics, cols *trace.Columns, lo, hi int) err
 		if s.SimulateProgramCache {
 			// Same order as the full machine: the data reference follows
 			// the translation, so the walker sees identical cache states.
+			s.hier.Access(phys, false)
+		}
+	}
+	return nil
+}
+
+// warmRange is the functional-warmup path of a sampled replay: state
+// transitions — TLB contents, PWCs, and (under SimulateProgramCache) the
+// cache hierarchy — are identical to replayRange's, but none of the metrics
+// accumulate, so warmup accesses are invisible in the windowed counts.
+func (s *Simulator) warmRange(cols *trace.Columns, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		va := cols.VA(i)
+		phys, ps, ok := s.trans.Translate(va)
+		if !ok {
+			return fmt.Errorf("partialsim: access %d faults at %#x", i, uint64(va))
+		}
+		if s.tlb.Lookup(va, ps) == tlb.Miss {
+			res := s.walk.Walk(va)
+			if res.Fault {
+				return fmt.Errorf("partialsim: walk faults at %#x", uint64(va))
+			}
+			s.tlb.Insert(va, ps)
+		}
+		if s.SimulateProgramCache {
 			s.hier.Access(phys, false)
 		}
 	}

@@ -3,7 +3,6 @@ package sim
 import (
 	"mosaic/internal/cpu"
 	"mosaic/internal/partialsim"
-	"mosaic/internal/pmu"
 	"mosaic/internal/trace"
 )
 
@@ -17,22 +16,17 @@ import (
 var FuseMinBytes = 64 << 20
 
 // RunBatch replays one trace through several engines — one per layout of a
-// sweep's protocol. Large traces (≥ FuseMinBytes) replay in a single fused
+// sweep's protocol — under a shared sampling config (the zero Sampling is
+// exact replay). Large traces (≥ FuseMinBytes) replay in a single fused
 // pass over the trace blocks (see cpu.RunBatch); small ones, and batches
 // mixing engine kinds, fall back to running each engine alone. Results are
-// bit-identical either way: engines share no mutable state, and fusion
-// only re-orders which engine touches which trace block first.
-func RunBatch(engines []Engine, tr *trace.Trace) ([]Result, error) {
+// bit-identical either way: engines share no mutable state, fusion only
+// re-orders which engine touches which trace block first, and the window
+// schedule is purely positional, so every engine of a fused batch measures
+// the same windows a solo run would.
+func RunBatch(engines []Engine, tr *trace.Trace, s Sampling) ([]Result, error) {
 	if len(engines) == 1 || tr.Columns().Bytes() < FuseMinBytes {
-		out := make([]Result, len(engines))
-		for i, e := range engines {
-			res, err := e.Run(tr)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = res
-		}
-		return out, nil
+		return runSolo(engines, tr, s)
 	}
 
 	fulls := make([]*cpu.Machine, 0, len(engines))
@@ -45,13 +39,18 @@ func RunBatch(engines []Engine, tr *trace.Trace) ([]Result, error) {
 		fulls = append(fulls, f.Machine())
 	}
 	if len(fulls) == len(engines) {
-		ctrs, err := cpu.RunBatch(fulls, tr)
+		ctrs, pros, measured, err := cpu.RunBatch(fulls, tr, s.Plan())
 		if err != nil {
 			return nil, err
 		}
+		proMeasured := uint64(s.Plan().PrologueMeasured(tr.Len()))
 		out := make([]Result, len(ctrs))
 		for i, c := range ctrs {
 			out[i] = Result{Counters: c}
+			if s.Enabled() {
+				out[i] = s.extrapolate(out[i], Result{Counters: pros[i]},
+					proMeasured, measured, uint64(tr.Len()))
+			}
 		}
 		return out, nil
 	}
@@ -67,23 +66,30 @@ func RunBatch(engines []Engine, tr *trace.Trace) ([]Result, error) {
 		partials = append(partials, p.s)
 	}
 	if len(partials) == len(engines) {
-		ms, err := partialsim.RunBatch(partials, tr)
+		ms, pros, measured, err := partialsim.RunBatch(partials, tr, s.Plan())
 		if err != nil {
 			return nil, err
 		}
+		proMeasured := uint64(s.Plan().PrologueMeasured(tr.Len()))
 		out := make([]Result, len(ms))
 		for i, m := range ms {
-			out[i] = Result{
-				Counters: pmu.Counters{H: m.H, M: m.M, C: m.C, TLBLookups: m.Lookups},
-				WalkRefs: m.WalkRefs,
+			out[i] = metricsResult(m)
+			if s.Enabled() {
+				out[i] = s.extrapolate(out[i], metricsResult(pros[i]),
+					proMeasured, measured, uint64(tr.Len()))
 			}
 		}
 		return out, nil
 	}
 
+	return runSolo(engines, tr, s)
+}
+
+// runSolo replays each engine alone — the small-trace and mixed-kind path.
+func runSolo(engines []Engine, tr *trace.Trace, s Sampling) ([]Result, error) {
 	out := make([]Result, len(engines))
 	for i, e := range engines {
-		res, err := e.Run(tr)
+		res, err := e.RunSampled(tr, s)
 		if err != nil {
 			return nil, err
 		}

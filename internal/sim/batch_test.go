@@ -63,7 +63,7 @@ func TestFullBatchMatchesUnfused(t *testing.T) {
 		}
 		engines[i] = eng
 	}
-	got, err := RunBatch(engines, tr)
+	got, err := RunBatch(engines, tr, Sampling{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestPartialBatchMatchesUnfused(t *testing.T) {
 			eng.HighFidelity = fidelities[i]
 			engines[i] = eng
 		}
-		got, err := RunBatch(engines, tr)
+		got, err := RunBatch(engines, tr, Sampling{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func TestMixedBatchFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunBatch([]Engine{full, part}, tr)
+	got, err := RunBatch([]Engine{full, part}, tr, Sampling{})
 	if err != nil {
 		t.Fatal(err)
 	}

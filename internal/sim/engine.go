@@ -41,6 +41,13 @@ type Result struct {
 	// the partial simulator; the full machine folds them into the walker
 	// cache counters).
 	WalkRefs uint64
+	// MeasuredAccesses and TotalAccesses record the sampled-replay coverage
+	// behind the counters: MeasuredAccesses were replayed at full fidelity,
+	// and the counters are extrapolated whole-trace estimates whenever
+	// MeasuredAccesses < TotalAccesses. Exact replay (sampling disabled)
+	// leaves both zero, so existing exact results compare bit-identically.
+	MeasuredAccesses uint64
+	TotalAccesses    uint64
 }
 
 // Engine is one reusable simulator: the full timing machine or the partial
@@ -53,6 +60,10 @@ type Engine interface {
 	Reset(plat arch.Platform, space *mem.AddressSpace) error
 	// Run replays a trace and returns the engine's counters.
 	Run(tr *trace.Trace) (Result, error)
+	// RunSampled replays a trace under a sampling config, extrapolating the
+	// windowed counters to whole-trace estimates. A disabled config is
+	// bit-identical to Run.
+	RunSampled(tr *trace.Trace, s Sampling) (Result, error)
 }
 
 // Full wraps the full timing machine (internal/cpu) as an Engine.
@@ -84,6 +95,20 @@ func (f *Full) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 func (f *Full) Run(tr *trace.Trace) (Result, error) {
 	ctr, err := f.m.Run(tr)
 	return Result{Counters: ctr}, err
+}
+
+// RunSampled implements Engine.
+func (f *Full) RunSampled(tr *trace.Trace, s Sampling) (Result, error) {
+	if !s.Enabled() {
+		return f.Run(tr)
+	}
+	ctr, pro, measured, err := f.m.RunSampled(tr, s.Plan())
+	if err != nil {
+		return Result{}, err
+	}
+	proMeasured := uint64(s.Plan().PrologueMeasured(tr.Len()))
+	return s.extrapolate(Result{Counters: ctr}, Result{Counters: pro},
+		proMeasured, measured, uint64(tr.Len())), nil
 }
 
 // Partial wraps the partial simulator (internal/partialsim) as an Engine.
@@ -124,8 +149,29 @@ func (p *Partial) Run(tr *trace.Trace) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return metricsResult(m), nil
+}
+
+// RunSampled implements Engine.
+func (p *Partial) RunSampled(tr *trace.Trace, s Sampling) (Result, error) {
+	if !s.Enabled() {
+		return p.Run(tr)
+	}
+	p.s.SimulateProgramCache = p.HighFidelity
+	m, pro, measured, err := p.s.RunSampled(tr, s.Plan())
+	if err != nil {
+		return Result{}, err
+	}
+	proMeasured := uint64(s.Plan().PrologueMeasured(tr.Len()))
+	return s.extrapolate(metricsResult(m), metricsResult(pro),
+		proMeasured, measured, uint64(tr.Len())), nil
+}
+
+// metricsResult lifts the partial simulator's metrics into the unified
+// result shape.
+func metricsResult(m partialsim.Metrics) Result {
 	return Result{
 		Counters: pmu.Counters{H: m.H, M: m.M, C: m.C, TLBLookups: m.Lookups},
 		WalkRefs: m.WalkRefs,
-	}, nil
+	}
 }

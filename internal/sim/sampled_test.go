@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"testing"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// sampledTestEngines builds one engine per test space in the requested
+// configuration: kind "full", "partial", or "partial-hifi".
+func sampledTestEngines(t *testing.T, kind string, spaces []*mem.AddressSpace) []Engine {
+	t.Helper()
+	engines := make([]Engine, len(spaces))
+	for i, space := range spaces {
+		switch kind {
+		case "full":
+			eng, err := NewFull(arch.Broadwell, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines[i] = eng
+		default:
+			eng, err := NewPartial(arch.Broadwell, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.HighFidelity = kind == "partial-hifi"
+			engines[i] = eng
+		}
+	}
+	return engines
+}
+
+// exactEqual compares the replay payload of two results — counters and walk
+// refs — ignoring the sampled-coverage bookkeeping fields.
+func exactEqual(a, b Result) bool {
+	return a.Counters == b.Counters && a.WalkRefs == b.WalkRefs
+}
+
+// TestSampledDisabledIsExact: RunSampled with the zero config must be
+// bit-identical to Run — including the zero bookkeeping fields — for both
+// engine kinds and both partial-fidelity modes, solo and fused.
+func TestSampledDisabledIsExact(t *testing.T) {
+	forceFused(t)
+	size := uint64(64 << 20)
+	spaces := batchTestSpaces(t, size)
+	tr := testTrace(11, size, 30000)
+
+	for _, kind := range []string{"full", "partial", "partial-hifi"} {
+		want := make([]Result, len(spaces))
+		for i, e := range sampledTestEngines(t, kind, spaces) {
+			var err error
+			if want[i], err = e.Run(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for i, e := range sampledTestEngines(t, kind, spaces) {
+			got, err := e.RunSampled(tr, Sampling{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[i] {
+				t.Errorf("%s engine %d: RunSampled(off) %+v, Run %+v", kind, i, got, want[i])
+			}
+		}
+
+		got, err := RunBatch(sampledTestEngines(t, kind, spaces), tr, Sampling{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s engine %d: fused(off) %+v, Run %+v", kind, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampledFullCoverageIsExact: a sampling config whose windows cover the
+// whole trace (MeasureLen ≥ Period) must replay bit-identically to exact
+// mode — warmups are clipped away and the merged window spans the trace —
+// while still recording full coverage in the bookkeeping fields.
+func TestSampledFullCoverageIsExact(t *testing.T) {
+	forceFused(t)
+	size := uint64(64 << 20)
+	spaces := batchTestSpaces(t, size)
+	tr := testTrace(12, size, 30000)
+	cover := Sampling{Period: 1024, MeasureLen: 1024, WarmupLen: 256}
+
+	for _, kind := range []string{"full", "partial", "partial-hifi"} {
+		want := make([]Result, len(spaces))
+		for i, e := range sampledTestEngines(t, kind, spaces) {
+			var err error
+			if want[i], err = e.Run(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want[0].Counters.M == 0 {
+			t.Fatal("test trace should miss the TLB, or the test proves nothing")
+		}
+
+		check := func(label string, got []Result) {
+			t.Helper()
+			for i := range want {
+				if !exactEqual(got[i], want[i]) {
+					t.Errorf("%s engine %d (%s): sampled %+v, exact %+v", kind, i, label, got[i], want[i])
+				}
+				if got[i].MeasuredAccesses != uint64(tr.Len()) || got[i].TotalAccesses != uint64(tr.Len()) {
+					t.Errorf("%s engine %d (%s): coverage %d/%d, want %d/%d", kind, i, label,
+						got[i].MeasuredAccesses, got[i].TotalAccesses, tr.Len(), tr.Len())
+				}
+			}
+		}
+
+		solo := make([]Result, len(spaces))
+		for i, e := range sampledTestEngines(t, kind, spaces) {
+			var err error
+			if solo[i], err = e.RunSampled(tr, cover); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("solo", solo)
+
+		fused, err := RunBatch(sampledTestEngines(t, kind, spaces), tr, cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("fused", fused)
+	}
+}
+
+// TestSampledBatchMatchesSolo: under a real (partial-coverage) sampling
+// config, the fused batch kernels must produce results bit-identical to
+// running each engine's RunSampled alone — fusion and sampling compose.
+func TestSampledBatchMatchesSolo(t *testing.T) {
+	forceFused(t)
+	size := uint64(64 << 20)
+	spaces := batchTestSpaces(t, size)
+	tr := testTrace(13, size, 30000)
+	s := Sampling{Period: 2048, MeasureLen: 256, WarmupLen: 256}
+
+	for _, kind := range []string{"full", "partial", "partial-hifi"} {
+		want := make([]Result, len(spaces))
+		for i, e := range sampledTestEngines(t, kind, spaces) {
+			var err error
+			if want[i], err = e.RunSampled(tr, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want[0].MeasuredAccesses == 0 || want[0].MeasuredAccesses >= want[0].TotalAccesses {
+			t.Fatalf("config should sample a strict subset, got %d/%d",
+				want[0].MeasuredAccesses, want[0].TotalAccesses)
+		}
+
+		got, err := RunBatch(sampledTestEngines(t, kind, spaces), tr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s engine %d: fused %+v, solo %+v", kind, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampledExtrapolationTracksExact is the estimator sanity check on the
+// synthetic trace: extrapolated headline counters land near the exact ones.
+// (The tight ≤1% bound on the bundled workloads is asserted by the
+// top-level TestSampledReplayAccuracy; the synthetic random trace here has
+// higher variance, so the tolerance is loose.)
+func TestSampledExtrapolationTracksExact(t *testing.T) {
+	size := uint64(64 << 20)
+	space := buildTestSpace(t, size, mem.Page4K)
+	tr := testTrace(14, size, 200000)
+	s := Sampling{Period: 4096, MeasureLen: 1024, WarmupLen: 3072}
+
+	fresh, err := NewFull(arch.Broadwell, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := fresh.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewFull(arch.Broadwell, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := eng.RunSampled(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name           string
+		exact, sampled uint64
+	}{
+		{"R", exact.Counters.R, sampled.Counters.R},
+		{"M", exact.Counters.M, sampled.Counters.M},
+		{"C", exact.Counters.C, sampled.Counters.C},
+		{"Instructions", exact.Counters.Instructions, sampled.Counters.Instructions},
+		{"TLBLookups", exact.Counters.TLBLookups, sampled.Counters.TLBLookups},
+	} {
+		if c.exact == 0 {
+			t.Fatalf("exact %s is zero", c.name)
+		}
+		rel := (float64(c.sampled) - float64(c.exact)) / float64(c.exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		tol := 0.10
+		if c.name == "C" {
+			// Walk latency depends on PWC/cache warmth, the state slowest to
+			// converge under functional warmup; a uniform-random pointer
+			// chase is its worst case.
+			tol = 0.15
+		}
+		if rel > tol {
+			t.Errorf("%s: sampled %d vs exact %d (%.1f%% off)", c.name, c.sampled, c.exact, 100*rel)
+		}
+	}
+	if sampled.MeasuredAccesses == 0 || sampled.TotalAccesses != uint64(tr.Len()) {
+		t.Errorf("coverage %d/%d", sampled.MeasuredAccesses, sampled.TotalAccesses)
+	}
+}
+
+// TestPoolCapsIdleEngines: Put must retain at most MaxIdle engines per
+// (kind, platform) bucket and drop the excess.
+func TestPoolCapsIdleEngines(t *testing.T) {
+	space := buildTestSpace(t, 1<<20, mem.Page4K)
+	fill := func(p *Pool, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			eng, err := NewFull(arch.SandyBridge, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Put(eng)
+		}
+	}
+
+	var def Pool
+	fill(&def, DefaultMaxIdle+5)
+	if got := def.Idle(); got != DefaultMaxIdle {
+		t.Errorf("default cap retained %d idle engines, want %d", got, DefaultMaxIdle)
+	}
+
+	small := Pool{MaxIdle: 2}
+	fill(&small, 5)
+	if got := small.Idle(); got != 2 {
+		t.Errorf("MaxIdle=2 retained %d idle engines, want 2", got)
+	}
+	// Other buckets have their own budget.
+	part, err := NewPartial(arch.SandyBridge, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Put(part)
+	if got := small.Idle(); got != 3 {
+		t.Errorf("after partial Put: %d idle engines, want 3", got)
+	}
+
+	unbounded := Pool{MaxIdle: -1}
+	fill(&unbounded, DefaultMaxIdle+9)
+	if got := unbounded.Idle(); got != DefaultMaxIdle+9 {
+		t.Errorf("unbounded pool retained %d idle engines, want %d", got, DefaultMaxIdle+9)
+	}
+}
+
+// TestSampledTraceLenPlumbing pins the window iterator entry point the
+// engines use: Columns.Windows must agree with the plan over the columns'
+// own length.
+func TestSampledTraceLenPlumbing(t *testing.T) {
+	tr := testTrace(15, 1<<20, 5000)
+	plan := trace.SamplePlan{Period: 1000, MeasureLen: 100, WarmupLen: 50}
+	ws := tr.Columns().Windows(plan)
+	if len(ws) == 0 || ws[len(ws)-1].Hi > tr.Len() {
+		t.Fatalf("windows %v out of range for %d accesses", ws, tr.Len())
+	}
+	if got, want := plan.Measured(tr.Len()), 5*100; got != want {
+		t.Errorf("Measured = %d, want %d", got, want)
+	}
+}

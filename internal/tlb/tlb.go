@@ -146,6 +146,35 @@ type Stats struct {
 	MissBySize map[mem.PageSize]uint64
 }
 
+// Counts is the scalar subset of Stats (no per-size map) — cheap enough
+// for a sampled replay to snapshot at every measurement-window boundary.
+type Counts struct {
+	Lookups uint64
+	L1Hits  uint64
+	L2Hits  uint64
+	Misses  uint64
+}
+
+// Sub returns the events accumulated since the earlier snapshot o.
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		Lookups: c.Lookups - o.Lookups,
+		L1Hits:  c.L1Hits - o.L1Hits,
+		L2Hits:  c.L2Hits - o.L2Hits,
+		Misses:  c.Misses - o.Misses,
+	}
+}
+
+// Add sums two count sets.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		Lookups: c.Lookups + o.Lookups,
+		L1Hits:  c.L1Hits + o.L1Hits,
+		L2Hits:  c.L2Hits + o.L2Hits,
+		Misses:  c.Misses + o.Misses,
+	}
+}
+
 // TLB is one core's two-level TLB.
 type TLB struct {
 	cfg arch.TLBConfig
@@ -284,6 +313,17 @@ func (t *TLB) Flush() {
 	t.l11g.flush()
 	t.l2.flush()
 	t.l21g.flush()
+}
+
+// Counts returns the current scalar counters without materializing the
+// per-size map Stats builds.
+func (t *TLB) Counts() Counts {
+	return Counts{
+		Lookups: t.stats.Lookups,
+		L1Hits:  t.stats.L1Hits,
+		L2Hits:  t.stats.L2Hits,
+		Misses:  t.stats.Misses,
+	}
 }
 
 // Stats returns a copy of the counters.

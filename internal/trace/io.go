@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"mosaic/internal/mem"
 )
@@ -286,10 +287,30 @@ func readV01(cr *countingReader, cols *Columns, count uint64) error {
 	return nil
 }
 
+// v02Scratch holds the column buffers one block decode fills before the
+// accesses are appended. A trace runs to thousands of blocks and concurrent
+// sweep sessions load several traces at once, so the buffers are pooled
+// rather than allocated per block (or held per reader).
+type v02Scratch struct {
+	vas  []uint64
+	gaps []uint32
+}
+
+var v02ScratchPool = sync.Pool{
+	New: func() any {
+		return &v02Scratch{
+			vas:  make([]uint64, v02BlockCap),
+			gaps: make([]uint32, v02BlockCap),
+		}
+	},
+}
+
 // readV02 decodes the block-columnar stream.
 func readV02(cr *countingReader, cols *Columns, count uint64) error {
 	var head [8]byte
 	payload := make([]byte, 0, v02MaxPayload(v02BlockCap))
+	scratch := v02ScratchPool.Get().(*v02Scratch)
+	defer v02ScratchPool.Put(scratch)
 	for done := uint64(0); done < count; {
 		if err := cr.full(head[:]); err != nil {
 			return fmt.Errorf("trace: truncated block header at access %d: %w", done, err)
@@ -309,7 +330,7 @@ func readV02(cr *countingReader, cols *Columns, count uint64) error {
 		if err := cr.full(payload); err != nil {
 			return fmt.Errorf("trace: truncated block at access %d: %w", done, err)
 		}
-		if err := decodeBlock(payload, cols, int(n)); err != nil {
+		if err := decodeBlock(payload, cols, int(n), scratch); err != nil {
 			return fmt.Errorf("trace: block at access %d: %w", done, err)
 		}
 		done += uint64(n)
@@ -317,8 +338,9 @@ func readV02(cr *countingReader, cols *Columns, count uint64) error {
 	return nil
 }
 
-// decodeBlock appends one block's n accesses from its encoded payload.
-func decodeBlock(payload []byte, cols *Columns, n int) error {
+// decodeBlock appends one block's n accesses from its encoded payload,
+// staging the columns in the caller's scratch buffers.
+func decodeBlock(payload []byte, cols *Columns, n int, scratch *v02Scratch) error {
 	pos := 0
 	varint := func() (uint64, bool) {
 		v, w := binary.Uvarint(payload[pos:])
@@ -328,7 +350,7 @@ func decodeBlock(payload []byte, cols *Columns, n int) error {
 		pos += w
 		return v, true
 	}
-	vas := make([]uint64, n)
+	vas := scratch.vas[:n]
 	va, ok := varint()
 	if !ok {
 		return fmt.Errorf("bad first VA varint")
@@ -342,7 +364,7 @@ func decodeBlock(payload []byte, cols *Columns, n int) error {
 		va = uint64(int64(va) + unzigzag(d))
 		vas[i] = va
 	}
-	gaps := make([]uint32, n)
+	gaps := scratch.gaps[:n]
 	for i := 0; i < n; i++ {
 		g, ok := varint()
 		if !ok || g > 1<<32-1 {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -110,4 +111,38 @@ func FuzzTraceReadFrom(f *testing.F) {
 		// Must never panic, only return errors.
 		_, _ = tr.ReadFrom(bytes.NewReader(data))
 	})
+}
+
+// TestDecodeBlockNoAllocs pins the pooled-scratch property of the MOSTRC02
+// decode path: with the column buffers coming from v02ScratchPool, decoding
+// a block must not allocate (beyond the Columns growth amortized away here
+// by pre-growing).
+func TestDecodeBlockNoAllocs(t *testing.T) {
+	tr := randomTestTrace(9, v02BlockCap)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	off := 8 + 2 + len(tr.Name) + 8 // magic + nameLen + name + count
+	n := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+	payloadLen := int(binary.LittleEndian.Uint32(raw[off+4 : off+8]))
+	payload := raw[off+8 : off+8+payloadLen]
+	if n != v02BlockCap {
+		t.Fatalf("first block holds %d accesses, want %d", n, v02BlockCap)
+	}
+
+	const runs = 10
+	var cols Columns
+	cols.Grow((runs + 2) * v02BlockCap)
+	scratch := v02ScratchPool.Get().(*v02Scratch)
+	defer v02ScratchPool.Put(scratch)
+	allocs := testing.AllocsPerRun(runs, func() {
+		if err := decodeBlock(payload, &cols, n, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("decodeBlock allocates %.1f objects per block, want 0", allocs)
+	}
 }

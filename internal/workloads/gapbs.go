@@ -19,6 +19,7 @@ import (
 // that big-TLB machines (Broadwell) see almost no misses, so the harness
 // classifies it as TLB-insensitive there, exactly as the paper reports.
 type GAPBS struct {
+	stretchable
 	kernel string
 	input  string
 }
@@ -30,7 +31,9 @@ func NewGAPBS(kernel, input string) *GAPBS {
 }
 
 // Name implements Workload.
-func (g *GAPBS) Name() string { return fmt.Sprintf("gapbs/%s-%s", g.kernel, g.input) }
+func (g *GAPBS) Name() string { return g.tag(g.baseName()) }
+
+func (g *GAPBS) baseName() string { return fmt.Sprintf("gapbs/%s-%s", g.kernel, g.input) }
 
 // Suite implements Workload.
 func (g *GAPBS) Suite() string { return "gapbs" }
@@ -50,7 +53,7 @@ func (g *GAPBS) graphDims() (n, edgeFactor int) {
 }
 
 func (g *GAPBS) build() *graph.Graph {
-	seed := seedFor(g.Name())
+	seed := seedFor(g.baseName())
 	switch g.input {
 	case "twitter":
 		n, ef := g.graphDims()
@@ -123,7 +126,8 @@ func (g *GAPBS) Generate(alloc *Allocator) (*trace.Trace, error) {
 		NodeB:   nodeB,
 	}
 
-	b := trace.NewBuilder(g.Name(), accessBudget)
+	budget := g.budget()
+	b := trace.NewBuilder(g.Name(), budget)
 	src := gr.LargestComponentSource()
 	// Fast-forward into the kernel's steady phase before recording — the
 	// blind-sampling practice of §II-C. Road BFS is small enough to record
@@ -132,9 +136,9 @@ func (g *GAPBS) Generate(alloc *Allocator) (*trace.Trace, error) {
 	if g.input != "road" {
 		skip = 3_000_000
 	}
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		before := b.Len()
-		bud := graph.Budget{Skip: skip, Max: accessBudget - b.Len(), Serial: g.input == "road"}
+		bud := graph.Budget{Skip: skip, Max: budget - b.Len(), Serial: g.input == "road"}
 		skip = 0 // only the first kernel invocation fast-forwards
 		switch g.kernel {
 		case "bfs":

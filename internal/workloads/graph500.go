@@ -16,6 +16,7 @@ import (
 // Scaling: the paper's 2/4/8GB problems become Kronecker scales 17–19
 // (÷64 footprint).
 type Graph500 struct {
+	stretchable
 	name  string
 	scale int
 }
@@ -26,7 +27,7 @@ func NewGraph500(label string, scale int) *Graph500 {
 }
 
 // Name implements Workload.
-func (g *Graph500) Name() string { return g.name }
+func (g *Graph500) Name() string { return g.tag(g.name) }
 
 // Suite implements Workload.
 func (g *Graph500) Suite() string { return "graph500" }
@@ -66,10 +67,11 @@ func (g *Graph500) Generate(alloc *Allocator) (*trace.Trace, error) {
 		return nil, fmt.Errorf("graph500: %w", err)
 	}
 
-	b := trace.NewBuilder(g.name, accessBudget)
+	budget := g.budget()
+	b := trace.NewBuilder(g.Name(), budget)
 	// Phase 1 (kernel 1, "construction"): stream the edge list into the
 	// CSR arrays — sequential writes, a small share of the trace.
-	constructionBudget := accessBudget / 25
+	constructionBudget := budget / 25
 	stride := uint64(gr.M()*4) / uint64(constructionBudget/2+1)
 	if stride < 8 {
 		stride = 8
@@ -96,10 +98,10 @@ func (g *Graph500) Generate(alloc *Allocator) (*trace.Trace, error) {
 	}
 	skip := 1_000_000
 	for _, root := range roots {
-		if b.Len() >= accessBudget {
+		if b.Len() >= budget {
 			break
 		}
-		graph.BFS(gr, root, lay, b, graph.Budget{Skip: skip, Max: accessBudget - b.Len()})
+		graph.BFS(gr, root, lay, b, graph.Budget{Skip: skip, Max: budget - b.Len()})
 		skip = 0
 	}
 	return b.Trace(), nil

@@ -17,6 +17,7 @@ import (
 //
 // Scaling: the paper's 8/16/32GB tables become 32/64/128MB (÷256).
 type GUPS struct {
+	stretchable
 	name  string
 	bytes uint64
 }
@@ -27,7 +28,7 @@ func NewGUPS(label string, tableBytes uint64) *GUPS {
 }
 
 // Name implements Workload.
-func (g *GUPS) Name() string { return g.name }
+func (g *GUPS) Name() string { return g.tag(g.name) }
 
 // Suite implements Workload.
 func (g *GUPS) Suite() string { return "gups" }
@@ -44,10 +45,11 @@ func (g *GUPS) Generate(alloc *Allocator) (*trace.Trace, error) {
 		return nil, fmt.Errorf("gups: allocating table: %w", err)
 	}
 	rng := rand.New(rand.NewSource(seedFor(g.name)))
-	b := trace.NewBuilder(g.name, accessBudget)
+	budget := g.budget()
+	b := trace.NewBuilder(g.Name(), budget)
 
 	// The update loop: tiny instruction gaps, independent RMW pairs.
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		off := mem.Addr(rng.Uint64()%(g.bytes/8)) * 8
 		b.Compute(6)
 		b.Load(table + off)

@@ -15,6 +15,7 @@ import (
 //
 // Scaling: mcf's ~1.7GB becomes ~48MB (÷36).
 type MCF struct {
+	stretchable
 	arcBytes  uint64
 	nodeBytes uint64
 }
@@ -25,7 +26,7 @@ func NewMCF() *MCF {
 }
 
 // Name implements Workload.
-func (m *MCF) Name() string { return "spec06/mcf" }
+func (m *MCF) Name() string { return m.tag("spec06/mcf") }
 
 // Suite implements Workload.
 func (m *MCF) Suite() string { return "spec06" }
@@ -45,8 +46,9 @@ func (m *MCF) Generate(alloc *Allocator) (*trace.Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcf: nodes: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seedFor(m.Name())))
-	b := trace.NewBuilder(m.Name(), accessBudget)
+	rng := rand.New(rand.NewSource(seedFor("spec06/mcf")))
+	budget := m.budget()
+	b := trace.NewBuilder(m.Name(), budget)
 
 	const arcStride = 64 // one arc struct per cache line
 	numArcs := m.arcBytes / arcStride
@@ -54,11 +56,11 @@ func (m *MCF) Generate(alloc *Allocator) (*trace.Trace, error) {
 	// Build a pseudo-random arc permutation to chase (a cyclic tour), the
 	// memory behaviour of mcf's price-out loop.
 	cursor := rng.Uint64() % numArcs
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		// Pricing pass: chase a run of arcs, touching both endpoints'
 		// node records (also dependent — the node index lives in the arc).
 		runLen := 8 + rng.Intn(24)
-		for i := 0; i < runLen && b.Len() < accessBudget; i++ {
+		for i := 0; i < runLen && b.Len() < budget; i++ {
 			b.Compute(9)
 			b.LoadDep(arcs + mem.Addr(cursor*arcStride))
 			nodeIdx := (cursor*2654435761 + uint64(i)) % numNodes
@@ -71,7 +73,7 @@ func (m *MCF) Generate(alloc *Allocator) (*trace.Trace, error) {
 		}
 		// Basket refill: a short sequential scan.
 		start := rng.Uint64() % (numArcs - 32)
-		for i := uint64(0); i < 32 && b.Len() < accessBudget; i++ {
+		for i := uint64(0); i < 32 && b.Len() < budget; i++ {
 			b.Compute(4)
 			b.Load(arcs + mem.Addr((start+i)*arcStride))
 		}
@@ -84,6 +86,7 @@ func (m *MCF) Generate(alloc *Allocator) (*trace.Trace, error) {
 // operations produce dependent accesses with strided, shrinking locality;
 // event payloads add random dependent touches.
 type Omnetpp struct {
+	stretchable
 	name      string
 	heapBytes uint64
 	// fanout controls how deep sifts run (spec17's larger config sifts
@@ -98,7 +101,7 @@ func NewOmnetpp(name string, heapBytes uint64, fanout int) *Omnetpp {
 }
 
 // Name implements Workload.
-func (o *Omnetpp) Name() string { return o.name }
+func (o *Omnetpp) Name() string { return o.tag(o.name) }
 
 // Suite implements Workload.
 func (o *Omnetpp) Suite() string {
@@ -125,17 +128,18 @@ func (o *Omnetpp) Generate(alloc *Allocator) (*trace.Trace, error) {
 		return nil, fmt.Errorf("omnetpp: messages: %w", err)
 	}
 	rng := rand.New(rand.NewSource(seedFor(o.name)))
-	b := trace.NewBuilder(o.name, accessBudget)
+	budget := o.budget()
+	b := trace.NewBuilder(o.Name(), budget)
 
 	const slot = 32 // event record
 	slots := o.heapBytes / slot
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		// Pop-min: sift down from the root. Index doubling gives strided
 		// accesses: hot near the root (cache/TLB friendly), cold at the
 		// leaves.
 		idx := uint64(1)
 		b.Compute(12)
-		for idx < slots && b.Len() < accessBudget {
+		for idx < slots && b.Len() < budget {
 			b.LoadDep(heapVA + mem.Addr(idx*slot))
 			b.Compute(5)
 			idx = idx*2 + uint64(rng.Intn(2))
@@ -152,7 +156,7 @@ func (o *Omnetpp) Generate(alloc *Allocator) (*trace.Trace, error) {
 		}
 		// Push: sift up — short dependent chain near a random leaf.
 		idx = 1 + rng.Uint64()%(slots-1)
-		for idx > 1 && b.Len() < accessBudget {
+		for idx > 1 && b.Len() < budget {
 			b.StoreDep(heapVA + mem.Addr(idx*slot))
 			b.Compute(4)
 			idx /= 2
@@ -171,6 +175,7 @@ func (o *Omnetpp) Generate(alloc *Allocator) (*trace.Trace, error) {
 // all TLB misses on Broadwell, large enough that 4KB pages thrash — the
 // Table 7 contrast.
 type Xalancbmk struct {
+	stretchable
 	domBytes     uint64
 	stringsBytes uint64
 }
@@ -181,7 +186,7 @@ func NewXalancbmk() *Xalancbmk {
 }
 
 // Name implements Workload.
-func (x *Xalancbmk) Name() string { return "spec17/xalancbmk_s" }
+func (x *Xalancbmk) Name() string { return x.tag("spec17/xalancbmk_s") }
 
 // Suite implements Workload.
 func (x *Xalancbmk) Suite() string { return "spec17" }
@@ -201,8 +206,9 @@ func (x *Xalancbmk) Generate(alloc *Allocator) (*trace.Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xalancbmk: strings: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seedFor(x.Name())))
-	b := trace.NewBuilder(x.Name(), accessBudget)
+	rng := rand.New(rand.NewSource(seedFor("spec17/xalancbmk_s")))
+	budget := x.budget()
+	b := trace.NewBuilder(x.Name(), budget)
 
 	const nodeSize = 128 // DOM node with attributes
 	numNodes := x.domBytes / nodeSize
@@ -210,7 +216,7 @@ func (x *Xalancbmk) Generate(alloc *Allocator) (*trace.Trace, error) {
 	// allocation order vs document order mismatch, as in real DOMs.
 	var stack []uint64
 	stack = append(stack, 0)
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		if len(stack) == 0 {
 			stack = append(stack, rng.Uint64()%numNodes)
 		}
@@ -223,7 +229,7 @@ func (x *Xalancbmk) Generate(alloc *Allocator) (*trace.Trace, error) {
 		// resident structure the page walker's fills evict — Table 7's
 		// extra cache loads under 4KB pages.
 		hot := x.stringsBytes / 32 // the hot interned symbols
-		for k := 0; k < 4 && b.Len() < accessBudget; k++ {
+		for k := 0; k < 4 && b.Len() < budget; k++ {
 			span := hot
 			if k == 3 && node%8 == 0 {
 				span = x.stringsBytes // occasional cold string
@@ -239,7 +245,7 @@ func (x *Xalancbmk) Generate(alloc *Allocator) (*trace.Trace, error) {
 			stack = append(stack, child)
 		}
 		// Output construction: occasional sequential writes.
-		if rng.Intn(4) == 0 && b.Len() < accessBudget {
+		if rng.Intn(4) == 0 && b.Len() < budget {
 			b.Store(strs + mem.Addr(rng.Uint64()%(x.stringsBytes/64)*64))
 		}
 	}

@@ -50,10 +50,51 @@ type Workload interface {
 	Generate(alloc *Allocator) (*trace.Trace, error)
 }
 
-// accessBudget is the per-workload trace length: long enough to exercise
-// the TLB and caches through many reuse distances, short enough that the
-// full sweep stays fast.
+// accessBudget is the default per-workload trace length: long enough to
+// exercise the TLB and caches through many reuse distances, short enough
+// that the full sweep stays fast. Stretched scales it per workload.
 const accessBudget = 120_000
+
+// stretchable is embedded by every workload kernel to carry the
+// trace-length stretch factor. Stretching changes only how long the access
+// loop runs — footprint, pools, and the RNG seed stay those of the base
+// workload, so a stretched trace is the same process observed for longer.
+type stretchable struct {
+	factor int
+}
+
+func (s *stretchable) setStretch(factor int) { s.factor = factor }
+
+// budget returns the workload's access budget under its stretch factor.
+func (s *stretchable) budget() int {
+	if s.factor > 1 {
+		return accessBudget * s.factor
+	}
+	return accessBudget
+}
+
+// tag decorates a workload name with the stretch factor. Stretched
+// workloads must not share a name with their base: the experiment layer
+// caches generated traces by workload name.
+func (s *stretchable) tag(name string) string {
+	if s.factor > 1 {
+		return fmt.Sprintf("%s x%d", name, s.factor)
+	}
+	return name
+}
+
+// Stretched scales w's trace length by an integer factor, mutating and
+// returning w. The footprint and access structure are unchanged — only the
+// number of recorded accesses grows — which is what sampled-replay accuracy
+// work needs: at the default budget a systematic sampler barely has room
+// for a handful of windows, while real deployments replay much longer
+// traces. Factor 1 (or less) is the identity.
+func Stretched(w Workload, factor int) Workload {
+	if factor > 1 {
+		w.(interface{ setStretch(int) }).setStretch(factor)
+	}
+	return w
+}
 
 // All returns the 19 workloads of the paper's Table 8, in its row order.
 func All() []Workload {

@@ -267,3 +267,53 @@ func TestMosallocOverheadUnder1Percent(t *testing.T) {
 		}
 	}
 }
+
+// TestStretched pins the trace-length knob: a stretched workload generates
+// factor× the accesses with the same footprint and the same opening access
+// pattern (same seed, same process), under a distinct name so the
+// experiment trace cache never conflates the two.
+func TestStretched(t *testing.T) {
+	base, err := ByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := Stretched(mustByName(t, "gups/8GB"), 4)
+	if long.Name() != "gups/8GB x4" {
+		t.Fatalf("stretched name = %q", long.Name())
+	}
+	if long.Suite() != base.Suite() {
+		t.Fatalf("stretched suite = %q, want %q", long.Suite(), base.Suite())
+	}
+	bh, ba := base.PoolBytes()
+	lh, la := long.PoolBytes()
+	if bh != lh || ba != la {
+		t.Fatalf("stretching changed pools: (%d,%d) vs (%d,%d)", bh, ba, lh, la)
+	}
+	btr := generate(t, base)
+	ltr := generate(t, long)
+	if ltr.Len() != 4*btr.Len() {
+		t.Fatalf("stretched length %d, want %d", ltr.Len(), 4*btr.Len())
+	}
+	if ltr.Name != long.Name() {
+		t.Fatalf("stretched trace name %q, want %q", ltr.Name, long.Name())
+	}
+	bc, lc := btr.Columns(), ltr.Columns()
+	for i := 0; i < btr.Len(); i++ {
+		if bc.VA(i) != lc.VA(i) || bc.Gap(i) != lc.Gap(i) || bc.Dep(i) != lc.Dep(i) {
+			t.Fatalf("access %d diverges between base and stretched trace", i)
+		}
+	}
+	// Factor 1 is the identity.
+	if w := Stretched(mustByName(t, "gups/8GB"), 1); w.Name() != "gups/8GB" {
+		t.Fatalf("factor-1 name = %q", w.Name())
+	}
+}
+
+func mustByName(t *testing.T, name string) Workload {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

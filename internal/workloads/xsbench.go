@@ -16,6 +16,7 @@ import (
 //
 // Scaling: the paper's 4/8/16GB problems become 32/64/128MB (÷128).
 type XSBench struct {
+	stretchable
 	name  string
 	bytes uint64
 }
@@ -26,7 +27,7 @@ func NewXSBench(label string, bytes uint64) *XSBench {
 }
 
 // Name implements Workload.
-func (x *XSBench) Name() string { return x.name }
+func (x *XSBench) Name() string { return x.tag(x.name) }
 
 // Suite implements Workload.
 func (x *XSBench) Suite() string { return "xsbench" }
@@ -55,17 +56,18 @@ func (x *XSBench) Generate(alloc *Allocator) (*trace.Trace, error) {
 		return nil, fmt.Errorf("xsbench: cross sections: %w", err)
 	}
 	rng := rand.New(rand.NewSource(seedFor(x.name)))
-	b := trace.NewBuilder(x.name, accessBudget)
+	budget := x.budget()
+	b := trace.NewBuilder(x.Name(), budget)
 
 	gridEntries := gridBytes / 16 // (energy, index) pairs
 	const nuclidesPerLookup = 6
-	for b.Len() < accessBudget {
+	for b.Len() < budget {
 		// Binary search over the energy grid: a dependent chain whose
 		// successive probes shrink toward the target (decent locality at
 		// the tail, page-crossing at the head).
 		lo, hi := uint64(0), gridEntries
 		b.Compute(10)
-		for hi-lo > 1 && b.Len() < accessBudget {
+		for hi-lo > 1 && b.Len() < budget {
 			mid := (lo + hi) / 2
 			b.Compute(3)
 			b.LoadDep(gridVA + mem.Addr(mid*16))
@@ -76,7 +78,7 @@ func (x *XSBench) Generate(alloc *Allocator) (*trace.Trace, error) {
 			}
 		}
 		// Gather cross-section rows: independent random reads.
-		for n := 0; n < nuclidesPerLookup && b.Len() < accessBudget; n++ {
+		for n := 0; n < nuclidesPerLookup && b.Len() < budget; n++ {
 			off := mem.Addr(rng.Uint64() % (xsBytes / 64) * 64)
 			b.Compute(4)
 			b.Load(xsVA + off)
