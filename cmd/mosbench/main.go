@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -94,7 +95,7 @@ func main() {
 		}()
 	}
 
-	app := &bench{runner: experiment.NewRunner()}
+	app := &bench{runner: experiment.NewRunner(), out: os.Stdout, diag: os.Stderr}
 	if *quick {
 		app.runner.Proto = experiment.Quick
 	}
@@ -201,6 +202,12 @@ type bench struct {
 	collected []*experiment.Dataset
 	svgDir    string
 	stretch   int
+	// out receives results (tables, charts, JSON); diag receives progress
+	// lines and stage summaries. main wires them to stdout/stderr, so
+	// `mosbench -json > data.json` stays parseable no matter how chatty the
+	// sweep is; tests wire buffers to pin that split.
+	out  io.Writer
+	diag io.Writer
 }
 
 // progressLine renders one sweep progress report on stderr: stage, job
@@ -217,7 +224,7 @@ func (b *bench) progressLine(p sim.Progress) {
 		measured, skipped := b.runner.SampledProgress()
 		coverage = fmt.Sprintf(" meas=%s skip=%s", fmtCount(measured), fmtCount(skipped))
 	}
-	fmt.Fprintf(os.Stderr, "\r[%-7s %4d/%d] workers=%-2d %6.1fs ETA %s%s  %-44.44s",
+	fmt.Fprintf(b.diag, "\r[%-7s %4d/%d] workers=%-2d %6.1fs ETA %s%s  %-44.44s",
 		p.Stage, p.Done, p.Total, p.Workers, p.Elapsed.Seconds(), eta, coverage, p.Label)
 }
 
@@ -245,18 +252,18 @@ func (b *bench) collectAll() ([]*experiment.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(b.diag)
 	var out []*experiment.Dataset
 	for _, ds := range all {
 		if ds.TLBSensitive {
 			out = append(out, ds)
 		} else {
-			fmt.Fprintf(os.Stderr, "  (excluding %s on %s: not TLB-sensitive)\n", ds.Workload, ds.Platform)
+			fmt.Fprintf(b.diag, "  (excluding %s on %s: not TLB-sensitive)\n", ds.Workload, ds.Platform)
 		}
 	}
 	for _, st := range b.runner.StageTimes() {
 		if st.Count > 0 {
-			fmt.Fprintf(os.Stderr, "  stage %-7s %4d× %8.1fs total\n", st.Stage, st.Count, st.Total.Seconds())
+			fmt.Fprintf(b.diag, "  stage %-7s %4d× %8.1fs total\n", st.Stage, st.Count, st.Total.Seconds())
 		}
 	}
 	b.collected = out
@@ -289,7 +296,7 @@ func (b *bench) exportJSON() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(b.diag)
 	var out []entry
 	for _, ds := range all {
 		e := entry{
@@ -303,7 +310,7 @@ func (b *bench) exportJSON() error {
 		}
 		out = append(out, e)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(b.out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
@@ -349,7 +356,7 @@ func (b *bench) figure(name string) error {
 			title = "Figure 2b: maximal error of the new models (all workloads & machines)"
 			names = models.NewNames
 		}
-		fmt.Println(report.ModelErrorTable(title, worst, names))
+		fmt.Fprintln(b.out, report.ModelErrorTable(title, worst, names))
 		if b.svgDir != "" {
 			var vals []float64
 			for _, n := range names {
@@ -362,7 +369,7 @@ func (b *bench) figure(name string) error {
 			if err := os.WriteFile(path, []byte(report.SVGBars(title, names, vals, 640, 360)), 0o644); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(b.diag, "wrote %s\n", path)
 		}
 	case "3":
 		return b.curve("spec06/mcf", "SandyBridge",
@@ -383,7 +390,7 @@ func (b *bench) figure(name string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println(report.PerBenchmarkTable(
+			fmt.Fprintln(b.out, report.PerBenchmarkTable(
 				fmt.Sprintf("Figure %s (%s): per-benchmark %s error", name, p.Name, kind), pb, geo))
 		}
 	case "7":
@@ -400,7 +407,7 @@ func (b *bench) figure(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Basu underpredicts the lowest-walk-cycles layout by %s (paper: 42%%)\n\n",
+		fmt.Fprintf(b.out, "Basu underpredicts the lowest-walk-cycles layout by %s (paper: 42%%)\n\n",
 			report.Pct(under))
 	case "8":
 		return b.curve("spec06/omnetpp", "SandyBridge",
@@ -420,7 +427,7 @@ func (b *bench) figure(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fitted poly1 slope α = %.2f (paper: α > 1)\n\n", slope)
+		fmt.Fprintf(b.out, "fitted poly1 slope α = %.2f (paper: α > 1)\n\n", slope)
 	case "10":
 		return b.curve("gups/16GB", "SandyBridge",
 			"Figure 10: gups/16GB needs a higher-order polynomial",
@@ -434,12 +441,12 @@ func (b *bench) figure(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Figure 11: predicting the 1GB-pages layout of gapbs/pr-twitter (SandyBridge)")
+		fmt.Fprintln(b.out, "Figure 11: predicting the 1GB-pages layout of gapbs/pr-twitter (SandyBridge)")
 		t := report.NewTable("model", "error on 1GB prediction")
 		for _, name := range []string{"yaniv", "mosmodel"} {
 			t.AddRow(name, report.Pct(res[name]))
 		}
-		fmt.Println(t.String())
+		fmt.Fprintln(b.out, t.String())
 	default:
 		return fmt.Errorf("unknown figure %q", name)
 	}
@@ -455,9 +462,9 @@ func (b *bench) curve(workload, platform, title string, modelNames []string) err
 	if err != nil {
 		return err
 	}
-	fmt.Println(title)
+	fmt.Fprintln(b.out, title)
 	runes := map[string]rune{"poly1": '-', "poly2": '2', "poly3": '3', "mosmodel": '*', "basu": 'b', "yaniv": 'y'}
-	fmt.Println(report.Chart(cv, 72, 20, runes))
+	fmt.Fprintln(b.out, report.Chart(cv, 72, 20, runes))
 	if b.svgDir != "" {
 		if err := os.MkdirAll(b.svgDir, 0o755); err != nil {
 			return err
@@ -467,7 +474,7 @@ func (b *bench) curve(workload, platform, title string, modelNames []string) err
 		if err := os.WriteFile(path, []byte(report.SVGChart(cv, 720, 440)), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		fmt.Fprintf(b.diag, "wrote %s\n", path)
 	}
 	return nil
 }
@@ -483,7 +490,7 @@ func (b *bench) table(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.ModelErrorTable(
+		fmt.Fprintln(b.out, report.ModelErrorTable(
 			"Table 6: maximal K-fold cross-validation errors of the new models",
 			cv, models.NewNames))
 	case "7":
@@ -495,7 +502,7 @@ func (b *bench) table(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table7Text(ds, rows))
+		fmt.Fprintln(b.out, report.Table7Text(ds, rows))
 	case "8":
 		all, err := b.collectAll()
 		if err != nil {
@@ -509,7 +516,7 @@ func (b *bench) table(name string) error {
 		for _, p := range b.platforms {
 			platforms = append(platforms, p.Name)
 		}
-		fmt.Println(report.Table8Text(rows, platforms))
+		fmt.Fprintln(b.out, report.Table8Text(rows, platforms))
 	default:
 		return fmt.Errorf("unknown table %q", name)
 	}
@@ -536,7 +543,7 @@ func (b *bench) caseStudy(name string) error {
 			}
 		}
 	}
-	fmt.Println("Case study (§VII-D): worst error predicting the held-out 1GB-pages layout")
+	fmt.Fprintln(b.out, "Case study (§VII-D): worst error predicting the held-out 1GB-pages layout")
 	names := make([]string, 0, len(worst))
 	for m := range worst {
 		names = append(names, m)
@@ -546,6 +553,6 @@ func (b *bench) caseStudy(name string) error {
 	for _, m := range names {
 		t.AddRow(m, report.Pct(worst[m]))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(b.out, t.String())
 	return nil
 }

@@ -65,7 +65,7 @@ func (b *bench) sampleReport(s sim.Sampling, jsonOut bool) error {
 		r.Sampling = sampling
 		b.runner = r // progressLine reads coverage off the active runner
 		dss, err := r.CollectAll(b.workloads, b.platforms, b.progressLine)
-		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(b.diag)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -78,12 +78,12 @@ func (b *bench) sampleReport(s sim.Sampling, jsonOut bool) error {
 		return dss, replay, nil
 	}
 
-	fmt.Fprintln(os.Stderr, "sample-report: exact sweep")
+	fmt.Fprintln(b.diag, "sample-report: exact sweep")
 	exact, exactSec, err := run(sim.Sampling{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sample-report: sampled sweep (period=%d window=%d warmup=%d prologue=%d)\n",
+	fmt.Fprintf(b.diag, "sample-report: sampled sweep (period=%d window=%d warmup=%d prologue=%d)\n",
 		s.Period, s.MeasureLen, s.WarmupLen, s.PrologueLen)
 	sampled, sampledSec, err := run(s)
 	if err != nil {
@@ -100,23 +100,23 @@ func (b *bench) sampleReport(s sim.Sampling, jsonOut bool) error {
 	}
 
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(b.out)
 		return enc.Encode(rep)
 	}
-	fmt.Printf("Sampled replay vs. exact (period=%d window=%d warmup=%d prologue=%d, stretch %d×)\n",
+	fmt.Fprintf(b.out, "Sampled replay vs. exact (period=%d window=%d warmup=%d prologue=%d, stretch %d×)\n",
 		s.Period, s.MeasureLen, s.WarmupLen, s.PrologueLen, b.stretch)
-	fmt.Printf("  measured fraction:    %.2f%%\n", 100*rep.MeasuredFraction)
-	fmt.Printf("  replay time:          %.2fs exact, %.2fs sampled (%.1f× speedup)\n",
+	fmt.Fprintf(b.out, "  measured fraction:    %.2f%%\n", 100*rep.MeasuredFraction)
+	fmt.Fprintf(b.out, "  replay time:          %.2fs exact, %.2fs sampled (%.1f× speedup)\n",
 		rep.ExactReplaySeconds, rep.SampledReplaySeconds, rep.Speedup)
-	fmt.Printf("  significant counters: %d entries (≥%d sampled events), worst %.4f%% (%s)\n",
+	fmt.Fprintf(b.out, "  significant counters: %d entries (≥%d sampled events), worst %.4f%% (%s)\n",
 		rep.Significant, sigSampledEvents, 100*rep.MaxRelErrSignificant, rep.MaxRelErrSignificantAt)
-	fmt.Printf("  noise envelope:       worst error/bound ratio %.2f (%s)\n",
+	fmt.Fprintf(b.out, "  noise envelope:       worst error/bound ratio %.2f (%s)\n",
 		rep.WorstEnvelopeRatio, rep.WorstEnvelopeAt)
-	fmt.Printf("  max relative error:   %.4f%% (%s)\n", 100*rep.MaxRelError, rep.MaxRelErrorAt)
-	fmt.Println("  per-counter max relative error:")
+	fmt.Fprintf(b.out, "  max relative error:   %.4f%% (%s)\n", 100*rep.MaxRelError, rep.MaxRelErrorAt)
+	fmt.Fprintln(b.out, "  per-counter max relative error:")
 	for _, name := range counterNames {
 		if e, ok := rep.PerCounter[name]; ok {
-			fmt.Printf("    %-18s %.4f%%\n", name, 100*e)
+			fmt.Fprintf(b.out, "    %-18s %.4f%%\n", name, 100*e)
 		}
 	}
 	return nil

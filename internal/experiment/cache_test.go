@@ -121,3 +121,47 @@ func TestParallelCollectMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceCachePartialFileRegenerates: a truncated MOSTRC02 cache file —
+// the signature a pre-atomic-Save crash would have left — must be rejected
+// at load and transparently regenerated, reproducing the original trace.
+func TestTraceCachePartialFileRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := workloads.ByName("gups/8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner()
+	r1.TraceDir = dir
+	wd1, err := r1.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceFile, _ := r1.cachePaths(w.Name())
+	full, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the valid magic and header; cut the block stream mid-payload.
+	if err := os.WriteFile(traceFile, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner()
+	r2.TraceDir = dir
+	wd2, err := r2.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd2.Trace.Len() != wd1.Trace.Len() {
+		t.Fatalf("regenerated trace has %d accesses, want %d", wd2.Trace.Len(), wd1.Trace.Len())
+	}
+	// The regenerated file must have replaced the poisoned one on disk.
+	healed, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) == len(full)/2 {
+		t.Fatal("truncated cache file was left in place")
+	}
+}

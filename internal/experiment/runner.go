@@ -13,6 +13,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -111,6 +112,10 @@ func (r *Runner) SampledProgress() (measured, skipped uint64) {
 	total := r.totalAccesses.Load()
 	return measured, total - measured
 }
+
+// PoolIdle reports the engines currently sitting idle in the runner's
+// engine pool — the serving layer's pool-occupancy gauge reads it.
+func (r *Runner) PoolIdle() int { return r.engines.Idle() }
 
 // Prepare generates (once) the workload's trace under an all-4KB Mosalloc
 // configuration and derives the layout target from the pool high-water
@@ -261,7 +266,44 @@ func (r *Runner) saveCached(wd *WorkloadData) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(targetFile, raw, 0o644)
+	return writeFileAtomic(targetFile, raw, 0o644)
+}
+
+// writeFileAtomic writes data via a same-directory temp file + rename, so
+// an interrupted run never leaves a truncated cache sidecar for a later
+// session to trip over (Trace.Save gives the trace file the same
+// guarantee).
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // buildSpace runs the address-space stage for one layout: a modelled
@@ -444,6 +486,15 @@ type pairPlan struct {
 // parallelism: every replay runs on private (Reset) engine state over
 // immutable shared translation state.
 func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onProgress func(sim.Progress)) ([]*Dataset, error) {
+	return r.CollectAllCtx(context.Background(), ws, plats, onProgress)
+}
+
+// CollectAllCtx is CollectAll under a context: when ctx is canceled the
+// sweep stops claiming new pipeline jobs (in-flight replays finish, so
+// pooled engines and shared spaces are released consistently), no partial
+// datasets are cached, and ctx's error is returned. The serving layer uses
+// this for job cancellation and graceful shutdown.
+func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, plats []arch.Platform, onProgress func(sim.Progress)) ([]*Dataset, error) {
 	workers := max(1, r.Parallelism)
 
 	// Figure out which pairs still need measuring. Job order groups pairs
@@ -476,7 +527,7 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 			uws = append(uws, pair.w)
 		}
 	}
-	sched := sim.Scheduler{Workers: workers, Stage: sim.StagePrepare.String(), OnProgress: onProgress}
+	sched := sim.Scheduler{Workers: workers, Stage: sim.StagePrepare.String(), OnProgress: onProgress, Ctx: ctx}
 	err := sched.Run(len(uws),
 		func(i int) string { return uws[i].Name() },
 		func(i int) error { _, err := r.Prepare(uws[i]); return err })
@@ -485,7 +536,7 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 	}
 
 	// Stage 2: plan — miss profile and layout protocol per pair.
-	sched = sim.Scheduler{Workers: workers, Stage: sim.StagePlan.String(), OnProgress: onProgress}
+	sched = sim.Scheduler{Workers: workers, Stage: sim.StagePlan.String(), OnProgress: onProgress, Ctx: ctx}
 	err = sched.Run(len(pending),
 		func(i int) string { return pending[i].key },
 		func(i int) error {
@@ -533,7 +584,7 @@ func (r *Runner) CollectAll(ws []workloads.Workload, plats []arch.Platform, onPr
 			jobs = append(jobs, job{pair: pair, lo: lo, hi: hi, spaceKeys: keys})
 		}
 	}
-	sched = sim.Scheduler{Workers: workers, Stage: sim.StageReplay.String(), OnProgress: onProgress}
+	sched = sim.Scheduler{Workers: workers, Stage: sim.StageReplay.String(), OnProgress: onProgress, Ctx: ctx}
 	err = sched.Run(len(jobs),
 		func(i int) string {
 			j := jobs[i]

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mosaic/internal/models"
+)
+
+// Training bridge: the serving layer's model registry consumes sweeps as
+// fitted predictors, not raw counters. Train turns one dataset — the
+// protocol's (H, M, C, R) samples for a (workload, platform) pair — into a
+// fitted model annotated with its training errors, which double as the
+// error bounds the prediction API reports (the paper's headline metric is
+// the training-set maximal relative error, §VI-C).
+
+// TrainedModel is a fitted model plus the training-set error metrics the
+// serving layer attaches to every prediction from it.
+type TrainedModel struct {
+	Model models.Model
+	// MaxTrainErr and GeoTrainErr are the maximal and geomean absolute
+	// relative errors over the training samples.
+	MaxTrainErr, GeoTrainErr float64
+}
+
+// Key names the dataset in the registry's "workload@platform" form.
+func (d *Dataset) Key() string { return d.Workload + "@" + d.Platform }
+
+// Train fits a fresh model of the given registry name on the dataset's
+// protocol samples and measures its training errors.
+func (d *Dataset) Train(name string) (*TrainedModel, error) {
+	m, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Samples) == 0 {
+		return nil, fmt.Errorf("experiment: %s: no samples to train %s on", d.Key(), name)
+	}
+	maxErr, geoErr, err := models.Evaluate(m, d.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: training %s: %w", d.Key(), name, err)
+	}
+	return &TrainedModel{Model: m, MaxTrainErr: maxErr, GeoTrainErr: geoErr}, nil
+}
+
+// TrainModels fits every named model (nil or empty means the full
+// registry) and returns them keyed by model name.
+func (d *Dataset) TrainModels(names []string) (map[string]*TrainedModel, error) {
+	if len(names) == 0 {
+		names = append(append([]string{}, models.PriorNames...), models.NewNames...)
+	}
+	out := make(map[string]*TrainedModel, len(names))
+	for _, name := range names {
+		tm, err := d.Train(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = tm
+	}
+	return out, nil
+}

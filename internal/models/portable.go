@@ -1,0 +1,201 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mosaic/internal/stats"
+)
+
+// Every registry model round-trips its fitted state through JSON: a model
+// trained from a sweep can be persisted by the serving layer's registry
+// and must predict bit-identically after reload (encoding/json writes
+// float64 in shortest round-trippable form, so no precision is lost).
+// Marshal of an unfitted model is an error — there is no meaningful state
+// to persist — and Unmarshal validates enough structure that a corrupt
+// registry file fails at load time, not as NaNs at serving time.
+
+// errUnfitted builds the marshal-time error for a model without a fit.
+func errUnfitted(name string) error {
+	return fmt.Errorf("models: %s: cannot serialize an unfitted model", name)
+}
+
+// twoParamState is the wire shape of the slope/intercept prior models.
+type twoParamState struct {
+	Alpha  float64 `json:"alpha,omitempty"`
+	Beta   float64 `json:"beta"`
+	Fitted bool    `json:"fitted"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b *Basu) MarshalJSON() ([]byte, error) {
+	return json.Marshal(twoParamState{Alpha: b.alpha, Beta: b.beta, Fitted: true})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Basu) UnmarshalJSON(data []byte) error {
+	var s twoParamState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Fitted {
+		return errUnfitted(b.Name())
+	}
+	b.alpha, b.beta = s.Alpha, s.Beta
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Gandhi) MarshalJSON() ([]byte, error) {
+	return json.Marshal(twoParamState{Alpha: g.alpha, Beta: g.beta, Fitted: true})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Gandhi) UnmarshalJSON(data []byte) error {
+	var s twoParamState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Fitted {
+		return errUnfitted(g.Name())
+	}
+	g.alpha, g.beta = s.Alpha, s.Beta
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Pham) MarshalJSON() ([]byte, error) {
+	return json.Marshal(twoParamState{Beta: p.beta, Fitted: true})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Pham) UnmarshalJSON(data []byte) error {
+	var s twoParamState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Fitted {
+		return errUnfitted(p.Name())
+	}
+	p.beta = s.Beta
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *Alam) MarshalJSON() ([]byte, error) {
+	return json.Marshal(twoParamState{Beta: a.beta, Fitted: true})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Alam) UnmarshalJSON(data []byte) error {
+	var s twoParamState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Fitted {
+		return errUnfitted(a.Name())
+	}
+	a.beta = s.Beta
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (y *Yaniv) MarshalJSON() ([]byte, error) {
+	return json.Marshal(twoParamState{Alpha: y.alpha, Beta: y.beta, Fitted: true})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (y *Yaniv) UnmarshalJSON(data []byte) error {
+	var s twoParamState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Fitted {
+		return errUnfitted(y.Name())
+	}
+	y.alpha, y.beta = s.Alpha, s.Beta
+	return nil
+}
+
+// polyState is the wire shape of a fitted Poly.
+type polyState struct {
+	Degree int            `json:"degree"`
+	Fit    *stats.PolyFit `json:"fit"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Poly) MarshalJSON() ([]byte, error) {
+	if p.fit == nil {
+		return nil, errUnfitted(p.Name())
+	}
+	return json.Marshal(polyState{Degree: p.degree, Fit: p.fit})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Poly) UnmarshalJSON(data []byte) error {
+	var s polyState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if s.Degree < 1 || s.Degree > 3 {
+		return fmt.Errorf("models: poly: degree %d out of range", s.Degree)
+	}
+	if s.Fit == nil {
+		return errUnfitted(fmt.Sprintf("poly%d", s.Degree))
+	}
+	p.degree, p.fit = s.Degree, s.Fit
+	return nil
+}
+
+// mosmodelState is the wire shape of a fitted Mosmodel.
+type mosmodelState struct {
+	TrainMin   [3]float64      `json:"trainMin"`
+	TrainMax   [3]float64      `json:"trainMax"`
+	MaxNonzero int             `json:"maxNonzero"`
+	Lasso      *stats.LassoFit `json:"lasso,omitempty"`
+	Refit      *stats.PolyFit  `json:"refit,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Mosmodel) MarshalJSON() ([]byte, error) {
+	if m.fit == nil && m.refit == nil {
+		return nil, errUnfitted(m.Name())
+	}
+	return json.Marshal(mosmodelState{
+		TrainMin: m.trainMin, TrainMax: m.trainMax,
+		MaxNonzero: m.MaxNonzero, Lasso: m.fit, Refit: m.refit,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Mosmodel) UnmarshalJSON(data []byte) error {
+	var s mosmodelState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if s.Lasso == nil && s.Refit == nil {
+		return errUnfitted(m.Name())
+	}
+	for j := 0; j < 3; j++ {
+		if s.TrainMin[j] > s.TrainMax[j] {
+			return fmt.Errorf("models: mosmodel: inverted training hull on input %d", j)
+		}
+	}
+	m.trainMin, m.trainMax = s.TrainMin, s.TrainMax
+	m.MaxNonzero = s.MaxNonzero
+	m.fit, m.refit = s.Lasso, s.Refit
+	return nil
+}
+
+// Restore builds a fitted model from its name and serialized state — the
+// load half of the registry's persistence.
+func Restore(name string, state json.RawMessage) (Model, error) {
+	m, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(state, m); err != nil {
+		return nil, fmt.Errorf("models: restoring %s: %w", name, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,95 @@
+package models
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mosaic/internal/pmu"
+)
+
+// portableSamples builds a training set every model accepts: the 4KB/2MB
+// baselines the prior models need plus enough spread for the regressions.
+func portableSamples() []pmu.Sample {
+	samples := []pmu.Sample{
+		{Layout: "4KB", H: 9e5, M: 4e5, C: 2.4e7, R: 9.1e7},
+		{Layout: "2MB", H: 1e5, M: 2e4, C: 1.1e6, R: 6.6e7},
+	}
+	for i := 0; i < 16; i++ {
+		f := float64(i) / 15
+		samples = append(samples, pmu.Sample{
+			Layout: "grow",
+			H:      1e5 + f*8e5,
+			M:      2e4 + f*3.8e5,
+			C:      1.1e6 + f*2.29e7 + f*f*1e6,
+			R:      6.6e7 + f*2.4e7 + f*f*1.1e6,
+		})
+	}
+	return samples
+}
+
+// TestModelJSONRoundTrip is the registry's persistence contract: every
+// model in the paper's registry, once fitted, must predict bit-identically
+// after a save/load through JSON.
+func TestModelJSONRoundTrip(t *testing.T) {
+	samples := portableSamples()
+	for _, f := range Registry() {
+		m := f()
+		if err := m.Fit(samples); err != nil {
+			t.Fatalf("%s: fit: %v", m.Name(), err)
+		}
+		raw, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name(), err)
+		}
+		back, err := Restore(m.Name(), raw)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", m.Name(), err)
+		}
+		probes := append([]pmu.Sample{}, samples...)
+		// Off-hull probes exercise Mosmodel's restored clamping too.
+		probes = append(probes,
+			pmu.Sample{H: 0, M: 0, C: 0},
+			pmu.Sample{H: 5e6, M: 5e6, C: 9e8})
+		for _, s := range probes {
+			want := m.Predict(s.H, s.M, s.C)
+			got := back.Predict(s.H, s.M, s.C)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("%s: prediction at (%g,%g,%g) changed across JSON: %v -> %v",
+					m.Name(), s.H, s.M, s.C, want, got)
+			}
+		}
+	}
+}
+
+// TestModelJSONRejectsUnfitted: serializing a model that was never fitted
+// must fail loudly rather than persist a predictor that panics.
+func TestModelJSONRejectsUnfitted(t *testing.T) {
+	for _, m := range []Model{NewPoly(2), NewMosmodel()} {
+		if _, err := json.Marshal(m); err == nil {
+			t.Errorf("%s: marshal of unfitted model succeeded", m.Name())
+		}
+	}
+	for name, raw := range map[string]string{
+		"poly2":    `{"degree":2,"fit":null}`,
+		"poly9":    `{"degree":9,"fit":null}`,
+		"mosmodel": `{"trainMin":[0,0,0],"trainMax":[1,1,1]}`,
+		"basu":     `{"alpha":1,"beta":2,"fitted":false}`,
+	} {
+		base := name
+		if name == "poly9" {
+			base = "poly2"
+		}
+		if _, err := Restore(base, json.RawMessage(raw)); err == nil {
+			t.Errorf("%s: restore of %s succeeded", base, raw)
+		}
+	}
+}
+
+// TestRestoreUnknownModel: a registry file naming a model this build does
+// not know must error, not panic.
+func TestRestoreUnknownModel(t *testing.T) {
+	if _, err := Restore("nonesuch", json.RawMessage(`{}`)); err == nil {
+		t.Fatal("restore of unknown model succeeded")
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Fuzzing the decode path of both POST endpoints: whatever bytes arrive,
+// the server must answer an HTTP status — 400 for malformed input, never a
+// panic (the recovery middleware turning a panic into a 500 would still
+// fail the test via the status check below, since these handlers must not
+// panic at all).
+
+// fuzzServer is shared across fuzz iterations; handlers are stateless on
+// the decode path.
+func fuzzServer(f *testing.F) *httptest.Server {
+	f.Helper()
+	reg := trainedRegistry(f)
+	s := NewServer(ServerConfig{Registry: reg, Executor: stubExecutor(0), JobQueueDepth: 1 << 16})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Bypass the server's own recovery: a decode-path panic is
+				// exactly what the fuzzer hunts.
+				panic(rec)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	}))
+	f.Cleanup(ts.Close)
+	return ts
+}
+
+func FuzzPredictDecode(f *testing.F) {
+	ts := fuzzServer(f)
+	f.Add(`{"workload":"gups/8GB","platform":"SandyBridge","h":1,"m":2,"c":3}`)
+	f.Add(`{"workload":"gups/8GB","platform":"SandyBridge","layout":"4KB"}`)
+	f.Add(`{"h":null}`)
+	f.Add(`{"h":1e999,"m":-0,"c":3}`)
+	f.Add(`[[[[`)
+	f.Add(`{"workload":" ","platform":""}`)
+	f.Add(``)
+	f.Add(`{"workload":"w","platform":"p","h":1,"m":2,"c":3}{"again":true}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (did the handler panic?): %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case 200, 400, 404:
+		default:
+			t.Fatalf("predict(%q) = %d, want 200/400/404", body, resp.StatusCode)
+		}
+	})
+}
+
+func FuzzJobDecode(f *testing.F) {
+	ts := fuzzServer(f)
+	f.Add(`{"workload":"gups/8GB","platform":"SandyBridge","proto":"quick"}`)
+	f.Add(`{"workload":"w","platform":"p","sampling":{"default":true}}`)
+	f.Add(`{"workload":"w","platform":"p","sampling":{"period":-5}}`)
+	f.Add(`{"workload":"w","platform":"p","proto":"turbo"}`)
+	f.Add(`{"train":"yes"}`)
+	f.Add(`nul`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, body string) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (did the handler panic?): %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case 200, 202, 400, 429:
+		default:
+			t.Fatalf("jobs(%q) = %d, want 200/202/400/429", body, resp.StatusCode)
+		}
+	})
+}

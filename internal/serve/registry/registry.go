@@ -1,0 +1,518 @@
+// Package registry keeps trained runtime models ready to serve. It is the
+// bridge between the measurement pipeline and the prediction API: a sweep
+// produces an experiment.Dataset, Train fits the requested models on it
+// and persists their coefficients as JSON, and Predict evaluates a stored
+// model in microseconds — the paper's point that a fitted Mosmodel
+// replaces hours of simulation with a cheap, bounded-error function
+// (§VII-C, ≤3% max error).
+//
+// Persistence is one JSON file per (workload, platform) pair holding the
+// training samples (so layout names remain predictable inputs) and every
+// fitted model's serialized state. Files are written atomically and
+// hot-reloaded: a daemon notices externally retrained files by (size,
+// mtime) stamp without a restart.
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mosaic/internal/experiment"
+	"mosaic/internal/models"
+	"mosaic/internal/pmu"
+)
+
+// Lookup errors, distinguished so the HTTP layer can map them to 404s.
+var (
+	ErrUnknownPair   = errors.New("registry: no trained models for workload@platform")
+	ErrUnknownModel  = errors.New("registry: model not trained for this pair")
+	ErrUnknownLayout = errors.New("registry: layout not in the pair's training protocol")
+)
+
+// fileVersion tags the on-disk schema.
+const fileVersion = 1
+
+// modelRecord is one fitted model's on-disk form.
+type modelRecord struct {
+	MaxTrainErr float64         `json:"maxTrainErr"`
+	GeoTrainErr float64         `json:"geoTrainErr"`
+	State       json.RawMessage `json:"state"`
+}
+
+// pairFile is the on-disk form of one (workload, platform) pair.
+type pairFile struct {
+	Version      int                    `json:"version"`
+	Workload     string                 `json:"workload"`
+	Platform     string                 `json:"platform"`
+	TLBSensitive bool                   `json:"tlbSensitive"`
+	Samples      []pmu.Sample           `json:"samples"`
+	Sample1G     pmu.Sample             `json:"sample1G"`
+	Models       map[string]modelRecord `json:"models"`
+}
+
+// Pair is the in-memory form: the pair's training samples plus its fitted
+// models.
+type Pair struct {
+	Workload, Platform string
+	TLBSensitive       bool
+	Samples            []pmu.Sample
+	Sample1G           pmu.Sample
+	Models             map[string]*experiment.TrainedModel
+}
+
+// key names a pair the way the API addresses it.
+func key(workload, platform string) string { return workload + "@" + platform }
+
+// fileStamp detects externally changed files without hashing them.
+type fileStamp struct {
+	size  int64
+	mtime time.Time
+}
+
+// Registry is the thread-safe store. Predictions take a read lock;
+// training and reloading take the write lock.
+type Registry struct {
+	dir string // "" means in-memory only (no persistence, no reload)
+
+	mu      sync.RWMutex
+	pairs   map[string]*Pair     // key() → pair
+	stamps  map[string]fileStamp // file path → last loaded stamp
+	files   map[string]string    // key() → file path
+	reloads uint64               // completed Reload passes that changed state
+}
+
+// Open builds a registry over dir, loading every pair file already there.
+// An empty dir gives an in-memory registry (nothing persists). The
+// directory is created if missing.
+func Open(dir string) (*Registry, error) {
+	r := &Registry{
+		dir:    dir,
+		pairs:  make(map[string]*Pair),
+		stamps: make(map[string]fileStamp),
+		files:  make(map[string]string),
+	}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dir returns the persistence directory ("" for in-memory).
+func (r *Registry) Dir() string { return r.dir }
+
+// pairPath names the pair's file: sanitized for the filesystem and
+// disambiguated with an FNV hash, mirroring the trace cache's convention.
+func (r *Registry) pairPath(workload, platform string) string {
+	k := key(workload, platform)
+	safe := strings.NewReplacer("/", "_", " ", "_", "@", "_").Replace(k)
+	return filepath.Join(r.dir, fmt.Sprintf("%s-%08x.json", safe, uint32(fnv1a(k))))
+}
+
+// Train fits the named models (nil/empty = every registry model) on the
+// dataset's samples, installs them for serving, and — when the registry is
+// disk-backed — persists the pair atomically.
+func (r *Registry) Train(ds *experiment.Dataset, names []string) error {
+	trained, err := ds.TrainModels(names)
+	if err != nil {
+		return err
+	}
+	pair := &Pair{
+		Workload:     ds.Workload,
+		Platform:     ds.Platform,
+		TLBSensitive: ds.TLBSensitive,
+		Samples:      append([]pmu.Sample{}, ds.Samples...),
+		Sample1G:     ds.Sample1G,
+		Models:       trained,
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Merge with previously trained models for the same pair so training
+	// "mosmodel" after "poly1" serves both.
+	if prev, ok := r.pairs[key(pair.Workload, pair.Platform)]; ok {
+		for name, tm := range prev.Models {
+			if _, ok := pair.Models[name]; !ok {
+				pair.Models[name] = tm
+			}
+		}
+	}
+	r.pairs[key(pair.Workload, pair.Platform)] = pair
+	if r.dir == "" {
+		return nil
+	}
+	return r.persistLocked(pair)
+}
+
+// persistLocked writes one pair's file and refreshes its stamp. Callers
+// hold the write lock.
+func (r *Registry) persistLocked(pair *Pair) error {
+	pf := pairFile{
+		Version:      fileVersion,
+		Workload:     pair.Workload,
+		Platform:     pair.Platform,
+		TLBSensitive: pair.TLBSensitive,
+		Samples:      pair.Samples,
+		Sample1G:     pair.Sample1G,
+		Models:       make(map[string]modelRecord, len(pair.Models)),
+	}
+	for name, tm := range pair.Models {
+		state, err := json.Marshal(tm.Model)
+		if err != nil {
+			return fmt.Errorf("registry: serializing %s for %s: %w", name, key(pair.Workload, pair.Platform), err)
+		}
+		pf.Models[name] = modelRecord{
+			MaxTrainErr: tm.MaxTrainErr,
+			GeoTrainErr: tm.GeoTrainErr,
+			State:       state,
+		}
+	}
+	raw, err := json.MarshalIndent(&pf, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := r.pairPath(pair.Workload, pair.Platform)
+	if err := writeFileAtomic(path, raw, 0o644); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		r.stamps[path] = fileStamp{size: fi.Size(), mtime: fi.ModTime()}
+		r.files[key(pair.Workload, pair.Platform)] = path
+	}
+	return nil
+}
+
+// loadFile parses one pair file into its in-memory form.
+func loadFile(path string) (*Pair, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pf pairFile
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return nil, fmt.Errorf("registry: %s: %w", path, err)
+	}
+	if pf.Version != fileVersion {
+		return nil, fmt.Errorf("registry: %s: unsupported version %d", path, pf.Version)
+	}
+	if pf.Workload == "" || pf.Platform == "" {
+		return nil, fmt.Errorf("registry: %s: missing workload/platform", path)
+	}
+	pair := &Pair{
+		Workload:     pf.Workload,
+		Platform:     pf.Platform,
+		TLBSensitive: pf.TLBSensitive,
+		Samples:      pf.Samples,
+		Sample1G:     pf.Sample1G,
+		Models:       make(map[string]*experiment.TrainedModel, len(pf.Models)),
+	}
+	for name, rec := range pf.Models {
+		m, err := models.Restore(name, rec.State)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %s: %w", path, err)
+		}
+		pair.Models[name] = &experiment.TrainedModel{
+			Model:       m,
+			MaxTrainErr: rec.MaxTrainErr,
+			GeoTrainErr: rec.GeoTrainErr,
+		}
+	}
+	return pair, nil
+}
+
+// Reload re-scans the directory, loading new or changed pair files and
+// dropping pairs whose files vanished. It returns the number of pairs
+// whose state changed. A file that fails to parse is skipped (the previous
+// in-memory state, if any, keeps serving) and reported.
+func (r *Registry) Reload() (int, error) {
+	if r.dir == "" {
+		return 0, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(r.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := 0
+	var firstErr error
+	seen := make(map[string]bool, len(paths))
+	for _, path := range paths {
+		seen[path] = true
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime()}
+		if prev, ok := r.stamps[path]; ok && prev == stamp {
+			continue
+		}
+		pair, err := loadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.pairs[key(pair.Workload, pair.Platform)] = pair
+		r.stamps[path] = stamp
+		r.files[key(pair.Workload, pair.Platform)] = path
+		changed++
+	}
+	for k, path := range r.files {
+		if !seen[path] {
+			delete(r.pairs, k)
+			delete(r.stamps, path)
+			delete(r.files, k)
+			changed++
+		}
+	}
+	if changed > 0 {
+		r.reloads++
+	}
+	return changed, firstErr
+}
+
+// Watch polls Reload every interval until ctx is done — the hot-reload
+// loop a daemon runs so retrained files go live without a restart.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
+	if r.dir == "" || interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Reload() // a failed reload keeps serving the previous state
+		}
+	}
+}
+
+// Generations reports how many Reload passes changed state (for tests and
+// metrics).
+func (r *Registry) Generations() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.reloads
+}
+
+// Prediction is one served prediction with its error bounds: the training
+// maximal relative error brackets the runtime estimate, mirroring how the
+// paper reports model quality.
+type Prediction struct {
+	Workload string  `json:"workload"`
+	Platform string  `json:"platform"`
+	Model    string  `json:"model"`
+	Layout   string  `json:"layout,omitempty"`
+	H        float64 `json:"h"`
+	M        float64 `json:"m"`
+	C        float64 `json:"c"`
+	Runtime  float64 `json:"runtime"`
+	// Lo/Hi bracket Runtime by the training maximal relative error.
+	Lo          float64 `json:"lo"`
+	Hi          float64 `json:"hi"`
+	MaxTrainErr float64 `json:"maxTrainErr"`
+	GeoTrainErr float64 `json:"geoTrainErr"`
+}
+
+// Request addresses one prediction: a pair, a model (empty = mosmodel),
+// and either explicit (H, M, C) inputs or a training-layout name.
+type Request struct {
+	Workload, Platform, Model string
+	// Layout, when non-empty, resolves (H, M, C) from the pair's stored
+	// training sample of that name (including "1GB").
+	Layout  string
+	H, M, C float64
+}
+
+// DefaultModel is served when a request names none.
+const DefaultModel = "mosmodel"
+
+// Predict evaluates one request under a read lock.
+func (r *Registry) Predict(req Request) (Prediction, error) {
+	out, err := r.PredictBatch([]Request{req})
+	if err != nil {
+		return Prediction{}, err
+	}
+	if out[0].Err != nil {
+		return Prediction{}, out[0].Err
+	}
+	return out[0].Prediction, nil
+}
+
+// Outcome pairs one batched request's prediction with its error.
+type Outcome struct {
+	Prediction Prediction
+	Err        error
+}
+
+// PredictBatch evaluates many requests under a single read-lock
+// acquisition — the serving layer's request batcher feeds it whole batches
+// so the prediction hot path touches the lock once per batch, not once per
+// request. Per-request failures land in the matching Outcome; the error
+// return is reserved for registry-wide failures.
+func (r *Registry) PredictBatch(reqs []Request) ([]Outcome, error) {
+	out := make([]Outcome, len(reqs))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, req := range reqs {
+		out[i] = r.predictLocked(req)
+	}
+	return out, nil
+}
+
+// predictLocked evaluates one request; callers hold (at least) the read
+// lock.
+func (r *Registry) predictLocked(req Request) Outcome {
+	pair, ok := r.pairs[key(req.Workload, req.Platform)]
+	if !ok {
+		return Outcome{Err: fmt.Errorf("%w: %s", ErrUnknownPair, key(req.Workload, req.Platform))}
+	}
+	name := req.Model
+	if name == "" {
+		name = DefaultModel
+	}
+	tm, ok := pair.Models[name]
+	if !ok {
+		return Outcome{Err: fmt.Errorf("%w: %s for %s", ErrUnknownModel, name, key(req.Workload, req.Platform))}
+	}
+	h, m, c := req.H, req.M, req.C
+	if req.Layout != "" {
+		s, ok := pair.sample(req.Layout)
+		if !ok {
+			return Outcome{Err: fmt.Errorf("%w: %q for %s", ErrUnknownLayout, req.Layout, key(req.Workload, req.Platform))}
+		}
+		h, m, c = s.H, s.M, s.C
+	}
+	rt := tm.Model.Predict(h, m, c)
+	return Outcome{Prediction: Prediction{
+		Workload: pair.Workload, Platform: pair.Platform, Model: name,
+		Layout: req.Layout, H: h, M: m, C: c,
+		Runtime:     rt,
+		Lo:          rt * (1 - tm.MaxTrainErr),
+		Hi:          rt * (1 + tm.MaxTrainErr),
+		MaxTrainErr: tm.MaxTrainErr,
+		GeoTrainErr: tm.GeoTrainErr,
+	}}
+}
+
+// sample resolves a layout name to its training sample.
+func (p *Pair) sample(layout string) (pmu.Sample, bool) {
+	for _, s := range p.Samples {
+		if s.Layout == layout {
+			return s, true
+		}
+	}
+	if p.Sample1G.Layout == layout {
+		return p.Sample1G, true
+	}
+	return pmu.Sample{}, false
+}
+
+// PairInfo summarizes one stored pair for the listing endpoint.
+type PairInfo struct {
+	Workload     string             `json:"workload"`
+	Platform     string             `json:"platform"`
+	TLBSensitive bool               `json:"tlbSensitive"`
+	Samples      int                `json:"samples"`
+	Layouts      []string           `json:"layouts"`
+	Models       map[string]float64 `json:"models"` // name → max training error
+}
+
+// Pairs lists every stored pair, sorted by key, for /v1/models.
+func (r *Registry) Pairs() []PairInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]PairInfo, 0, len(r.pairs))
+	for _, p := range r.pairs {
+		info := PairInfo{
+			Workload:     p.Workload,
+			Platform:     p.Platform,
+			TLBSensitive: p.TLBSensitive,
+			Samples:      len(p.Samples),
+			Models:       make(map[string]float64, len(p.Models)),
+		}
+		for _, s := range p.Samples {
+			info.Layouts = append(info.Layouts, s.Layout)
+		}
+		if p.Sample1G.Layout != "" {
+			info.Layouts = append(info.Layouts, p.Sample1G.Layout)
+		}
+		for name, tm := range p.Models {
+			info.Models[name] = tm.MaxTrainErr
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i].Workload, out[i].Platform) < key(out[j].Workload, out[j].Platform)
+	})
+	return out
+}
+
+// Len reports the stored pair count (a metrics gauge).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pairs)
+}
+
+// writeFileAtomic writes via a same-directory temp file + rename so a
+// crashed daemon never leaves a truncated registry file.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// fnv1a hashes a string with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

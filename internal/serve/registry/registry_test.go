@@ -1,0 +1,298 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mosaic/internal/experiment"
+	"mosaic/internal/pmu"
+)
+
+// syntheticDataset builds a dataset every model accepts: 4KB/2MB baselines
+// plus a smooth grow curve, mirroring the protocol's shape.
+func syntheticDataset(workload, platform string) *experiment.Dataset {
+	samples := []pmu.Sample{
+		{Layout: "4KB", H: 9e5, M: 4e5, C: 2.4e7, R: 9.1e7},
+		{Layout: "2MB", H: 1e5, M: 2e4, C: 1.1e6, R: 6.6e7},
+	}
+	for i := 0; i < 16; i++ {
+		f := float64(i) / 15
+		samples = append(samples, pmu.Sample{
+			Layout: "grow-" + string(rune('a'+i)),
+			H:      1e5 + f*8e5,
+			M:      2e4 + f*3.8e5,
+			C:      1.1e6 + f*2.29e7 + f*f*1e6,
+			R:      6.6e7 + f*2.4e7 + f*f*1.1e6,
+		})
+	}
+	return &experiment.Dataset{
+		Workload:     workload,
+		Platform:     platform,
+		Samples:      samples,
+		Sample1G:     pmu.Sample{Layout: "1GB", H: 1e4, M: 5e3, C: 3e5, R: 6.5e7},
+		TLBSensitive: true,
+	}
+}
+
+func TestTrainPredictInMemory(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset("gups", "skylake")
+	if err := r.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Default model, explicit inputs.
+	s := ds.Samples[5]
+	p, err := r.Predict(Request{Workload: "gups", Platform: "skylake", H: s.H, M: s.M, C: s.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model != DefaultModel {
+		t.Errorf("default model = %s, want %s", p.Model, DefaultModel)
+	}
+	if p.Runtime <= 0 || math.IsNaN(p.Runtime) {
+		t.Errorf("runtime = %v", p.Runtime)
+	}
+	if !(p.Lo <= p.Runtime && p.Runtime <= p.Hi) {
+		t.Errorf("bounds [%v, %v] do not bracket %v", p.Lo, p.Hi, p.Runtime)
+	}
+	// Layout-name resolution, including the 1GB validation point.
+	for _, layout := range []string{"4KB", "2MB", "grow-c", "1GB"} {
+		p, err := r.Predict(Request{Workload: "gups", Platform: "skylake", Model: "poly1", Layout: layout})
+		if err != nil {
+			t.Fatalf("layout %s: %v", layout, err)
+		}
+		if p.Layout != layout || p.Runtime <= 0 {
+			t.Errorf("layout %s: %+v", layout, p)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	r, _ := Open("")
+	ds := syntheticDataset("gups", "skylake")
+	if err := r.Train(ds, []string{"mosmodel"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		req  Request
+		want error
+	}{
+		{Request{Workload: "nope", Platform: "skylake"}, ErrUnknownPair},
+		{Request{Workload: "gups", Platform: "nope"}, ErrUnknownPair},
+		{Request{Workload: "gups", Platform: "skylake", Model: "poly3"}, ErrUnknownModel},
+		{Request{Workload: "gups", Platform: "skylake", Layout: "512KB"}, ErrUnknownLayout},
+	}
+	for _, c := range cases {
+		if _, err := r.Predict(c.req); !errors.Is(err, c.want) {
+			t.Errorf("Predict(%+v) = %v, want %v", c.req, err, c.want)
+		}
+	}
+}
+
+// TestPersistenceBitIdentical is the serving contract: a registry reopened
+// from disk predicts bit-identically to the one that trained.
+func TestPersistenceBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	r1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset("gups", "skylake")
+	if err := r1.Train(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 {
+		t.Fatalf("reopened registry holds %d pairs, want 1", r2.Len())
+	}
+	probes := append([]pmu.Sample{}, ds.Samples...)
+	probes = append(probes, pmu.Sample{H: 5e6, M: 5e6, C: 9e8}) // off-hull
+	for _, info := range r2.Pairs() {
+		for name := range info.Models {
+			for _, s := range probes {
+				req := Request{Workload: "gups", Platform: "skylake", Model: name, H: s.H, M: s.M, C: s.C}
+				p1, err1 := r1.Predict(req)
+				p2, err2 := r2.Predict(req)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: %v / %v", name, err1, err2)
+				}
+				if math.Float64bits(p1.Runtime) != math.Float64bits(p2.Runtime) {
+					t.Fatalf("%s at (%g,%g,%g): %v -> %v across disk",
+						name, s.H, s.M, s.C, p1.Runtime, p2.Runtime)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainMergesModels: training one model then another for the same pair
+// serves both.
+func TestTrainMergesModels(t *testing.T) {
+	r, _ := Open("")
+	ds := syntheticDataset("gups", "skylake")
+	if err := r.Train(ds, []string{"poly1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Train(ds, []string{"mosmodel"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"poly1", "mosmodel"} {
+		if _, err := r.Predict(Request{Workload: "gups", Platform: "skylake", Model: name, Layout: "4KB"}); err != nil {
+			t.Errorf("model %s lost after second Train: %v", name, err)
+		}
+	}
+}
+
+// TestReload: an externally written pair file goes live on Reload; a
+// removed file drops its pair; a corrupt file keeps the old state serving.
+func TestReload(t *testing.T) {
+	dir := t.TempDir()
+	// Writer registry trains two pairs into dir.
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Train(syntheticDataset("gups", "skylake"), []string{"mosmodel"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader registry opened over the same dir sees pair one.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("opened with %d pairs, want 1", r.Len())
+	}
+
+	// A new pair appears after the writer trains it and the reader reloads.
+	if err := w.Train(syntheticDataset("bt", "broadwell"), []string{"poly2"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Reload(); err != nil || n != 1 {
+		t.Fatalf("Reload = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, err := r.Predict(Request{Workload: "bt", Platform: "broadwell", Model: "poly2", Layout: "4KB"}); err != nil {
+		t.Fatalf("new pair not served after reload: %v", err)
+	}
+
+	// Corrupting a file keeps the previous state serving and reports the error.
+	path := w.pairPath("bt", "broadwell")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload(); err == nil {
+		t.Fatal("Reload over corrupt file reported no error")
+	}
+	if _, err := r.Predict(Request{Workload: "bt", Platform: "broadwell", Model: "poly2", Layout: "4KB"}); err != nil {
+		t.Fatalf("corrupt file evicted the serving pair: %v", err)
+	}
+
+	// Deleting the file drops the pair.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Reload(); err != nil || n != 1 {
+		t.Fatalf("Reload after delete = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, err := r.Predict(Request{Workload: "bt", Platform: "broadwell", Model: "poly2", Layout: "4KB"}); !errors.Is(err, ErrUnknownPair) {
+		t.Fatalf("deleted pair still served: %v", err)
+	}
+}
+
+// TestWatch: the polling loop picks up an external retrain without a
+// restart.
+func TestWatch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Watch(ctx, time.Millisecond)
+	}()
+	if err := w.Train(syntheticDataset("gups", "skylake"), []string{"mosmodel"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Watch never picked up the new pair file")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+}
+
+func TestPairsListing(t *testing.T) {
+	r, _ := Open("")
+	if err := r.Train(syntheticDataset("gups", "skylake"), []string{"mosmodel", "poly1"}); err != nil {
+		t.Fatal(err)
+	}
+	infos := r.Pairs()
+	if len(infos) != 1 {
+		t.Fatalf("%d pairs listed", len(infos))
+	}
+	info := infos[0]
+	if info.Workload != "gups" || info.Platform != "skylake" || !info.TLBSensitive {
+		t.Errorf("info = %+v", info)
+	}
+	if info.Samples != 18 || len(info.Layouts) != 19 { // 18 protocol + 1GB
+		t.Errorf("samples %d, layouts %d", info.Samples, len(info.Layouts))
+	}
+	if len(info.Models) != 2 {
+		t.Errorf("models %v", info.Models)
+	}
+}
+
+// TestPairFileNames: distinct pairs land in distinct files, with path-safe
+// names.
+func TestPairFileNames(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Train(syntheticDataset("suite/gups", "sky lake"), []string{"poly1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Train(syntheticDataset("suite_gups", "sky_lake"), []string{"poly1"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("collision: dir holds %v", names)
+	}
+	for _, e := range entries {
+		if filepath.Base(e.Name()) != e.Name() || e.Name() == "" {
+			t.Errorf("unsafe file name %q", e.Name())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,12 +112,18 @@ type Scheduler struct {
 	// OnProgress, when set, receives a report after each completed job.
 	// Reports are delivered serially.
 	OnProgress func(Progress)
+	// Ctx, when non-nil, cancels the run: once it is done, workers stop
+	// claiming new jobs — in-flight jobs finish, since a replay holds pooled
+	// engine and space state that must be returned consistently — and Run
+	// reports the context's error. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // Run executes jobs 0..n-1 via fn, at most Workers at a time, and returns
 // the lowest-indexed error. All jobs are attempted regardless of failures,
 // matching the drain-then-report behavior sweeps want (a failed layout
-// must not abort the replays already in flight).
+// must not abort the replays already in flight). A canceled Ctx stops the
+// claim loop instead and surfaces the context's error.
 func (s *Scheduler) Run(n int, label func(int) string, fn func(int) error) error {
 	workers := s.Workers
 	if workers < 1 {
@@ -138,6 +145,9 @@ func (s *Scheduler) Run(n int, label func(int) string, fn func(int) error) error
 		go func() {
 			defer wg.Done()
 			for {
+				if s.Ctx != nil && s.Ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -166,6 +176,9 @@ func (s *Scheduler) Run(n int, label func(int) string, fn func(int) error) error
 		}()
 	}
 	wg.Wait()
+	if s.Ctx != nil && s.Ctx.Err() != nil {
+		return s.Ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSchedulerCancellation: canceling the context must stop workers from
+// claiming new jobs, let in-flight jobs finish, and surface ctx.Err().
+func TestSchedulerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int64
+	release := make(chan struct{})
+	s := Scheduler{Workers: 2, Stage: "test", Ctx: ctx}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(100, nil, func(i int) error {
+			started.Add(1)
+			<-release
+			finished.Add(1)
+			return nil
+		})
+	}()
+	// Let both workers pick up a job, then cancel while they block.
+	for started.Load() < 2 {
+	}
+	cancel()
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 4 {
+		t.Fatalf("%d jobs claimed after cancellation, want the in-flight handful", got)
+	}
+	if started.Load() != finished.Load() {
+		t.Fatalf("%d jobs started but %d finished: in-flight jobs must complete", started.Load(), finished.Load())
+	}
+}
+
+// TestSchedulerNilCtxUnchanged: without a context the scheduler keeps its
+// attempt-everything semantics, returning the lowest-indexed error.
+func TestSchedulerNilCtxUnchanged(t *testing.T) {
+	var ran atomic.Int64
+	s := Scheduler{Workers: 4}
+	errBoom := errors.New("boom")
+	err := s.Run(50, nil, func(i int) error {
+		ran.Add(1)
+		if i == 3 || i == 17 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Run returned %v, want boom", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 jobs; failures must not stop the drain", ran.Load())
+	}
+}

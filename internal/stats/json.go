@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON round-trips for fitted regressions. A fit is its term list, its
+// coefficients, and the input-standardization statistics baked in at fit
+// time; serializing all three reproduces Predict bit for bit, because
+// encoding/json renders float64 values in Go's shortest round-trippable
+// form. The model registry (internal/serve/registry) persists fitted
+// models through these hooks so a daemon restart serves the exact same
+// predictions as the training run.
+
+// fitState is the common wire shape of PolyFit and LassoFit.
+type fitState struct {
+	Terms    []Monomial `json:"terms"`
+	Coefs    []float64  `json:"coefs"`
+	Mean     []float64  `json:"mean"`
+	Std      []float64  `json:"std"`
+	VarNames []string   `json:"vars,omitempty"`
+	Lambda   float64    `json:"lambda,omitempty"`
+}
+
+// validate rejects states that would make Predict misbehave rather than
+// letting a malformed registry file surface as NaNs at serving time.
+func (s *fitState) validate() error {
+	if len(s.Terms) == 0 || len(s.Coefs) != len(s.Terms) {
+		return fmt.Errorf("stats: fit state has %d coefficients for %d terms", len(s.Coefs), len(s.Terms))
+	}
+	nvars := len(s.Mean)
+	if nvars == 0 || len(s.Std) != nvars {
+		return fmt.Errorf("stats: fit state has %d means and %d stds", len(s.Mean), len(s.Std))
+	}
+	for _, sd := range s.Std {
+		if sd == 0 {
+			return fmt.Errorf("stats: fit state has a zero standard deviation")
+		}
+	}
+	for _, t := range s.Terms {
+		if len(t) != nvars {
+			return fmt.Errorf("stats: term %v spans %d variables, scaler has %d", t, len(t), nvars)
+		}
+		for _, e := range t {
+			if e < 0 {
+				return fmt.Errorf("stats: term %v has a negative exponent", t)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *PolyFit) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fitState{
+		Terms: f.Terms, Coefs: f.Coefs,
+		Mean: f.scaler.Mean, Std: f.scaler.Std,
+		VarNames: f.VarNames,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver with
+// the serialized fit.
+func (f *PolyFit) UnmarshalJSON(data []byte) error {
+	var s fitState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	f.Terms = s.Terms
+	f.Coefs = s.Coefs
+	f.VarNames = s.VarNames
+	f.scaler = &Scaler{Mean: s.Mean, Std: s.Std}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *LassoFit) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fitState{
+		Terms: f.Terms, Coefs: f.Coefs,
+		Mean: f.scaler.Mean, Std: f.scaler.Std,
+		VarNames: f.VarNames, Lambda: f.Lambda,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver with
+// the serialized fit.
+func (f *LassoFit) UnmarshalJSON(data []byte) error {
+	var s fitState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	f.Terms = s.Terms
+	f.Coefs = s.Coefs
+	f.VarNames = s.VarNames
+	f.Lambda = s.Lambda
+	f.scaler = &Scaler{Mean: s.Mean, Std: s.Std}
+	return nil
+}

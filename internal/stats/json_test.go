@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// fitInputs builds a small but non-trivial regression problem.
+func fitInputs() ([][]float64, []float64) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 30; i++ {
+		a := float64(i) * 1.7
+		b := 1000 + float64(i*i)*0.3
+		c := math.Sqrt(float64(i + 1))
+		X = append(X, []float64{a, b, c})
+		y = append(y, 5+2*a-0.01*b+3*c*c+0.001*a*b)
+	}
+	return X, y
+}
+
+func TestPolyFitJSONRoundTrip(t *testing.T) {
+	X, y := fitInputs()
+	fit, err := FitPoly(X, y, 2, []string{"H", "M", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PolyFit
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		want, got := fit.Predict(x), back.Predict(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("prediction at %v changed across JSON: %v -> %v", x, want, got)
+		}
+	}
+	// Off-hull input exercises the restored scaler too.
+	probe := []float64{123.4, 5678.9, 0.01}
+	if math.Float64bits(fit.Predict(probe)) != math.Float64bits(back.Predict(probe)) {
+		t.Fatal("off-training prediction changed across JSON")
+	}
+}
+
+func TestLassoFitJSONRoundTrip(t *testing.T) {
+	X, y := fitInputs()
+	fit, err := FitPolyLasso(X, y, 3, 0.5, []string{"H", "M", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LassoFit
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Lambda != fit.Lambda {
+		t.Fatalf("lambda %v -> %v", fit.Lambda, back.Lambda)
+	}
+	for _, x := range X {
+		want, got := fit.Predict(x), back.Predict(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("prediction at %v changed across JSON: %v -> %v", x, want, got)
+		}
+	}
+}
+
+func TestFitStateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         `{}`,
+		"coef mismatch": `{"terms":[[0,0]],"coefs":[1,2],"mean":[0,0],"std":[1,1]}`,
+		"zero std":      `{"terms":[[0,0]],"coefs":[1],"mean":[0,0],"std":[1,0]}`,
+		"term arity":    `{"terms":[[0,0,0]],"coefs":[1],"mean":[0,0],"std":[1,1]}`,
+		"negative exp":  `{"terms":[[-1,0]],"coefs":[1],"mean":[0,0],"std":[1,1]}`,
+	}
+	for name, raw := range cases {
+		var p PolyFit
+		if err := json.Unmarshal([]byte(raw), &p); err == nil {
+			t.Errorf("%s: PolyFit accepted malformed state %s", name, raw)
+		}
+		var l LassoFit
+		if err := json.Unmarshal([]byte(raw), &l); err == nil {
+			t.Errorf("%s: LassoFit accepted malformed state %s", name, raw)
+		}
+	}
+}

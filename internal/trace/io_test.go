@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -144,5 +145,59 @@ func TestDecodeBlockNoAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("decodeBlock allocates %.1f objects per block, want 0", allocs)
+	}
+}
+
+// TestSaveAtomicNoLeftovers: Save goes through a temp file + rename, so a
+// completed Save leaves exactly the target file — no .tmp droppings — and
+// overwrites an existing file in place.
+func TestSaveAtomicNoLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.mostrace")
+	for seed := int64(1); seed <= 2; seed++ { // second pass overwrites
+		orig := randomTestTrace(seed, 500)
+		if err := orig.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 || entries[0].Name() != "t.mostrace" {
+			names := make([]string, 0, len(entries))
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("directory holds %v, want exactly t.mostrace", names)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("loaded %d accesses, want %d", got.Len(), orig.Len())
+		}
+	}
+}
+
+// TestLoadRejectsTruncated: every proper prefix of a MOSTRC02 file —
+// what a crash mid-write would have left before Save became atomic — must
+// fail to load rather than parse as a shorter trace.
+func TestLoadRejectsTruncated(t *testing.T) {
+	orig := randomTestTrace(7, 9000) // spans multiple v02 blocks
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "t.mostrace")
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		cut := int(float64(len(full)) * frac)
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("truncated file (%d of %d bytes) loaded without error", cut, len(full))
+		}
 	}
 }
