@@ -46,7 +46,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "use the 9-layout quick protocol instead of the 54-layout standard")
 		wlFlag    = flag.String("workloads", "", "comma-separated workload subset (default: all 19)")
 		platFlag  = flag.String("platforms", "", "comma-separated platform subset (default: Broadwell,Haswell,SandyBridge)")
-		parallel  = flag.Int("parallelism", 0, "worker-pool size for the measurement sweep (default: GOMAXPROCS)")
+		parallel  = flag.Int("parallelism", 0, "worker goroutines for the measurement sweep (default: GOMAXPROCS)")
 		traceDir  = flag.String("tracedir", "", "directory for caching workload traces across runs")
 		jsonFlag  = flag.Bool("json", false, "dump the collected datasets as JSON instead of rendering figures")
 		svgDir    = flag.String("svg", "", "also write per-figure SVG charts into this directory")
@@ -64,7 +64,7 @@ func main() {
 		sampleRpt = flag.Bool("sample-report", false,
 			"run the sweep exact and sampled, report replay speedup and max per-counter relative error (with -json: machine-readable)")
 		stretch = flag.Int("stretch", 1,
-			"scale every workload's trace length by this factor (sweep-scale traces for -sample-report; the committed numbers use 32)")
+			"multiply every workload's trace length (accesses) by this factor (sweep-scale traces for -sample-report; the committed numbers use 32)")
 	)
 	flag.Parse()
 

@@ -38,9 +38,9 @@ func main() {
 		traceDir = flag.String("tracedir", "", "directory for caching workload traces across jobs and restarts")
 		workers  = flag.Int("job-workers", 2, "concurrently running sweep jobs")
 		queue    = flag.Int("job-queue", 16, "sweep jobs allowed to wait; beyond this, submissions get 429")
-		parallel = flag.Int("parallelism", 0, "worker-pool size inside each job (default: GOMAXPROCS)")
-		reload   = flag.Duration("reload-interval", 10*time.Second, "how often to poll the registry directory for retrained models (0 disables)")
-		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs before canceling them")
+		parallel = flag.Int("parallelism", 0, "worker goroutines inside each job (default: GOMAXPROCS)")
+		reload   = flag.Duration("reload-interval", 10*time.Second, "how often to poll the registry directory for retrained models (duration, e.g. 10s or 500ms; 0 disables)")
+		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs before canceling them (duration, e.g. 10m)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)

@@ -307,6 +307,8 @@ func (h *Hierarchy) SetWalkerPrivate(p arch.Platform) error {
 // walker loads, which are counted separately and — crucially — install
 // lines in every level just like program loads do, producing the cache
 // pollution the paper measures.
+//
+//mosvet:hotpath
 func (h *Hierarchy) Access(phys mem.Addr, walker bool) (Level, int) {
 	if walker && h.walkerPrivate != nil {
 		h.stats.L1Loads.Walker++

@@ -175,6 +175,24 @@ func (m *Machine) runTrace(tr *trace.Trace) (pmu.Counters, Breakdown, error) {
 	return m.counters(&st), st.bd, nil
 }
 
+// FaultError reports an access or page-walk fault during replay: the trace
+// touched memory the layout never mapped. It is built with plain field
+// stores on the (run-aborting) fault path and formats itself lazily,
+// keeping fmt's variadic boxing out of the replay kernels.
+type FaultError struct {
+	Trace string
+	Index int    // access index within the trace (access faults only)
+	VA    uint64 // faulting virtual address
+	Walk  bool   // true when the page walk faulted, false for the access itself
+}
+
+func (e *FaultError) Error() string {
+	if e.Walk {
+		return fmt.Sprintf("cpu: %s: walk faults at %#x", e.Trace, e.VA)
+	}
+	return fmt.Sprintf("cpu: %s: access %d faults at %#x", e.Trace, e.Index, e.VA)
+}
+
 // FuseBlock is the number of accesses a fused batch replays per machine
 // before advancing to the next machine: large enough to amortize the
 // per-machine switch, small enough that the block's trace columns (~50KB)
@@ -247,6 +265,8 @@ func (m *Machine) RunSampled(tr *trace.Trace, plan trace.SamplePlan) (ctrs, prol
 // Counters are bit-identical to running each machine over the whole trace
 // alone under the same plan: machines share no mutable state, and fusion
 // only re-orders which machine touches which trace block first.
+//
+//mosvet:hotpath
 func RunBatch(ms []*Machine, tr *trace.Trace, plan trace.SamplePlan) (ctrs, prologue []pmu.Counters, measured uint64, err error) {
 	cols := tr.Columns()
 	states := make([]runState, len(ms))
@@ -303,6 +323,8 @@ func RunBatch(ms []*Machine, tr *trace.Trace, plan trace.SamplePlan) (ctrs, prol
 }
 
 // replayRange advances one replay's state through accesses [lo, hi).
+//
+//mosvet:hotpath
 func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo, hi int) error {
 	ooo := m.plat.OOO
 	l1Lat := float64(m.plat.L1D.LatencyCycle)
@@ -325,7 +347,7 @@ func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo
 
 		phys, ps, ok := m.trans.Translate(va)
 		if !ok {
-			return fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(va))
+			return &FaultError{Trace: name, Index: i, VA: uint64(va)}
 		}
 
 		switch m.tlb.Lookup(va, ps) {
@@ -352,7 +374,7 @@ func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo
 			}
 			res := m.walk.Walk(va)
 			if res.Fault {
-				return fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(va))
+				return &FaultError{Trace: name, Index: i, VA: uint64(va), Walk: true}
 			}
 			lat := float64(res.Latency)
 			m.walkerFree[idx] = start + lat
@@ -403,6 +425,8 @@ func (m *Machine) replayRange(name string, st *runState, cols *trace.Columns, lo
 // bookkeeping, no runtime counters. The miss-rate EWMA is still maintained
 // (it is model state) so the latency-hiding model enters each measurement
 // window with a warm estimate of the recent miss frequency.
+//
+//mosvet:hotpath
 func (m *Machine) warmRange(name string, st *runState, cols *trace.Columns, lo, hi int) error {
 	for i := lo; i < hi; i++ {
 		va := cols.VA(i)
@@ -414,12 +438,12 @@ func (m *Machine) warmRange(name string, st *runState, cols *trace.Columns, lo, 
 		}
 		phys, ps, ok := m.trans.Translate(va)
 		if !ok {
-			return fmt.Errorf("cpu: %s: access %d faults at %#x", name, i, uint64(va))
+			return &FaultError{Trace: name, Index: i, VA: uint64(va)}
 		}
 		if m.tlb.Lookup(va, ps) == tlb.Miss {
 			res := m.walk.Walk(va)
 			if res.Fault {
-				return fmt.Errorf("cpu: %s: walk faults at %#x", name, uint64(va))
+				return &FaultError{Trace: name, Index: i, VA: uint64(va), Walk: true}
 			}
 			st.missRate += 1 / rateTau
 			m.tlb.Insert(va, ps)

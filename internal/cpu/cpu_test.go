@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -204,6 +205,28 @@ func TestUnmappedAccessErrors(t *testing.T) {
 	b.Load(0xdeadbeef000)
 	if _, err := m.Run(b.Trace()); err == nil {
 		t.Error("access to unmapped memory should error")
+	}
+}
+
+// TestFaultErrorTyped pins the fault path's contract after the hot-path
+// hygiene pass replaced fmt.Errorf in the replay kernels with lazily
+// formatted typed errors: callers get a *FaultError with the faulting
+// position, and the rendered message keeps its historical shape.
+func TestFaultErrorTyped(t *testing.T) {
+	as := buildSpace(t, testRegion, 1<<20, mem.Page4K)
+	m, _ := New(arch.SandyBridge, as)
+	b := trace.NewBuilder("bad", 1)
+	b.Load(0xdeadbeef000)
+	_, err := m.Run(b.Trace())
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("fault error type = %T, want *FaultError", err)
+	}
+	if fe.Trace != "bad" || fe.Index != 0 || fe.VA != 0xdeadbeef000 || fe.Walk {
+		t.Errorf("fault fields = %+v", fe)
+	}
+	if want := "cpu: bad: access 0 faults at 0xdeadbeef000"; err.Error() != want {
+		t.Errorf("fault message = %q, want %q", err.Error(), want)
 	}
 }
 

@@ -1,0 +1,82 @@
+package lint
+
+import "strings"
+
+// Config is the per-package policy for the analyzer suite. The zero value
+// enables every check but scopes nothing; use DefaultConfig for the repo's
+// policy.
+type Config struct {
+	// DetClockPackages are import-path prefixes (relative to the module
+	// root, e.g. "internal/sim") whose code must not read the wall clock or
+	// the global math/rand generator. Functions annotated //mosvet:timing
+	// are exempt scopes (scheduler ETA, serve metrics).
+	DetClockPackages []string
+
+	// LockIOPackages are import-path prefixes whose code must not hold a
+	// sync.Mutex/RWMutex across blocking operations (file/network I/O,
+	// channel ops, HTTP calls, sleeps).
+	LockIOPackages []string
+
+	// Binaries are the cmd packages wired into the driver's policy: they
+	// are analyzed like every other package, and their flag help strings
+	// are subject to the units audit (docs/static-analysis.md).
+	Binaries []string
+
+	// Checks restricts which analyzers run; empty means all.
+	Checks []string
+}
+
+// DefaultConfig is the repo policy mosvet enforces in CI.
+func DefaultConfig() *Config {
+	return &Config{
+		// The simulation core: everything between a trace and a counter
+		// must be a pure function of its inputs, or counters stop being
+		// bit-identical across pooled/fused/sampled replay.
+		DetClockPackages: []string{
+			"internal/cpu",
+			"internal/partialsim",
+			"internal/sim",
+			"internal/tlb",
+			"internal/cache",
+			"internal/walker",
+			"internal/mem",
+			"internal/trace",
+			"internal/models",
+			"internal/stats",
+		},
+		// The serving tier: a lock held across blocking I/O turns one slow
+		// disk or peer into a stalled /v1/predict for every client.
+		LockIOPackages: []string{
+			"internal/serve",
+			"internal/serve/registry",
+		},
+		Binaries: []string{
+			"cmd/mosbench",
+			"cmd/mosd",
+		},
+	}
+}
+
+// CheckEnabled reports whether the named analyzer should run.
+func (c *Config) CheckEnabled(name string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, n := range c.Checks {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pathIn reports whether a module-relative import path falls under any of
+// the given prefixes ("internal/serve" covers "internal/serve/registry").
+func pathIn(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

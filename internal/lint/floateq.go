@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != on floating-point operands. The repo's golden
+// checks compare counters through math.Float64bits — an exact, total
+// comparison — while a raw float == silently degrades to "close enough
+// except when it isn't" (NaN != NaN, -0 == 0, and equality destroyed by a
+// reassociated accumulation). Float64bits-mediated comparisons pass the
+// check naturally (their operands are uint64); test files are not analyzed
+// at all, so tolerance-style test assertions are unaffected. Deliberate
+// sentinel checks (x == 0 guarding a divide) take a //mosvet:ignore floateq
+// with the justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on float operands outside math.Float64bits-mediated comparisons",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// A comparison that is itself a constant is folded at compile
+			// time — exact by definition.
+			if tv, ok := p.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			if isFloatType(p.Info.TypeOf(be.X)) || isFloatType(p.Info.TypeOf(be.Y)) {
+				out = append(out, p.finding("floateq", be,
+					"%s on float operands — compare via math.Float64bits for bit-exactness or an explicit tolerance", be.Op))
+			}
+			return true
+		})
+	}
+	return out
+}

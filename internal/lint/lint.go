@@ -1,0 +1,248 @@
+// Package lint is mosvet's analysis engine: a stdlib-only static-analysis
+// framework (go/parser + go/types with the source importer, zero external
+// dependencies) that enforces the repo's project invariants — deterministic
+// simulation paths, ordered aggregation, bit-exact float handling, no
+// blocking I/O under serving locks, and allocation-free hot kernels.
+//
+// The analyzers move invariants that golden tests check late and only on
+// exercised paths ("counters are bit-identical across pooled/fused/sampled
+// replay", "model restore is bit-exact") to compile-time facts: a build
+// cannot merge if a simulation path reads the wall clock or a result
+// aggregation ranges over an unsorted map.
+//
+// Findings are suppressed inline with
+//
+//	//mosvet:ignore <check>[,<check>...] <reason>
+//
+// on the finding's line or the line above it. The reason text is mandatory:
+// an ignore directive without one is itself reported. Two scope directives
+// annotate functions via their doc comment: //mosvet:timing marks a function
+// as a legitimate wall-clock scope (scheduler ETA, serve metrics) for the
+// detclock check, and //mosvet:hotpath opts a function into the hot-path
+// hygiene check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path within the module
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package, *Config) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetClock,
+		MapOrder,
+		FloatEq,
+		LockIO,
+		HotPath,
+	}
+}
+
+// AnalyzerNames returns the names of every registered analyzer.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run executes the configured analyzers over the packages and returns the
+// unsuppressed findings sorted by position. Suppression directives that are
+// missing reason text are reported as findings of the pseudo-check "mosvet"
+// (they cannot be suppressed).
+func Run(pkgs []*Package, cfg *Config) []Finding {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		sup := collectSuppressions(p)
+		var raw []Finding
+		for _, a := range Analyzers() {
+			if !cfg.CheckEnabled(a.Name) {
+				continue
+			}
+			raw = append(raw, a.Run(p, cfg)...)
+		}
+		for _, f := range raw {
+			if !sup.suppressed(f) {
+				out = append(out, f)
+			}
+		}
+		out = append(out, sup.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// directivePrefix is the comment marker shared by all mosvet directives.
+const directivePrefix = "//mosvet:"
+
+// suppressions indexes //mosvet:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps filename → line → checks ignored at that line.
+	byLine    map[string]map[int][]string
+	malformed []Finding
+}
+
+// collectSuppressions scans every comment in the package for ignore
+// directives. A directive suppresses matching findings on its own line
+// (trailing comment) and on the line directly below it (leading comment).
+func collectSuppressions(p *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					s.malformed = append(s.malformed, Finding{
+						Check:   "mosvet",
+						Pos:     pos,
+						Message: "mosvet:ignore without a check name",
+					})
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Check:   "mosvet",
+						Pos:     pos,
+						Message: fmt.Sprintf("mosvet:ignore %s without a reason — justify the suppression", fields[0]),
+					})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], checks...)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, c := range lines[line] {
+			if c == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a function's doc comment carries the given
+// //mosvet:<name> directive (trailing explanation text is allowed).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix+name)
+		if !ok {
+			continue
+		}
+		if text == "" || text[0] == ' ' || text[0] == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package a function belongs to
+// ("" for builtins and error.Error-style universe methods).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isPkgLevelFunc reports whether fn is a package-level function (not a
+// method): the distinction between rand.Intn (global generator, forbidden in
+// sim paths) and (*rand.Rand).Intn (seeded instance, allowed).
+func isPkgLevelFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// finding builds a Finding at the given node for the given check.
+func (p *Package) finding(check string, node ast.Node, format string, args ...any) Finding {
+	return Finding{Check: check, Pos: p.position(node.Pos()), Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags result-feeding iteration over maps: a `range` over a map
+// whose body appends to a slice, writes output, or accumulates floats, with
+// no deterministic sort between the loop and the data's consumer. Map
+// iteration order is randomized per run, so such loops change report rows,
+// JSON layouts, and — because float addition is not associative — the low
+// bits of accumulated counters between identical invocations. The
+// collect-then-sort idiom (append keys, sort, iterate the slice) is
+// recognized: a sort.*/slices.Sort* call after the loop in the same block
+// clears the findings.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map feeding slices, output, or float accumulation without a subsequent deterministic sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				sink := p.mapRangeSink(rs.Body)
+				if sink == "" {
+					continue
+				}
+				if sortFollows(list[i+1:]) {
+					continue
+				}
+				out = append(out, p.finding("maporder", rs,
+					"iteration over map %s in randomized order — sort the keys first or sort the result before it is consumed",
+					sink))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangeSink classifies what a map-range body feeds, returning "" when
+// the body is order-insensitive (e.g. only writes keyed entries to another
+// map or counts ints).
+func (p *Package) mapRangeSink(body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					sink = "appends to a slice"
+					return false
+				}
+			}
+			if isOutputCall(p.Info, n) {
+				sink = "writes output"
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN && n.Tok != token.MUL_ASSIGN && n.Tok != token.QUO_ASSIGN {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isFloatType(p.Info.TypeOf(lhs)) {
+					sink = "accumulates floats (addition is not associative)"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// writerMethods are the output-sink method names on bytes.Buffer,
+// strings.Builder, io.Writer and friends.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	pkg, name := funcPkgPath(fn), fn.Name()
+	if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	if !isPkgLevelFunc(fn) && writerMethods[name] {
+		return true
+	}
+	return false
+}
+
+// sortFollows reports whether any statement in the list calls into sort or
+// slices sorting — the tail of the collect-then-sort idiom.
+func sortFollows(rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if id.Name == "sort" || (id.Name == "slices" && strings.Contains(sel.Sel.Name, "Sort")) {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

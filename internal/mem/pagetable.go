@@ -250,6 +250,8 @@ func (pt *PageTable) walkFromInto(v Addr, skip int, tr *Translation) bool {
 // Translate resolves v without recording walk references. It runs on every
 // simulated access, so it walks the radix tree directly instead of paying
 // Walk's Translation bookkeeping.
+//
+//mosvet:hotpath
 func (pt *PageTable) Translate(v Addr) (phys Addr, size PageSize, ok bool) {
 	node := pt.root
 	for level := TopLevel; level >= 1; level-- {

@@ -45,11 +45,11 @@ const regionShift = 21
 // NewTranslator builds a memoized fast path over pt.
 func NewTranslator(pt *PageTable) *Translator {
 	return &Translator{
-		pt:   pt,
-		tags: make([]uint64, translatorEntries),
-		node: make([]*tableNode, translatorEntries),
-		base: make([]Addr, translatorEntries),
-		size: make([]PageSize, translatorEntries),
+		pt:    pt,
+		tags:  make([]uint64, translatorEntries),
+		node:  make([]*tableNode, translatorEntries),
+		base:  make([]Addr, translatorEntries),
+		size:  make([]PageSize, translatorEntries),
 		upper: make([]Addr, 3*translatorEntries),
 	}
 }
@@ -65,6 +65,8 @@ func (t *Translator) Reset(pt *PageTable) {
 
 // Translate resolves v to its physical address and backing page size,
 // exactly as PageTable.Translate does.
+//
+//mosvet:hotpath
 func (t *Translator) Translate(v Addr) (Addr, PageSize, bool) {
 	tag := uint64(v>>regionShift) + 1
 	idx := (tag - 1) & (translatorEntries - 1)

@@ -111,6 +111,27 @@ func TestPriorModelsMissingBaselines(t *testing.T) {
 	}
 }
 
+// TestYanivCoincidenceIsBitExact pins the coincidence guard's semantics
+// after floateq moved it to math.Float64bits: two baseline C counters that
+// differ by a single ULP are distinct (the slope is computable, however
+// wild), while bit-identical counters fail the fit.
+func TestYanivCoincidenceIsBitExact(t *testing.T) {
+	base := 2.4e7
+	oneULP := math.Float64frombits(math.Float64bits(base) + 1)
+	fit := func(c2m float64) error {
+		return (&Yaniv{}).Fit([]pmu.Sample{
+			{Layout: "4KB", H: 1, M: 1, C: base, R: 9e7},
+			{Layout: "2MB", H: 1, M: 1, C: c2m, R: 6e7},
+		})
+	}
+	if err := fit(base); err == nil {
+		t.Error("bit-identical baseline C should fail the fit")
+	}
+	if err := fit(oneULP); err != nil {
+		t.Errorf("one-ULP-distinct baseline C should fit, got %v", err)
+	}
+}
+
 // synthSamples generates samples from a smooth ground truth with the
 // layout labels the protocol produces.
 func synthSamples(n int, seed int64) []pmu.Sample {

@@ -104,6 +104,7 @@ func (m *Mosmodel) Fit(samples []pmu.Sample) error {
 		}
 	}
 	ySD := stdev(y)
+	//mosvet:ignore floateq exact-zero sentinel: stdev returns 0.0 only for a constant column
 	if ySD == 0 {
 		ySD = 1
 	}
@@ -122,7 +123,7 @@ func (m *Mosmodel) Fit(samples []pmu.Sample) error {
 		}
 		mean /= float64(len(col))
 		sd := stdev(col)
-		varies[j] = mean == 0 || sd/max(mean, 1) > 0.05
+		varies[j] = mean == 0 || sd/max(mean, 1) > 0.05 //mosvet:ignore floateq exact-zero sentinel: an all-zero column has mean exactly 0.0
 	}
 	allowed := func(t stats.Monomial) bool {
 		for j, e := range t {

@@ -14,6 +14,7 @@ package models
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mosaic/internal/pmu"
 )
@@ -62,6 +63,7 @@ func (b *Basu) Fit(samples []pmu.Sample) error {
 	if err != nil {
 		return err
 	}
+	//mosvet:ignore floateq exact-zero sentinel: M is a counter; 0.0 means no misses, guarding the divide below
 	if s4k.M == 0 {
 		return fmt.Errorf("models: basu: 4KB sample has no TLB misses")
 	}
@@ -93,6 +95,7 @@ func (g *Gandhi) Fit(samples []pmu.Sample) error {
 	if err != nil {
 		return err
 	}
+	//mosvet:ignore floateq exact-zero sentinel: M is a counter; 0.0 means no misses, guarding the divide below
 	if s4k.M == 0 {
 		return fmt.Errorf("models: gandhi: 4KB sample has no TLB misses")
 	}
@@ -173,7 +176,10 @@ func (y *Yaniv) Fit(samples []pmu.Sample) error {
 	if err != nil {
 		return err
 	}
-	if s4k.C == s2m.C {
+	// Bit-exact coincidence check: the slope denominator s4k.C−s2m.C is
+	// zero exactly when the two measured counters carry identical bits
+	// (counters are nonnegative, so −0 never arises).
+	if math.Float64bits(s4k.C) == math.Float64bits(s2m.C) {
 		return fmt.Errorf("models: yaniv: baseline walk cycles coincide")
 	}
 	y.alpha = (s4k.R - s2m.R) / (s4k.C - s2m.C)

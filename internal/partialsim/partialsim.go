@@ -161,6 +161,8 @@ func (s *Simulator) RunSampled(tr *trace.Trace, plan trace.SamplePlan) (metrics,
 // bit-identical to running each simulator alone under the same plan —
 // simulators share no mutable state and each sees the same windows in
 // order, whatever mix of SimulateProgramCache settings the batch carries.
+//
+//mosvet:hotpath
 func RunBatch(ss []*Simulator, tr *trace.Trace, plan trace.SamplePlan) (metrics, prologue []Metrics, measured uint64, err error) {
 	cols := tr.Columns()
 	out := make([]Metrics, len(ss))
@@ -191,13 +193,32 @@ func RunBatch(ss []*Simulator, tr *trace.Trace, plan trace.SamplePlan) (metrics,
 	return out, pro, measured, nil
 }
 
+// FaultError reports an access or page-walk fault during replay. It is
+// built with plain field stores on the (run-aborting) fault path and
+// formats itself lazily, keeping fmt's variadic boxing out of the replay
+// kernels.
+type FaultError struct {
+	Index int    // access index within the trace
+	VA    uint64 // faulting virtual address
+	Walk  bool   // true when the page walk faulted, false for the access itself
+}
+
+func (e *FaultError) Error() string {
+	if e.Walk {
+		return fmt.Sprintf("partialsim: walk faults at %#x", e.VA)
+	}
+	return fmt.Sprintf("partialsim: access %d faults at %#x", e.Index, e.VA)
+}
+
 // replayRange advances one replay's metrics through accesses [lo, hi).
+//
+//mosvet:hotpath
 func (s *Simulator) replayRange(m *Metrics, cols *trace.Columns, lo, hi int) error {
 	for i := lo; i < hi; i++ {
 		va := cols.VA(i)
 		phys, ps, ok := s.trans.Translate(va)
 		if !ok {
-			return fmt.Errorf("partialsim: access %d faults at %#x", i, uint64(va))
+			return &FaultError{Index: i, VA: uint64(va)}
 		}
 		m.Lookups++
 		switch s.tlb.Lookup(va, ps) {
@@ -208,7 +229,7 @@ func (s *Simulator) replayRange(m *Metrics, cols *trace.Columns, lo, hi int) err
 			m.M++
 			res := s.walk.Walk(va)
 			if res.Fault {
-				return fmt.Errorf("partialsim: walk faults at %#x", uint64(va))
+				return &FaultError{Index: i, VA: uint64(va), Walk: true}
 			}
 			m.C += uint64(res.Latency)
 			m.WalkRefs += uint64(res.Refs)
@@ -227,17 +248,19 @@ func (s *Simulator) replayRange(m *Metrics, cols *trace.Columns, lo, hi int) err
 // transitions — TLB contents, PWCs, and (under SimulateProgramCache) the
 // cache hierarchy — are identical to replayRange's, but none of the metrics
 // accumulate, so warmup accesses are invisible in the windowed counts.
+//
+//mosvet:hotpath
 func (s *Simulator) warmRange(cols *trace.Columns, lo, hi int) error {
 	for i := lo; i < hi; i++ {
 		va := cols.VA(i)
 		phys, ps, ok := s.trans.Translate(va)
 		if !ok {
-			return fmt.Errorf("partialsim: access %d faults at %#x", i, uint64(va))
+			return &FaultError{Index: i, VA: uint64(va)}
 		}
 		if s.tlb.Lookup(va, ps) == tlb.Miss {
 			res := s.walk.Walk(va)
 			if res.Fault {
-				return fmt.Errorf("partialsim: walk faults at %#x", uint64(va))
+				return &FaultError{Index: i, VA: uint64(va), Walk: true}
 			}
 			s.tlb.Insert(va, ps)
 		}

@@ -128,9 +128,11 @@ func Chart(cv *experiment.Curve, width, height int, modelRunes map[string]rune) 
 			consider(p.C, preds[i])
 		}
 	}
+	//mosvet:ignore floateq degenerate-axis sentinel: min/max are copied sample values, equal only when truly identical
 	if maxC == minC {
 		maxC = minC + 1
 	}
+	//mosvet:ignore floateq degenerate-axis sentinel: min/max are copied sample values, equal only when truly identical
 	if maxR == minR {
 		maxR = minR + 1
 	}

@@ -37,11 +37,13 @@ func SVGChart(cv *experiment.Curve, width, height int) string {
 			consider(p.C, preds[i])
 		}
 	}
+	//mosvet:ignore floateq degenerate-axis sentinel: min/max are copied sample values, equal only when truly identical
 	if maxC == minC {
 		maxC = minC + 1
 	}
 	// Pad the R range 5% so points don't sit on the frame.
 	pad := (maxR - minR) * 0.05
+	//mosvet:ignore floateq exact-zero sentinel: pad is 0.0 only when the R range is exactly empty
 	if pad == 0 {
 		pad = 1
 	}

@@ -245,9 +245,23 @@ func (r *Registry) Reload() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	changed := 0
+	// Phase 1 — read the disk with no lock held. Stat/parse/restore of a
+	// large pair file must not stall predict traffic behind the registry
+	// write lock, so loads are staged against a snapshot of the stamps and
+	// applied in phase 2.
+	r.mu.RLock()
+	prevStamps := make(map[string]fileStamp, len(r.stamps))
+	for p, s := range r.stamps {
+		prevStamps[p] = s
+	}
+	r.mu.RUnlock()
+
+	type staged struct {
+		path  string
+		stamp fileStamp
+		pair  *Pair
+	}
+	var loads []staged
 	var firstErr error
 	seen := make(map[string]bool, len(paths))
 	for _, path := range paths {
@@ -257,7 +271,7 @@ func (r *Registry) Reload() (int, error) {
 			continue
 		}
 		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime()}
-		if prev, ok := r.stamps[path]; ok && prev == stamp {
+		if prev, ok := prevStamps[path]; ok && prev == stamp {
 			continue
 		}
 		pair, err := loadFile(path)
@@ -267,9 +281,22 @@ func (r *Registry) Reload() (int, error) {
 			}
 			continue
 		}
-		r.pairs[key(pair.Workload, pair.Platform)] = pair
-		r.stamps[path] = stamp
-		r.files[key(pair.Workload, pair.Platform)] = path
+		loads = append(loads, staged{path: path, stamp: stamp, pair: pair})
+	}
+
+	// Phase 2 — apply under the write lock: pure map updates, no I/O. A
+	// concurrent Reload may have applied the same file meanwhile; the
+	// stamp re-check keeps the changed count honest.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := 0
+	for _, s := range loads {
+		if prev, ok := r.stamps[s.path]; ok && prev == s.stamp {
+			continue
+		}
+		r.pairs[key(s.pair.Workload, s.pair.Platform)] = s.pair
+		r.stamps[s.path] = s.stamp
+		r.files[key(s.pair.Workload, s.pair.Platform)] = s.path
 		changed++
 	}
 	for k, path := range r.files {

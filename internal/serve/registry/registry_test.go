@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -208,6 +209,67 @@ func TestReload(t *testing.T) {
 	}
 	if _, err := r.Predict(Request{Workload: "bt", Platform: "broadwell", Model: "poly2", Layout: "4KB"}); !errors.Is(err, ErrUnknownPair) {
 		t.Fatalf("deleted pair still served: %v", err)
+	}
+}
+
+// TestReloadConcurrentWithPredict guards the two-phase Reload (stage loads
+// off-lock, apply under the write lock): predict traffic and overlapping
+// reloads run concurrently against a directory being retrained, and the
+// registry must neither race (-race is the real assertion here) nor lose
+// the final state. Before the split, every predict stalled behind the
+// write lock for the full stat+parse+restore of the directory.
+func TestReloadConcurrentWithPredict(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Train(syntheticDataset("gups", "skylake"), []string{"mosmodel"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := r.Reload(); err != nil {
+					t.Errorf("Reload: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	req := Request{Workload: "gups", Platform: "skylake", Layout: "4KB"}
+	for i := 0; i < 200; i++ {
+		if _, err := r.Predict(req); err != nil {
+			t.Fatalf("Predict during reloads: %v", err)
+		}
+		if i == 100 {
+			// Retrain mid-flight so some reload observes a changed stamp.
+			if err := w.Train(syntheticDataset("gups", "skylake"), []string{"mosmodel", "poly2"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict(Request{Workload: "gups", Platform: "skylake", Model: "poly2", Layout: "4KB"}); err != nil {
+		t.Fatalf("retrained model not served after the dust settled: %v", err)
 	}
 }
 

@@ -55,6 +55,8 @@ func (t *Timing) Observe(s Stage, d time.Duration) {
 }
 
 // Time wraps fn with an Observe of its duration.
+//
+//mosvet:timing stage wall-time accounting is presentation, not simulation state
 func (t *Timing) Time(s Stage, fn func() error) error {
 	start := time.Now()
 	err := fn()
@@ -124,6 +126,8 @@ type Scheduler struct {
 // matching the drain-then-report behavior sweeps want (a failed layout
 // must not abort the replays already in flight). A canceled Ctx stops the
 // claim loop instead and surfaces the context's error.
+//
+//mosvet:timing elapsed/ETA progress reporting; never feeds counters
 func (s *Scheduler) Run(n int, label func(int) string, fn func(int) error) error {
 	workers := s.Workers
 	if workers < 1 {

@@ -79,6 +79,8 @@ func (c *SpaceCache) Register(cfg mosalloc.Config) string {
 
 // Get returns the shared space for a Registered key, building it on first
 // use. Concurrent Gets block until the single build completes.
+//
+//mosvet:timing stage wall-time accounting around the build; spaces are clock-free
 func (c *SpaceCache) Get(key string, cfg mosalloc.Config) (*mem.AddressSpace, error) {
 	c.mu.Lock()
 	e := c.entries[key]

@@ -34,6 +34,7 @@ func (s *fitState) validate() error {
 		return fmt.Errorf("stats: fit state has %d means and %d stds", len(s.Mean), len(s.Std))
 	}
 	for _, sd := range s.Std {
+		//mosvet:ignore floateq exact-zero sentinel: a decoded 0.0 std would divide by zero in Predict
 		if sd == 0 {
 			return fmt.Errorf("stats: fit state has a zero standard deviation")
 		}

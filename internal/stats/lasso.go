@@ -85,6 +85,7 @@ func FitPolyLasso(X [][]float64, y []float64, degree int, lambda float64, varNam
 			}
 			rho /= float64(n)
 			nb := softThreshold(rho, lambda)
+			//mosvet:ignore floateq exact no-op skip: d is 0.0 iff the coordinate update leaves beta bit-identical
 			if d := nb - beta[j]; d != 0 {
 				for i := 0; i < n; i++ {
 					resid[i] -= d * col[i]

@@ -10,6 +10,7 @@ import (
 func MaxAbsRelErr(y, yhat []float64) float64 {
 	var worst float64
 	for i := range y {
+		//mosvet:ignore floateq exact-zero sentinel: relative error is undefined at y=0.0, skip the point
 		if y[i] == 0 {
 			continue
 		}
@@ -29,6 +30,7 @@ func GeoMeanAbsRelErr(y, yhat []float64) float64 {
 	var logSum float64
 	n := 0
 	for i := range y {
+		//mosvet:ignore floateq exact-zero sentinel: relative error is undefined at y=0.0, skip the point
 		if y[i] == 0 {
 			continue
 		}
@@ -61,6 +63,7 @@ func R2(y, yhat []float64) float64 {
 		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
 		ssTot += (y[i] - mean) * (y[i] - mean)
 	}
+	//mosvet:ignore floateq exact-zero sentinel: ssTot is a sum of squares, 0.0 only for a constant y
 	if ssTot == 0 {
 		return 0
 	}

@@ -168,6 +168,7 @@ func (f *PolyFit) NonzeroCoefs(tol float64) int {
 func (f *PolyFit) String() string {
 	var parts []string
 	for i, c := range f.Coefs {
+		//mosvet:ignore floateq exact-zero skip: Lasso zeroes dropped coefficients bit-exactly; rendering elides them
 		if c == 0 {
 			continue
 		}

@@ -34,6 +34,7 @@ func QRLeastSquares(X [][]float64, y []float64) ([]float64, error) {
 			norm += r[i][k] * r[i][k]
 		}
 		norm = math.Sqrt(norm)
+		//mosvet:ignore floateq singularity sentinel: an exactly-zero column norm means a rank-deficient design
 		if norm == 0 {
 			return nil, ErrSingular
 		}
@@ -50,6 +51,7 @@ func QRLeastSquares(X [][]float64, y []float64) ([]float64, error) {
 		for _, vi := range v {
 			vtv += vi * vi
 		}
+		//mosvet:ignore floateq singularity sentinel: vᵀv is 0.0 only when the Householder vector vanishes
 		if vtv == 0 {
 			return nil, ErrSingular
 		}
@@ -81,6 +83,7 @@ func QRLeastSquares(X [][]float64, y []float64) ([]float64, error) {
 		for j := i + 1; j < p; j++ {
 			sum -= r[i][j] * beta[j]
 		}
+		//mosvet:ignore floateq singularity sentinel: an exactly-zero pivot cannot be divided through
 		if r[i][i] == 0 {
 			return nil, ErrSingular
 		}

@@ -1,0 +1,26 @@
+package mosaic
+
+import (
+	"testing"
+
+	"mosaic/internal/lint"
+)
+
+// TestMosvetClean runs the mosvet analyzer suite in-process over the whole
+// module, so `go test ./...` (tier-1) catches invariant regressions —
+// wall-clock reads in simulation paths, unsorted map iteration feeding
+// results, raw float equality, blocking I/O under serving locks, hot-path
+// hygiene — without waiting for the dedicated CI job. This is the same
+// load-and-analyze path `go run ./cmd/mosvet ./...` exercises.
+func TestMosvetClean(t *testing.T) {
+	findings, err := lint.AnalyzeModule(".", lint.DefaultConfig())
+	if err != nil {
+		t.Fatalf("mosvet load: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("mosvet: %d finding(s) — fix them or add a justified //mosvet:ignore (see docs/static-analysis.md)", len(findings))
+	}
+}
