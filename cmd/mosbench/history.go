@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// BENCH_history.json is the repo's append-only performance ledger: one row
+// per PR, written by the CI bench job, read back by -check-regression to
+// gate the next PR. Keeping the whole history (rather than only the last
+// run) makes slow drifts visible — a sequence of 9% slowdowns each passes
+// the gate, but the file shows the trend.
+
+// benchRow is one PR's tracked metrics. Zero values mean "not measured by
+// that PR" (e.g. windowed replay predates nothing before PR 6) and are
+// skipped by the regression gate.
+type benchRow struct {
+	PR int `json:"pr"`
+	// Cores records the host parallelism behind the timings; speedup-type
+	// metrics are only comparable between rows with the same core count.
+	Cores int `json:"cores,omitempty"`
+	// SweepMs is BenchmarkSweepQuick's per-iteration wall time.
+	SweepMs float64 `json:"sweep_ms,omitempty"`
+	// SampledSpeedup is the -sample-report replay speedup (exact/sampled).
+	SampledSpeedup float64 `json:"sampled_speedup,omitempty"`
+	// WorstSigErr is the -sample-report worst relative error over
+	// statistically significant counters (the ≤1% accuracy contract).
+	WorstSigErr float64 `json:"worst_sig_err,omitempty"`
+	// WindowedSpeedup is BenchmarkSweepQuickWindowed's -windows K speedup
+	// over -windows 1 (bounded by Cores).
+	WindowedSpeedup float64 `json:"windowed_speedup,omitempty"`
+}
+
+// regressionTol is the gate: a tracked metric may degrade by at most this
+// fraction between consecutive rows.
+const regressionTol = 0.10
+
+// sigErrBound is the absolute ceiling for WorstSigErr — the sampled
+// accuracy contract's 1% bound. Relative comparison is wrong for an error
+// metric (a 0.1% → 0.12% change is noise, not a regression), so the gate
+// checks the contract instead.
+const sigErrBound = 0.01
+
+// loadHistory reads the ledger; a missing file is an empty history.
+func loadHistory(path string) ([]benchRow, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("history %s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// appendHistory appends one row and rewrites the ledger atomically
+// (same-directory temp + rename, like every cache file in the repo).
+func appendHistory(path string, row benchRow) error {
+	rows, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	if row.Cores == 0 {
+		row.Cores = runtime.NumCPU()
+	}
+	rows = append(rows, row)
+	raw, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(raw, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// checkRegression compares the ledger's last row against the previous one
+// and returns one message per violated gate. Lower-is-better metrics
+// (sweep time) may grow by at most regressionTol; higher-is-better metrics
+// (speedups) may shrink by at most regressionTol; the worst significant
+// error must stay within the accuracy contract's absolute bound. Metrics
+// absent (zero) in either row are skipped — a PR that didn't re-measure a
+// metric neither passes nor fails it. Speedups are additionally skipped
+// when the two rows ran on different core counts, where the comparison is
+// meaningless.
+func checkRegression(rows []benchRow) []string {
+	var out []string
+	if n := len(rows); n >= 1 {
+		cur := rows[n-1]
+		if cur.WorstSigErr > sigErrBound {
+			out = append(out, fmt.Sprintf(
+				"PR %d: worst significant sampled error %.4f%% exceeds the %.0f%% accuracy contract",
+				cur.PR, 100*cur.WorstSigErr, 100*sigErrBound))
+		}
+		if n >= 2 {
+			prev := rows[n-2]
+			if prev.SweepMs > 0 && cur.SweepMs > 0 && cur.SweepMs > prev.SweepMs*(1+regressionTol) {
+				out = append(out, fmt.Sprintf(
+					"PR %d: quick sweep %.1fms is %.0f%% slower than PR %d's %.1fms (gate: %.0f%%)",
+					cur.PR, cur.SweepMs, 100*(cur.SweepMs/prev.SweepMs-1), prev.PR, prev.SweepMs, 100*regressionTol))
+			}
+			comparable := prev.Cores == cur.Cores
+			for _, m := range []struct {
+				name       string
+				prev, cur  float64
+				coresBound bool
+			}{
+				{"sampled replay speedup", prev.SampledSpeedup, cur.SampledSpeedup, false},
+				{"windowed replay speedup", prev.WindowedSpeedup, cur.WindowedSpeedup, true},
+			} {
+				if m.prev <= 0 || m.cur <= 0 || (m.coresBound && !comparable) {
+					continue
+				}
+				if m.cur < m.prev*(1-regressionTol) {
+					out = append(out, fmt.Sprintf(
+						"PR %d: %s %.2f× is %.0f%% below PR %d's %.2f× (gate: %.0f%%)",
+						cur.PR, m.name, m.cur, 100*(1-m.cur/m.prev), prev.PR, m.prev, 100*regressionTol))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runCheckRegression is the -check-regression entry point: print the
+// verdict and fail (for CI) when any gate is violated.
+func runCheckRegression(path string, out io.Writer) error {
+	rows, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(out, "check-regression: %s has no rows, nothing to gate\n", path)
+		return nil
+	}
+	violations := checkRegression(rows)
+	if len(violations) == 0 {
+		fmt.Fprintf(out, "check-regression: PR %d within %.0f%% of PR history (%d rows)\n",
+			rows[len(rows)-1].PR, 100*regressionTol, len(rows))
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(out, "check-regression:", v)
+	}
+	return fmt.Errorf("%d tracked metric(s) regressed", len(violations))
+}
+
+// runAppendRow is the -append-row entry point: rowJSON is one benchRow
+// object, typically assembled by the CI bench job from the benchmark and
+// sample-report outputs.
+func runAppendRow(path, rowJSON string, out io.Writer) error {
+	var row benchRow
+	dec := json.NewDecoder(strings.NewReader(rowJSON))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&row); err != nil {
+		return fmt.Errorf("append-row: %w", err)
+	}
+	if row.PR <= 0 {
+		return fmt.Errorf("append-row: row needs a positive \"pr\"")
+	}
+	if err := appendHistory(path, row); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "append-row: recorded PR %d in %s\n", row.PR, path)
+	return nil
+}

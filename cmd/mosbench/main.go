@@ -65,8 +65,36 @@ func main() {
 			"run the sweep exact and sampled, report replay speedup and max per-counter relative error (with -json: machine-readable)")
 		stretch = flag.Int("stretch", 1,
 			"multiply every workload's trace length (accesses) by this factor (sweep-scale traces for -sample-report; the committed numbers use 32)")
+
+		windows = flag.Int("windows", 0,
+			"parallel windowed replay: split every replay into this many chunks run concurrently (0 or 1 = off; exact unless -windows-warm)")
+		windowsWarm = flag.Bool("windows-warm", false,
+			"windowed replay reconstructs chunk-boundary state by functional warmup instead of checkpoints (approximate, no checkpoint cache)")
+		ckptCache = flag.String("checkpoint-cache", "",
+			"directory for caching MOSCKPT01 window-boundary checkpoints across runs (exact windowed replay)")
+
+		historyPath = flag.String("history", "BENCH_history.json",
+			"path of the append-only per-PR benchmark ledger")
+		appendRow = flag.String("append-row", "",
+			"append this JSON benchmark row to -history and exit")
+		checkReg = flag.Bool("check-regression", false,
+			"gate the last -history row against the previous one (>10% slowdown of a tracked metric fails) and exit")
 	)
 	flag.Parse()
+
+	// The ledger modes run and exit before any sweep machinery spins up.
+	if *appendRow != "" {
+		if err := runAppendRow(*historyPath, *appendRow, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkReg {
+		if err := runCheckRegression(*historyPath, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -104,6 +132,9 @@ func main() {
 	}
 	app.runner.TraceDir = *traceDir
 	app.runner.Sampling = buildSampling(*samplePeriod, *sampleWindow, *sampleWarmup, *samplePrologue)
+	app.runner.Windows = *windows
+	app.runner.WindowWarm = *windowsWarm
+	app.runner.CheckpointDir = *ckptCache
 	app.svgDir = *svgDir
 	app.stretch = max(1, *stretch)
 	var err error

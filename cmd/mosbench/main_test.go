@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -77,5 +78,79 @@ func TestFigureOutputSplit(t *testing.T) {
 	}
 	if !strings.Contains(diag.String(), "stage ") {
 		t.Errorf("stage-time summary missing from diag: %q", diag.String())
+	}
+}
+
+// TestCheckRegressionGates exercises the pure gate logic: direction-aware
+// 10% tolerances, the absolute accuracy-contract bound, and the skip rules
+// for unmeasured metrics and core-count mismatches.
+func TestCheckRegressionGates(t *testing.T) {
+	base := benchRow{PR: 5, Cores: 8, SweepMs: 1000, SampledSpeedup: 10, WorstSigErr: 0.004, WindowedSpeedup: 3.0}
+	cases := []struct {
+		name string
+		rows []benchRow
+		want int
+	}{
+		{"empty history", nil, 0},
+		{"single clean row", []benchRow{base}, 0},
+		{"identical rows pass", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1000, SampledSpeedup: 10, WorstSigErr: 0.004, WindowedSpeedup: 3.0}}, 0},
+		{"within tolerance passes", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1090, SampledSpeedup: 9.1, WindowedSpeedup: 2.8}}, 0},
+		{"sweep slowdown fails", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1200}}, 1},
+		{"sampled speedup loss fails", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1000, SampledSpeedup: 8.5}}, 1},
+		{"windowed speedup loss fails", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1000, WindowedSpeedup: 2.0}}, 1},
+		{"windowed loss on different cores is skipped", []benchRow{base, {PR: 6, Cores: 1, SweepMs: 1000, WindowedSpeedup: 1.0}}, 0},
+		{"accuracy contract is absolute", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 1000, WorstSigErr: 0.02}}, 1},
+		{"unmeasured metrics are skipped", []benchRow{base, {PR: 6, Cores: 8}}, 0},
+		{"multiple regressions all reported", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 2000, SampledSpeedup: 5, WorstSigErr: 0.05, WindowedSpeedup: 1.0}}, 4},
+		{"only last pair gates", []benchRow{{PR: 4, Cores: 8, SweepMs: 100}, base, {PR: 6, Cores: 8, SweepMs: 1000}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkRegression(tc.rows)
+			if len(got) != tc.want {
+				t.Errorf("%d violations %v, want %d", len(got), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistoryAppendRoundTrip: the ledger is append-only, atomic, and
+// readable back; -append-row rejects malformed rows.
+func TestHistoryAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	var out bytes.Buffer
+	if err := runAppendRow(path, `{"pr": 1, "cores": 8, "sweep_ms": 1500}`, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAppendRow(path, `{"pr": 2, "cores": 8, "sweep_ms": 1400, "sampled_speedup": 9.5}`, &out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].PR != 1 || rows[1].SampledSpeedup != 9.5 {
+		t.Fatalf("history after two appends: %+v", rows)
+	}
+	if err := runCheckRegression(path, &out); err != nil {
+		t.Fatalf("clean history gated: %v", err)
+	}
+
+	if err := runAppendRow(path, `{"sweep_ms": 1}`, &out); err == nil {
+		t.Error("row without pr accepted")
+	}
+	if err := runAppendRow(path, `{"pr": 3, "bogus": 1}`, &out); err == nil {
+		t.Error("row with unknown field accepted")
+	}
+	if rows, _ = loadHistory(path); len(rows) != 2 {
+		t.Fatalf("rejected rows mutated the ledger: %+v", rows)
+	}
+
+	// A regressing row makes the gate fail.
+	if err := runAppendRow(path, `{"pr": 3, "cores": 8, "sweep_ms": 2800}`, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheckRegression(path, &out); err == nil {
+		t.Fatal("2× sweep slowdown passed the regression gate")
 	}
 }

@@ -1,0 +1,574 @@
+// Package ckpt defines the whole-machine checkpoint: the state a replay
+// engine needs to resume a trace mid-stream as if it had replayed the
+// whole prefix itself. Every stateful model layer exposes a
+// Snapshot/Restore pair (cache.Hierarchy, tlb.TLB, walker.Walker; the
+// mem.Translator memo is a pure performance cache, invisible to counters,
+// and restores by clearing); the engines (internal/cpu,
+// internal/partialsim) compose those component states with their own
+// clock and accumulator state into a MachineState.
+//
+// The binary serialization, MOSCKPT01, follows the same hand-rolled codec
+// discipline as the MOSTRC02 trace format (internal/trace/io.go): a fixed
+// magic, bounded length fields validated before allocation, little-endian
+// fixed-width integers, floats as IEEE-754 bit patterns (Float64bits), and
+// an atomic temp+rename write path — so checkpoints can live in the trace
+// cache directory and survive process restarts bit-identically.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "MOSCKPT0"
+//	version byte     '1' (bytes 0..9 spell "MOSCKPT01")
+//	keyLen  uint16   checkpoint key length
+//	key     []byte   caller-chosen identity (trace, platform, layout, ...)
+//	pos     uint64   trace position the state corresponds to
+//	flags   uint8    bit0 = has clock state (cpu engine),
+//	                 bit1 = walker-private ablation cache present
+//	clock   2×f64 (now, missRate), 2×u64 (walkCycles, instructions),
+//	        5×f64 breakdown, u32 len + len×f64 walkerFree
+//	sums    4×u64 TLB counts, 8×u64 hierarchy stats, 5×u64 partial metrics
+//	tlb     5 × (u32 len + len×u64 tags), 4×u64 counts, 4×u64 missBySize
+//	hier    3 × (u32 len + len×u32 tags), [flag bit1: u32 len + len×u32],
+//	        8×u64 stats
+//	walk    3 × PWC (u32 entries, u32 n, n×u64 keys, n×u16 prev,
+//	        n×u16 next, u16 head, u16 tail), 7×u64 stats
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mosaic/internal/cache"
+	"mosaic/internal/tlb"
+	"mosaic/internal/walker"
+)
+
+// Magic is the MOSCKPT01 file prefix: 8-byte format magic followed by a
+// version byte, so the first nine bytes of a checkpoint file spell
+// "MOSCKPT01".
+var Magic = [8]byte{'M', 'O', 'S', 'C', 'K', 'P', 'T', '0'}
+
+// Version is the format version byte following the magic.
+const Version = '1'
+
+const (
+	// maxKeyLen bounds the checkpoint-key field.
+	maxKeyLen = 1 << 12
+	// maxTagArray is a sanity bound on serialized tag arrays (the largest
+	// real one is the L3's ~246K lines), not a design limit.
+	maxTagArray = 1 << 22
+	// maxWalkers bounds the walkerFree array (real platforms have 1-2).
+	maxWalkers = 1 << 10
+	// maxPWCEntries bounds a PWC's capacity; the PWC's uint16 recency links
+	// cannot index past this anyway.
+	maxPWCEntries = 1 << 16
+)
+
+// MachineState is the whole-machine checkpoint at one trace position. The
+// clock and accumulator fields hold *cumulative* values since the start of
+// the trace, so an engine seeded from a MachineState finishes a suffix
+// replay with exactly the counters a whole-trace replay would produce —
+// the telescoping that makes windowed exact replay bit-identical.
+type MachineState struct {
+	// HasClock marks full-machine (cpu) state; the partial simulator has
+	// no clock and leaves it false.
+	HasClock bool
+	// Now is the runtime clock in cycles; MissRate the miss-frequency EWMA.
+	Now      float64
+	MissRate float64
+	// WalkCycles and Instructions are the cumulative C and instruction
+	// counters.
+	WalkCycles   uint64
+	Instructions uint64
+	// Breakdown holds the cpu.Breakdown components in declaration order
+	// (Base, TLBHit, WalkStall, WalkQueue, DataStall).
+	Breakdown [5]float64
+	// WalkerFree is the per-hardware-walker next-free cycle.
+	WalkerFree []float64
+
+	// SumTLB and SumHier are the sampled replay's accumulated
+	// measurement-window deltas (cpu engine).
+	SumTLB  tlb.Counts
+	SumHier cache.Stats
+	// Metrics is the partial simulator's accumulator in field order
+	// (H, M, C, Lookups, WalkRefs).
+	Metrics [5]uint64
+
+	// Component state.
+	TLB  tlb.State
+	Hier cache.HierarchyState
+	Walk walker.State
+}
+
+// appendU16/32/64 and appendF64 are the fixed-width encode helpers.
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendU64s(b []byte, vs []uint64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU64(b, v)
+	}
+	return b
+}
+
+func appendU32s(b []byte, vs []uint32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, v)
+	}
+	return b
+}
+
+func appendPWC(b []byte, p walker.PWCState) []byte {
+	b = appendU32(b, uint32(p.Entries))
+	b = appendU32(b, uint32(len(p.Keys)))
+	for _, k := range p.Keys {
+		b = appendU64(b, k)
+	}
+	for _, v := range p.Prev {
+		b = appendU16(b, v)
+	}
+	for _, v := range p.Next {
+		b = appendU16(b, v)
+	}
+	b = appendU16(b, p.Head)
+	b = appendU16(b, p.Tail)
+	return b
+}
+
+const (
+	flagClock         = 1 << 0
+	flagWalkerPrivate = 1 << 1
+)
+
+// Encode serializes the state in the MOSCKPT01 format under the given key
+// and trace position.
+func (s *MachineState) Encode(w io.Writer, key string, pos int) (int64, error) {
+	if len(key) > maxKeyLen {
+		return 0, fmt.Errorf("ckpt: key too long (%d bytes)", len(key))
+	}
+	if pos < 0 {
+		return 0, fmt.Errorf("ckpt: negative position %d", pos)
+	}
+	b := make([]byte, 0, s.encodedSize(len(key)))
+	b = append(b, Magic[:]...)
+	b = append(b, Version)
+	b = appendU16(b, uint16(len(key)))
+	b = append(b, key...)
+	b = appendU64(b, uint64(pos))
+	var flags byte
+	if s.HasClock {
+		flags |= flagClock
+	}
+	if s.Hier.WalkerPrivate != nil {
+		flags |= flagWalkerPrivate
+	}
+	b = append(b, flags)
+
+	// Clock section.
+	b = appendF64(b, s.Now)
+	b = appendF64(b, s.MissRate)
+	b = appendU64(b, s.WalkCycles)
+	b = appendU64(b, s.Instructions)
+	for _, v := range s.Breakdown {
+		b = appendF64(b, v)
+	}
+	b = appendU32(b, uint32(len(s.WalkerFree)))
+	for _, v := range s.WalkerFree {
+		b = appendF64(b, v)
+	}
+
+	// Accumulator section.
+	b = appendU64(b, s.SumTLB.Lookups)
+	b = appendU64(b, s.SumTLB.L1Hits)
+	b = appendU64(b, s.SumTLB.L2Hits)
+	b = appendU64(b, s.SumTLB.Misses)
+	b = appendLoadStats(b, s.SumHier)
+	for _, v := range s.Metrics {
+		b = appendU64(b, v)
+	}
+
+	// TLB section.
+	b = appendU64s(b, s.TLB.L14K)
+	b = appendU64s(b, s.TLB.L12M)
+	b = appendU64s(b, s.TLB.L11G)
+	b = appendU64s(b, s.TLB.L2)
+	b = appendU64s(b, s.TLB.L21G)
+	b = appendU64(b, s.TLB.Counts.Lookups)
+	b = appendU64(b, s.TLB.Counts.L1Hits)
+	b = appendU64(b, s.TLB.Counts.L2Hits)
+	b = appendU64(b, s.TLB.Counts.Misses)
+	for _, v := range s.TLB.MissBySize {
+		b = appendU64(b, v)
+	}
+
+	// Hierarchy section.
+	b = appendU32s(b, s.Hier.L1.Tags)
+	b = appendU32s(b, s.Hier.L2.Tags)
+	b = appendU32s(b, s.Hier.L3.Tags)
+	if s.Hier.WalkerPrivate != nil {
+		b = appendU32s(b, s.Hier.WalkerPrivate.Tags)
+	}
+	b = appendLoadStats(b, s.Hier.Stats)
+
+	// Walker section.
+	b = appendPWC(b, s.Walk.PML4)
+	b = appendPWC(b, s.Walk.PDPT)
+	b = appendPWC(b, s.Walk.PD)
+	b = appendU64(b, s.Walk.Stats.Walks)
+	b = appendU64(b, s.Walk.Stats.WalkCycles)
+	b = appendU64(b, s.Walk.Stats.EntryLoads)
+	b = appendU64(b, s.Walk.Stats.PWCHitPML4)
+	b = appendU64(b, s.Walk.Stats.PWCHitPDPT)
+	b = appendU64(b, s.Walk.Stats.PWCHitPD)
+	b = appendU64(b, s.Walk.Stats.Faults)
+
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+func appendLoadStats(b []byte, st cache.Stats) []byte {
+	b = appendU64(b, st.L1Loads.Program)
+	b = appendU64(b, st.L1Loads.Walker)
+	b = appendU64(b, st.L2Loads.Program)
+	b = appendU64(b, st.L2Loads.Walker)
+	b = appendU64(b, st.L3Loads.Program)
+	b = appendU64(b, st.L3Loads.Walker)
+	b = appendU64(b, st.DRAMLoads.Program)
+	b = appendU64(b, st.DRAMLoads.Walker)
+	return b
+}
+
+// encodedSize upper-bounds the serialized size so Encode builds the buffer
+// in one allocation.
+func (s *MachineState) encodedSize(keyLen int) int {
+	n := 8 + 1 + 2 + keyLen + 8 + 1 // header
+	n += 2*8 + 2*8 + 5*8 + 4 + len(s.WalkerFree)*8
+	n += 4*8 + 8*8 + 5*8
+	for _, a := range [][]uint64{s.TLB.L14K, s.TLB.L12M, s.TLB.L11G, s.TLB.L2, s.TLB.L21G} {
+		n += 4 + len(a)*8
+	}
+	n += 8 * 8 // tlb counts + missBySize
+	n += 3*4 + (len(s.Hier.L1.Tags)+len(s.Hier.L2.Tags)+len(s.Hier.L3.Tags))*4
+	if s.Hier.WalkerPrivate != nil {
+		n += 4 + len(s.Hier.WalkerPrivate.Tags)*4
+	}
+	n += 8 * 8 // hier stats
+	for _, p := range []walker.PWCState{s.Walk.PML4, s.Walk.PDPT, s.Walk.PD} {
+		n += 8 + len(p.Keys)*8 + len(p.Prev)*2 + len(p.Next)*2 + 4
+	}
+	n += 7 * 8 // walker stats
+	return n
+}
+
+// countingReader tracks bytes consumed from the underlying reader.
+type countingReader struct {
+	br   *bufio.Reader
+	read int64
+}
+
+func (c *countingReader) full(p []byte) error {
+	n, err := io.ReadFull(c.br, p)
+	c.read += int64(n)
+	return err
+}
+
+func (c *countingReader) u16() (uint16, error) {
+	var b [2]byte
+	if err := c.full(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (c *countingReader) u32() (uint32, error) {
+	var b [4]byte
+	if err := c.full(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (c *countingReader) u64() (uint64, error) {
+	var b [8]byte
+	if err := c.full(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (c *countingReader) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+func (c *countingReader) u64s(section string) ([]uint64, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxTagArray {
+		return nil, fmt.Errorf("ckpt: implausible %s length %d", section, n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = c.u64(); err != nil {
+			return nil, fmt.Errorf("ckpt: truncated %s: %w", section, err)
+		}
+	}
+	return out, nil
+}
+
+func (c *countingReader) u32s(section string) ([]uint32, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxTagArray {
+		return nil, fmt.Errorf("ckpt: implausible %s length %d", section, n)
+	}
+	out := make([]uint32, n)
+	var b [4]byte
+	for i := range out {
+		if err := c.full(b[:]); err != nil {
+			return nil, fmt.Errorf("ckpt: truncated %s: %w", section, err)
+		}
+		out[i] = binary.LittleEndian.Uint32(b[:])
+	}
+	return out, nil
+}
+
+func (c *countingReader) pwc(section string) (walker.PWCState, error) {
+	var p walker.PWCState
+	entries, err := c.u32()
+	if err != nil {
+		return p, err
+	}
+	if entries > maxPWCEntries {
+		return p, fmt.Errorf("ckpt: implausible %s capacity %d", section, entries)
+	}
+	n, err := c.u32()
+	if err != nil {
+		return p, err
+	}
+	if n > entries {
+		return p, fmt.Errorf("ckpt: forged %s fill %d of %d entries", section, n, entries)
+	}
+	p.Entries = int(entries)
+	if n > 0 {
+		p.Keys = make([]uint64, n)
+		p.Prev = make([]uint16, n)
+		p.Next = make([]uint16, n)
+		for i := range p.Keys {
+			if p.Keys[i], err = c.u64(); err != nil {
+				return p, fmt.Errorf("ckpt: truncated %s keys: %w", section, err)
+			}
+		}
+		for i := range p.Prev {
+			if p.Prev[i], err = c.u16(); err != nil {
+				return p, fmt.Errorf("ckpt: truncated %s links: %w", section, err)
+			}
+		}
+		for i := range p.Next {
+			if p.Next[i], err = c.u16(); err != nil {
+				return p, fmt.Errorf("ckpt: truncated %s links: %w", section, err)
+			}
+		}
+	}
+	if p.Head, err = c.u16(); err != nil {
+		return p, err
+	}
+	if p.Tail, err = c.u16(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func (c *countingReader) loadStats() (cache.Stats, error) {
+	var st cache.Stats
+	for _, p := range []*uint64{
+		&st.L1Loads.Program, &st.L1Loads.Walker,
+		&st.L2Loads.Program, &st.L2Loads.Walker,
+		&st.L3Loads.Program, &st.L3Loads.Walker,
+		&st.DRAMLoads.Program, &st.DRAMLoads.Walker,
+	} {
+		v, err := c.u64()
+		if err != nil {
+			return st, err
+		}
+		*p = v
+	}
+	return st, nil
+}
+
+// Decode deserializes a MOSCKPT01 stream, returning the stored key, trace
+// position, and state. It rejects wrong magics, unknown versions, and any
+// forged or truncated section.
+func Decode(r io.Reader) (key string, pos int, s *MachineState, err error) {
+	cr := &countingReader{br: bufio.NewReaderSize(r, 1<<16)}
+	var magic [8]byte
+	if err := cr.full(magic[:]); err != nil {
+		return "", 0, nil, err
+	}
+	if magic != Magic {
+		return "", 0, nil, fmt.Errorf("ckpt: bad magic %q", magic[:])
+	}
+	var ver [1]byte
+	if err := cr.full(ver[:]); err != nil {
+		return "", 0, nil, err
+	}
+	if ver[0] != Version {
+		return "", 0, nil, fmt.Errorf("ckpt: unsupported version %q", ver[0])
+	}
+	keyLen, err := cr.u16()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if int(keyLen) > maxKeyLen {
+		return "", 0, nil, fmt.Errorf("ckpt: implausible key length %d", keyLen)
+	}
+	keyBytes := make([]byte, keyLen)
+	if err := cr.full(keyBytes); err != nil {
+		return "", 0, nil, err
+	}
+	key = string(keyBytes)
+	upos, err := cr.u64()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if upos > 1<<62 {
+		return "", 0, nil, fmt.Errorf("ckpt: implausible position %d", upos)
+	}
+	pos = int(upos)
+	var flags [1]byte
+	if err := cr.full(flags[:]); err != nil {
+		return "", 0, nil, err
+	}
+
+	s = &MachineState{HasClock: flags[0]&flagClock != 0}
+	if s.Now, err = cr.f64(); err != nil {
+		return "", 0, nil, err
+	}
+	if s.MissRate, err = cr.f64(); err != nil {
+		return "", 0, nil, err
+	}
+	if s.WalkCycles, err = cr.u64(); err != nil {
+		return "", 0, nil, err
+	}
+	if s.Instructions, err = cr.u64(); err != nil {
+		return "", 0, nil, err
+	}
+	for i := range s.Breakdown {
+		if s.Breakdown[i], err = cr.f64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	nw, err := cr.u32()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if nw > maxWalkers {
+		return "", 0, nil, fmt.Errorf("ckpt: implausible walker count %d", nw)
+	}
+	if nw > 0 {
+		s.WalkerFree = make([]float64, nw)
+		for i := range s.WalkerFree {
+			if s.WalkerFree[i], err = cr.f64(); err != nil {
+				return "", 0, nil, err
+			}
+		}
+	}
+
+	for _, p := range []*uint64{&s.SumTLB.Lookups, &s.SumTLB.L1Hits, &s.SumTLB.L2Hits, &s.SumTLB.Misses} {
+		if *p, err = cr.u64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	if s.SumHier, err = cr.loadStats(); err != nil {
+		return "", 0, nil, err
+	}
+	for i := range s.Metrics {
+		if s.Metrics[i], err = cr.u64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+
+	if s.TLB.L14K, err = cr.u64s("TLB L1-4K"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.TLB.L12M, err = cr.u64s("TLB L1-2M"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.TLB.L11G, err = cr.u64s("TLB L1-1G"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.TLB.L2, err = cr.u64s("TLB L2"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.TLB.L21G, err = cr.u64s("TLB L2-1G"); err != nil {
+		return "", 0, nil, err
+	}
+	for _, p := range []*uint64{&s.TLB.Counts.Lookups, &s.TLB.Counts.L1Hits, &s.TLB.Counts.L2Hits, &s.TLB.Counts.Misses} {
+		if *p, err = cr.u64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	for i := range s.TLB.MissBySize {
+		if s.TLB.MissBySize[i], err = cr.u64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+
+	if s.Hier.L1.Tags, err = cr.u32s("L1 tags"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.Hier.L2.Tags, err = cr.u32s("L2 tags"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.Hier.L3.Tags, err = cr.u32s("L3 tags"); err != nil {
+		return "", 0, nil, err
+	}
+	if flags[0]&flagWalkerPrivate != 0 {
+		tags, err := cr.u32s("walker-private tags")
+		if err != nil {
+			return "", 0, nil, err
+		}
+		s.Hier.WalkerPrivate = &cache.CacheState{Tags: tags}
+	}
+	if s.Hier.Stats, err = cr.loadStats(); err != nil {
+		return "", 0, nil, err
+	}
+
+	if s.Walk.PML4, err = cr.pwc("PWC-PML4"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.Walk.PDPT, err = cr.pwc("PWC-PDPT"); err != nil {
+		return "", 0, nil, err
+	}
+	if s.Walk.PD, err = cr.pwc("PWC-PD"); err != nil {
+		return "", 0, nil, err
+	}
+	for _, p := range []*uint64{
+		&s.Walk.Stats.Walks, &s.Walk.Stats.WalkCycles, &s.Walk.Stats.EntryLoads,
+		&s.Walk.Stats.PWCHitPML4, &s.Walk.Stats.PWCHitPDPT, &s.Walk.Stats.PWCHitPD,
+		&s.Walk.Stats.Faults,
+	} {
+		if *p, err = cr.u64(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	return key, pos, s, nil
+}

@@ -1,0 +1,303 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mosaic/internal/cache"
+	"mosaic/internal/tlb"
+	"mosaic/internal/walker"
+)
+
+// sampleState builds a representative full-machine state: every section
+// populated, including the optional walker-private ablation cache and
+// partially-filled PWCs.
+func sampleState() *MachineState {
+	mkTags64 := func(n int, seed uint64) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = seed + uint64(i)*2654435761
+		}
+		return out
+	}
+	mkTags32 := func(n int, seed uint32) []uint32 {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = seed + uint32(i)*2654435761
+		}
+		return out
+	}
+	return &MachineState{
+		HasClock:     true,
+		Now:          123456.789,
+		MissRate:     0.00123,
+		WalkCycles:   987654,
+		Instructions: 13579246,
+		Breakdown:    [5]float64{1.5, 2.25, 3.125, 4.0625, 5.03125},
+		WalkerFree:   []float64{120000.5, 119999.25},
+		SumTLB:       tlb.Counts{Lookups: 1000, L1Hits: 900, L2Hits: 60, Misses: 40},
+		SumHier: cache.Stats{
+			L1Loads: cache.LoadCounts{Program: 800, Walker: 100},
+			L2Loads: cache.LoadCounts{Program: 200, Walker: 50},
+			L3Loads: cache.LoadCounts{Program: 90, Walker: 20},
+			DRAMLoads: cache.LoadCounts{
+				Program: 30, Walker: 10,
+			},
+		},
+		Metrics: [5]uint64{11, 22, 33, 44, 55},
+		TLB: tlb.State{
+			L14K:       mkTags64(64, 3),
+			L12M:       mkTags64(32, 5),
+			L11G:       nil, // platform without a 1GB L1 structure
+			L2:         mkTags64(1536, 7),
+			L21G:       mkTags64(16, 11),
+			Counts:     tlb.Counts{Lookups: 5000, L1Hits: 4000, L2Hits: 700, Misses: 300},
+			MissBySize: [4]uint64{250, 40, 10, 0},
+		},
+		Hier: cache.HierarchyState{
+			L1:            cache.CacheState{Tags: mkTags32(512, 13)},
+			L2:            cache.CacheState{Tags: mkTags32(4096, 17)},
+			L3:            cache.CacheState{Tags: mkTags32(16384, 19)},
+			WalkerPrivate: &cache.CacheState{Tags: mkTags32(4096, 23)},
+			Stats: cache.Stats{
+				L1Loads: cache.LoadCounts{Program: 123, Walker: 45},
+				L2Loads: cache.LoadCounts{Program: 67, Walker: 8},
+				L3Loads: cache.LoadCounts{Program: 9, Walker: 1},
+			},
+		},
+		Walk: walker.State{
+			PML4: walker.PWCState{
+				Entries: 2,
+				Keys:    []uint64{0x1000, 0x2000},
+				Prev:    []uint16{1, 0},
+				Next:    []uint16{1, 0},
+				Head:    0,
+				Tail:    1,
+			},
+			PDPT: walker.PWCState{
+				Entries: 4,
+				Keys:    []uint64{0x3000},
+				Prev:    []uint16{0},
+				Next:    []uint16{0},
+			},
+			PD: walker.PWCState{Entries: 16},
+			Stats: walker.Stats{
+				Walks: 300, WalkCycles: 9000, EntryLoads: 1200,
+				PWCHitPML4: 280, PWCHitPDPT: 250, PWCHitPD: 200, Faults: 0,
+			},
+		},
+	}
+}
+
+// encodeState serializes a state to bytes for test manipulation.
+func encodeState(t *testing.T, s *MachineState, key string, pos int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.Encode(&buf, key, pos); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := sampleState()
+	data := encodeState(t, want, "trace|plat|layout|full|plan", 123456)
+
+	key, pos, got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "trace|plat|layout|full|plan" || pos != 123456 {
+		t.Fatalf("key %q pos %d after round trip", key, pos)
+	}
+	// Re-encode: the format is canonical, so byte equality is the
+	// strongest (and float-bit-exact) round-trip check.
+	if got2 := encodeState(t, got, key, pos); !bytes.Equal(data, got2) {
+		t.Fatal("re-encoded checkpoint differs from original bytes")
+	}
+	if got.Now != want.Now || got.MissRate != want.MissRate || got.Metrics != want.Metrics {
+		t.Fatalf("decoded state %+v", got)
+	}
+	if got.Hier.WalkerPrivate == nil || len(got.Hier.WalkerPrivate.Tags) != 4096 {
+		t.Fatal("walker-private section lost")
+	}
+	if got.Walk.PML4.Entries != 2 || len(got.Walk.PML4.Keys) != 2 || got.Walk.PD.Entries != 16 {
+		t.Fatalf("PWC state %+v", got.Walk)
+	}
+}
+
+// TestCheckpointNoWalkerPrivate: the optional section must be absent, not
+// empty, when the hierarchy has no ablation cache.
+func TestCheckpointNoWalkerPrivate(t *testing.T) {
+	s := sampleState()
+	s.Hier.WalkerPrivate = nil
+	data := encodeState(t, s, "k", 0)
+	_, _, got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hier.WalkerPrivate != nil {
+		t.Fatal("decoded a walker-private section that was never written")
+	}
+}
+
+func TestCheckpointRejectsWrongVersion(t *testing.T) {
+	data := encodeState(t, sampleState(), "k", 1)
+	data[8] = '2' // version byte: "MOSCKPT02"
+	if _, _, _, err := Decode(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong-version decode error = %v", err)
+	}
+	data[0] = 'X'
+	if _, _, _, err := Decode(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad-magic decode error = %v", err)
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	data := encodeState(t, sampleState(), "some-key", 99)
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		n := int(float64(len(data)) * frac)
+		if _, _, _, err := Decode(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("decode of %d/%d bytes succeeded", n, len(data))
+		}
+	}
+}
+
+func TestCheckpointRejectsForgedLengths(t *testing.T) {
+	s := sampleState()
+	if _, err := s.Encode(&bytes.Buffer{}, strings.Repeat("k", maxKeyLen+1), 0); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if _, err := s.Encode(&bytes.Buffer{}, "k", -1); err == nil {
+		t.Error("negative position accepted")
+	}
+	// Forge an implausible tag-array length in the first TLB section. Its
+	// offset is fixed by the layout: header (8 magic + 1 version + 2 keyLen
+	// + 1 key + 8 pos + 1 flags = 21), clock section (4×8 scalars + 5×8
+	// breakdown + 4 + 2×8 walkerFree = 92), accumulators (4×8 + 8×8 + 5×8
+	// = 136).
+	data := encodeState(t, s, "k", 0)
+	idx := 21 + 92 + 136
+	if got := binary.LittleEndian.Uint32(data[idx:]); got != 64 {
+		t.Fatalf("L1-4K length prefix not at %d (read %d)", idx, got)
+	}
+	forged := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(forged[idx:], maxTagArray+1)
+	if _, _, _, err := Decode(bytes.NewReader(forged)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("forged tag-array length decode error = %v", err)
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	st := &Store{Dir: filepath.Join(t.TempDir(), "ckpts")}
+	s := sampleState()
+
+	// Missing file is a cache miss, not an error.
+	if got, err := st.Load("k", 5); err != nil || got != nil {
+		t.Fatalf("cold load = %v, %v; want nil, nil", got, err)
+	}
+	if err := st.Save("k", 5, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("k", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Now != s.Now || got.Walk.Stats != s.Walk.Stats {
+		t.Fatalf("loaded state %+v", got)
+	}
+
+	// Atomic write: no temp files left behind, even after overwrites.
+	if err := st.Save("k", 5, s); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(st.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d files in store, want 1", len(entries))
+	}
+}
+
+// TestStorePartialFileRegeneration mirrors the trace cache's
+// partial-file-recovery contract: a truncated checkpoint (as left by a
+// crashed non-atomic writer) must fail the load with an error — the
+// caller's signal to regenerate — and a subsequent Save must replace it.
+func TestStorePartialFileRegeneration(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	s := sampleState()
+	if err := st.Save("k", 7, s); err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path("k", 7)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("k", 7); err == nil {
+		t.Fatal("truncated checkpoint loaded without error")
+	}
+	if err := st.Save("k", 7, s); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load("k", 7); err != nil || got == nil {
+		t.Fatalf("reload after regeneration = %v, %v", got, err)
+	}
+}
+
+// FuzzCheckpointRoundTrip mirrors the trace codec's fuzz target: Decode
+// must never panic on arbitrary bytes, and any stream it accepts must
+// re-encode canonically (encode → decode → encode is a fixed point).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if _, err := sampleState().Encode(&buf, "fuzz-key", 42); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MOSCKPT0")) // magic only
+	wrongVer := append([]byte(nil), valid...)
+	wrongVer[8] = '2'
+	f.Add(wrongVer)
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		f.Add(append([]byte(nil), valid[:int(float64(len(valid))*frac)]...))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, pos, s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := s.Encode(&buf, key, pos); err != nil {
+			t.Fatalf("accepted state failed to re-encode: %v", err)
+		}
+		k2, p2, s2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded state failed to decode: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if _, err := s2.Encode(&buf2, k2, p2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("encode → decode → encode is not a fixed point")
+		}
+	})
+}

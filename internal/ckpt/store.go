@@ -1,0 +1,122 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is an on-disk checkpoint cache, one MOSCKPT01 file per (key,
+// position) pair. Keys encode everything the state depends on — trace
+// identity, platform, layout, engine kind, fidelity, sampling plan — and
+// the stored key and position are verified on load, so a hash collision or
+// a stale file can never smuggle the wrong state into a replay. A Store is
+// safe for concurrent use: writes are atomic (temp + rename, the trace
+// cache's discipline) and reads only ever see complete files.
+type Store struct {
+	Dir string
+}
+
+// fnv1a is the 64-bit FNV-1a hash used for checkpoint file stems.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Path returns the file path a (key, position) checkpoint lives at.
+func (st *Store) Path(key string, pos int) string {
+	return filepath.Join(st.Dir, fmt.Sprintf("%016x-%d.mosckpt", fnv1a(key), pos))
+}
+
+// Save writes the state for (key, pos) atomically: a temp file in the
+// store directory, synced, then renamed into place, so a crashed or
+// concurrent writer never leaves a truncated checkpoint for a later load
+// to trip over — readers see the old complete file or the new one, never
+// a prefix.
+func (st *Store) Save(key string, pos int, s *MachineState) error {
+	if err := os.MkdirAll(st.Dir, 0o755); err != nil {
+		return err
+	}
+	return Save(st.Path(key, pos), key, pos, s)
+}
+
+// Load reads the state for (key, pos). A missing file returns (nil, nil) —
+// a cache miss, not an error. A present-but-unusable file (truncated by a
+// crashed pre-atomic-write tool, wrong version, key hash collision, stale
+// position) returns an error; callers treat it as a miss and regenerate,
+// mirroring the trace cache's partial-file recovery.
+func (st *Store) Load(key string, pos int) (*MachineState, error) {
+	f, err := os.Open(st.Path(key, pos))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	gotKey, gotPos, s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: loading %s: %w", st.Path(key, pos), err)
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("ckpt: %s holds key %q, want %q (hash collision?)", st.Path(key, pos), gotKey, key)
+	}
+	if gotPos != pos {
+		return nil, fmt.Errorf("ckpt: %s holds position %d, want %d", st.Path(key, pos), gotPos, pos)
+	}
+	return s, nil
+}
+
+// Save writes one checkpoint file atomically (temp + sync + rename).
+func Save(path, key string, pos int, s *MachineState) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if _, err := s.Encode(f, key, pos); err != nil {
+		cleanup()
+		return err
+	}
+	// Sync before rename: a crash after the rename must not resurrect an
+	// empty file from an unflushed page cache.
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads one checkpoint file written by Save.
+func Load(path string) (key string, pos int, s *MachineState, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,229 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mosaic/internal/ckpt"
+	"mosaic/internal/mem"
+	"mosaic/internal/pmu"
+	"mosaic/internal/trace"
+)
+
+// Space returns the address space the machine replays against.
+func (m *Machine) Space() *mem.AddressSpace { return m.space }
+
+// Snapshot captures the machine's complete model state — component contents
+// and counters plus the walker-availability clocks — as a checkpoint with a
+// zero run clock. It is the uniform checkpoint contract's entry point for
+// state taken between runs; mid-replay checkpoints (which also carry the
+// run clock and sampling accumulators) are produced by RunBatchSegment.
+func (m *Machine) Snapshot() *ckpt.MachineState {
+	var st runState
+	return m.snapshotState(&st, nil)
+}
+
+// Restore overwrites the machine's model state with a snapshot taken from a
+// machine of identical platform. The translator memo — a pure performance
+// cache, invisible to counters — is cleared rather than restored.
+func (m *Machine) Restore(s *ckpt.MachineState) error {
+	var st runState
+	return m.restoreState(s, &st, nil)
+}
+
+// snapshotState captures machine + in-flight replay state. The clock and
+// accumulator fields are cumulative, so a segment seeded from the snapshot
+// harvests whole-prefix counters at its end.
+func (m *Machine) snapshotState(st *runState, sums *sampleSums) *ckpt.MachineState {
+	s := &ckpt.MachineState{
+		HasClock:     true,
+		Now:          st.now,
+		MissRate:     st.missRate,
+		WalkCycles:   st.walkCycles,
+		Instructions: st.instructions,
+		Breakdown:    [5]float64{st.bd.Base, st.bd.TLBHit, st.bd.WalkStall, st.bd.WalkQueue, st.bd.DataStall},
+		WalkerFree:   append([]float64(nil), m.walkerFree...),
+		TLB:          m.tlb.Snapshot(),
+		Hier:         m.hier.Snapshot(),
+		Walk:         m.walk.Snapshot(),
+	}
+	if sums != nil {
+		s.SumTLB = sums.tlb
+		s.SumHier = sums.hier
+	}
+	return s
+}
+
+// restoreState seeds machine + in-flight replay state from a snapshot.
+func (m *Machine) restoreState(s *ckpt.MachineState, st *runState, sums *sampleSums) error {
+	if len(s.WalkerFree) != len(m.walkerFree) {
+		return fmt.Errorf("cpu: restore of %d-walker state into %d walkers (platform mismatch?)",
+			len(s.WalkerFree), len(m.walkerFree))
+	}
+	if err := m.tlb.Restore(s.TLB); err != nil {
+		return err
+	}
+	if err := m.hier.Restore(s.Hier); err != nil {
+		return err
+	}
+	if err := m.walk.Restore(s.Walk); err != nil {
+		return err
+	}
+	m.trans.Reset(m.space.PageTable())
+	copy(m.walkerFree, s.WalkerFree)
+	st.now = s.Now
+	st.missRate = s.MissRate
+	st.walkCycles = s.WalkCycles
+	st.instructions = s.Instructions
+	st.bd = Breakdown{
+		Base:      s.Breakdown[0],
+		TLBHit:    s.Breakdown[1],
+		WalkStall: s.Breakdown[2],
+		WalkQueue: s.Breakdown[3],
+		DataStall: s.Breakdown[4],
+	}
+	if sums != nil {
+		sums.tlb = s.SumTLB
+		sums.hier = s.SumHier
+	}
+	return nil
+}
+
+// RunBatchSegment is RunBatch over one contiguous slice of a replay
+// schedule: it replays the given windows (a trace.Chunk's share, or several
+// concatenated chunks) through every machine, optionally seeding each
+// machine's state from a checkpoint first and snapshotting all machines at
+// the requested save positions along the way.
+//
+// Because checkpoints carry cumulative clock and accumulator state, a
+// seeded segment's harvest equals the whole-prefix-plus-segment counters:
+// parallel windowed replay runs one segment per boundary and takes the
+// *last* segment's harvest as the final answer, bit-identical to a
+// sequential replay by construction.
+//
+// seeds is nil (cold start from reset machines) or one checkpoint per
+// machine; sampled selects window-delta stat accounting (pass the plan's
+// Enabled() — or true to force per-segment deltas for warmup-reconstructed
+// chunks); wantPro asks for the prologue stratum after the first
+// measurement window (only meaningful for sampled segment 0). savePos
+// lists trace positions, ascending, at which to snapshot every machine;
+// each must lie on or inside the windows. The returned saved slice is
+// indexed [savePos][machine].
+//
+// seedSegment restores every machine (and its in-flight replay state) from
+// its checkpoint before a segment replays.
+func seedSegment(ms []*Machine, seeds []*ckpt.MachineState, states []runState, sums []sampleSums) error {
+	if len(seeds) != len(ms) {
+		return fmt.Errorf("cpu: %d seeds for %d machines", len(seeds), len(ms))
+	}
+	for k, m := range ms {
+		var sm *sampleSums
+		if sums != nil {
+			sm = &sums[k]
+		}
+		if err := m.restoreState(seeds[k], &states[k], sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//mosvet:hotpath
+func RunBatchSegment(ms []*Machine, tr *trace.Trace, windows []trace.Window, seeds []*ckpt.MachineState, sampled, wantPro bool, savePos []int) (ctrs, prologue []pmu.Counters, saved [][]*ckpt.MachineState, measured uint64, err error) {
+	cols := tr.Columns()
+	states := make([]runState, len(ms))
+	var sums []sampleSums
+	var bases []statSnap
+	var pro []pmu.Counters
+	if sampled {
+		sums = make([]sampleSums, len(ms))
+		bases = make([]statSnap, len(ms))
+	}
+	if seeds != nil {
+		if err := seedSegment(ms, seeds, states, sums); err != nil {
+			return nil, nil, nil, 0, err
+		}
+	}
+	if len(savePos) > 0 {
+		saved = make([][]*ckpt.MachineState, len(savePos))
+	}
+	si := 0
+	for _, w := range windows {
+		if w.Measure {
+			measured += uint64(w.Len())
+		}
+		lo := w.Lo
+		for lo < w.Hi {
+			if si < len(savePos) && savePos[si] == lo {
+				snaps := make([]*ckpt.MachineState, len(ms))
+				for k, m := range ms {
+					var sm *sampleSums
+					if sampled {
+						sm = &sums[k]
+					}
+					snaps[k] = m.snapshotState(&states[k], sm)
+				}
+				saved[si] = snaps
+				si++
+			}
+			hi := min(lo+FuseBlock, w.Hi)
+			if si < len(savePos) && savePos[si] > lo && savePos[si] < hi {
+				// Split the block so the next save position lands on a
+				// block boundary.
+				hi = savePos[si]
+			}
+			for k, m := range ms {
+				if !w.Measure {
+					if err := m.warmRange(tr.Name, &states[k], cols, lo, hi); err != nil {
+						return nil, nil, nil, 0, err
+					}
+					continue
+				}
+				if sampled && lo == w.Lo {
+					bases[k] = m.snapStats()
+				}
+				if err := m.replayRange(tr.Name, &states[k], cols, lo, hi); err != nil {
+					return nil, nil, nil, 0, err
+				}
+				if sampled && hi == w.Hi {
+					sums[k].accumulate(bases[k], m.snapStats())
+				}
+			}
+			lo = hi
+		}
+		if sampled && wantPro && w.Measure && pro == nil {
+			pro = make([]pmu.Counters, len(ms))
+			for k, m := range ms {
+				pro[k] = m.sampledCounters(&states[k], &sums[k])
+			}
+		}
+	}
+	if si < len(savePos) {
+		// A save position at the very end of the segment (or beyond the
+		// windows) — snapshot final state for any remaining positions that
+		// equal the segment end; leave genuinely out-of-range ones nil.
+		end := 0
+		if len(windows) > 0 {
+			end = windows[len(windows)-1].Hi
+		}
+		for ; si < len(savePos) && savePos[si] == end; si++ {
+			snaps := make([]*ckpt.MachineState, len(ms))
+			for k, m := range ms {
+				var sm *sampleSums
+				if sampled {
+					sm = &sums[k]
+				}
+				snaps[k] = m.snapshotState(&states[k], sm)
+			}
+			saved[si] = snaps
+		}
+	}
+	out := make([]pmu.Counters, len(ms))
+	for k, m := range ms {
+		if sampled {
+			out[k] = m.sampledCounters(&states[k], &sums[k])
+		} else {
+			out[k] = m.counters(&states[k])
+		}
+	}
+	return out, pro, saved, measured, nil
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"mosaic/internal/arch"
+	"mosaic/internal/ckpt"
 	"mosaic/internal/layout"
 	"mosaic/internal/libc"
 	"mosaic/internal/mem"
@@ -85,6 +86,19 @@ type Runner struct {
 	Sampling sim.Sampling
 	// Proto selects the layout protocol.
 	Proto Protocol
+	// Windows, when > 1, splits every replay's schedule into that many
+	// contiguous chunks replayed in parallel (sim.Windowed). Exact mode
+	// (the default) is bit-identical to unwindowed replay; window workers
+	// share the sweep's Parallelism budget rather than multiplying it.
+	Windows int
+	// WindowWarm selects warmup-reconstructed windowed replay: approximate
+	// (sampling's noise-envelope contract) but checkpoint-free, with no
+	// sequential cold run.
+	WindowWarm bool
+	// CheckpointDir, when set, caches MOSCKPT01 boundary checkpoints for
+	// exact windowed replay, so repeated sweeps of the same configuration
+	// replay in parallel from the first re-run — across process restarts.
+	CheckpointDir string
 	// TraceDir, when set, caches generated traces (and their layout
 	// targets) on disk so repeated sessions skip workload generation.
 	TraceDir string
@@ -349,7 +363,12 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 	var results []sim.Result
 	err := r.timing.Time(sim.StageReplay, func() error {
 		var err error
-		results, err = sim.RunBatch(engines, wd.Trace, r.Sampling)
+		if r.Windows > 1 {
+			results, err = sim.RunBatchWindowed(engines, wd.Trace, r.Sampling,
+				r.windowed(r.checkpointKeys(wd, plat, lays, "full")))
+		} else {
+			results, err = sim.RunBatch(engines, wd.Trace, r.Sampling)
+		}
 		return err
 	})
 	if err != nil {
@@ -365,6 +384,39 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 		r.totalAccesses.Add(res.TotalAccesses)
 	}
 	return results, nil
+}
+
+// checkpointKeys derives one checkpoint-stream key per engine of a replay
+// batch. A key encodes everything the cumulative machine state depends on —
+// trace identity, platform, layout configuration, engine kind and fidelity,
+// and the sampling plan — and deliberately excludes the window count and
+// position, so checkpoints are shared across -windows values.
+func (r *Runner) checkpointKeys(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, kind string) []string {
+	plan := fmt.Sprintf("p%d-m%d-w%d-q%d",
+		r.Sampling.Period, r.Sampling.MeasureLen, r.Sampling.WarmupLen, r.Sampling.PrologueLen)
+	keys := make([]string, len(lays))
+	for i, lay := range lays {
+		keys[i] = fmt.Sprintf("%s|%d|%s|%s|%s|%s",
+			wd.Trace.Name, wd.Trace.Len(), plat.Name, sim.SpaceKey(lay.Cfg), kind, plan)
+	}
+	return keys
+}
+
+// windowed assembles the sim.Windowed config for one replay batch. The
+// checkpoint store is only wired for exact mode — warmup-reconstructed
+// replay is checkpoint-free by design.
+func (r *Runner) windowed(keys []string) sim.Windowed {
+	w := sim.Windowed{
+		K:       r.Windows,
+		Warm:    r.WindowWarm,
+		Pool:    &r.engines,
+		Workers: r.Windows,
+	}
+	if !r.WindowWarm && r.CheckpointDir != "" {
+		w.Store = &ckpt.Store{Dir: r.CheckpointDir}
+		w.Keys = keys
+	}
+	return w
 }
 
 // RunLayout replays the workload's trace on the platform under one layout
@@ -400,7 +452,20 @@ func (r *Runner) PartialSimulate(wd *WorkloadData, plat arch.Platform, lay layou
 	var res sim.Result
 	err = r.timing.Time(sim.StageReplay, func() error {
 		var err error
-		res, err = eng.RunSampled(wd.Trace, r.Sampling)
+		if r.Windows > 1 {
+			kind := "partial"
+			if highFidelity {
+				kind = "partial-hifi"
+			}
+			var rs []sim.Result
+			rs, err = sim.RunBatchWindowed([]sim.Engine{eng}, wd.Trace, r.Sampling,
+				r.windowed(r.checkpointKeys(wd, plat, []layout.Layout{lay}, kind)))
+			if err == nil {
+				res = rs[0]
+			}
+		} else {
+			res, err = eng.RunSampled(wd.Trace, r.Sampling)
+		}
 		return err
 	})
 	if err != nil {
@@ -572,7 +637,15 @@ func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, pla
 	for _, pair := range pending {
 		totalLayouts += len(pair.lays)
 	}
-	span := sim.BatchSpan(totalLayouts, workers)
+	// Window workers share the sweep's worker budget: with K-way windowed
+	// replay each replay job fans out into up to K concurrent segment
+	// workers (sim.Windowed.Workers), so the stage claims proportionally
+	// fewer jobs at once instead of oversubscribing the machine.
+	replayWorkers := workers
+	if r.Windows > 1 {
+		replayWorkers = max(1, workers/r.Windows)
+	}
+	span := sim.BatchSpan(totalLayouts, replayWorkers)
 	var jobs []job
 	for _, pair := range pending {
 		for lo := 0; lo < len(pair.lays); lo += span {
@@ -584,7 +657,7 @@ func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, pla
 			jobs = append(jobs, job{pair: pair, lo: lo, hi: hi, spaceKeys: keys})
 		}
 	}
-	sched = sim.Scheduler{Workers: workers, Stage: sim.StageReplay.String(), OnProgress: onProgress, Ctx: ctx}
+	sched = sim.Scheduler{Workers: replayWorkers, Stage: sim.StageReplay.String(), OnProgress: onProgress, Ctx: ctx}
 	err = sched.Run(len(jobs),
 		func(i int) string {
 			j := jobs[i]

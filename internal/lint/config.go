@@ -43,6 +43,7 @@ func DefaultConfig() *Config {
 			"internal/trace",
 			"internal/models",
 			"internal/stats",
+			"internal/ckpt",
 		},
 		// The serving tier: a lock held across blocking I/O turns one slow
 		// disk or peer into a stalled /v1/predict for every client.

@@ -75,6 +75,15 @@ func seeded(seed int64) int {
 			want: []string{"3:detclock"},
 		},
 		{
+			name: "checkpoint codec is a restricted package",
+			path: "internal/ckpt",
+			src: `package p
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`,
+			want: []string{"3:detclock"},
+		},
+		{
 			name: "outside restricted packages nothing fires",
 			path: "internal/report",
 			src: `package p
@@ -478,6 +487,21 @@ func kernel(xs []int, acc []float64) {
 			wantFindings(t, analyze(t, "internal/cpu", tc.src, DefaultConfig()), tc.want...)
 		})
 	}
+	// The checkpoint codec package carries the same hotpath discipline as the
+	// replay kernels it feeds (segment kernels snapshot state mid-replay).
+	t.Run("hotpath applies in internal/ckpt", func(t *testing.T) {
+		src := `package p
+import "fmt"
+
+//mosvet:hotpath
+func encode(buf []byte) error {
+	defer func() {}()
+	return fmt.Errorf("short write: %d", len(buf))
+}
+`
+		wantFindings(t, analyze(t, "internal/ckpt", src, DefaultConfig()),
+			"6:hotpath", "7:hotpath")
+	})
 }
 
 func TestSuppression(t *testing.T) {

@@ -1,0 +1,159 @@
+package partialsim
+
+import (
+	"fmt"
+
+	"mosaic/internal/ckpt"
+	"mosaic/internal/cpu"
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// Space returns the address space the simulator replays against.
+func (s *Simulator) Space() *mem.AddressSpace { return s.space }
+
+// Snapshot captures the simulator's complete model state as a checkpoint.
+// The partial simulator has no clock, so HasClock stays false and the
+// Metrics accumulator rides in the checkpoint's Metrics field; component
+// state (TLB, caches, PWCs) uses the same layers as the full machine.
+func (s *Simulator) Snapshot() *ckpt.MachineState {
+	var m Metrics
+	return s.snapshotState(&m)
+}
+
+// Restore overwrites the simulator's model state with a snapshot taken from
+// a simulator of identical platform and fidelity. The translator memo — a
+// pure performance cache, invisible to counters — is cleared rather than
+// restored.
+func (s *Simulator) Restore(st *ckpt.MachineState) error {
+	var m Metrics
+	return s.restoreState(st, &m)
+}
+
+func (s *Simulator) snapshotState(m *Metrics) *ckpt.MachineState {
+	return &ckpt.MachineState{
+		Metrics: [5]uint64{m.H, m.M, m.C, m.Lookups, m.WalkRefs},
+		TLB:     s.tlb.Snapshot(),
+		Hier:    s.hier.Snapshot(),
+		Walk:    s.walk.Snapshot(),
+	}
+}
+
+func (s *Simulator) restoreState(st *ckpt.MachineState, m *Metrics) error {
+	if st.HasClock {
+		return fmt.Errorf("partialsim: restore of a full-machine (clocked) checkpoint into a partial simulator")
+	}
+	if err := s.tlb.Restore(st.TLB); err != nil {
+		return err
+	}
+	if err := s.hier.Restore(st.Hier); err != nil {
+		return err
+	}
+	if err := s.walk.Restore(st.Walk); err != nil {
+		return err
+	}
+	s.trans.Reset(s.space.PageTable())
+	*m = Metrics{
+		H:        st.Metrics[0],
+		M:        st.Metrics[1],
+		C:        st.Metrics[2],
+		Lookups:  st.Metrics[3],
+		WalkRefs: st.Metrics[4],
+	}
+	return nil
+}
+
+// seedSegment restores every simulator (and its metrics accumulator) from
+// its checkpoint before a segment replays.
+func seedSegment(ss []*Simulator, seeds []*ckpt.MachineState, out []Metrics) error {
+	if len(seeds) != len(ss) {
+		return fmt.Errorf("partialsim: %d seeds for %d simulators", len(seeds), len(ss))
+	}
+	for k, s := range ss {
+		if err := s.restoreState(seeds[k], &out[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBatchSegment is RunBatch over one contiguous slice of a replay
+// schedule, mirroring cpu.RunBatchSegment: it replays the given windows
+// through every simulator, optionally seeding each from a checkpoint and
+// snapshotting all simulators at the requested save positions. The metrics
+// accumulator is cumulative in the checkpoint, so a seeded segment's
+// harvest equals whole-prefix-plus-segment metrics and parallel windowed
+// replay takes the last segment's harvest as the final answer.
+//
+// sampled only gates prologue capture here — the partial simulator's
+// metrics accumulate exclusively inside measurement windows, so no stat
+// differencing is ever needed. savePos lists trace positions, ascending,
+// at which to snapshot every simulator; saved is indexed
+// [savePos][simulator].
+//
+//mosvet:hotpath
+func RunBatchSegment(ss []*Simulator, tr *trace.Trace, windows []trace.Window, seeds []*ckpt.MachineState, sampled, wantPro bool, savePos []int) (metrics, prologue []Metrics, saved [][]*ckpt.MachineState, measured uint64, err error) {
+	cols := tr.Columns()
+	out := make([]Metrics, len(ss))
+	var pro []Metrics
+	if seeds != nil {
+		if err := seedSegment(ss, seeds, out); err != nil {
+			return nil, nil, nil, 0, err
+		}
+	}
+	if len(savePos) > 0 {
+		saved = make([][]*ckpt.MachineState, len(savePos))
+	}
+	si := 0
+	for _, w := range windows {
+		if w.Measure {
+			measured += uint64(w.Len())
+		}
+		lo := w.Lo
+		for lo < w.Hi {
+			if si < len(savePos) && savePos[si] == lo {
+				saved[si] = snapAll(ss, out)
+				si++
+			}
+			hi := min(lo+cpu.FuseBlock, w.Hi)
+			if si < len(savePos) && savePos[si] > lo && savePos[si] < hi {
+				hi = savePos[si]
+			}
+			for k, s := range ss {
+				var err error
+				if w.Measure {
+					err = s.replayRange(&out[k], cols, lo, hi)
+				} else {
+					err = s.warmRange(cols, lo, hi)
+				}
+				if err != nil {
+					return nil, nil, nil, 0, err
+				}
+			}
+			lo = hi
+		}
+		if sampled && wantPro && w.Measure && pro == nil {
+			pro = append([]Metrics(nil), out...)
+		}
+	}
+	for end := segmentEnd(windows); si < len(savePos) && savePos[si] == end; si++ {
+		saved[si] = snapAll(ss, out)
+	}
+	return out, pro, saved, measured, nil
+}
+
+func segmentEnd(windows []trace.Window) int {
+	if len(windows) == 0 {
+		return -1
+	}
+	return windows[len(windows)-1].Hi
+}
+
+// snapAll snapshots every simulator of a batch with its current metrics.
+func snapAll(ss []*Simulator, out []Metrics) []*ckpt.MachineState {
+	snaps := make([]*ckpt.MachineState, len(ss))
+	for k, s := range ss {
+		snaps[k] = s.snapshotState(&out[k])
+	}
+	return snaps
+}

@@ -1,0 +1,85 @@
+package tlb
+
+import "fmt"
+
+// Checkpointable state: a TLB's observable behavior is fully determined by
+// its structures' tags arrays (contents and recency order share the same
+// words — slot 0 MRU) plus the scalar counters. Structures the platform
+// does not configure (a nil setAssoc) snapshot as nil slices, and Restore
+// demands the same shape back — pairing a checkpoint with a different
+// platform's TLB is a caller bug, not something to paper over.
+
+// State is the checkpointed content of a two-level TLB.
+type State struct {
+	// Per-structure tag arrays; nil where the platform omits the structure
+	// (e.g. no dedicated 1GB L2 before Broadwell).
+	L14K, L12M, L11G, L2, L21G []uint64
+	// Counts are the cumulative scalar counters at the snapshot.
+	Counts Counts
+	// MissBySize is the per-size-code miss breakdown behind Stats().
+	MissBySize [4]uint64
+}
+
+// snapshot copies a structure's tags; nil structures snapshot as nil.
+func (s *setAssoc) snapshot() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return append([]uint64(nil), s.tags...)
+}
+
+// restore overwrites a structure's tags with a snapshot of equal shape.
+func (s *setAssoc) restore(name string, tags []uint64) error {
+	if s == nil {
+		if tags != nil {
+			return fmt.Errorf("tlb: restore of %s state into a TLB without that structure (platform mismatch?)", name)
+		}
+		return nil
+	}
+	if len(tags) != len(s.tags) {
+		return fmt.Errorf("tlb: %s: restore of %d tags into %d entries (platform mismatch?)", name, len(tags), len(s.tags))
+	}
+	copy(s.tags, tags)
+	return nil
+}
+
+// Snapshot captures the TLB's entries, recency order, and counters.
+func (t *TLB) Snapshot() State {
+	return State{
+		L14K:       t.l14k.snapshot(),
+		L12M:       t.l12m.snapshot(),
+		L11G:       t.l11g.snapshot(),
+		L2:         t.l2.snapshot(),
+		L21G:       t.l21g.snapshot(),
+		Counts:     t.Counts(),
+		MissBySize: t.missBySize,
+	}
+}
+
+// Restore overwrites the TLB with a snapshot taken from a TLB of identical
+// configuration.
+func (t *TLB) Restore(s State) error {
+	if err := t.l14k.restore("L1-4K", s.L14K); err != nil {
+		return err
+	}
+	if err := t.l12m.restore("L1-2M", s.L12M); err != nil {
+		return err
+	}
+	if err := t.l11g.restore("L1-1G", s.L11G); err != nil {
+		return err
+	}
+	if err := t.l2.restore("L2", s.L2); err != nil {
+		return err
+	}
+	if err := t.l21g.restore("L2-1G", s.L21G); err != nil {
+		return err
+	}
+	t.stats = Stats{
+		Lookups: s.Counts.Lookups,
+		L1Hits:  s.Counts.L1Hits,
+		L2Hits:  s.Counts.L2Hits,
+		Misses:  s.Counts.Misses,
+	}
+	t.missBySize = s.MissBySize
+	return nil
+}

@@ -1,0 +1,87 @@
+package trace
+
+// Parallel windowed replay splits one trace's replay schedule into K
+// contiguous chunks so independent workers can replay them concurrently.
+// The chunking is purely positional — like SamplePlan, it depends only on
+// the trace length and the sampling plan — so every engine of a fused
+// batch sees identical chunks and windowed replay composes with fusion.
+
+// WindowPlan configures the split: Windows is the target chunk count K.
+// Zero or one disables chunking (one chunk covering the whole schedule).
+type WindowPlan struct {
+	Windows int
+}
+
+// Enabled reports whether the plan actually splits (Windows > 1).
+func (wp WindowPlan) Enabled() bool { return wp.Windows > 1 }
+
+// Chunk is one contiguous slice of a replay schedule. Pos is the first
+// access position of the chunk — the state boundary a checkpoint is keyed
+// by, and the point a warmup-reconstructing worker warms into. Windows is
+// the chunk's share of the plan's schedule, in ascending order.
+type Chunk struct {
+	Pos     int
+	Windows []Window
+}
+
+// minChunkAccesses floors a chunk's replayed work: below this, goroutine
+// and state-restore overhead (a checkpoint restore copies the TLB, cache,
+// and PWC tag arrays — tens of microseconds against ~1ms of replay) starts
+// to dominate whatever parallelism buys, so Chunks returns fewer chunks
+// than requested rather than tiny ones.
+const minChunkAccesses = 1 << 13
+
+// Chunks splits the plan's schedule over a trace of n accesses into at
+// most wp.Windows contiguous chunks of roughly equal replayed work
+// (measured + warmup accesses).
+//
+// Under a disabled (exact) sampling plan the single whole-trace window is
+// cut into equal sub-ranges; the sub-windows of consecutive chunks abut,
+// so replaying them in order is literally exact replay. Under an enabled
+// plan, whole windows are distributed — a window is never split, chunk
+// boundaries only fall where the schedule has a gap of skipped accesses
+// (so a warmup window is never separated from the measurement window it
+// warms), and the prologue window always stays in chunk 0.
+func (wp WindowPlan) Chunks(plan SamplePlan, n int) []Chunk {
+	ws := plan.Windows(n)
+	if len(ws) == 0 {
+		return nil
+	}
+	k := wp.Windows
+	work := 0
+	for _, w := range ws {
+		work += w.Len()
+	}
+	if maxK := work / minChunkAccesses; k > maxK {
+		k = maxK
+	}
+	if k < 2 {
+		return []Chunk{{Pos: ws[0].Lo, Windows: ws}}
+	}
+	if !plan.Enabled() {
+		// Exact replay: one window covering [0, n) — split it evenly.
+		w := ws[0]
+		out := make([]Chunk, 0, k)
+		for i := 0; i < k; i++ {
+			lo := w.Lo + w.Len()*i/k
+			hi := w.Lo + w.Len()*(i+1)/k
+			out = append(out, Chunk{Pos: lo, Windows: []Window{{Lo: lo, Hi: hi, Measure: w.Measure}}})
+		}
+		return out
+	}
+	// Sampled replay: distribute whole windows, cutting only at gaps.
+	target := (work + k - 1) / k
+	out := make([]Chunk, 0, k)
+	cur := Chunk{Pos: ws[0].Lo}
+	acc := 0
+	for j, w := range ws {
+		if j > 0 && acc >= target && w.Lo > ws[j-1].Hi && len(out) < k-1 {
+			out = append(out, cur)
+			cur = Chunk{Pos: w.Lo}
+			acc = 0
+		}
+		cur.Windows = append(cur.Windows, w)
+		acc += w.Len()
+	}
+	return append(out, cur)
+}

@@ -1,0 +1,136 @@
+package trace
+
+import "testing"
+
+// flatten re-concatenates a chunking's windows for comparison against the
+// unchunked schedule.
+func flatten(chunks []Chunk) []Window {
+	var out []Window
+	for _, c := range chunks {
+		out = append(out, c.Windows...)
+	}
+	return out
+}
+
+func sameWindows(a, b []Window) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChunksExactEvenSplit(t *testing.T) {
+	const n = 1 << 20
+	chunks := WindowPlan{Windows: 8}.Chunks(SamplePlan{}, n)
+	if len(chunks) != 8 {
+		t.Fatalf("%d chunks, want 8", len(chunks))
+	}
+	prev := 0
+	for i, c := range chunks {
+		if len(c.Windows) != 1 || !c.Windows[0].Measure {
+			t.Fatalf("chunk %d windows %+v, want one measurement window", i, c.Windows)
+		}
+		w := c.Windows[0]
+		if c.Pos != w.Lo || w.Lo != prev {
+			t.Fatalf("chunk %d starts at %d (Pos %d), want %d — exact chunks must abut", i, w.Lo, c.Pos, prev)
+		}
+		if got, want := w.Len(), n/8; got != want {
+			t.Fatalf("chunk %d length %d, want %d", i, got, want)
+		}
+		prev = w.Hi
+	}
+	if prev != n {
+		t.Fatalf("chunks end at %d, want %d", prev, n)
+	}
+}
+
+// TestChunksMinWorkClamp: a trace too small for the requested K yields
+// fewer, larger chunks — never chunks below the per-chunk work floor.
+func TestChunksMinWorkClamp(t *testing.T) {
+	cases := []struct {
+		n, k, want int
+	}{
+		{minChunkAccesses - 1, 8, 1},     // below one floor: no chunking
+		{2 * minChunkAccesses, 8, 2},     // room for exactly two
+		{16 * minChunkAccesses, 4, 4},    // plenty of room: K honored
+		{3*minChunkAccesses + 10, 64, 3}, // clamped to work/floor
+	}
+	for _, tc := range cases {
+		chunks := WindowPlan{Windows: tc.k}.Chunks(SamplePlan{}, tc.n)
+		if len(chunks) != tc.want {
+			t.Errorf("n=%d k=%d: %d chunks, want %d", tc.n, tc.k, len(chunks), tc.want)
+		}
+		// Exact chunks split the whole-trace window but must still abut and
+		// cover [0, n) as measurement windows.
+		prev := 0
+		for _, w := range flatten(chunks) {
+			if w.Lo != prev || !w.Measure {
+				t.Errorf("n=%d k=%d: window %+v breaks exact coverage at %d", tc.n, tc.k, w, prev)
+			}
+			prev = w.Hi
+		}
+		if prev != tc.n {
+			t.Errorf("n=%d k=%d: coverage ends at %d", tc.n, tc.k, prev)
+		}
+	}
+}
+
+// TestChunksSampledCutsOnlyAtGaps: under a sampling plan, chunk boundaries
+// fall only where the schedule skips accesses, windows are never split, and
+// the concatenation of all chunks is exactly the unchunked schedule.
+func TestChunksSampledCutsOnlyAtGaps(t *testing.T) {
+	const n = 1 << 20
+	plan := SamplePlan{Period: 1 << 14, MeasureLen: 1 << 11, WarmupLen: 1 << 10, PrologueLen: 1 << 13}
+	ws := plan.Windows(n)
+	chunks := WindowPlan{Windows: 8}.Chunks(plan, n)
+	if len(chunks) < 2 {
+		t.Fatalf("%d chunks, want several", len(chunks))
+	}
+	if !sameWindows(flatten(chunks), ws) {
+		t.Fatal("chunking does not re-concatenate to the schedule")
+	}
+	for ci := 1; ci < len(chunks); ci++ {
+		prevLast := chunks[ci-1].Windows[len(chunks[ci-1].Windows)-1]
+		first := chunks[ci].Windows[0]
+		if chunks[ci].Pos != first.Lo {
+			t.Fatalf("chunk %d Pos %d != first window Lo %d", ci, chunks[ci].Pos, first.Lo)
+		}
+		if first.Lo <= prevLast.Hi {
+			t.Fatalf("chunk %d starts at %d, abutting previous end %d — cuts must fall in gaps",
+				ci, first.Lo, prevLast.Hi)
+		}
+		// A cut in a gap can never separate a warmup window from the
+		// measurement window it precedes: warmups abut their windows.
+		if !first.Measure {
+			if len(chunks[ci].Windows) < 2 || chunks[ci].Windows[1].Lo != first.Hi {
+				t.Fatalf("chunk %d opens with a warmup window not abutting a measurement window", ci)
+			}
+		}
+	}
+	// The prologue (first measurement window) stays in chunk 0.
+	if w := chunks[0].Windows[0]; !w.Measure || w.Lo != 0 {
+		t.Fatalf("chunk 0 opens with %+v, want the prologue measurement window at 0", w)
+	}
+}
+
+// TestChunksDisabledPlanSingleChunk: K <= 1 always yields the whole
+// schedule as one chunk, whatever the trace size.
+func TestChunksDisabledPlanSingleChunk(t *testing.T) {
+	for _, k := range []int{0, 1} {
+		chunks := WindowPlan{Windows: k}.Chunks(SamplePlan{}, 1<<20)
+		if len(chunks) != 1 || chunks[0].Pos != 0 {
+			t.Fatalf("k=%d: %+v, want one chunk at 0", k, chunks)
+		}
+		if (WindowPlan{Windows: k}).Enabled() {
+			t.Fatalf("k=%d reports enabled", k)
+		}
+	}
+	if got := (WindowPlan{Windows: 4}).Chunks(SamplePlan{}, 0); got != nil {
+		t.Fatalf("empty trace chunking = %+v, want nil", got)
+	}
+}
