@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+
+	"mosaic/internal/report"
 )
 
 // BENCH_history.json is the repo's append-only performance ledger: one row
@@ -34,6 +36,17 @@ type benchRow struct {
 	// WindowedSpeedup is BenchmarkSweepQuickWindowed's -windows K speedup
 	// over -windows 1 (bounded by Cores).
 	WindowedSpeedup float64 `json:"windowed_speedup,omitempty"`
+	// TraceLoadMs is the wall time of loading the cached gups/8GB trace
+	// (the serve daemon's cold-start dominator).
+	TraceLoadMs float64 `json:"trace_load_ms,omitempty"`
+	// PredictP99Ms is the serve layer's p99 /v1/predict latency under the
+	// concurrent-load test.
+	PredictP99Ms float64 `json:"predict_p99_ms,omitempty"`
+	// AdaptiveCostRatio is the planned sweep's measured-access cost
+	// relative to the full exact protocol (the -adaptive-report bake-off,
+	// worst pair). Gated absolutely against adaptiveCostCap, not
+	// relatively: the ratio is a contract, not a trend.
+	AdaptiveCostRatio float64 `json:"adaptive_cost_ratio,omitempty"`
 }
 
 // regressionTol is the gate: a tracked metric may degrade by at most this
@@ -45,6 +58,11 @@ const regressionTol = 0.10
 // metric (a 0.1% → 0.12% change is noise, not a regression), so the gate
 // checks the contract instead.
 const sigErrBound = 0.01
+
+// adaptiveCostBound is the absolute ceiling for AdaptiveCostRatio — the
+// adaptive bake-off's cost contract: a planned sweep spends at most a
+// third of the full protocol's measured accesses.
+const adaptiveCostBound = 1.0 / 3.0
 
 // loadHistory reads the ledger; a missing file is an empty history.
 func loadHistory(path string) ([]benchRow, error) {
@@ -123,12 +141,29 @@ func checkRegression(rows []benchRow) []string {
 				"PR %d: worst significant sampled error %.4f%% exceeds the %.0f%% accuracy contract",
 				cur.PR, 100*cur.WorstSigErr, 100*sigErrBound))
 		}
+		if cur.AdaptiveCostRatio > adaptiveCostBound {
+			out = append(out, fmt.Sprintf(
+				"PR %d: adaptive sweep cost ratio %.3f exceeds the %.3f contract",
+				cur.PR, cur.AdaptiveCostRatio, adaptiveCostBound))
+		}
 		if n >= 2 {
 			prev := rows[n-2]
-			if prev.SweepMs > 0 && cur.SweepMs > 0 && cur.SweepMs > prev.SweepMs*(1+regressionTol) {
-				out = append(out, fmt.Sprintf(
-					"PR %d: quick sweep %.1fms is %.0f%% slower than PR %d's %.1fms (gate: %.0f%%)",
-					cur.PR, cur.SweepMs, 100*(cur.SweepMs/prev.SweepMs-1), prev.PR, prev.SweepMs, 100*regressionTol))
+			for _, m := range []struct {
+				name      string
+				prev, cur float64
+			}{
+				{"quick sweep", prev.SweepMs, cur.SweepMs},
+				{"trace load", prev.TraceLoadMs, cur.TraceLoadMs},
+				{"predict p99", prev.PredictP99Ms, cur.PredictP99Ms},
+			} {
+				if m.prev <= 0 || m.cur <= 0 {
+					continue
+				}
+				if m.cur > m.prev*(1+regressionTol) {
+					out = append(out, fmt.Sprintf(
+						"PR %d: %s %.1fms is %.0f%% slower than PR %d's %.1fms (gate: %.0f%%)",
+						cur.PR, m.name, m.cur, 100*(m.cur/m.prev-1), prev.PR, m.prev, 100*regressionTol))
+				}
 			}
 			comparable := prev.Cores == cur.Cores
 			for _, m := range []struct {
@@ -174,6 +209,54 @@ func runCheckRegression(path string, out io.Writer) error {
 		fmt.Fprintln(out, "check-regression:", v)
 	}
 	return fmt.Errorf("%d tracked metric(s) regressed", len(violations))
+}
+
+// historySeries converts the ledger rows to per-metric trajectories,
+// dropping unmeasured (zero) cells so early PRs don't render as dips to
+// zero.
+func historySeries(rows []benchRow) []report.TrajectorySeries {
+	metrics := []struct {
+		name, unit string
+		get        func(benchRow) float64
+	}{
+		{"quick sweep wall time", "ms", func(r benchRow) float64 { return r.SweepMs }},
+		{"sampled replay speedup", "x", func(r benchRow) float64 { return r.SampledSpeedup }},
+		{"windowed replay speedup", "x", func(r benchRow) float64 { return r.WindowedSpeedup }},
+		{"trace load", "ms", func(r benchRow) float64 { return r.TraceLoadMs }},
+		{"predict p99 latency", "ms", func(r benchRow) float64 { return r.PredictP99Ms }},
+		{"adaptive sweep cost ratio", "", func(r benchRow) float64 { return r.AdaptiveCostRatio }},
+	}
+	var out []report.TrajectorySeries
+	for _, m := range metrics {
+		s := report.TrajectorySeries{Name: m.name, Unit: m.unit}
+		for _, r := range rows {
+			if v := m.get(r); v > 0 {
+				s.Points = append(s.Points, report.TrajectoryPoint{PR: r.PR, Value: v})
+			}
+		}
+		if len(s.Points) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runHistorySVG is the -history-svg entry point: render the ledger as a
+// stacked-panel trajectory chart, one panel per tracked metric.
+func runHistorySVG(historyPath, svgPath string, out io.Writer) error {
+	rows, err := loadHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("history-svg: %s has no rows to render", historyPath)
+	}
+	svg := report.SVGTrajectory("mosaic performance trajectory", historySeries(rows), 760)
+	if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "history-svg: rendered %d ledger rows into %s\n", len(rows), svgPath)
+	return nil
 }
 
 // runAppendRow is the -append-row entry point: rowJSON is one benchRow

@@ -14,6 +14,10 @@
 //	mosbench -platforms x,y   # restrict the platform set
 //	mosbench -sample-period N # sampled replay: measure N/16 accesses per N
 //	mosbench -sample-report   # sampled vs. exact: speedup + max rel. error
+//	mosbench -adaptive        # active-learning sweep: probe cheap, promote
+//	                          # high-uncertainty layouts to exact replay
+//	mosbench -adaptive-report # full protocol vs adaptive plan bake-off
+//	mosbench -history-svg f   # render the benchmark ledger as an SVG chart
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"mosaic/internal/arch"
 	"mosaic/internal/experiment"
 	"mosaic/internal/models"
+	"mosaic/internal/plan"
 	"mosaic/internal/pmu"
 	"mosaic/internal/report"
 	"mosaic/internal/sim"
@@ -73,12 +78,23 @@ func main() {
 		ckptCache = flag.String("checkpoint-cache", "",
 			"directory for caching MOSCKPT01 window-boundary checkpoints across runs (exact windowed replay)")
 
+		adaptive = flag.Bool("adaptive", false,
+			"plan the sweep adaptively: probe every layout cheaply, promote only high-uncertainty layouts to exact replay")
+		errorTarget = flag.Float64("error-target", 0,
+			"adaptive: stop promoting once the predicted max error falls to this fraction (0 = spend the whole budget)")
+		budget = flag.Int("budget", 0,
+			"adaptive: max exact layout measurements, anchors included (0 = one fifth of the protocol)")
+		adaptiveRpt = flag.Bool("adaptive-report", false,
+			"bake-off: full exact protocol vs adaptive plan per pair (with -json: BENCH_adaptive.json rows); exits nonzero when the accuracy/cost contract fails")
+
 		historyPath = flag.String("history", "BENCH_history.json",
 			"path of the append-only per-PR benchmark ledger")
 		appendRow = flag.String("append-row", "",
 			"append this JSON benchmark row to -history and exit")
 		checkReg = flag.Bool("check-regression", false,
 			"gate the last -history row against the previous one (>10% slowdown of a tracked metric fails) and exit")
+		historySVG = flag.String("history-svg", "",
+			"render the -history ledger as a trajectory SVG chart to this path and exit")
 	)
 	flag.Parse()
 
@@ -91,6 +107,12 @@ func main() {
 	}
 	if *checkReg {
 		if err := runCheckRegression(*historyPath, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *historySVG != "" {
+		if err := runHistorySVG(*historyPath, *historySVG, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -148,7 +170,17 @@ func main() {
 		fatal(err)
 	}
 
+	planCfg := plan.Config{
+		ErrorTarget:   *errorTarget,
+		MaxPromotions: *budget,
+		// An explicit -sample-period overrides the planner's probe plan.
+		ProbeSampling: app.runner.Sampling,
+	}
 	switch {
+	case *adaptiveRpt:
+		err = app.adaptiveReport(planCfg, *jsonFlag)
+	case *adaptive:
+		err = app.adaptiveRun(planCfg, *jsonFlag)
 	case *sampleRpt:
 		err = app.sampleReport(app.runner.Sampling, *jsonFlag)
 	case *jsonFlag:

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"mosaic/internal/arch"
 	"mosaic/internal/experiment"
+	"mosaic/internal/plan"
 	"mosaic/internal/workloads"
 )
 
@@ -86,6 +88,7 @@ func TestFigureOutputSplit(t *testing.T) {
 // for unmeasured metrics and core-count mismatches.
 func TestCheckRegressionGates(t *testing.T) {
 	base := benchRow{PR: 5, Cores: 8, SweepMs: 1000, SampledSpeedup: 10, WorstSigErr: 0.004, WindowedSpeedup: 3.0}
+	wide := benchRow{PR: 7, Cores: 8, TraceLoadMs: 50, PredictP99Ms: 10, AdaptiveCostRatio: 0.29}
 	cases := []struct {
 		name string
 		rows []benchRow
@@ -103,6 +106,12 @@ func TestCheckRegressionGates(t *testing.T) {
 		{"unmeasured metrics are skipped", []benchRow{base, {PR: 6, Cores: 8}}, 0},
 		{"multiple regressions all reported", []benchRow{base, {PR: 6, Cores: 8, SweepMs: 2000, SampledSpeedup: 5, WorstSigErr: 0.05, WindowedSpeedup: 1.0}}, 4},
 		{"only last pair gates", []benchRow{{PR: 4, Cores: 8, SweepMs: 100}, base, {PR: 6, Cores: 8, SweepMs: 1000}}, 0},
+		{"trace load slowdown fails", []benchRow{wide, {PR: 8, Cores: 8, TraceLoadMs: 56}}, 1},
+		{"predict p99 slowdown fails", []benchRow{wide, {PR: 8, Cores: 8, PredictP99Ms: 12}}, 1},
+		{"new latency metrics within tolerance pass", []benchRow{wide, {PR: 8, Cores: 8, TraceLoadMs: 54, PredictP99Ms: 10.9}}, 0},
+		{"new metrics absent in previous row are skipped", []benchRow{base, {PR: 8, Cores: 8, TraceLoadMs: 999, PredictP99Ms: 999}}, 0},
+		{"adaptive cost contract is absolute", []benchRow{wide, {PR: 8, Cores: 8, AdaptiveCostRatio: 0.4}}, 1},
+		{"adaptive cost within contract passes", []benchRow{wide, {PR: 8, Cores: 8, AdaptiveCostRatio: 0.3}}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,7 +131,7 @@ func TestHistoryAppendRoundTrip(t *testing.T) {
 	if err := runAppendRow(path, `{"pr": 1, "cores": 8, "sweep_ms": 1500}`, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := runAppendRow(path, `{"pr": 2, "cores": 8, "sweep_ms": 1400, "sampled_speedup": 9.5}`, &out); err != nil {
+	if err := runAppendRow(path, `{"pr": 2, "cores": 8, "sweep_ms": 1400, "sampled_speedup": 9.5, "trace_load_ms": 42.5, "predict_p99_ms": 8.1, "adaptive_cost_ratio": 0.29}`, &out); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := loadHistory(path)
@@ -131,6 +140,9 @@ func TestHistoryAppendRoundTrip(t *testing.T) {
 	}
 	if len(rows) != 2 || rows[0].PR != 1 || rows[1].SampledSpeedup != 9.5 {
 		t.Fatalf("history after two appends: %+v", rows)
+	}
+	if rows[1].TraceLoadMs != 42.5 || rows[1].PredictP99Ms != 8.1 || rows[1].AdaptiveCostRatio != 0.29 {
+		t.Fatalf("new ledger columns did not round-trip: %+v", rows[1])
 	}
 	if err := runCheckRegression(path, &out); err != nil {
 		t.Fatalf("clean history gated: %v", err)
@@ -152,5 +164,85 @@ func TestHistoryAppendRoundTrip(t *testing.T) {
 	}
 	if err := runCheckRegression(path, &out); err == nil {
 		t.Fatal("2× sweep slowdown passed the regression gate")
+	}
+}
+
+// TestHistorySVG: the -history-svg mode renders the ledger into a
+// well-formed chart with one panel per measured metric, and refuses an
+// empty ledger.
+func TestHistorySVG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.json")
+	var out bytes.Buffer
+	for _, row := range []string{
+		`{"pr": 1, "cores": 8, "sweep_ms": 1500}`,
+		`{"pr": 2, "cores": 8, "sweep_ms": 1400, "sampled_speedup": 9.5}`,
+		`{"pr": 3, "cores": 8, "sweep_ms": 1300, "sampled_speedup": 9.8, "adaptive_cost_ratio": 0.29}`,
+	} {
+		if err := runAppendRow(path, row, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svgPath := filepath.Join(dir, "trajectory.svg")
+	if err := runHistorySVG(path, svgPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(raw)
+	for _, want := range []string{"quick sweep wall time", "sampled replay speedup", "adaptive sweep cost ratio", "PR 1", "PR 3", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("trajectory SVG lacks %q", want)
+		}
+	}
+	// Metrics never measured get no panel.
+	if strings.Contains(svg, "predict p99") || strings.Contains(svg, "NaN") {
+		t.Errorf("trajectory SVG renders unmeasured metrics or NaN: %.200s", svg)
+	}
+
+	if err := runHistorySVG(filepath.Join(dir, "missing.json"), svgPath, &out); err == nil {
+		t.Error("empty ledger rendered without error")
+	}
+}
+
+// TestAdaptiveRunQuick: the -adaptive mode on the quick protocol plans a
+// real sweep and emits one JSON row per pair with a monotone-cost curve.
+func TestAdaptiveRunQuick(t *testing.T) {
+	b, out, _ := quickBench(t)
+	if err := b.adaptiveRun(plan.Config{MaxPromotions: 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Workload   string  `json:"workload"`
+		Layouts    int     `json:"layouts"`
+		Promotions int     `json:"promotions"`
+		CostRatio  float64 `json:"cost_ratio"`
+		Stopped    string  `json:"stopped"`
+		Curve      []struct {
+			CostAccesses uint64 `json:"costAccesses"`
+		} `json:"curve"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("adaptive JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 || rows[0].Workload != "gups/8GB" {
+		t.Fatalf("rows %+v", rows)
+	}
+	r := rows[0]
+	if r.Promotions != 3 || r.Stopped != "budget" {
+		t.Errorf("promotions %d stop %q, want 3 exact measurements to exhaust the budget", r.Promotions, r.Stopped)
+	}
+	if r.CostRatio <= 0 || r.CostRatio >= 1 {
+		t.Errorf("cost ratio %.3f outside (0, 1)", r.CostRatio)
+	}
+	if len(r.Curve) == 0 {
+		t.Fatal("no error-vs-budget curve")
+	}
+	for i := 1; i < len(r.Curve); i++ {
+		if r.Curve[i].CostAccesses < r.Curve[i-1].CostAccesses {
+			t.Errorf("curve cost decreased at round %d", i)
+		}
 	}
 }

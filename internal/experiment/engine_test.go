@@ -114,8 +114,7 @@ func TestCollectMatchesFreshBuildReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pair := &pairPlan{w: w, plat: arch.Haswell, key: w.Name() + "@" + arch.Haswell.Name, wd: wd}
-	for _, lay := range r.planLayouts(pair) {
+	for _, lay := range r.planLayouts(wd, arch.Haswell, w.Name()+"@"+arch.Haswell.Name) {
 		space, err := sim.BuildSpace(physMem, lay.Cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -338,7 +338,7 @@ func (r *Runner) buildSpace(lay layout.Layout) (*mem.AddressSpace, error) {
 // replay runs the replay stage: one pooled full machine over the trace.
 // plat must already be Scaled.
 func (r *Runner) replay(wd *WorkloadData, plat arch.Platform, lay layout.Layout, space *mem.AddressSpace) (pmu.Counters, error) {
-	results, err := r.replayBatch(wd, plat, []layout.Layout{lay}, []*mem.AddressSpace{space})
+	results, err := r.replayBatch(wd, plat, []layout.Layout{lay}, []*mem.AddressSpace{space}, r.Sampling)
 	if err != nil {
 		return pmu.Counters{}, err
 	}
@@ -347,11 +347,11 @@ func (r *Runner) replay(wd *WorkloadData, plat arch.Platform, lay layout.Layout,
 
 // replayBatch runs the replay stage for a span of one pair's layouts: N
 // pooled full machines — one per layout — advance through the trace in a
-// single fused pass (sim.RunBatch) under the runner's sampling config, so
+// single fused pass (sim.RunBatch) under the given sampling config, so
 // the trace columns are streamed from memory once per block instead of
 // once per layout. Counters are bit-identical to replaying each layout
 // alone. plat must already be Scaled.
-func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, spaces []*mem.AddressSpace) ([]sim.Result, error) {
+func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, spaces []*mem.AddressSpace, s sim.Sampling) ([]sim.Result, error) {
 	engines := make([]sim.Engine, len(lays))
 	for i, space := range spaces {
 		eng, err := r.engines.Full(plat, space)
@@ -364,10 +364,10 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 	err := r.timing.Time(sim.StageReplay, func() error {
 		var err error
 		if r.Windows > 1 {
-			results, err = sim.RunBatchWindowed(engines, wd.Trace, r.Sampling,
-				r.windowed(r.checkpointKeys(wd, plat, lays, "full")))
+			results, err = sim.RunBatchWindowed(engines, wd.Trace, s,
+				r.windowed(r.checkpointKeys(wd, plat, lays, "full", s)))
 		} else {
-			results, err = sim.RunBatch(engines, wd.Trace, r.Sampling)
+			results, err = sim.RunBatch(engines, wd.Trace, s)
 		}
 		return err
 	})
@@ -391,9 +391,9 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 // trace identity, platform, layout configuration, engine kind and fidelity,
 // and the sampling plan — and deliberately excludes the window count and
 // position, so checkpoints are shared across -windows values.
-func (r *Runner) checkpointKeys(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, kind string) []string {
+func (r *Runner) checkpointKeys(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, kind string, s sim.Sampling) []string {
 	plan := fmt.Sprintf("p%d-m%d-w%d-q%d",
-		r.Sampling.Period, r.Sampling.MeasureLen, r.Sampling.WarmupLen, r.Sampling.PrologueLen)
+		s.Period, s.MeasureLen, s.WarmupLen, s.PrologueLen)
 	keys := make([]string, len(lays))
 	for i, lay := range lays {
 		keys[i] = fmt.Sprintf("%s|%d|%s|%s|%s|%s",
@@ -459,7 +459,7 @@ func (r *Runner) PartialSimulate(wd *WorkloadData, plat arch.Platform, lay layou
 			}
 			var rs []sim.Result
 			rs, err = sim.RunBatchWindowed([]sim.Engine{eng}, wd.Trace, r.Sampling,
-				r.windowed(r.checkpointKeys(wd, plat, []layout.Layout{lay}, kind)))
+				r.windowed(r.checkpointKeys(wd, plat, []layout.Layout{lay}, kind, r.Sampling)))
 			if err == nil {
 				res = rs[0]
 			}
@@ -612,7 +612,7 @@ func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, pla
 			}
 			pair.wd = wd
 			return r.timing.Time(sim.StagePlan, func() error {
-				pair.lays = r.planLayouts(pair)
+				pair.lays = r.planLayouts(pair.wd, pair.plat, pair.key)
 				pair.res = make([]sim.Result, len(pair.lays))
 				return nil
 			})
@@ -683,7 +683,7 @@ func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, pla
 				}
 				batch[k] = space
 			}
-			results, err := r.replayBatch(j.pair.wd, j.pair.plat.Scaled(), lays, batch)
+			results, err := r.replayBatch(j.pair.wd, j.pair.plat.Scaled(), lays, batch, r.Sampling)
 			if err != nil {
 				return err
 			}
@@ -726,19 +726,33 @@ func (r *Runner) CollectAllCtx(ctx context.Context, ws []workloads.Workload, pla
 }
 
 // planLayouts generates the pair's protocol layouts plus the 1GB
-// validation point.
-func (r *Runner) planLayouts(pair *pairPlan) []layout.Layout {
-	profile := layout.ProfileMisses(pair.wd.Trace, pair.plat.Scaled().TLB, pair.wd.Target)
+// validation point. key seeds the protocol's randomized layouts.
+func (r *Runner) planLayouts(wd *WorkloadData, plat arch.Platform, key string) []layout.Layout {
+	profile := layout.ProfileMisses(wd.Trace, plat.Scaled().TLB, wd.Target)
 	var lays []layout.Layout
 	switch r.Proto {
 	case Quick:
-		lays = pair.wd.Target.GrowingWindows(8)
+		lays = wd.Target.GrowingWindows(8)
 	case Extended:
-		lays = pair.wd.Target.Extended(profile, seedFor(pair.key))
+		lays = wd.Target.Extended(profile, seedFor(key))
 	default:
-		lays = pair.wd.Target.Standard(profile, seedFor(pair.key))
+		lays = wd.Target.Standard(profile, seedFor(key))
 	}
-	return append(lays, pair.wd.Target.Baseline1G())
+	return append(lays, wd.Target.Baseline1G())
+}
+
+// ProtocolLayouts plans the pair's full layout protocol — the same
+// deterministic sequence CollectAll would measure, ending with the 1GB
+// validation point — without replaying anything. The adaptive planner
+// uses it as the candidate pool.
+func (r *Runner) ProtocolLayouts(wd *WorkloadData, plat arch.Platform) []layout.Layout {
+	var lays []layout.Layout
+	// Planning cost is charged to the plan stage like CollectAll's stage 2.
+	_ = r.timing.Time(sim.StagePlan, func() error {
+		lays = r.planLayouts(wd, plat, wd.Workload.Name()+"@"+plat.Name)
+		return nil
+	})
+	return lays
 }
 
 // assemble folds a pair's counters into a Dataset.
@@ -771,6 +785,104 @@ func assemble(pair *pairPlan) (*Dataset, error) {
 	ds.TLBSensitive = s4k.R > 0 && (s4k.R-ds.Sample1G.R)/s4k.R >= 0.05
 	return ds, nil
 }
+
+// MeasureLayouts replays an arbitrary set of a pair's layouts at an
+// explicit sampling fidelity (zero value = exact), independent of the
+// runner's Sampling field, and returns the results in layout order. It is
+// CollectAll's replay stage over a caller-chosen layout set: fused batches
+// sized to the worker pool, shared address spaces, pooled engines — the
+// adaptive planner uses it to mix cheap probe replays and exact
+// promotions within one sweep. onProgress, when non-nil, receives replay
+// progress reports.
+func (r *Runner) MeasureLayouts(ctx context.Context, wd *WorkloadData, plat arch.Platform, lays []layout.Layout, s sim.Sampling, onProgress func(sim.Progress)) ([]sim.Result, error) {
+	if len(lays) == 0 {
+		return nil, nil
+	}
+	workers := max(1, r.Parallelism)
+	replayWorkers := workers
+	if r.Windows > 1 {
+		replayWorkers = max(1, workers/r.Windows)
+	}
+	scaled := plat.Scaled()
+	spaces := sim.NewSpaceCache(physMem)
+	spaces.Timing = &r.timing
+	type job struct {
+		lo, hi    int      // layout index span [lo, hi)
+		spaceKeys []string // one per layout in the span
+	}
+	span := sim.BatchSpan(len(lays), replayWorkers)
+	var jobs []job
+	for lo := 0; lo < len(lays); lo += span {
+		hi := min(lo+span, len(lays))
+		keys := make([]string, 0, hi-lo)
+		for _, lay := range lays[lo:hi] {
+			keys = append(keys, spaces.Register(lay.Cfg))
+		}
+		jobs = append(jobs, job{lo: lo, hi: hi, spaceKeys: keys})
+	}
+	out := make([]sim.Result, len(lays))
+	sched := sim.Scheduler{Workers: replayWorkers, Stage: sim.StageReplay.String(), OnProgress: onProgress, Ctx: ctx}
+	err := sched.Run(len(jobs),
+		func(i int) string {
+			j := jobs[i]
+			span := lays[j.lo:j.hi]
+			if len(span) == 1 {
+				return wd.Workload.Name() + "@" + plat.Name + "/" + span[0].Name
+			}
+			return wd.Workload.Name() + "@" + plat.Name + "/" + span[0].Name + ".." + span[len(span)-1].Name
+		},
+		func(i int) error {
+			j := jobs[i]
+			defer func() {
+				for _, k := range j.spaceKeys {
+					spaces.Release(k)
+				}
+			}()
+			span := lays[j.lo:j.hi]
+			batch := make([]*mem.AddressSpace, len(span))
+			for k, lay := range span {
+				space, err := spaces.Get(j.spaceKeys[k], lay.Cfg)
+				if err != nil {
+					return fmt.Errorf("experiment: layout %s: %w", lay.Name, err)
+				}
+				batch[k] = space
+			}
+			results, err := r.replayBatch(wd, scaled, span, batch, s)
+			if err != nil {
+				return err
+			}
+			copy(out[j.lo:j.hi], results)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PairMeasurer binds one (workload, platform) pair of a Runner into a
+// layout-at-a-time measurement surface: Measure replays layouts at an
+// explicit fidelity, TraceLen reports what one exact replay costs in
+// accesses. internal/plan consumes it (structurally) as the substrate its
+// active-learning loop spends budget against.
+type PairMeasurer struct {
+	R    *Runner
+	WD   *WorkloadData
+	Plat arch.Platform
+	// OnProgress, when non-nil, receives replay progress from every
+	// Measure call.
+	OnProgress func(sim.Progress)
+}
+
+// Measure replays lays at sampling fidelity s and returns the results in
+// layout order.
+func (p *PairMeasurer) Measure(ctx context.Context, lays []layout.Layout, s sim.Sampling) ([]sim.Result, error) {
+	return p.R.MeasureLayouts(ctx, p.WD, p.Plat, lays, s, p.OnProgress)
+}
+
+// TraceLen is the pair's trace length in accesses — the cost of one exact
+// layout replay.
+func (p *PairMeasurer) TraceLen() uint64 { return uint64(p.WD.Trace.Len()) }
 
 // fnv1a hashes a string with 64-bit FNV-1a.
 func fnv1a(s string) uint64 {

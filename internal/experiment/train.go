@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"mosaic/internal/models"
 )
@@ -43,18 +44,36 @@ func (d *Dataset) Train(name string) (*TrainedModel, error) {
 }
 
 // TrainModels fits every named model (nil or empty means the full
-// registry) and returns them keyed by model name.
-func (d *Dataset) TrainModels(names []string) (map[string]*TrainedModel, error) {
+// registry) and returns them keyed by model name. A model that cannot be
+// fitted on this dataset — e.g. a prior model missing its 4KB/2MB
+// baseline anchors on a partial (adaptively planned) dataset — lands in
+// the failed map instead of sinking the whole batch; the error return is
+// non-nil only when not a single model trained.
+func (d *Dataset) TrainModels(names []string) (trained map[string]*TrainedModel, failed map[string]error, err error) {
 	if len(names) == 0 {
 		names = append(append([]string{}, models.PriorNames...), models.NewNames...)
 	}
-	out := make(map[string]*TrainedModel, len(names))
+	trained = make(map[string]*TrainedModel, len(names))
+	failed = make(map[string]error)
 	for _, name := range names {
 		tm, err := d.Train(name)
 		if err != nil {
-			return nil, err
+			failed[name] = err
+			continue
 		}
-		out[name] = tm
+		trained[name] = tm
 	}
-	return out, nil
+	if len(trained) == 0 {
+		// Surface the first failure deterministically (names sorted).
+		keys := make([]string, 0, len(failed))
+		for name := range failed {
+			keys = append(keys, name)
+		}
+		sort.Strings(keys)
+		return nil, failed, fmt.Errorf("experiment: %s: no model trained: %w", d.Key(), failed[keys[0]])
+	}
+	if len(failed) == 0 {
+		failed = nil
+	}
+	return trained, failed, nil
 }

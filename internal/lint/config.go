@@ -44,6 +44,10 @@ func DefaultConfig() *Config {
 			"internal/models",
 			"internal/stats",
 			"internal/ckpt",
+			// The planner sits on top of the core and must stay seeded:
+			// a wall-clock or global-rand read would break planned sweeps'
+			// bit-reproducibility.
+			"internal/plan",
 		},
 		// The serving tier: a lock held across blocking I/O turns one slow
 		// disk or peer into a stalled /v1/predict for every client.

@@ -1,0 +1,356 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/layout"
+	"mosaic/internal/pmu"
+	"mosaic/internal/sim"
+	"mosaic/internal/stats"
+)
+
+// surfaceMeasurer is a synthetic (H, M, C) → R surface: each named
+// layout has a ground-truth sample; probe-fidelity measurements return
+// it perturbed by deterministic pseudo-noise derived from the layout
+// name, exact measurements return it verbatim.
+type surfaceMeasurer struct {
+	truth    map[string]pmu.Sample
+	noise    float64 // relative probe perturbation amplitude
+	traceLen uint64
+	measured []string // exact-measurement order, appended per call
+}
+
+func (s *surfaceMeasurer) Measure(_ context.Context, lays []layout.Layout, sm sim.Sampling) ([]sim.Result, error) {
+	out := make([]sim.Result, len(lays))
+	for i, lay := range lays {
+		tr, ok := s.truth[lay.Name]
+		if !ok {
+			panic("unknown layout " + lay.Name)
+		}
+		if !sm.Enabled() { // exact
+			s.measured = append(s.measured, lay.Name)
+			out[i] = sim.Result{Counters: toCounters(tr)}
+			continue
+		}
+		// Probe: perturb each component with noise seeded by the layout
+		// name, so repeated runs see identical "measurements".
+		rng := rand.New(rand.NewSource(int64(hash(lay.Name))))
+		perturb := func(v float64) float64 {
+			return v * (1 + s.noise*(2*rng.Float64()-1))
+		}
+		out[i] = sim.Result{
+			Counters: toCounters(pmu.Sample{
+				Layout: tr.Layout,
+				H:      perturb(tr.H), M: perturb(tr.M),
+				C: perturb(tr.C), R: perturb(tr.R),
+			}),
+			MeasuredAccesses: s.traceLen / 10,
+			TotalAccesses:    s.traceLen,
+		}
+	}
+	return out, nil
+}
+
+func (s *surfaceMeasurer) TraceLen() uint64 { return s.traceLen }
+
+func toCounters(s pmu.Sample) pmu.Counters {
+	return pmu.Counters{
+		H: uint64(math.Round(s.H)), M: uint64(math.Round(s.M)),
+		C: uint64(math.Round(s.C)), R: uint64(math.Round(s.R)),
+	}
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// polySurface builds n layouts on a smooth cubic surface R(H, M, C),
+// with kinks — layouts whose runtime deviates from the polynomial by
+// kinkFrac — at the given indices. Layout names sort in index order.
+func polySurface(n int, kinks map[int]float64) *surfaceMeasurer {
+	m := &surfaceMeasurer{truth: make(map[string]pmu.Sample), traceLen: 1_000_000}
+	for i := 0; i < n; i++ {
+		// Low-degree surface with no extreme-leverage corner, so K-fold
+		// residuals concentrate at the planted kinks rather than at the
+		// training hull's boundary.
+		h := float64(1_000_000 + 40_000*i)
+		mm := float64(500_000 - 20_000*i)
+		c := float64(2_000_000 + 30_000*i)
+		r := 3*h + 7*mm + 0.5*c
+		if f, ok := kinks[i]; ok {
+			r *= 1 + f
+		}
+		name := layName(i)
+		m.truth[name] = pmu.Sample{Layout: name, H: h, M: mm, C: c, R: r}
+	}
+	return m
+}
+
+func layName(i int) string {
+	return string([]byte{'L', byte('a' + i/10), byte('0' + i%10)})
+}
+
+func (s *surfaceMeasurer) layouts() []layout.Layout {
+	var lays []layout.Layout
+	for i := 0; i < len(s.truth); i++ {
+		lays = append(lays, layout.Layout{Name: layName(i)})
+	}
+	return lays
+}
+
+// TestHotspotPromotion plants two strong deviations in an otherwise
+// polynomial surface and checks the planner spends its first promotions
+// there: K-fold residuals concentrate exactly where the fitted
+// polynomial cannot follow the surface.
+func TestHotspotPromotion(t *testing.T) {
+	m := polySurface(20, map[int]float64{5: 0.4, 13: -0.35})
+	rep, err := Run(context.Background(), m, m.layouts(), Config{
+		MaxPromotions: 4, Seed: 7,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stopped != StopBudget {
+		t.Fatalf("stopped %q, want budget", rep.Stopped)
+	}
+	// Both planted kinks must be found within the first three promotions:
+	// 2 of 20 layouts carry the surface's error, and the scorer has to
+	// spend its budget there (the third slot tolerates the hull-boundary
+	// point, whose post-promotion leverage legitimately competes).
+	got := map[string]bool{}
+	for _, name := range m.measured[:3] {
+		got[name] = true
+	}
+	if !got[layName(5)] || !got[layName(13)] {
+		t.Errorf("first three promotions %v must include both planted hotspots %s and %s",
+			m.measured[:3], layName(5), layName(13))
+	}
+}
+
+// TestDeterminism reruns an identical planner configuration over a noisy
+// probe surface and requires the bit-identical everything the acceptance
+// criteria demand: promotion sequence, error-vs-budget curve, final
+// samples, and the coefficients of a Lasso fit on those samples.
+func TestDeterminism(t *testing.T) {
+	run := func() (*Report, []string) {
+		m := polySurface(18, map[int]float64{4: 0.3})
+		m.noise = 0.05
+		rep, err := Run(context.Background(), m, m.layouts(), Config{
+			MaxPromotions: 5, Seed: 42, ErrorTarget: 0.001,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, m.measured
+	}
+	a, aOrder := run()
+	b, bOrder := run()
+
+	if len(aOrder) != len(bOrder) {
+		t.Fatalf("promotion counts differ: %d vs %d", len(aOrder), len(bOrder))
+	}
+	for i := range aOrder {
+		if aOrder[i] != bOrder[i] {
+			t.Fatalf("promotion %d differs: %s vs %s", i, aOrder[i], bOrder[i])
+		}
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a.Steps[i], b.Steps[i])
+		}
+	}
+	sa, sb := a.Samples(), b.Samples()
+	for i := range sa {
+		for _, pair := range [][2]float64{
+			{sa[i].H, sb[i].H}, {sa[i].M, sb[i].M},
+			{sa[i].C, sb[i].C}, {sa[i].R, sb[i].R},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("sample %s not bit-identical: %x vs %x",
+					sa[i].Layout, math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+			}
+		}
+	}
+	fit := func(samples []pmu.Sample) []float64 {
+		X := make([][]float64, len(samples))
+		y := make([]float64, len(samples))
+		for i, s := range samples {
+			X[i] = []float64{s.H, s.M, s.C}
+			y[i] = s.R
+		}
+		f, err := stats.FitPolyLasso(X, y, 3, 0.01, []string{"H", "M", "C"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Coefs
+	}
+	ca, cb := fit(sa), fit(sb)
+	for i := range ca {
+		if math.Float64bits(ca[i]) != math.Float64bits(cb[i]) {
+			t.Fatalf("coefficient %d not bit-identical: %x vs %x",
+				i, math.Float64bits(ca[i]), math.Float64bits(cb[i]))
+		}
+	}
+}
+
+// TestConstantSurface: a flat runtime surface cross-validates to zero
+// error, so with any error target the planner stops before spending a
+// single exact measurement.
+func TestConstantSurface(t *testing.T) {
+	m := &surfaceMeasurer{truth: make(map[string]pmu.Sample), traceLen: 1_000_000}
+	for i := 0; i < 12; i++ {
+		name := layName(i)
+		m.truth[name] = pmu.Sample{
+			Layout: name,
+			H:      float64(1000 + i), M: float64(500 + i), C: float64(2000 + i),
+			R: 5_000_000,
+		}
+	}
+	rep, err := Run(context.Background(), m, m.layouts(), Config{
+		ErrorTarget: 0.01, Seed: 3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stopped != StopTarget {
+		t.Fatalf("stopped %q, want target", rep.Stopped)
+	}
+	if rep.Promotions != 0 {
+		t.Errorf("promoted %d layouts on a constant surface, want 0", rep.Promotions)
+	}
+	if rep.PredictedMaxErr > 0.01 {
+		t.Errorf("predicted max error %f on a constant surface", rep.PredictedMaxErr)
+	}
+}
+
+// TestFewerLayoutsThanFolds: K clamps to the layout count (leave-one-out)
+// instead of failing, and the loop still terminates cleanly.
+func TestFewerLayoutsThanFolds(t *testing.T) {
+	m := polySurface(4, nil)
+	rep, err := Run(context.Background(), m, m.layouts(), Config{
+		Folds: 10, MaxPromotions: 10, Seed: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stopped != StopExhausted && rep.Stopped != StopBudget && rep.Stopped != StopDegenerate {
+		t.Fatalf("unexpected stop reason %q", rep.Stopped)
+	}
+	if rep.Promotions > 4 {
+		t.Errorf("promoted %d of 4 layouts", rep.Promotions)
+	}
+}
+
+// TestDegenerateTinyProtocol: two layouts cannot support cross-validation
+// at all — the planner must report a degenerate stop, not error or spin.
+func TestDegenerateTinyProtocol(t *testing.T) {
+	m := polySurface(2, nil)
+	rep, err := Run(context.Background(), m, m.layouts(), Config{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stopped != StopDegenerate {
+		t.Fatalf("stopped %q, want degenerate", rep.Stopped)
+	}
+	if rep.PredictedMaxErr >= 0 {
+		t.Errorf("degenerate run should report predicted error −1, got %f", rep.PredictedMaxErr)
+	}
+}
+
+// TestCostAccounting checks the ledger identities the serving layer and
+// the bake-off harness report: cost = probe + promotions·traceLen, and
+// the curve's cost column is nondecreasing.
+func TestCostAccounting(t *testing.T) {
+	m := polySurface(15, map[int]float64{7: 0.5})
+	m.noise = 0.02
+	var steps []Step
+	rep, err := Run(context.Background(), m, m.layouts(), Config{
+		MaxPromotions: 3, Seed: 9,
+	}, func(s Step) { steps = append(steps, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rep.ProbeAccesses + rep.ExactAccesses; rep.CostAccesses != want {
+		t.Errorf("CostAccesses %d, want probe+exact %d", rep.CostAccesses, want)
+	}
+	if want := uint64(rep.Promotions) * m.TraceLen(); rep.ExactAccesses != want {
+		t.Errorf("ExactAccesses %d, want %d promotions × traceLen = %d",
+			rep.ExactAccesses, rep.Promotions, want)
+	}
+	if want := uint64(15) * m.TraceLen(); rep.FullCostAccesses != want {
+		t.Errorf("FullCostAccesses %d, want %d", rep.FullCostAccesses, want)
+	}
+	if len(steps) != len(rep.Steps) {
+		t.Fatalf("onStep saw %d steps, report has %d", len(steps), len(rep.Steps))
+	}
+	for i := 1; i < len(rep.Steps); i++ {
+		if rep.Steps[i].CostAccesses < rep.Steps[i-1].CostAccesses {
+			t.Errorf("curve cost decreased at step %d: %d → %d",
+				i, rep.Steps[i-1].CostAccesses, rep.Steps[i].CostAccesses)
+		}
+	}
+	last := rep.Steps[len(rep.Steps)-1]
+	if last.Promoted != "" {
+		t.Errorf("final step promoted %q, want none", last.Promoted)
+	}
+	if last.CostAccesses != rep.CostAccesses {
+		t.Errorf("final step cost %d, want report total %d", last.CostAccesses, rep.CostAccesses)
+	}
+}
+
+// TestCalibration: with correlated probe bias (the positional-schedule
+// regime the ratio estimator is built for), unpromoted samples must land
+// near truth once a few promotions establish the correction.
+func TestCalibration(t *testing.T) {
+	m := polySurface(12, nil)
+	// Uniform 10% inflation on every probe: perfectly correlated bias.
+	biased := &biasedMeasurer{inner: m, bias: 1.10}
+	rep, err := Run(context.Background(), biased, m.layouts(), Config{
+		MaxPromotions: 2, Seed: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range rep.Points {
+		if pt.Exact {
+			continue
+		}
+		truth := m.truth[pt.Layout.Name]
+		if e := relErr(pt.Sample.R, truth.R); e > 0.001 {
+			t.Errorf("%s: calibrated R off truth by %.4f (probe bias should cancel)", pt.Layout.Name, e)
+		}
+	}
+}
+
+type biasedMeasurer struct {
+	inner *surfaceMeasurer
+	bias  float64
+}
+
+func (b *biasedMeasurer) Measure(ctx context.Context, lays []layout.Layout, sm sim.Sampling) ([]sim.Result, error) {
+	res, err := b.inner.Measure(ctx, lays, sm)
+	if err != nil || !sm.Enabled() {
+		return res, err
+	}
+	for i := range res {
+		c := &res[i].Counters
+		c.H = uint64(float64(c.H) * b.bias)
+		c.M = uint64(float64(c.M) * b.bias)
+		c.C = uint64(float64(c.C) * b.bias)
+		c.R = uint64(float64(c.R) * b.bias)
+	}
+	return res, nil
+}
+
+func (b *biasedMeasurer) TraceLen() uint64 { return b.inner.TraceLen() }

@@ -94,6 +94,8 @@ type jobRequest struct {
 	Platform string        `json:"platform"`
 	Proto    string        `json:"proto,omitempty"`
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
+	Mode     string        `json:"mode,omitempty"`
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 	Train    bool          `json:"train,omitempty"`
 }
 
@@ -109,6 +111,27 @@ func (j *jobRequest) validate() (JobSpec, error) {
 	spec.Workload, spec.Platform, spec.Proto, spec.Train = j.Workload, j.Platform, j.Proto, j.Train
 	if _, err := spec.proto(); err != nil {
 		return spec, err
+	}
+	spec.Mode = j.Mode
+	mode, err := spec.mode()
+	if err != nil {
+		return spec, err
+	}
+	if j.Adaptive != nil {
+		if mode != "adaptive" {
+			return spec, errors.New("adaptive block requires mode adaptive")
+		}
+		a := *j.Adaptive
+		if math.IsNaN(a.ErrorTarget) || math.IsInf(a.ErrorTarget, 0) {
+			return spec, errors.New("adaptive.errorTarget must be finite")
+		}
+		if a.ErrorTarget < 0 || a.ErrorTarget >= 1 {
+			return spec, errors.New("adaptive.errorTarget must be in [0, 1)")
+		}
+		if a.Budget < 0 {
+			return spec, errors.New("adaptive.budget must be non-negative")
+		}
+		spec.Adaptive = &a
 	}
 	if j.Sampling != nil {
 		s := *j.Sampling

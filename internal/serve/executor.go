@@ -7,6 +7,7 @@ import (
 
 	"mosaic/internal/arch"
 	"mosaic/internal/experiment"
+	"mosaic/internal/plan"
 	"mosaic/internal/serve/registry"
 	"mosaic/internal/sim"
 	"mosaic/internal/workloads"
@@ -30,7 +31,7 @@ type SweepExecutor struct {
 }
 
 // Run implements JobExecutor.
-func (e *SweepExecutor) Run(ctx context.Context, spec JobSpec, onProgress func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+func (e *SweepExecutor) Run(ctx context.Context, spec JobSpec, onProgress func(sim.Progress), onCurve func(plan.Step)) (*JobResult, []StageTimeView, error) {
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
 		return nil, nil, err
@@ -40,6 +41,10 @@ func (e *SweepExecutor) Run(ctx context.Context, spec JobSpec, onProgress func(s
 		return nil, nil, err
 	}
 	proto, err := spec.proto()
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := spec.mode()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -53,21 +58,68 @@ func (e *SweepExecutor) Run(ctx context.Context, spec JobSpec, onProgress func(s
 	e.track(r, true)
 	defer e.track(r, false)
 
-	dss, err := r.CollectAllCtx(ctx, []workloads.Workload{w}, []arch.Platform{plat}, onProgress)
+	var ds *experiment.Dataset
+	var adaptive *AdaptiveResult
+	if mode == "adaptive" {
+		ds, adaptive, err = e.runAdaptive(ctx, r, w, plat, spec, onCurve)
+	} else {
+		var dss []*experiment.Dataset
+		dss, err = r.CollectAllCtx(ctx, []workloads.Workload{w}, []arch.Platform{plat}, onProgress)
+		if err == nil {
+			if len(dss) != 1 {
+				err = fmt.Errorf("serve: sweep produced %d datasets, want 1", len(dss))
+			} else {
+				ds = dss[0]
+			}
+		}
+	}
 	stages := stageViews(r.StageTimes())
 	if err != nil {
 		return nil, stages, err
 	}
-	if len(dss) != 1 {
-		return nil, stages, fmt.Errorf("serve: sweep produced %d datasets, want 1", len(dss))
-	}
-	ds := dss[0]
 	if spec.Train && e.Registry != nil {
 		if err := e.Registry.Train(ds, nil); err != nil {
 			return nil, stages, fmt.Errorf("serve: training models: %w", err)
 		}
 	}
-	return resultFromDataset(ds), stages, nil
+	res := resultFromDataset(ds)
+	res.Adaptive = adaptive
+	return res, stages, nil
+}
+
+// runAdaptive executes an active-learning planned sweep (internal/plan):
+// probe every protocol layout at the planner's cheap fidelity, promote
+// the highest-uncertainty layouts to exact measurement until the error
+// target or budget stops it. The per-round error-vs-cost curve streams
+// through onCurve into the job's live progress.
+func (e *SweepExecutor) runAdaptive(ctx context.Context, r *experiment.Runner, w workloads.Workload, plat arch.Platform, spec JobSpec, onCurve func(plan.Step)) (*experiment.Dataset, *AdaptiveResult, error) {
+	a := spec.Adaptive
+	if a == nil {
+		a = &AdaptiveSpec{}
+	}
+	cfg := plan.Config{
+		ErrorTarget:   a.ErrorTarget,
+		MaxPromotions: a.Budget,
+		Seed:          a.Seed,
+		// An explicit job sampling spec overrides the planner's probe
+		// fidelity; the zero spec keeps the aggressive default probe.
+		ProbeSampling: spec.Sampling.toSim(),
+	}
+	ds, rep, err := plan.Adaptive(ctx, r, w, plat, cfg, onCurve, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, &AdaptiveResult{
+		Promotions:       rep.Promotions,
+		PredictedMaxErr:  rep.PredictedMaxErr,
+		ProbeAccesses:    rep.ProbeAccesses,
+		ExactAccesses:    rep.ExactAccesses,
+		CostAccesses:     rep.CostAccesses,
+		FullCostAccesses: rep.FullCostAccesses,
+		CostRatio:        rep.CostRatio(),
+		Stopped:          rep.Stopped,
+		Curve:            rep.Steps,
+	}, nil
 }
 
 // track registers or unregisters a live pipeline for the occupancy gauge.

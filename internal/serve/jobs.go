@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mosaic/internal/experiment"
+	"mosaic/internal/plan"
 	"mosaic/internal/pmu"
 	"mosaic/internal/sim"
 )
@@ -55,6 +56,20 @@ func (s SamplingSpec) toSim() sim.Sampling {
 	}
 }
 
+// AdaptiveSpec tunes mode "adaptive": the active-learning planner that
+// probes the whole protocol cheaply and spends exact-measurement budget
+// where model uncertainty concentrates (internal/plan).
+type AdaptiveSpec struct {
+	// ErrorTarget stops the planner once the cross-validated predicted
+	// max relative error reaches it (0 = budget-driven).
+	ErrorTarget float64 `json:"errorTarget,omitempty"`
+	// Budget bounds exact layout measurements (0 = planner default,
+	// one fifth of the protocol).
+	Budget int `json:"budget,omitempty"`
+	// Seed overrides the pair-derived deterministic selection seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
 // JobSpec describes one sweep: measure a workload on a platform under a
 // layout protocol, optionally with sampled replay, optionally training
 // models into the registry afterwards.
@@ -63,9 +78,27 @@ type JobSpec struct {
 	Platform string       `json:"platform"`
 	Proto    string       `json:"proto,omitempty"` // "quick" | "standard" | "extended" (default standard)
 	Sampling SamplingSpec `json:"sampling,omitempty"`
+	// Mode selects the sweep strategy: "" or "sweep" measures the full
+	// protocol at one fidelity; "adaptive" runs the active-learning
+	// planner. In adaptive mode Sampling configures the probe fidelity
+	// (default: the planner's aggressive probe plan).
+	Mode string `json:"mode,omitempty"`
+	// Adaptive tunes mode "adaptive"; ignored otherwise.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 	// Train, when true, fits the registry models on the collected dataset
 	// and installs them for /v1/predict.
 	Train bool `json:"train,omitempty"`
+}
+
+// mode canonicalizes the wire mode name.
+func (s JobSpec) mode() (string, error) {
+	switch s.Mode {
+	case "", "sweep":
+		return "sweep", nil
+	case "adaptive":
+		return "adaptive", nil
+	}
+	return "", fmt.Errorf("unknown mode %q (want sweep or adaptive)", s.Mode)
 }
 
 // proto maps the wire name to the protocol enum.
@@ -89,6 +122,17 @@ func (s JobSpec) Hash() string {
 	if canon.Proto == "" {
 		canon.Proto = "standard"
 	}
+	// Mode "sweep" canonicalizes to "" so pre-mode specs keep their
+	// hashes; adaptive specs normalize a nil tuning block to its zero
+	// value (same planner defaults ⇒ same deterministic result).
+	if canon.Mode == "sweep" {
+		canon.Mode = ""
+	}
+	if canon.Mode == "" {
+		canon.Adaptive = nil
+	} else if canon.Adaptive == nil {
+		canon.Adaptive = &AdaptiveSpec{}
+	}
 	if canon.Sampling.Default {
 		d := sim.DefaultSampling
 		canon.Sampling = SamplingSpec{
@@ -105,6 +149,21 @@ func (s JobSpec) Hash() string {
 	return fmt.Sprintf("%016x", h)
 }
 
+// AdaptiveResult summarizes a planned sweep: how the budget was spent
+// and what predicted accuracy it bought. Curve is the full
+// error-vs-budget trajectory, one step per planner round.
+type AdaptiveResult struct {
+	Promotions       int         `json:"promotions"`
+	PredictedMaxErr  float64     `json:"predictedMaxErr"`
+	ProbeAccesses    uint64      `json:"probeAccesses"`
+	ExactAccesses    uint64      `json:"exactAccesses"`
+	CostAccesses     uint64      `json:"costAccesses"`
+	FullCostAccesses uint64      `json:"fullCostAccesses"`
+	CostRatio        float64     `json:"costRatio"`
+	Stopped          string      `json:"stopped"`
+	Curve            []plan.Step `json:"curve"`
+}
+
 // JobResult is a finished sweep's dataset in API form.
 type JobResult struct {
 	Workload         string       `json:"workload"`
@@ -114,6 +173,8 @@ type JobResult struct {
 	Sample1G         pmu.Sample   `json:"sample1G"`
 	MeasuredAccesses uint64       `json:"measuredAccesses,omitempty"`
 	TotalAccesses    uint64       `json:"totalAccesses,omitempty"`
+	// Adaptive is set for mode "adaptive" jobs.
+	Adaptive *AdaptiveResult `json:"adaptive,omitempty"`
 }
 
 // resultFromDataset converts the pipeline's dataset.
@@ -129,13 +190,16 @@ func resultFromDataset(ds *experiment.Dataset) *JobResult {
 	}
 }
 
-// JobProgress is the live view of a running job.
+// JobProgress is the live view of a running job. For adaptive jobs,
+// Curve streams the planner's error-vs-budget trajectory as rounds
+// complete, so pollers watch predicted error fall against spend.
 type JobProgress struct {
-	Stage   string  `json:"stage,omitempty"`
-	Done    int     `json:"done"`
-	Total   int     `json:"total"`
-	ETA     string  `json:"eta,omitempty"`
-	Percent float64 `json:"percent"`
+	Stage   string      `json:"stage,omitempty"`
+	Done    int         `json:"done"`
+	Total   int         `json:"total"`
+	ETA     string      `json:"eta,omitempty"`
+	Percent float64     `json:"percent"`
+	Curve   []plan.Step `json:"curve,omitempty"`
 }
 
 // StageTimeView is one pipeline stage's aggregate wall time for the job.
@@ -169,8 +233,10 @@ var ErrQueueFull = errors.New("serve: job queue full")
 var ErrUnknownJob = errors.New("serve: unknown job")
 
 // JobExecutor runs one job's sweep. The production executor builds an
-// experiment pipeline; tests inject stubs.
-type JobExecutor func(ctx context.Context, spec JobSpec, onProgress func(sim.Progress)) (*JobResult, []StageTimeView, error)
+// experiment pipeline; tests inject stubs. onCurve, non-nil, receives
+// adaptive planner steps as they happen (sweep-mode executions never
+// call it).
+type JobExecutor func(ctx context.Context, spec JobSpec, onProgress func(sim.Progress), onCurve func(plan.Step)) (*JobResult, []StageTimeView, error)
 
 // JobManager owns the queue, worker pool, job table, and result cache.
 type JobManager struct {
@@ -260,6 +326,9 @@ func (m *JobManager) Submit(spec JobSpec) (*Job, error) {
 	if _, err := spec.proto(); err != nil {
 		return nil, err
 	}
+	if _, err := spec.mode(); err != nil {
+		return nil, err
+	}
 	hash := spec.Hash()
 
 	m.mu.Lock()
@@ -344,7 +413,12 @@ func (m *JobManager) execute(job *Job) {
 		}
 		m.mu.Unlock()
 	}
-	res, stages, err := m.run(ctx, job.Spec, onProgress)
+	onCurve := func(s plan.Step) {
+		m.mu.Lock()
+		job.Progress.Curve = append(job.Progress.Curve, s)
+		m.mu.Unlock()
+	}
+	res, stages, err := m.run(ctx, job.Spec, onProgress, onCurve)
 	elapsed := m.clock().Sub(start)
 	m.jobSeconds.Observe(elapsed)
 
@@ -477,6 +551,9 @@ func (j *Job) snapshot() *Job {
 	c.ctx = nil
 	if j.StageTimes != nil {
 		c.StageTimes = append([]StageTimeView{}, j.StageTimes...)
+	}
+	if j.Progress.Curve != nil {
+		c.Progress.Curve = append([]plan.Step{}, j.Progress.Curve...)
 	}
 	return &c
 }

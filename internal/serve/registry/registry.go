@@ -124,9 +124,11 @@ func (r *Registry) pairPath(workload, platform string) string {
 
 // Train fits the named models (nil/empty = every registry model) on the
 // dataset's samples, installs them for serving, and — when the registry is
-// disk-backed — persists the pair atomically.
+// disk-backed — persists the pair atomically. Models that cannot be fitted
+// on this dataset (e.g. prior models lacking baseline anchors on a partial
+// dataset) are skipped; Train fails only when no model trains at all.
 func (r *Registry) Train(ds *experiment.Dataset, names []string) error {
-	trained, err := ds.TrainModels(names)
+	trained, _, err := ds.TrainModels(names)
 	if err != nil {
 		return err
 	}

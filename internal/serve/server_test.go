@@ -17,6 +17,7 @@ import (
 
 	"mosaic/internal/arch"
 	"mosaic/internal/experiment"
+	"mosaic/internal/plan"
 	"mosaic/internal/pmu"
 	"mosaic/internal/serve/registry"
 	"mosaic/internal/sim"
@@ -58,7 +59,7 @@ func trainedRegistry(t testing.TB) *registry.Registry {
 // stubExecutor returns canned results after an optional delay, honoring
 // cancellation.
 func stubExecutor(delay time.Duration) JobExecutor {
-	return func(ctx context.Context, spec JobSpec, onProgress func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+	return func(ctx context.Context, spec JobSpec, onProgress func(sim.Progress), _ func(plan.Step)) (*JobResult, []StageTimeView, error) {
 		if onProgress != nil {
 			onProgress(sim.Progress{Stage: "replay", Done: 1, Total: 2})
 		}
@@ -268,7 +269,7 @@ func TestJobResultConflict(t *testing.T) {
 // opening up lets later submissions through.
 func TestQueueOverflow(t *testing.T) {
 	block := make(chan struct{})
-	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress), _ func(plan.Step)) (*JobResult, []StageTimeView, error) {
 		select {
 		case <-block:
 		case <-ctx.Done():
@@ -309,7 +310,7 @@ func TestQueueOverflow(t *testing.T) {
 func TestDrain(t *testing.T) {
 	started := make(chan struct{}, 8)
 	var finished atomic.Int64
-	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress), _ func(plan.Step)) (*JobResult, []StageTimeView, error) {
 		started <- struct{}{}
 		time.Sleep(50 * time.Millisecond)
 		finished.Add(1)
@@ -357,7 +358,7 @@ func TestDrain(t *testing.T) {
 // cancellation into the executor and the job reaches canceled.
 func TestCancelRunningJob(t *testing.T) {
 	entered := make(chan struct{})
-	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+	var exec JobExecutor = func(ctx context.Context, spec JobSpec, _ func(sim.Progress), _ func(plan.Step)) (*JobResult, []StageTimeView, error) {
 		close(entered)
 		<-ctx.Done()
 		return nil, nil, ctx.Err()
@@ -519,7 +520,7 @@ func TestGoldenJobVsCollectAll(t *testing.T) {
 	exec := &SweepExecutor{}
 	res, stages, err := exec.Run(context.Background(), JobSpec{
 		Workload: "gups/8GB", Platform: "SandyBridge", Proto: "quick",
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -642,7 +643,7 @@ func TestJobManagerGoldenCachedResultIsSameObject(t *testing.T) {
 	var runs atomic.Int64
 	m := NewJobManager(JobManagerConfig{
 		Workers: 1, QueueDepth: 4,
-		Run: func(ctx context.Context, spec JobSpec, _ func(sim.Progress)) (*JobResult, []StageTimeView, error) {
+		Run: func(ctx context.Context, spec JobSpec, _ func(sim.Progress), _ func(plan.Step)) (*JobResult, []StageTimeView, error) {
 			runs.Add(1)
 			return &JobResult{Workload: spec.Workload}, nil, nil
 		},
@@ -737,5 +738,128 @@ func TestRegistryReloadServesNewPair(t *testing.T) {
 	}
 	if resp, b := postJSON(t, ts.URL+"/v1/predict", body); resp.StatusCode != 200 {
 		t.Fatalf("pair not served after reload: %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestAdaptiveJobE2E: a mode-"adaptive" job through the real executor —
+// the planner's error-vs-budget curve must stream into job progress,
+// land in the result, and the content-addressed cache must serve an
+// identical resubmission instantly.
+func TestAdaptiveJobE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline sweep")
+	}
+	exec := &SweepExecutor{TraceDir: t.TempDir()}
+	_, ts := newTestServer(t, ServerConfig{Executor: exec.Run, PoolIdle: exec.PoolIdle})
+
+	spec := `{"workload":"gups/8GB","platform":"SandyBridge","proto":"quick","mode":"adaptive","adaptive":{"budget":2}}`
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	var done Job
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &done)
+		if done.State == JobDone {
+			break
+		}
+		if done.State == JobFailed || done.State == JobCanceled {
+			t.Fatalf("job reached %s: %s", done.State, done.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("adaptive job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(done.Progress.Curve) == 0 {
+		t.Error("finished adaptive job exposes no planner curve in progress")
+	}
+
+	var res JobResult
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/result", &res); resp.StatusCode != 200 {
+		t.Fatalf("result: %d", resp.StatusCode)
+	}
+	ad := res.Adaptive
+	if ad == nil {
+		t.Fatal("adaptive job result has no adaptive summary")
+	}
+	if len(ad.Curve) == 0 || len(ad.Curve) != len(done.Progress.Curve) {
+		t.Errorf("result curve has %d steps, progress streamed %d", len(ad.Curve), len(done.Progress.Curve))
+	}
+	if ad.Promotions == 0 || ad.Promotions > 2+2 { // budget 2 + the 4KB/2MB anchors
+		t.Errorf("promotions %d outside (0, budget+anchors]", ad.Promotions)
+	}
+	if ad.CostAccesses == 0 || ad.FullCostAccesses == 0 || ad.CostAccesses >= ad.FullCostAccesses {
+		t.Errorf("cost accounting broken: spent %d of %d", ad.CostAccesses, ad.FullCostAccesses)
+	}
+	if ad.Stopped == "" {
+		t.Error("no stop reason recorded")
+	}
+	if len(res.Samples) == 0 || res.MeasuredAccesses != ad.CostAccesses {
+		t.Errorf("dataset: %d samples, measured %d want %d", len(res.Samples), res.MeasuredAccesses, ad.CostAccesses)
+	}
+
+	// Identical spec → result cache hit, completes instantly with 200.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, body)
+	}
+	var again Job
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.State != JobDone {
+		t.Errorf("resubmitted adaptive spec missed the cache: hit=%v state=%s", again.CacheHit, again.State)
+	}
+
+	// Adaptive jobs and plain sweeps of the same pair hash apart.
+	if (JobSpec{Workload: "gups/8GB", Platform: "SandyBridge", Proto: "quick"}).Hash() ==
+		(JobSpec{Workload: "gups/8GB", Platform: "SandyBridge", Proto: "quick", Mode: "adaptive"}).Hash() {
+		t.Error("adaptive and sweep specs share a hash")
+	}
+}
+
+// TestAdaptiveJobCancel: canceling a running adaptive job reaches the
+// canceled state — the planner honors context cancellation between
+// measurement batches.
+func TestAdaptiveJobCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline sweep")
+	}
+	exec := &SweepExecutor{TraceDir: t.TempDir(), Parallelism: 1}
+	_, ts := newTestServer(t, ServerConfig{Executor: exec.Run})
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"workload":"spec06/mcf","platform":"Broadwell","mode":"adaptive"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("cancel: %v %d", err, resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var polled Job
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &polled)
+		if polled.State == JobCanceled {
+			break
+		}
+		if polled.State == JobDone || polled.State == JobFailed {
+			t.Fatalf("canceled job reached %s", polled.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancellation never landed")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

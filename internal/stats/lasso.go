@@ -140,6 +140,20 @@ func (f *LassoFit) Predict(x []float64) float64 {
 	return sum
 }
 
+// Contributions returns each term's additive contribution — coefficient
+// times expanded feature — to Predict(x), in Terms order; the slice sums
+// to Predict(x). The adaptive sweep planner compares per-term
+// contributions across K-fold refits to measure where the fitted surface
+// is unstable.
+func (f *LassoFit) Contributions(x []float64) []float64 {
+	feats := Expand(f.scaler.TransformRow(x), f.Terms)
+	out := make([]float64, len(f.Coefs))
+	for i, c := range f.Coefs {
+		out[i] = c * feats[i]
+	}
+	return out
+}
+
 // NonzeroCoefs counts non-bias coefficients above tol in magnitude.
 func (f *LassoFit) NonzeroCoefs(tol float64) int {
 	n := 0
