@@ -47,6 +47,11 @@ type benchRow struct {
 	// worst pair). Gated absolutely against adaptiveCostCap, not
 	// relatively: the ratio is a contract, not a trend.
 	AdaptiveCostRatio float64 `json:"adaptive_cost_ratio,omitempty"`
+	// ClusterSpeedup is the distributed sweep fabric's 2-worker wall time
+	// advantage over the same sweep on 1 worker (BENCH_cluster.json). Like
+	// WindowedSpeedup it is bounded by Cores — a 1-core host records the
+	// fabric's coordination overhead (< 1×) honestly.
+	ClusterSpeedup float64 `json:"cluster_speedup,omitempty"`
 }
 
 // regressionTol is the gate: a tracked metric may degrade by at most this
@@ -173,6 +178,7 @@ func checkRegression(rows []benchRow) []string {
 			}{
 				{"sampled replay speedup", prev.SampledSpeedup, cur.SampledSpeedup, false},
 				{"windowed replay speedup", prev.WindowedSpeedup, cur.WindowedSpeedup, true},
+				{"cluster sweep speedup", prev.ClusterSpeedup, cur.ClusterSpeedup, true},
 			} {
 				if m.prev <= 0 || m.cur <= 0 || (m.coresBound && !comparable) {
 					continue
@@ -225,6 +231,7 @@ func historySeries(rows []benchRow) []report.TrajectorySeries {
 		{"trace load", "ms", func(r benchRow) float64 { return r.TraceLoadMs }},
 		{"predict p99 latency", "ms", func(r benchRow) float64 { return r.PredictP99Ms }},
 		{"adaptive sweep cost ratio", "", func(r benchRow) float64 { return r.AdaptiveCostRatio }},
+		{"cluster sweep speedup", "x", func(r benchRow) float64 { return r.ClusterSpeedup }},
 	}
 	var out []report.TrajectorySeries
 	for _, m := range metrics {

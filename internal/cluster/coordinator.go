@@ -1,0 +1,565 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mosaic/internal/sim"
+)
+
+// Coordinator owns the fleet: registered workers, the shard queue, and the
+// per-sweep merge state. One coordinator instance lives inside the serving
+// daemon; workers talk to it over the /cluster HTTP surface (http.go), and
+// the serving layer's job executor submits sweeps and waits on their
+// handles.
+//
+// Every mutating entry point first expires stale leases, so worker death
+// is detected lazily — on the next lease, heartbeat, or completion from
+// any live worker — without a background janitor goroutine. Determinism
+// makes the retry policy simple: a shard may run twice (its original
+// worker may finish after its lease expired), and whichever complete
+// lands first wins, because both carry identical bytes.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	jobs    map[string]*sweepJob
+	shards  map[string]*shard // shard key → shard, across all live jobs
+	queue   []string          // pending shard keys, FIFO
+	seq     uint64            // job and worker id sequencing
+
+	retried   uint64 // shards requeued after lease expiry or failure
+	merges    uint64
+	mergeNano int64
+}
+
+// CoordinatorConfig tunes the fleet protocol.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a leased shard may go without a heartbeat
+	// before it returns to the queue (default 15s).
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times one shard may be requeued before
+	// its job fails (default 3).
+	MaxRetries int
+	// ShardLayouts is the layout-batch size per shard; 0 sizes shards
+	// automatically from the fleet capacity at submit time.
+	ShardLayouts int
+	// Clock overrides the wall clock (tests); nil uses time.Now.
+	Clock func() time.Time
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	capacity int
+	lastSeen time.Time
+}
+
+// shardStatus is a shard's lifecycle phase.
+type shardStatus int
+
+const (
+	shardPending shardStatus = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one leased unit of a sweep.
+type shard struct {
+	spec    ShardSpec
+	status  shardStatus
+	worker  string
+	expiry  time.Time
+	retries int
+	// doneLayouts is the live in-shard progress a worker heartbeats.
+	doneLayouts int
+	result      *ShardResult
+}
+
+// sweepJob tracks one submitted sweep until its merge completes.
+type sweepJob struct {
+	id     string
+	spec   SweepSpec
+	shards []*shard // in ascending layout order (== sorted shard-key order)
+
+	remaining  int
+	canceled   bool
+	err        error
+	results    []LayoutResult // merged, set before done closes
+	done       chan struct{}
+	onProgress func(done, total int)
+}
+
+// SweepSpec describes one sweep to decompose: the pair, its protocol name,
+// the resolved sampling fidelity, and the total number of protocol layouts
+// (including the 1GB validation point) the coordinator shards over.
+type SweepSpec struct {
+	// Job is a caller-chosen identity (the serving layer uses the job
+	// spec's content hash); the coordinator suffixes it with a sequence
+	// number so resubmissions never alias.
+	Job      string
+	Workload string
+	Platform string
+	Proto    string
+	Sampling sim.Sampling
+	// Layouts is the total protocol layout count to decompose.
+	Layouts int
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]*workerState),
+		jobs:    make(map[string]*sweepJob),
+		shards:  make(map[string]*shard),
+	}
+}
+
+// wallClock is the default clock.
+//
+//mosvet:timing lease-expiry and liveness bookkeeping; never feeds counters
+func wallClock() time.Time { return time.Now() }
+
+// LeaseTTL reports the configured lease duration (workers derive their
+// heartbeat interval from it).
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+// RegisterReply answers a worker registration.
+type RegisterReply struct {
+	WorkerID    string `json:"workerId"`
+	LeaseTTLMs  int64  `json:"leaseTtlMs"`
+	HeartbeatMs int64  `json:"heartbeatMs"`
+}
+
+// Register adds a worker to the fleet and returns its identity plus the
+// protocol timings it must honor.
+func (c *Coordinator) Register(name string, capacity int) RegisterReply {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	c.seq++
+	w := &workerState{
+		id:       fmt.Sprintf("w-%06d", c.seq),
+		name:     name,
+		capacity: capacity,
+		lastSeen: c.cfg.Clock(),
+	}
+	c.workers[w.id] = w
+	return RegisterReply{
+		WorkerID:    w.id,
+		LeaseTTLMs:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMs: (c.cfg.LeaseTTL / 3).Milliseconds(),
+	}
+}
+
+// HeartbeatReply answers a worker heartbeat.
+type HeartbeatReply struct {
+	// Abandon tells the worker to stop executing the heartbeated shard:
+	// its job was canceled, or its lease expired and moved elsewhere.
+	Abandon bool `json:"abandon,omitempty"`
+}
+
+// Heartbeat marks a worker live, renews its lease on the given shard (if
+// it still holds it), and records the shard's in-flight layout progress.
+// An empty shard key is a pure liveness ping.
+func (c *Coordinator) Heartbeat(workerID, shardKey string, doneLayouts int) HeartbeatReply {
+	var notify func()
+	c.mu.Lock()
+	c.expireLocked()
+	now := c.cfg.Clock()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = now
+	}
+	var reply HeartbeatReply
+	if shardKey != "" {
+		sh, ok := c.shards[shardKey]
+		switch {
+		case !ok:
+			reply.Abandon = true // job canceled or long gone
+		case sh.status == shardLeased && sh.worker == workerID:
+			sh.expiry = now.Add(c.cfg.LeaseTTL)
+			if doneLayouts > sh.doneLayouts {
+				sh.doneLayouts = doneLayouts
+				notify = c.progressLocked(sh.spec.Job)
+			}
+		case sh.status == shardDone:
+			// Completed by someone (possibly a retry); nothing to abandon —
+			// the worker is about to complete and the duplicate is dropped.
+		default:
+			reply.Abandon = sh.worker != workerID
+		}
+	}
+	c.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return reply
+}
+
+// Lease hands the next pending shard to a worker. ok is false when the
+// queue is empty.
+func (c *Coordinator) Lease(workerID string) (spec ShardSpec, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	now := c.cfg.Clock()
+	if w, found := c.workers[workerID]; found {
+		w.lastSeen = now
+	}
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		sh, found := c.shards[key]
+		if !found || sh.status != shardPending {
+			continue // canceled job or re-leased already
+		}
+		sh.status = shardLeased
+		sh.worker = workerID
+		sh.expiry = now.Add(c.cfg.LeaseTTL)
+		return sh.spec, true
+	}
+	return ShardSpec{}, false
+}
+
+// Complete records a finished shard. Duplicates (a retried shard's
+// original worker finishing late) are dropped silently — determinism makes
+// them byte-identical, so first-wins is safe. The final shard of a job
+// triggers the merge.
+func (c *Coordinator) Complete(workerID string, res *ShardResult) error {
+	var notify func()
+	c.mu.Lock()
+	c.expireLocked()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = c.cfg.Clock()
+	}
+	sh, ok := c.shards[res.Key]
+	if !ok {
+		c.mu.Unlock()
+		return nil // canceled job; drop
+	}
+	if sh.status == shardDone {
+		c.mu.Unlock()
+		return nil // duplicate completion; first wins
+	}
+	if res.Lo != sh.spec.Lo || res.Hi != sh.spec.Hi || len(res.Results) != sh.spec.Hi-sh.spec.Lo {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: shard %s result spans [%d, %d) with %d entries, want [%d, %d)",
+			res.Key, res.Lo, res.Hi, len(res.Results), sh.spec.Lo, sh.spec.Hi)
+	}
+	sh.status = shardDone
+	sh.result = res
+	sh.doneLayouts = sh.spec.Hi - sh.spec.Lo
+	job := c.jobs[res.Job]
+	if job != nil {
+		job.remaining--
+		if job.remaining == 0 {
+			c.mergeLocked(job)
+		} else {
+			notify = c.progressLocked(res.Job)
+		}
+	}
+	c.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return nil
+}
+
+// Fail reports a shard execution error from a worker. The shard is
+// requeued (another worker may succeed — e.g. the failure was a local
+// resource problem) until MaxRetries, when the whole job fails.
+func (c *Coordinator) Fail(workerID, shardKey, msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	sh, ok := c.shards[shardKey]
+	if !ok || sh.status != shardLeased || sh.worker != workerID {
+		return // stale report
+	}
+	c.requeueLocked(sh, fmt.Errorf("cluster: shard %s failed on %s: %s", shardKey, workerID, msg))
+}
+
+// expireLocked returns timed-out leases to the queue and prunes workers
+// that have not been seen for several lease lifetimes. Callers hold c.mu.
+//
+//mosvet:timing lease-expiry scan; scheduling only, results are unaffected
+func (c *Coordinator) expireLocked() {
+	now := c.cfg.Clock()
+	var expired []string
+	for key, sh := range c.shards {
+		if sh.status == shardLeased && now.After(sh.expiry) {
+			expired = append(expired, key)
+		}
+	}
+	// Deterministic requeue order (maporder: map iteration must never
+	// decide output ordering — here it would decide retry order).
+	sort.Strings(expired)
+	for _, key := range expired {
+		sh := c.shards[key]
+		c.requeueLocked(sh, fmt.Errorf("cluster: shard %s lease expired on %s after %d retries",
+			key, sh.worker, sh.retries))
+	}
+	cutoff := now.Add(-4 * c.cfg.LeaseTTL)
+	for id, w := range c.workers {
+		if w.lastSeen.Before(cutoff) {
+			delete(c.workers, id)
+		}
+	}
+}
+
+// requeueLocked puts a leased shard back on the queue, or fails its job
+// once the retry budget is spent. Callers hold c.mu.
+func (c *Coordinator) requeueLocked(sh *shard, cause error) {
+	sh.retries++
+	c.retried++
+	if sh.retries > c.cfg.MaxRetries {
+		if job := c.jobs[sh.spec.Job]; job != nil {
+			c.finishLocked(job, nil, fmt.Errorf("cluster: job %s: shard retry budget exhausted: %w", job.id, cause))
+		}
+		return
+	}
+	sh.status = shardPending
+	sh.worker = ""
+	sh.doneLayouts = 0
+	c.queue = append(c.queue, sh.spec.Key)
+}
+
+// progressLocked builds the job's progress notification (run after the
+// lock drops, so callbacks can take their own locks). Callers hold c.mu.
+func (c *Coordinator) progressLocked(jobID string) func() {
+	job := c.jobs[jobID]
+	if job == nil || job.onProgress == nil {
+		return nil
+	}
+	done := 0
+	for _, sh := range job.shards {
+		done += sh.doneLayouts
+	}
+	total := job.spec.Layouts
+	cb := job.onProgress
+	return func() { cb(done, total) }
+}
+
+// mergeLocked assembles a completed job's per-layout results in sorted
+// shard-key order — never map iteration — and wakes its waiter. Callers
+// hold c.mu.
+//
+//mosvet:timing merge latency is an observability metric; the merged bytes
+// are position-determined and clock-free
+func (c *Coordinator) mergeLocked(job *sweepJob) {
+	start := c.cfg.Clock()
+	ordered := make([]*shard, len(job.shards))
+	copy(ordered, job.shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].spec.Key < ordered[j].spec.Key })
+	merged := make([]LayoutResult, job.spec.Layouts)
+	for _, sh := range ordered {
+		copy(merged[sh.spec.Lo:sh.spec.Hi], sh.result.Results)
+	}
+	c.merges++
+	c.mergeNano += c.cfg.Clock().Sub(start).Nanoseconds()
+	c.finishLocked(job, merged, nil)
+}
+
+// finishLocked moves a job to its terminal state and forgets its shards.
+// Callers hold c.mu.
+func (c *Coordinator) finishLocked(job *sweepJob, results []LayoutResult, err error) {
+	if job.results != nil || job.err != nil || job.canceled {
+		return // already terminal
+	}
+	job.results = results
+	job.err = err
+	if err != nil {
+		job.canceled = true
+	}
+	for _, sh := range job.shards {
+		delete(c.shards, sh.spec.Key)
+	}
+	delete(c.jobs, job.id)
+	close(job.done)
+}
+
+// Sweep is the waitable handle Submit returns.
+type Sweep struct {
+	c   *Coordinator
+	job *sweepJob
+	// ID is the coordinator's job identity (shard keys embed it).
+	ID string
+}
+
+// Submit decomposes a sweep into layout-batch shards and queues them. The
+// shard size is ShardLayouts, or — when 0 — the span that splits the
+// protocol evenly over roughly 2× the fleet's live capacity, so the queue
+// stays deep enough to keep every worker busy while shards remain coarse
+// enough to amortize per-shard setup. onProgress, when non-nil, receives
+// (completed layouts, total layouts) as heartbeats and completions land.
+func (c *Coordinator) Submit(spec SweepSpec, onProgress func(done, total int)) (*Sweep, error) {
+	if spec.Layouts <= 0 {
+		return nil, fmt.Errorf("cluster: sweep %q has no layouts to shard", spec.Job)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	c.seq++
+	id := fmt.Sprintf("%s-%06d", spec.Job, c.seq)
+	span := c.cfg.ShardLayouts
+	if span <= 0 {
+		slots := 2 * c.capacityLocked()
+		if slots < 1 {
+			slots = 1
+		}
+		span = (spec.Layouts + slots - 1) / slots
+	}
+	job := &sweepJob{
+		id:         id,
+		spec:       spec,
+		remaining:  0,
+		done:       make(chan struct{}),
+		onProgress: onProgress,
+	}
+	for lo := 0; lo < spec.Layouts; lo += span {
+		hi := min(lo+span, spec.Layouts)
+		sh := &shard{
+			spec: ShardSpec{
+				Key:      fmt.Sprintf("%s/%05d-%05d", id, lo, hi),
+				Job:      id,
+				Workload: spec.Workload,
+				Platform: spec.Platform,
+				Proto:    spec.Proto,
+				Sampling: spec.Sampling,
+				Lo:       lo,
+				Hi:       hi,
+			},
+			status: shardPending,
+		}
+		job.shards = append(job.shards, sh)
+		c.shards[sh.spec.Key] = sh
+		c.queue = append(c.queue, sh.spec.Key)
+		job.remaining++
+	}
+	c.jobs[id] = job
+	return &Sweep{c: c, job: job, ID: id}, nil
+}
+
+// Wait blocks until the sweep merges, fails, or ctx is done. A done ctx
+// cancels the sweep: pending shards are dropped, and late completions from
+// workers are discarded.
+func (s *Sweep) Wait(ctx context.Context) ([]LayoutResult, error) {
+	select {
+	case <-s.job.done:
+	case <-ctx.Done():
+		s.Cancel()
+		return nil, ctx.Err()
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.job.err != nil {
+		return nil, s.job.err
+	}
+	return s.job.results, nil
+}
+
+// Cancel drops the sweep: its pending shards leave the queue and in-flight
+// workers are told to abandon on their next heartbeat.
+func (s *Sweep) Cancel() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.finishLocked(s.job, nil, context.Canceled)
+}
+
+// capacityLocked sums live workers' shard capacity. Callers hold c.mu.
+func (c *Coordinator) capacityLocked() int {
+	now := c.cfg.Clock()
+	cutoff := now.Add(-2 * c.cfg.LeaseTTL)
+	n := 0
+	for _, w := range c.workers {
+		if !w.lastSeen.Before(cutoff) {
+			n += w.capacity
+		}
+	}
+	return n
+}
+
+// LiveWorkers counts workers seen within two lease lifetimes — the fleet
+// gauge, and the signal the serving layer uses to route sweeps through the
+// fabric instead of executing locally.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	cutoff := now.Add(-2 * c.cfg.LeaseTTL)
+	n := 0
+	for _, w := range c.workers {
+		if !w.lastSeen.Before(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity sums live workers' concurrent-shard capacity — the saturation
+// model's fleet-capacity input.
+func (c *Coordinator) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacityLocked()
+}
+
+// ShardsPending reports queued shards (a fleet gauge).
+func (c *Coordinator) ShardsPending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sh := range c.shards {
+		if sh.status == shardPending {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardsLeased reports shards currently executing (a fleet gauge).
+func (c *Coordinator) ShardsLeased() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sh := range c.shards {
+		if sh.status == shardLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardsRetried reports total shard requeues (lease expiry + failures) —
+// a monotonic fleet counter.
+func (c *Coordinator) ShardsRetried() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retried
+}
+
+// MergeStats reports completed merges and their cumulative wall time, for
+// the merge-latency metrics pair (total seconds / count = mean latency).
+func (c *Coordinator) MergeStats() (merges uint64, totalSeconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merges, float64(c.mergeNano) / 1e9
+}

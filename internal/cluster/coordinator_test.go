@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic lease tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testCoordinator(clk *fakeClock, shardLayouts int) *Coordinator {
+	return NewCoordinator(CoordinatorConfig{
+		LeaseTTL:     10 * time.Second,
+		MaxRetries:   3,
+		ShardLayouts: shardLayouts,
+		Clock:        clk.Now,
+	})
+}
+
+// resultFor fabricates a deterministic shard result for a spec: counters
+// are a function of the layout index, so merge-order mistakes surface as
+// value mismatches.
+func resultFor(spec ShardSpec) *ShardResult {
+	res := &ShardResult{Key: spec.Key, Job: spec.Job, Lo: spec.Lo, Hi: spec.Hi}
+	for i := spec.Lo; i < spec.Hi; i++ {
+		lr := LayoutResult{Layout: fmt.Sprintf("L%03d", i)}
+		for j, w := range counterWords(&lr.Result) {
+			*w = uint64(100000*i + j)
+		}
+		res.Results = append(res.Results, lr)
+	}
+	return res
+}
+
+func TestSubmitShardsAndMergesInOrder(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 4)
+	reg := c.Register("w1", 1)
+
+	sweep, err := c.Submit(SweepSpec{Job: "j", Workload: "w", Platform: "p", Layouts: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ShardsPending(); got != 3 { // ceil(10/4)
+		t.Fatalf("pending shards = %d, want 3", got)
+	}
+
+	// Drain the queue, completing shards in reverse lease order to prove
+	// the merge sorts by shard key rather than completion order.
+	var specs []ShardSpec
+	for {
+		spec, ok := c.Lease(reg.WorkerID)
+		if !ok {
+			break
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("leased %d shards, want 3", len(specs))
+	}
+	for i := len(specs) - 1; i >= 0; i-- {
+		if err := c.Complete(reg.WorkerID, resultFor(specs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, err := sweep.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 10 {
+		t.Fatalf("merged %d layouts, want 10", len(merged))
+	}
+	for i, lr := range merged {
+		if want := fmt.Sprintf("L%03d", i); lr.Layout != want {
+			t.Fatalf("merged[%d].Layout = %q, want %q", i, lr.Layout, want)
+		}
+		words := counterWords(&merged[i].Result)
+		if *words[0] != uint64(100000*i) {
+			t.Fatalf("merged[%d] counters out of order: R = %d", i, *words[0])
+		}
+	}
+	if merges, _ := c.MergeStats(); merges != 1 {
+		t.Fatalf("merges = %d, want 1", merges)
+	}
+}
+
+func TestLeaseExpiryRequeuesShard(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	dead := c.Register("dead", 1)
+	live := c.Register("live", 1)
+
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := c.Lease(dead.WorkerID)
+	if !ok {
+		t.Fatal("no shard leased")
+	}
+	// The dead worker goes silent; the live worker keeps heartbeating.
+	clk.Advance(6 * time.Second)
+	c.Heartbeat(live.WorkerID, "", 0)
+	if _, ok := c.Lease(live.WorkerID); ok {
+		t.Fatal("shard re-leased before the TTL expired")
+	}
+	clk.Advance(6 * time.Second) // 12s total > 10s TTL
+	spec2, ok := c.Lease(live.WorkerID)
+	if !ok {
+		t.Fatal("expired shard was not requeued")
+	}
+	if spec2.Key != spec.Key {
+		t.Fatalf("requeued shard %q, want %q", spec2.Key, spec.Key)
+	}
+	if got := c.ShardsRetried(); got != 1 {
+		t.Fatalf("ShardsRetried = %d, want 1", got)
+	}
+
+	// The original worker completing late is a harmless duplicate after
+	// the live worker finishes.
+	if err := c.Complete(live.WorkerID, resultFor(spec2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(dead.WorkerID, resultFor(spec)); err != nil {
+		t.Fatalf("late duplicate completion errored: %v", err)
+	}
+	if merged, err := sweep.Wait(context.Background()); err != nil || len(merged) != 5 {
+		t.Fatalf("Wait = (%d results, %v), want 5, nil", len(merged), err)
+	}
+}
+
+func TestRetryBudgetFailsJob(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	reg := c.Register("flaky", 1)
+
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // MaxRetries=3: the 4th requeue kills the job
+		spec, ok := c.Lease(reg.WorkerID)
+		if !ok {
+			t.Fatalf("round %d: nothing to lease", i)
+		}
+		c.Fail(reg.WorkerID, spec.Key, "simulated crash")
+	}
+	_, err = sweep.Wait(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("Wait error = %v, want retry-budget failure", err)
+	}
+	if got := c.ShardsPending() + c.ShardsLeased(); got != 0 {
+		t.Fatalf("failed job left %d shards behind", got)
+	}
+}
+
+func TestHeartbeatAbandonsCanceledShard(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	reg := c.Register("w", 1)
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := c.Lease(reg.WorkerID)
+	if !ok {
+		t.Fatal("no shard leased")
+	}
+	sweep.Cancel()
+	if reply := c.Heartbeat(reg.WorkerID, spec.Key, 1); !reply.Abandon {
+		t.Fatal("heartbeat on a canceled job did not signal abandon")
+	}
+	if _, err := sweep.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sweep.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressAggregatesAcrossShards(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 3)
+	reg := c.Register("w", 2)
+
+	var mu sync.Mutex
+	var last [2]int
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 6}, func(done, total int) {
+		mu.Lock()
+		last = [2]int{done, total}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Lease(reg.WorkerID)
+	b, _ := c.Lease(reg.WorkerID)
+	c.Heartbeat(reg.WorkerID, a.Key, 2)
+	c.Heartbeat(reg.WorkerID, b.Key, 1)
+	mu.Lock()
+	got := last
+	mu.Unlock()
+	if got != [2]int{3, 6} {
+		t.Fatalf("progress after heartbeats = %v, want {3 6}", got)
+	}
+	if err := c.Complete(reg.WorkerID, resultFor(a)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got = last
+	mu.Unlock()
+	if got != [2]int{4, 6} { // shard a fully done (3) + shard b progress (1)
+		t.Fatalf("progress after completion = %v, want {4 6}", got)
+	}
+	if err := c.Complete(reg.WorkerID, resultFor(b)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerPruning(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	c.Register("w1", 1)
+	if got := c.LiveWorkers(); got != 1 {
+		t.Fatalf("LiveWorkers = %d, want 1", got)
+	}
+	clk.Advance(21 * time.Second) // > 2×TTL: no longer live
+	if got := c.LiveWorkers(); got != 0 {
+		t.Fatalf("LiveWorkers after silence = %d, want 0", got)
+	}
+	// Auto shard sizing with no live capacity still shards sanely.
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.Cancel()
+}
+
+func TestAutoShardSizing(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 0) // automatic spans
+	c.Register("w1", 1)
+	c.Register("w2", 1)
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sweep.Cancel()
+	// 2 workers × capacity 1 × factor 2 = 4 slots → span ceil(10/4)=3 →
+	// 4 shards keep both workers busy with a queue behind them.
+	if got := c.ShardsPending(); got != 4 {
+		t.Fatalf("auto-sized shards = %d, want 4", got)
+	}
+}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mosaic/internal/arch"
+	"mosaic/internal/experiment"
+	"mosaic/internal/sim"
+	"mosaic/internal/workloads"
+)
+
+// The E2E harness: a real coordinator behind a real HTTP listener, real
+// worker processes-in-goroutines leasing over the wire, and the real
+// replay pipeline underneath. The golden claim — distributed merge ≡
+// single-node CollectAll, bit for bit — is asserted on raw counters
+// (uint64 ==) and on fitted model coefficients (Float64bits of the
+// serialized model state and of predictions).
+
+const (
+	e2eWorkload = "gups/8GB"
+	e2ePlatform = "SandyBridge"
+)
+
+// singleNode measures the golden baseline with a plain single-process
+// sweep and returns the dataset plus the protocol layout count.
+func singleNode(t *testing.T, traceDir string) (*experiment.Dataset, int) {
+	t.Helper()
+	w, err := workloads.ByName(e2eWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := arch.ByName(e2ePlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := experiment.NewRunner()
+	r.Proto = experiment.Quick
+	r.TraceDir = traceDir
+	wd, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := len(r.ProtocolLayouts(wd, plat))
+	dss, err := r.CollectAll([]workloads.Workload{w}, []arch.Platform{plat}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dss[0], layouts
+}
+
+// startWorker runs a worker against the coordinator's URL until the
+// returned cancel fires.
+func startWorker(t *testing.T, url, name, traceDir string, exec ShardExecutor) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		Name:     name,
+		Client:   NewClient(url),
+		Exec:     exec,
+		IdlePoll: 20 * time.Millisecond,
+		Logf:     t.Logf,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return cancel
+}
+
+// assertBitIdentical holds a distributed dataset to the single-node
+// golden: every counter word equal as uint64, every sample equal under
+// Float64bits, and the fitted mosmodel byte-identical in serialized state
+// and in predictions.
+func assertBitIdentical(t *testing.T, got, want *experiment.Dataset) {
+	t.Helper()
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("distributed dataset has %d samples, single-node %d", len(got.Samples), len(want.Samples))
+	}
+	for i, s := range got.Samples {
+		sw := want.Samples[i]
+		if s.Layout != sw.Layout ||
+			math.Float64bits(s.H) != math.Float64bits(sw.H) ||
+			math.Float64bits(s.M) != math.Float64bits(sw.M) ||
+			math.Float64bits(s.C) != math.Float64bits(sw.C) ||
+			math.Float64bits(s.R) != math.Float64bits(sw.R) {
+			t.Fatalf("sample %d differs: distributed %+v single-node %+v", i, s, sw)
+		}
+	}
+	if got.Sample1G != want.Sample1G {
+		t.Fatalf("1GB validation point differs: %+v vs %+v", got.Sample1G, want.Sample1G)
+	}
+	if len(got.Counters) != len(want.Counters) {
+		t.Fatalf("counter maps differ in size: %d vs %d", len(got.Counters), len(want.Counters))
+	}
+	for name, c := range want.Counters {
+		if got.Counters[name] != c { // struct of uint64: exact comparison
+			t.Fatalf("counters for %s differ:\n got %+v\nwant %+v", name, got.Counters[name], c)
+		}
+	}
+	if got.TLBSensitive != want.TLBSensitive {
+		t.Fatalf("TLBSensitive: %v vs %v", got.TLBSensitive, want.TLBSensitive)
+	}
+
+	// Fitted coefficients: training is deterministic, so the serialized
+	// model state (shortest-roundtrip float encoding is injective — byte
+	// equality ⇔ Float64bits equality) and every prediction must match.
+	gm, _, err := got.TrainModels([]string{"mosmodel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _, err := want.TrainModels([]string{"mosmodel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gState, err := json.Marshal(gm["mosmodel"].Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wState, err := json.Marshal(wm["mosmodel"].Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gState) != string(wState) {
+		t.Fatalf("fitted mosmodel state differs:\n got %s\nwant %s", gState, wState)
+	}
+	for _, s := range want.Samples {
+		gp := gm["mosmodel"].Model.Predict(s.H, s.M, s.C)
+		wp := wm["mosmodel"].Model.Predict(s.H, s.M, s.C)
+		if math.Float64bits(gp) != math.Float64bits(wp) {
+			t.Fatalf("prediction for %s differs: %x vs %x", s.Layout, math.Float64bits(gp), math.Float64bits(wp))
+		}
+	}
+}
+
+// runDistributed submits the sweep and assembles the merged results into
+// a dataset, cross-checking merge order against a local protocol plan.
+func runDistributed(t *testing.T, c *Coordinator, layouts int) *experiment.Dataset {
+	t.Helper()
+	sweep, err := c.Submit(SweepSpec{
+		Job:      "e2e",
+		Workload: e2eWorkload,
+		Platform: e2ePlatform,
+		Proto:    "quick",
+		Layouts:  layouts,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	merged, err := sweep.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, _ := workloads.ByName(e2eWorkload)
+	plat, _ := arch.ByName(e2ePlatform)
+	r := experiment.NewRunner()
+	r.Proto = experiment.Quick
+	wd, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lays := r.ProtocolLayouts(wd, plat)
+	if len(lays) != len(merged) {
+		t.Fatalf("merged %d layouts, protocol plans %d", len(merged), len(lays))
+	}
+	res := make([]sim.Result, len(lays))
+	for i, lr := range merged {
+		if lr.Layout != lays[i].Name {
+			t.Fatalf("merge order broken at %d: %q vs planned %q", i, lr.Layout, lays[i].Name)
+		}
+		res[i] = lr.Result
+	}
+	ds, err := experiment.Assemble(e2eWorkload, e2ePlatform, lays, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestDistributedSweepBitIdentical is the tentpole golden: coordinator +
+// two workers over HTTP produce a dataset bit-identical to single-node
+// CollectAll.
+func TestDistributedSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline sweep")
+	}
+	traceDir := t.TempDir()
+	want, layouts := singleNode(t, traceDir)
+
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 5 * time.Second, ShardLayouts: 3})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		startWorker(t, ts.URL, []string{"alpha", "beta"}[i], traceDir,
+			&ExperimentExecutor{TraceDir: traceDir, Parallelism: 1})
+	}
+
+	got := runDistributed(t, c, layouts)
+	assertBitIdentical(t, got, want)
+}
+
+// hangingExecutor signals when a shard starts, then blocks until its
+// context dies — the worker-death stand-in: the shard never completes and
+// never fails cleanly, exactly like a killed process.
+type hangingExecutor struct {
+	started chan string
+}
+
+func (h *hangingExecutor) ExecuteShard(ctx context.Context, spec *ShardSpec, onLayout func(int)) ([]LayoutResult, error) {
+	select {
+	case h.started <- spec.Key:
+	case <-ctx.Done():
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestWorkerDeathMidShardRetry kills a worker mid-shard and proves the
+// job still completes — on the surviving worker, after lease expiry —
+// with results bit-identical to single-node.
+func TestWorkerDeathMidShardRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline sweep")
+	}
+	traceDir := t.TempDir()
+	want, layouts := singleNode(t, traceDir)
+
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 400 * time.Millisecond, ShardLayouts: 2})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	// The doomed worker leases a shard and hangs.
+	hang := &hangingExecutor{started: make(chan string, 1)}
+	killDoomed := startWorker(t, ts.URL, "doomed", traceDir, hang)
+
+	sweep, err := c.Submit(SweepSpec{
+		Job:      "death",
+		Workload: e2eWorkload,
+		Platform: e2ePlatform,
+		Proto:    "quick",
+		Layouts:  layouts,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case key := <-hang.started:
+		t.Logf("doomed worker leased %s; killing it", key)
+	case <-time.After(10 * time.Second):
+		t.Fatal("doomed worker never leased a shard")
+	}
+	killDoomed() // heartbeats stop; the lease must expire and retry
+
+	// The survivor picks up the whole sweep, including the dead worker's
+	// shard once its lease expires.
+	startWorker(t, ts.URL, "survivor", traceDir,
+		&ExperimentExecutor{TraceDir: traceDir, Parallelism: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	merged, err := sweep.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ShardsRetried(); got < 1 {
+		t.Fatalf("ShardsRetried = %d, want ≥ 1 (the killed worker's shard)", got)
+	}
+
+	w, _ := workloads.ByName(e2eWorkload)
+	plat, _ := arch.ByName(e2ePlatform)
+	r := experiment.NewRunner()
+	r.Proto = experiment.Quick
+	wd, err := r.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lays := r.ProtocolLayouts(wd, plat)
+	res := make([]sim.Result, len(lays))
+	for i, lr := range merged {
+		if lr.Layout != lays[i].Name {
+			t.Fatalf("merge order broken at %d: %q vs planned %q", i, lr.Layout, lays[i].Name)
+		}
+		res[i] = lr.Result
+	}
+	got, err := experiment.Assemble(e2eWorkload, e2ePlatform, lays, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, got, want)
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardExecutor runs one shard's layout span and returns per-layout
+// results in span order. onLayout, when non-nil, is called with the count
+// of completed layouts as each one finishes (the worker forwards it in
+// heartbeats). Implementations must be deterministic: the coordinator
+// relies on a retried shard producing byte-identical results on any
+// worker.
+type ShardExecutor interface {
+	ExecuteShard(ctx context.Context, spec *ShardSpec, onLayout func(done int)) ([]LayoutResult, error)
+}
+
+// Worker leases shards from a coordinator and executes them. Run blocks
+// until ctx is done; cancelation is indistinguishable from death to the
+// coordinator (heartbeats stop, leases expire, shards retry elsewhere),
+// which is exactly the failure model the fabric is built around — there
+// is deliberately no graceful-shutdown handshake to get wrong.
+type Worker struct {
+	// Name labels the worker in coordinator logs ("host:pid" by
+	// convention).
+	Name string
+	// Capacity is the number of shards executed concurrently (≥ 1).
+	// Shards already parallelize layouts across the scheduler's worker
+	// budget internally, so 1 is right on dedicated hosts.
+	Capacity int
+	// Client targets the coordinator.
+	Client *Client
+	// Exec runs leased shards.
+	Exec ShardExecutor
+	// IdlePoll is the lease retry interval when the queue is empty
+	// (default 250ms).
+	IdlePoll time.Duration
+	// Logf, when non-nil, receives worker lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Run registers with the coordinator and works the queue until ctx is
+// done. A coordinator that is unreachable at registration is an error;
+// transient errors after that are retried at the idle-poll cadence.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil || w.Exec == nil {
+		return errors.New("cluster: worker needs a Client and an Exec")
+	}
+	capacity := w.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	idle := w.IdlePoll
+	if idle <= 0 {
+		idle = 250 * time.Millisecond
+	}
+	reply, err := w.Client.Register(w.Name, capacity)
+	if err != nil {
+		return fmt.Errorf("cluster: register with coordinator: %w", err)
+	}
+	heartbeat := time.Duration(reply.HeartbeatMs) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = 5 * time.Second
+	}
+	w.logf("worker %s registered as %s (capacity %d, heartbeat %s)", w.Name, reply.WorkerID, capacity, heartbeat)
+
+	var wg sync.WaitGroup
+	for i := 0; i < capacity; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.leaseLoop(ctx, reply.WorkerID, heartbeat, idle)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// leaseLoop is one shard slot: lease, execute, report, repeat.
+func (w *Worker) leaseLoop(ctx context.Context, workerID string, heartbeat, idle time.Duration) {
+	ticker := time.NewTicker(idle)
+	defer ticker.Stop()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		spec, ok, err := w.Client.Lease(workerID)
+		if err != nil {
+			w.logf("worker %s: lease: %v", workerID, err)
+			ok = false
+		}
+		if !ok {
+			// Idle: the lease call itself refreshed liveness, but on a
+			// long-empty queue keep a heartbeat cadence under the poll so
+			// the coordinator never prunes an idle worker.
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			if idle > heartbeat {
+				w.Client.Heartbeat(workerID, "", 0)
+			}
+			continue
+		}
+		w.runShard(ctx, workerID, spec, heartbeat)
+	}
+}
+
+// runShard executes one leased shard, heartbeating its progress, and
+// reports the outcome. Abandon signals from the coordinator (lease moved,
+// job canceled) cancel the execution.
+func (w *Worker) runShard(ctx context.Context, workerID string, spec *ShardSpec, heartbeat time.Duration) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var done atomic.Int64
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			reply, err := w.Client.Heartbeat(workerID, spec.Key, int(done.Load()))
+			if err == nil && reply.Abandon {
+				w.logf("worker %s: shard %s abandoned by coordinator", workerID, spec.Key)
+				cancel()
+				return
+			}
+		}
+	}()
+
+	results, err := w.Exec.ExecuteShard(shardCtx, spec, func(n int) { done.Store(int64(n)) })
+	cancel()
+	hb.Wait()
+
+	switch {
+	case err == nil:
+		res := &ShardResult{Key: spec.Key, Job: spec.Job, Lo: spec.Lo, Hi: spec.Hi, Results: results}
+		if err := w.Client.Complete(workerID, res); err != nil {
+			// The upload failed (coordinator restart, network): the lease
+			// will expire and the shard re-runs deterministically.
+			w.logf("worker %s: complete %s: %v", workerID, spec.Key, err)
+		}
+	case ctx.Err() != nil || shardCtx.Err() != nil && errors.Is(err, context.Canceled):
+		// Shutdown or abandon — say nothing; lease expiry handles it.
+	default:
+		w.logf("worker %s: shard %s failed: %v", workerID, spec.Key, err)
+		w.Client.Fail(workerID, spec.Key, err.Error())
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}

@@ -392,8 +392,7 @@ func (r *Runner) replayBatch(wd *WorkloadData, plat arch.Platform, lays []layout
 // and the sampling plan — and deliberately excludes the window count and
 // position, so checkpoints are shared across -windows values.
 func (r *Runner) checkpointKeys(wd *WorkloadData, plat arch.Platform, lays []layout.Layout, kind string, s sim.Sampling) []string {
-	plan := fmt.Sprintf("p%d-m%d-w%d-q%d",
-		s.Period, s.MeasureLen, s.WarmupLen, s.PrologueLen)
+	plan := s.Key()
 	keys := make([]string, len(lays))
 	for i, lay := range lays {
 		keys[i] = fmt.Sprintf("%s|%d|%s|%s|%s|%s",
@@ -757,26 +756,40 @@ func (r *Runner) ProtocolLayouts(wd *WorkloadData, plat arch.Platform) []layout.
 
 // assemble folds a pair's counters into a Dataset.
 func assemble(pair *pairPlan) (*Dataset, error) {
-	ds := &Dataset{
-		Workload: pair.w.Name(),
-		Platform: pair.plat.Name,
-		Counters: make(map[string]pmu.Counters, len(pair.lays)),
+	return Assemble(pair.w.Name(), pair.plat.Name, pair.lays, pair.res)
+}
+
+// Assemble folds per-layout replay results into a Dataset — CollectAll's
+// final stage, exported so callers that obtain results elsewhere (the
+// distributed sweep fabric merges them from worker shards) produce
+// datasets through the identical code path. lays and res correspond by
+// index and must cover the full protocol including the 1GB validation
+// point.
+func Assemble(workload, platform string, lays []layout.Layout, res []sim.Result) (*Dataset, error) {
+	if len(lays) != len(res) {
+		return nil, fmt.Errorf("experiment: assemble %s@%s: %d layouts but %d results",
+			workload, platform, len(lays), len(res))
 	}
-	for i, lay := range pair.lays {
-		ds.Counters[lay.Name] = pair.res[i].Counters
-		sample := pmu.SampleFrom(lay.Name, pair.res[i].Counters)
+	ds := &Dataset{
+		Workload: workload,
+		Platform: platform,
+		Counters: make(map[string]pmu.Counters, len(lays)),
+	}
+	for i, lay := range lays {
+		ds.Counters[lay.Name] = res[i].Counters
+		sample := pmu.SampleFrom(lay.Name, res[i].Counters)
 		if lay.Name == "1GB" {
 			ds.Sample1G = sample
 		} else {
 			ds.Samples = append(ds.Samples, sample)
 		}
 	}
-	if len(pair.res) > 0 {
+	if len(res) > 0 {
 		// Coverage is layout-independent (the window schedule is positional
 		// over the pair's shared trace), so any layout's record stands for
 		// the dataset.
-		ds.MeasuredAccesses = pair.res[0].MeasuredAccesses
-		ds.TotalAccesses = pair.res[0].TotalAccesses
+		ds.MeasuredAccesses = res[0].MeasuredAccesses
+		ds.TotalAccesses = res[0].TotalAccesses
 	}
 	s4k, ok := ds.Baseline("4KB")
 	if !ok {

@@ -48,12 +48,22 @@ func DefaultConfig() *Config {
 			// a wall-clock or global-rand read would break planned sweeps'
 			// bit-reproducibility.
 			"internal/plan",
+			// The sweep fabric's merge path must stay clock-free: shard
+			// decomposition and merge ordering are part of the bit-identity
+			// claim. Lease expiry and heartbeats are the annotated
+			// //mosvet:timing exceptions — they schedule work, never shape
+			// results.
+			"internal/cluster",
 		},
 		// The serving tier: a lock held across blocking I/O turns one slow
 		// disk or peer into a stalled /v1/predict for every client.
 		LockIOPackages: []string{
 			"internal/serve",
 			"internal/serve/registry",
+			// The coordinator serves worker HTTP traffic and the merge path
+			// from one mutex; holding it across network reads would stall
+			// the whole fleet.
+			"internal/cluster",
 		},
 		Binaries: []string{
 			"cmd/mosbench",

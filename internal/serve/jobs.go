@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mosaic/internal/cluster"
 	"mosaic/internal/experiment"
 	"mosaic/internal/plan"
 	"mosaic/internal/pmu"
@@ -253,6 +254,14 @@ type JobManager struct {
 	wg       sync.WaitGroup
 	clock    func() time.Time
 
+	// saturation windows observed per-job wall times; RetryAfter derives
+	// overflow hints from it instead of a constant.
+	saturation cluster.Saturation
+	workers    int
+	// fleetCapacity, when set, reports the cluster's live shard capacity
+	// so a fleet-backed deployment advertises shorter retry hints.
+	fleetCapacity func() int
+
 	// Metrics, all optional (nil-safe via setup in NewJobManager).
 	jobsTotal   *CounterVec // label: terminal state
 	cacheHits   *Counter
@@ -271,6 +280,9 @@ type JobManagerConfig struct {
 	Run JobExecutor
 	// Metrics, when set, receives job counters and latency histograms.
 	Metrics *Metrics
+	// FleetCapacity, when set, reports the distributed fabric's live
+	// shard capacity for RetryAfter's drain-rate estimate.
+	FleetCapacity func() int
 }
 
 // NewJobManager starts the worker pool.
@@ -283,13 +295,15 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &JobManager{
-		run:      cfg.Run,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		cache:    make(map[string]*JobResult),
-		baseCtx:  ctx,
-		stopBase: cancel,
-		clock:    time.Now,
+		run:           cfg.Run,
+		queue:         make(chan *Job, cfg.QueueDepth),
+		jobs:          make(map[string]*Job),
+		cache:         make(map[string]*JobResult),
+		baseCtx:       ctx,
+		stopBase:      cancel,
+		clock:         time.Now,
+		workers:       cfg.Workers,
+		fleetCapacity: cfg.FleetCapacity,
 	}
 	mx := cfg.Metrics
 	if mx == nil {
@@ -318,6 +332,23 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 
 // QueueDepth reports jobs waiting for a worker.
 func (m *JobManager) QueueDepth() int { return len(m.queue) }
+
+// RetryAfter derives the 429 hint from the current backlog and the
+// windowed mean job wall time (see cluster.Saturation): the expected time
+// for the backlog — queued plus running jobs — to drain one slot at the
+// deployment's capacity. Capacity is the local worker pool, or the
+// fabric's live shard capacity when that is larger. fallback answers
+// before the first job completes.
+func (m *JobManager) RetryAfter(fallback time.Duration) time.Duration {
+	capacity := m.workers
+	if m.fleetCapacity != nil {
+		if c := m.fleetCapacity(); c > capacity {
+			capacity = c
+		}
+	}
+	backlog := m.QueueDepth() + m.Running()
+	return m.saturation.RetryAfter(backlog, capacity, fallback)
+}
 
 // Submit validates the spec, consults the result cache, and enqueues. A
 // cached spec completes instantly. Returns the job (done or queued) — or
@@ -421,6 +452,7 @@ func (m *JobManager) execute(job *Job) {
 	res, stages, err := m.run(ctx, job.Spec, onProgress, onCurve)
 	elapsed := m.clock().Sub(start)
 	m.jobSeconds.Observe(elapsed)
+	m.saturation.Observe(elapsed)
 
 	m.mu.Lock()
 	m.running--

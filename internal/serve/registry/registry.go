@@ -9,8 +9,9 @@
 // Persistence is one JSON file per (workload, platform) pair holding the
 // training samples (so layout names remain predictable inputs) and every
 // fitted model's serialized state. Files are written atomically and
-// hot-reloaded: a daemon notices externally retrained files by (size,
-// mtime) stamp without a restart.
+// hot-reloaded: a daemon notices externally retrained files by a (size,
+// mtime) stamp backed by a content hash for the racy same-second cases,
+// without a restart.
 package registry
 
 import (
@@ -71,10 +72,31 @@ type Pair struct {
 // key names a pair the way the API addresses it.
 func key(workload, platform string) string { return workload + "@" + platform }
 
-// fileStamp detects externally changed files without hashing them.
+// fileStamp detects externally changed files. (size, mtime) is the cheap
+// stat-only check, but it is racy: a rewrite in the same second that lands
+// on the same byte count — exactly what a coordinator pushing a retrained
+// model with identical shape can produce — leaves both unchanged. So the
+// stamp also records a content hash plus when the stamp was taken: when
+// the mtime is too close to the stamp time to be conclusive (the git
+// "racy stamp" condition), Reload re-reads the file and trusts the hash
+// instead.
 type fileStamp struct {
 	size  int64
 	mtime time.Time
+	hash  uint64    // FNV-1a of the file bytes
+	at    time.Time // when the stamp was recorded
+}
+
+// racy reports whether (size, mtime) equality is inconclusive: the file's
+// mtime is within filesystem timestamp granularity of the stamp time, so
+// a later same-second rewrite would be invisible to stat.
+func (s fileStamp) racy() bool {
+	return s.at.Sub(s.mtime) < time.Second
+}
+
+// sameContent reports whether two stamps certify identical file content.
+func sameContent(a, b fileStamp) bool {
+	return a.size == b.size && a.hash == b.hash
 }
 
 // Registry is the thread-safe store. Predictions take a read lock;
@@ -191,18 +213,19 @@ func (r *Registry) persistLocked(pair *Pair) error {
 		return err
 	}
 	if fi, err := os.Stat(path); err == nil {
-		r.stamps[path] = fileStamp{size: fi.Size(), mtime: fi.ModTime()}
+		r.stamps[path] = fileStamp{
+			size:  fi.Size(),
+			mtime: fi.ModTime(),
+			hash:  fnv1aBytes(raw),
+			at:    time.Now(),
+		}
 		r.files[key(pair.Workload, pair.Platform)] = path
 	}
 	return nil
 }
 
-// loadFile parses one pair file into its in-memory form.
-func loadFile(path string) (*Pair, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// parsePair parses one pair file's bytes into its in-memory form.
+func parsePair(path string, raw []byte) (*Pair, error) {
 	var pf pairFile
 	if err := json.Unmarshal(raw, &pf); err != nil {
 		return nil, fmt.Errorf("registry: %s: %w", path, err)
@@ -261,7 +284,7 @@ func (r *Registry) Reload() (int, error) {
 	type staged struct {
 		path  string
 		stamp fileStamp
-		pair  *Pair
+		pair  *Pair // nil: stamp refresh only, content verified unchanged
 	}
 	var loads []staged
 	var firstErr error
@@ -273,10 +296,25 @@ func (r *Registry) Reload() (int, error) {
 			continue
 		}
 		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime()}
-		if prev, ok := prevStamps[path]; ok && prev == stamp {
+		prev, known := prevStamps[path]
+		if known && prev.size == stamp.size && prev.mtime.Equal(stamp.mtime) && !prev.racy() {
+			continue // stat-only fast path: the stamp is conclusive
+		}
+		// New file, changed stat, or a racy stamp — read and let the
+		// content hash decide.
+		raw, err := os.ReadFile(path)
+		if err != nil {
 			continue
 		}
-		pair, err := loadFile(path)
+		stamp.hash = fnv1aBytes(raw)
+		stamp.at = time.Now()
+		if known && sameContent(prev, stamp) {
+			// Identical bytes: refresh the stamp (so a now-settled mtime
+			// takes the fast path next pass) without reparsing.
+			loads = append(loads, staged{path: path, stamp: stamp})
+			continue
+		}
+		pair, err := parsePair(path, raw)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -288,12 +326,18 @@ func (r *Registry) Reload() (int, error) {
 
 	// Phase 2 — apply under the write lock: pure map updates, no I/O. A
 	// concurrent Reload may have applied the same file meanwhile; the
-	// stamp re-check keeps the changed count honest.
+	// hash re-check keeps the changed count honest.
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	changed := 0
 	for _, s := range loads {
-		if prev, ok := r.stamps[s.path]; ok && prev == s.stamp {
+		if s.pair == nil {
+			if _, ok := r.stamps[s.path]; ok {
+				r.stamps[s.path] = s.stamp
+			}
+			continue
+		}
+		if prev, ok := r.stamps[s.path]; ok && sameContent(prev, s.stamp) {
 			continue
 		}
 		r.pairs[key(s.pair.Workload, s.pair.Platform)] = s.pair
@@ -534,6 +578,16 @@ func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return err
 	}
 	return nil
+}
+
+// fnv1aBytes hashes file content with 64-bit FNV-1a.
+func fnv1aBytes(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // fnv1a hashes a string with 64-bit FNV-1a.

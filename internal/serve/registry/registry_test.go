@@ -212,6 +212,90 @@ func TestReload(t *testing.T) {
 	}
 }
 
+// TestReloadMtimeCollision is the racy-stamp regression test: a pair file
+// rewritten with different content but identical size and mtime — the
+// same-second rewrite a (size, mtime) stamp cannot distinguish — must
+// still be picked up by Reload, because a stamp taken within filesystem
+// timestamp granularity of the mtime is inconclusive and falls back to
+// the content hash.
+func TestReloadMtimeCollision(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset("gups", "skylake")
+	if err := w.Train(ds, []string{"poly1"}); err != nil {
+		t.Fatal(err)
+	}
+	path := w.pairPath("gups", "skylake")
+	stateA, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train merges models, so after this the file serves poly1 AND poly2.
+	if err := w.Train(ds, []string{"poly2"}); err != nil {
+		t.Fatal(err)
+	}
+	stateB, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad both serializations to the same length with trailing whitespace
+	// (valid JSON) so the rewrite below cannot be detected by size.
+	for len(stateA) < len(stateB) {
+		stateA = append(stateA, '\n')
+	}
+	for len(stateB) < len(stateA) {
+		stateB = append(stateB, '\n')
+	}
+
+	if err := os.WriteFile(path, stateA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader stamps state A the instant it is written — a racy stamp.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict(Request{Workload: "gups", Platform: "skylake", Model: "poly2", Layout: "4KB"}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("state A should not serve poly2, got %v", err)
+	}
+
+	// Rewrite with state B and force the stat back to a byte-identical
+	// (size, mtime) pair.
+	if err := os.WriteFile(path, stateB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, before.ModTime(), before.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() || !after.ModTime().Equal(before.ModTime()) {
+		t.Fatalf("collision not forced: stat went (%d, %v) -> (%d, %v)",
+			before.Size(), before.ModTime(), after.Size(), after.ModTime())
+	}
+
+	n, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Reload over a same-size same-mtime rewrite = %d changes, want 1", n)
+	}
+	if _, err := r.Predict(Request{Workload: "gups", Platform: "skylake", Model: "poly2", Layout: "4KB"}); err != nil {
+		t.Fatalf("state B not served after reload: %v", err)
+	}
+}
+
 // TestReloadConcurrentWithPredict guards the two-phase Reload (stage loads
 // off-lock, apply under the write lock): predict traffic and overlapping
 // reloads run concurrently against a directory being retrained, and the
