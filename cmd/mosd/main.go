@@ -54,6 +54,7 @@ func main() {
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs before canceling them (duration, e.g. 10m)")
 
 		clusterOn  = flag.Bool("cluster", false, "enable the sweep-fabric coordinator: accept worker registrations on /cluster/v1/* and shard sweep jobs across them")
+		token      = flag.String("cluster-token", os.Getenv("MOSD_CLUSTER_TOKEN"), "shared secret for /cluster/v1/* (coordinator requires it from workers; workers send it); empty disables auth — only safe on an isolated network (default $MOSD_CLUSTER_TOKEN)")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "coordinator: shard lease duration; a worker silent this long loses its shard to retry")
 		shardSpan  = flag.Int("shard-layouts", 0, "coordinator: layouts per shard (0: size automatically from fleet capacity)")
 		workerMode = flag.Bool("worker", false, "run as a sweep worker instead of a daemon (requires -join)")
@@ -66,16 +67,20 @@ func main() {
 	log.SetPrefix("mosd ")
 
 	if *workerMode {
-		if err := runWorker(*join, *workerName, *traceDir, *capacity, *parallel); err != nil {
+		if err := runWorker(*join, *workerName, *traceDir, *token, *capacity, *parallel); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	var co *cluster.Coordinator
 	if *clusterOn {
+		if *token == "" {
+			log.Printf("warning: -cluster without -cluster-token; /cluster/v1/* accepts any worker — isolate the listener (see docs/cluster.md)")
+		}
 		co = cluster.NewCoordinator(cluster.CoordinatorConfig{
 			LeaseTTL:     *leaseTTL,
 			ShardLayouts: *shardSpan,
+			Token:        *token,
 		})
 	}
 	if err := run(*addr, *addrFile, *regDir, *traceDir, *workers, *queue, *parallel, *reload, *drainFor, co); err != nil {
@@ -86,7 +91,7 @@ func main() {
 // runWorker joins a coordinator and executes leased shards until a signal
 // stops the process. Stopping is deliberately abrupt: the coordinator's
 // lease expiry re-runs whatever was in flight, deterministically.
-func runWorker(join, name, traceDir string, capacity, parallel int) error {
+func runWorker(join, name, traceDir, token string, capacity, parallel int) error {
 	if join == "" {
 		return errors.New("-worker requires -join <coordinator URL>")
 	}
@@ -97,7 +102,7 @@ func runWorker(join, name, traceDir string, capacity, parallel int) error {
 	w := &cluster.Worker{
 		Name:     name,
 		Capacity: capacity,
-		Client:   cluster.NewClient(join),
+		Client:   cluster.NewClient(join, token),
 		Exec: &cluster.ExperimentExecutor{
 			TraceDir:    traceDir,
 			Parallelism: parallel,

@@ -48,6 +48,12 @@ type CoordinatorConfig struct {
 	// ShardLayouts is the layout-batch size per shard; 0 sizes shards
 	// automatically from the fleet capacity at submit time.
 	ShardLayouts int
+	// Token, when non-empty, is the shared secret every /cluster/v1/*
+	// request must present (Authorization: Bearer <token>). Workers are
+	// trusted to fabricate counters once admitted, so an empty token is
+	// only safe when the listener is network-isolated — see
+	// docs/cluster.md.
+	Token string
 	// Clock overrides the wall clock (tests); nil uses time.Now.
 	Clock func() time.Time
 }
@@ -181,14 +187,21 @@ type HeartbeatReply struct {
 // it still holds it), and records the shard's in-flight layout progress.
 // An empty shard key is a pure liveness ping.
 func (c *Coordinator) Heartbeat(workerID, shardKey string, doneLayouts int) HeartbeatReply {
-	var notify func()
+	reply, notify := c.heartbeat(workerID, shardKey, doneLayouts)
+	if notify != nil {
+		notify() // after the lock drops, so callbacks can take their own locks
+	}
+	return reply
+}
+
+func (c *Coordinator) heartbeat(workerID, shardKey string, doneLayouts int) (reply HeartbeatReply, notify func()) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.expireLocked()
 	now := c.cfg.Clock()
 	if w, ok := c.workers[workerID]; ok {
 		w.lastSeen = now
 	}
-	var reply HeartbeatReply
 	if shardKey != "" {
 		sh, ok := c.shards[shardKey]
 		switch {
@@ -207,11 +220,7 @@ func (c *Coordinator) Heartbeat(workerID, shardKey string, doneLayouts int) Hear
 			reply.Abandon = sh.worker != workerID
 		}
 	}
-	c.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
-	return reply
+	return reply, notify
 }
 
 // Lease hands the next pending shard to a worker. ok is false when the
@@ -244,25 +253,36 @@ func (c *Coordinator) Lease(workerID string) (spec ShardSpec, ok bool) {
 // them byte-identical, so first-wins is safe. The final shard of a job
 // triggers the merge.
 func (c *Coordinator) Complete(workerID string, res *ShardResult) error {
-	var notify func()
+	err, notify := c.complete(workerID, res)
+	if notify != nil {
+		notify() // after the lock drops, so callbacks can take their own locks
+	}
+	return err
+}
+
+func (c *Coordinator) complete(workerID string, res *ShardResult) (err error, notify func()) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.expireLocked()
 	if w, ok := c.workers[workerID]; ok {
 		w.lastSeen = c.cfg.Clock()
 	}
 	sh, ok := c.shards[res.Key]
 	if !ok {
-		c.mu.Unlock()
-		return nil // canceled job; drop
+		return nil, nil // canceled job; drop
 	}
 	if sh.status == shardDone {
-		c.mu.Unlock()
-		return nil // duplicate completion; first wins
+		return nil, nil // duplicate completion; first wins
+	}
+	if res.Job != sh.spec.Job {
+		// A payload claiming another job's identity must not decrement that
+		// job's remaining count against this shard's bytes.
+		return fmt.Errorf("cluster: shard %s result claims job %s, want %s",
+			res.Key, res.Job, sh.spec.Job), nil
 	}
 	if res.Lo != sh.spec.Lo || res.Hi != sh.spec.Hi || len(res.Results) != sh.spec.Hi-sh.spec.Lo {
-		c.mu.Unlock()
 		return fmt.Errorf("cluster: shard %s result spans [%d, %d) with %d entries, want [%d, %d)",
-			res.Key, res.Lo, res.Hi, len(res.Results), sh.spec.Lo, sh.spec.Hi)
+			res.Key, res.Lo, res.Hi, len(res.Results), sh.spec.Lo, sh.spec.Hi), nil
 	}
 	sh.status = shardDone
 	sh.result = res
@@ -276,11 +296,7 @@ func (c *Coordinator) Complete(workerID string, res *ShardResult) error {
 			notify = c.progressLocked(res.Job)
 		}
 	}
-	c.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
-	return nil
+	return nil, notify
 }
 
 // Fail reports a shard execution error from a worker. The shard is
@@ -313,7 +329,13 @@ func (c *Coordinator) expireLocked() {
 	// decide output ordering — here it would decide retry order).
 	sort.Strings(expired)
 	for _, key := range expired {
-		sh := c.shards[key]
+		// Re-fetch: an earlier requeue in this loop may have exhausted a
+		// sibling shard's retry budget and failed the whole job, deleting
+		// every one of its shards — including this key.
+		sh, ok := c.shards[key]
+		if !ok || sh.status != shardLeased {
+			continue
+		}
 		c.requeueLocked(sh, fmt.Errorf("cluster: shard %s lease expired on %s after %d retries",
 			key, sh.worker, sh.retries))
 	}
@@ -371,6 +393,13 @@ func (c *Coordinator) mergeLocked(job *sweepJob) {
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].spec.Key < ordered[j].spec.Key })
 	merged := make([]LayoutResult, job.spec.Layouts)
 	for _, sh := range ordered {
+		if sh.result == nil {
+			// Impossible by construction (remaining reaches 0 only via
+			// Complete, which sets result), but a nil here must fail the
+			// job, not panic while c.mu is held.
+			c.finishLocked(job, nil, fmt.Errorf("cluster: job %s: shard %s counted done without a result", job.id, sh.spec.Key))
+			return
+		}
 		copy(merged[sh.spec.Lo:sh.spec.Hi], sh.result.Results)
 	}
 	c.merges++

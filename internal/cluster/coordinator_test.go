@@ -179,6 +179,76 @@ func TestRetryBudgetFailsJob(t *testing.T) {
 	}
 }
 
+// TestMultiShardExpiryAfterBudgetExhausted regresses a panic-deadlock:
+// when a multi-shard job's leases expire together and the first requeue
+// (in sorted key order) exhausts the retry budget, finishLocked deletes
+// ALL of the job's shards mid-loop — the remaining expired keys must be
+// skipped, not dereferenced, and the coordinator must stay responsive.
+func TestMultiShardExpiryAfterBudgetExhausted(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 2)
+	reg := c.Register("crashy", 2)
+
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 4}, nil) // 2 shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ { // MaxRetries=3: round 4 kills the job
+		if _, ok := c.Lease(reg.WorkerID); !ok {
+			t.Fatalf("round %d: first shard not leasable", round)
+		}
+		if _, ok := c.Lease(reg.WorkerID); !ok {
+			t.Fatalf("round %d: second shard not leasable", round)
+		}
+		clk.Advance(11 * time.Second) // both leases past the 10s TTL
+		// Any mutating call runs expireLocked; this is where the old code
+		// panicked on the second expired key with c.mu held.
+		c.Heartbeat(reg.WorkerID, "", 0)
+	}
+	_, err = sweep.Wait(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("Wait error = %v, want retry-budget failure", err)
+	}
+	if got := c.ShardsPending() + c.ShardsLeased(); got != 0 {
+		t.Fatalf("failed job left %d shards behind", got)
+	}
+	// The mutex must not be stranded: a panic under c.mu would hang here.
+	c.Heartbeat(reg.WorkerID, "", 0)
+}
+
+// TestCompleteRejectsJobMismatch holds the job-identity check: a result
+// whose Job field names a different job than the shard spec must be
+// rejected, never decrement another job's remaining count.
+func TestCompleteRejectsJobMismatch(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(clk, 100)
+	reg := c.Register("w", 1)
+
+	sweep, err := c.Submit(SweepSpec{Job: "j", Layouts: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := c.Lease(reg.WorkerID)
+	if !ok {
+		t.Fatal("no shard leased")
+	}
+	forged := resultFor(spec)
+	forged.Job = "someone-else-000042"
+	if err := c.Complete(reg.WorkerID, forged); err == nil || !strings.Contains(err.Error(), "claims job") {
+		t.Fatalf("Complete with forged job = %v, want job-mismatch rejection", err)
+	}
+	// The shard is still leased and an honest completion still lands.
+	if got := c.ShardsLeased(); got != 1 {
+		t.Fatalf("ShardsLeased after rejection = %d, want 1", got)
+	}
+	if err := c.Complete(reg.WorkerID, resultFor(spec)); err != nil {
+		t.Fatal(err)
+	}
+	if merged, err := sweep.Wait(context.Background()); err != nil || len(merged) != 3 {
+		t.Fatalf("Wait = (%d results, %v), want 3, nil", len(merged), err)
+	}
+}
+
 func TestHeartbeatAbandonsCanceledShard(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(clk, 100)

@@ -60,7 +60,7 @@ func startWorker(t *testing.T, url, name, traceDir string, exec ShardExecutor) c
 	ctx, cancel := context.WithCancel(context.Background())
 	w := &Worker{
 		Name:     name,
-		Client:   NewClient(url),
+		Client:   NewClient(url, ""),
 		Exec:     exec,
 		IdlePoll: 20 * time.Millisecond,
 		Logf:     t.Logf,
@@ -209,6 +209,48 @@ func TestDistributedSweepBitIdentical(t *testing.T) {
 
 	got := runDistributed(t, c, layouts)
 	assertBitIdentical(t, got, want)
+}
+
+// TestClusterTokenAuth holds the fleet trust boundary: a coordinator
+// configured with a token rejects unauthenticated workers on every verb,
+// and a tokenless coordinator stays open (the documented isolated-network
+// mode).
+func TestClusterTokenAuth(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Token: "s3cret"})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	if _, err := NewClient(ts.URL, "").Register("intruder", 1); err == nil {
+		t.Fatal("register without token succeeded; want 401")
+	}
+	if _, err := NewClient(ts.URL, "wrong").Register("intruder", 1); err == nil {
+		t.Fatal("register with wrong token succeeded; want 401")
+	}
+	if err := NewClient(ts.URL, "").Complete("w-000001", &ShardResult{Key: "x"}); err == nil {
+		t.Fatal("complete without token succeeded; want 401")
+	}
+	if got := c.LiveWorkers(); got != 0 {
+		t.Fatalf("unauthenticated registration landed: LiveWorkers = %d", got)
+	}
+
+	cl := NewClient(ts.URL, "s3cret")
+	reply, err := cl.Register("worker", 1)
+	if err != nil {
+		t.Fatalf("register with token: %v", err)
+	}
+	if _, err := cl.Heartbeat(reply.WorkerID, "", 0); err != nil {
+		t.Fatalf("heartbeat with token: %v", err)
+	}
+	if got := c.LiveWorkers(); got != 1 {
+		t.Fatalf("LiveWorkers = %d, want 1", got)
+	}
+
+	open := NewCoordinator(CoordinatorConfig{})
+	tsOpen := httptest.NewServer(open.Handler())
+	defer tsOpen.Close()
+	if _, err := NewClient(tsOpen.URL, "").Register("worker", 1); err != nil {
+		t.Fatalf("tokenless coordinator rejected a worker: %v", err)
+	}
 }
 
 // hangingExecutor signals when a shard starts, then blocks until its

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -49,7 +50,11 @@ type failRequest struct {
 }
 
 // Handler exposes the coordinator under a /cluster/v1/* mux. Mount it at
-// the server root: the paths are absolute.
+// the server root: the paths are absolute. When CoordinatorConfig.Token
+// is set, every request must carry it as a bearer token — a worker that
+// can complete shards feeds counters straight into datasets and trained
+// models, so the surface authenticates intent, not just integrity (the
+// wire checksum only catches corruption).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/v1/register", func(w http.ResponseWriter, r *http.Request) {
@@ -123,7 +128,24 @@ func (c *Coordinator) Handler() http.Handler {
 		c.Fail(req.WorkerID, req.Shard, req.Error)
 		w.WriteHeader(http.StatusNoContent)
 	})
-	return mux
+	if c.cfg.Token == "" {
+		return mux
+	}
+	return authHandler(c.cfg.Token, mux)
+}
+
+// authHandler rejects requests that do not present the fleet's shared
+// token as "Authorization: Bearer <token>". The comparison is constant
+// time so the token cannot be guessed byte by byte.
+func authHandler(token string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			httpError(w, http.StatusUnauthorized, "cluster: missing or wrong bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -155,16 +177,33 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 // Client is the worker's view of a coordinator — one method per protocol
 // verb. It is safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
 }
 
 // NewClient targets a coordinator at base (e.g. "http://host:9090").
-func NewClient(base string) *Client {
+// token is the fleet's shared secret, sent as a bearer token on every
+// request; empty when the coordinator runs without one.
+func NewClient(base, token string) *Client {
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		base:  strings.TrimRight(base, "/"),
+		token: token,
+		http:  &http.Client{Timeout: 30 * time.Second},
 	}
+}
+
+// post issues one authenticated POST.
+func (cl *Client) post(path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, cl.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if cl.token != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.token)
+	}
+	return cl.http.Do(req)
 }
 
 // Register announces the worker and returns its coordinator-assigned
@@ -190,7 +229,7 @@ func (cl *Client) Lease(workerID string) (spec *ShardSpec, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err := cl.http.Post(cl.base+"/cluster/v1/lease", "application/json", bytes.NewReader(body))
+	resp, err := cl.post("/cluster/v1/lease", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, false, err
 	}
@@ -219,7 +258,7 @@ func (cl *Client) Complete(workerID string, res *ShardResult) error {
 	if err != nil {
 		return err
 	}
-	resp, err := cl.http.Post(cl.base+"/cluster/v1/complete?worker="+workerID, wireContentType, bytes.NewReader(b))
+	resp, err := cl.post("/cluster/v1/complete?worker="+workerID, wireContentType, bytes.NewReader(b))
 	if err != nil {
 		return err
 	}
@@ -232,7 +271,7 @@ func (cl *Client) Complete(workerID string, res *ShardResult) error {
 
 // Fail reports a shard execution error.
 func (cl *Client) Fail(workerID, shardKey, msg string) error {
-	resp, err := cl.http.Post(cl.base+"/cluster/v1/fail", "application/json",
+	resp, err := cl.post("/cluster/v1/fail", "application/json",
 		strings.NewReader(mustJSON(failRequest{WorkerID: workerID, Shard: shardKey, Error: msg})))
 	if err != nil {
 		return err
@@ -249,7 +288,7 @@ func (cl *Client) postJSON(path string, req, reply any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := cl.http.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	resp, err := cl.post(path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -128,14 +128,14 @@ func NewServer(cfg ServerConfig) *Server {
 		s.metrics.NewGaugeFunc("mosd_cluster_shards_leased", "Shards currently executing on workers.", func() float64 {
 			return float64(co.ShardsLeased())
 		})
-		s.metrics.NewGaugeFunc("mosd_cluster_shards_retried_total", "Shards requeued after lease expiry or worker failure.", func() float64 {
+		s.metrics.NewCounterFunc("mosd_cluster_shards_retried_total", "Shards requeued after lease expiry or worker failure.", func() float64 {
 			return float64(co.ShardsRetried())
 		})
-		s.metrics.NewGaugeFunc("mosd_cluster_merges_total", "Completed shard merges.", func() float64 {
+		s.metrics.NewCounterFunc("mosd_cluster_merges_total", "Completed shard merges.", func() float64 {
 			merges, _ := co.MergeStats()
 			return float64(merges)
 		})
-		s.metrics.NewGaugeFunc("mosd_cluster_merge_seconds_total", "Cumulative wall time spent merging shards.", func() float64 {
+		s.metrics.NewCounterFunc("mosd_cluster_merge_seconds_total", "Cumulative wall time spent merging shards.", func() float64 {
 			_, secs := co.MergeStats()
 			return secs
 		})

@@ -575,7 +575,7 @@ func TestDistributedJobVsLocal(t *testing.T) {
 		defer close(workerDone)
 		(&cluster.Worker{
 			Name:     "w1",
-			Client:   cluster.NewClient(ts.URL),
+			Client:   cluster.NewClient(ts.URL, ""),
 			Exec:     &cluster.ExperimentExecutor{TraceDir: traceDir, Parallelism: 1},
 			IdlePoll: 20 * time.Millisecond,
 			Logf:     t.Logf,
