@@ -52,6 +52,11 @@ type benchRow struct {
 	// WindowedSpeedup it is bounded by Cores — a 1-core host records the
 	// fabric's coordination overhead (< 1×) honestly.
 	ClusterSpeedup float64 `json:"cluster_speedup,omitempty"`
+	// PhaseMaxErr is the -phase-report worst significant per-phase relative
+	// error in percent (BENCH_phases.json phase_maxerr_pct). Gated
+	// absolutely against phaseMaxErrBound like WorstSigErr: the per-phase
+	// accuracy contract is a bound, not a trend.
+	PhaseMaxErr float64 `json:"phase_maxerr_pct,omitempty"`
 }
 
 // regressionTol is the gate: a tracked metric may degrade by at most this
@@ -68,6 +73,10 @@ const sigErrBound = 0.01
 // adaptive bake-off's cost contract: a planned sweep spends at most a
 // third of the full protocol's measured accesses.
 const adaptiveCostBound = 1.0 / 3.0
+
+// phaseMaxErrBound is the absolute ceiling for PhaseMaxErr, in percent —
+// the per-phase restatement of the 1% accuracy contract.
+const phaseMaxErrBound = 1.0
 
 // loadHistory reads the ledger; a missing file is an empty history.
 func loadHistory(path string) ([]benchRow, error) {
@@ -151,6 +160,11 @@ func checkRegression(rows []benchRow) []string {
 				"PR %d: adaptive sweep cost ratio %.3f exceeds the %.3f contract",
 				cur.PR, cur.AdaptiveCostRatio, adaptiveCostBound))
 		}
+		if cur.PhaseMaxErr > phaseMaxErrBound {
+			out = append(out, fmt.Sprintf(
+				"PR %d: worst per-phase significant error %.4f%% exceeds the %.0f%% accuracy contract",
+				cur.PR, cur.PhaseMaxErr, phaseMaxErrBound))
+		}
 		if n >= 2 {
 			prev := rows[n-2]
 			for _, m := range []struct {
@@ -232,6 +246,7 @@ func historySeries(rows []benchRow) []report.TrajectorySeries {
 		{"predict p99 latency", "ms", func(r benchRow) float64 { return r.PredictP99Ms }},
 		{"adaptive sweep cost ratio", "", func(r benchRow) float64 { return r.AdaptiveCostRatio }},
 		{"cluster sweep speedup", "x", func(r benchRow) float64 { return r.ClusterSpeedup }},
+		{"per-phase max error", "%", func(r benchRow) float64 { return r.PhaseMaxErr }},
 	}
 	var out []report.TrajectorySeries
 	for _, m := range metrics {

@@ -14,6 +14,7 @@
 //	mosbench -platforms x,y   # restrict the platform set
 //	mosbench -sample-period N # sampled replay: measure N/16 accesses per N
 //	mosbench -sample-report   # sampled vs. exact: speedup + max rel. error
+//	mosbench -phase-report    # per-phase sampled vs. exact error (dbindex)
 //	mosbench -adaptive        # active-learning sweep: probe cheap, promote
 //	                          # high-uncertainty layouts to exact replay
 //	mosbench -adaptive-report # full protocol vs adaptive plan bake-off
@@ -68,6 +69,8 @@ func main() {
 			"sampled replay: exactly-measured opening accesses, kept out of the extrapolation (default: period/2)")
 		sampleRpt = flag.Bool("sample-report", false,
 			"run the sweep exact and sampled, report replay speedup and max per-counter relative error (with -json: machine-readable)")
+		phaseRpt = flag.Bool("phase-report", false,
+			"run phased workloads (default: the dbindex suite) exact and sampled, check each phase against the max(1%, 8/sqrt(events)) contract (with -json: BENCH_phases.json shape); exits nonzero on breach")
 		stretch = flag.Int("stretch", 1,
 			"multiply every workload's trace length (accesses) by this factor (sweep-scale traces for -sample-report; the committed numbers use 32)")
 
@@ -163,6 +166,11 @@ func main() {
 	if app.workloads, err = selectWorkloads(*wlFlag); err != nil {
 		fatal(err)
 	}
+	if *phaseRpt && *wlFlag == "" {
+		// The per-phase contract needs phased traces; the dbindex suite is
+		// the bundled phased set.
+		app.workloads = workloads.DBIndex()
+	}
 	for i, w := range app.workloads {
 		app.workloads[i] = workloads.Stretched(w, app.stretch)
 	}
@@ -183,6 +191,8 @@ func main() {
 		err = app.adaptiveRun(planCfg, *jsonFlag)
 	case *sampleRpt:
 		err = app.sampleReport(app.runner.Sampling, *jsonFlag)
+	case *phaseRpt:
+		err = app.phaseReport(app.runner.Sampling, *jsonFlag)
 	case *jsonFlag:
 		err = app.exportJSON()
 	case *allFlag:

@@ -112,6 +112,8 @@ func TestCheckRegressionGates(t *testing.T) {
 		{"new metrics absent in previous row are skipped", []benchRow{base, {PR: 8, Cores: 8, TraceLoadMs: 999, PredictP99Ms: 999}}, 0},
 		{"adaptive cost contract is absolute", []benchRow{wide, {PR: 8, Cores: 8, AdaptiveCostRatio: 0.4}}, 1},
 		{"adaptive cost within contract passes", []benchRow{wide, {PR: 8, Cores: 8, AdaptiveCostRatio: 0.3}}, 0},
+		{"phase error contract is absolute", []benchRow{wide, {PR: 9, Cores: 8, PhaseMaxErr: 1.2}}, 1},
+		{"phase error within contract passes", []benchRow{wide, {PR: 9, Cores: 8, PhaseMaxErr: 0.98}}, 0},
 		{"cluster speedup loss fails", []benchRow{{PR: 7, Cores: 8, ClusterSpeedup: 1.8}, {PR: 8, Cores: 8, ClusterSpeedup: 1.5}}, 1},
 		{"cluster speedup loss on different cores is skipped", []benchRow{{PR: 7, Cores: 8, ClusterSpeedup: 1.8}, {PR: 8, Cores: 1, ClusterSpeedup: 0.9}}, 0},
 		{"cluster speedup within tolerance passes", []benchRow{{PR: 7, Cores: 8, ClusterSpeedup: 1.8}, {PR: 8, Cores: 8, ClusterSpeedup: 1.7}}, 0},

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mostrace                         # summarize all 19 workloads
+//	mostrace                         # summarize all 19 workloads + the dbindex suite
 //	mostrace -workload spec06/mcf    # details for one workload
 package main
 
@@ -40,8 +40,8 @@ func main() {
 		return
 	}
 
-	t := report.NewTable("workload", "accesses", "instructions", "footprint", "writes", "dependent")
-	for _, w := range workloads.All() {
+	t := report.NewTable("workload", "accesses", "instructions", "footprint", "writes", "dependent", "phases")
+	for _, w := range append(workloads.All(), workloads.DBIndex()...) {
 		wd, err := runner.Prepare(w)
 		if err != nil {
 			fatal(err)
@@ -54,11 +54,29 @@ func main() {
 			fmt.Sprintf("%dMB", tr.Footprint()>>20),
 			fmt.Sprintf("%.0f%%", 100*writes),
 			fmt.Sprintf("%.0f%%", 100*deps),
+			phaseSummary(tr),
 		)
 		fmt.Fprintf(os.Stderr, ".")
 	}
 	fmt.Fprintln(os.Stderr)
 	fmt.Println(t.String())
+}
+
+// phaseSummary renders a trace's phase partition as name(share%) pairs, or
+// "-" for the single-phase (phase-less) workloads.
+func phaseSummary(tr *trace.Trace) string {
+	phases := tr.Phases()
+	if len(phases) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, p := range phases {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s(%.0f%%)", p.Name, 100*float64(p.Hi-p.Lo)/float64(tr.Len()))
+	}
+	return s
 }
 
 func mix(tr *trace.Trace) (writes, deps float64) {

@@ -28,9 +28,9 @@ const (
 
 // singleNode measures the golden baseline with a plain single-process
 // sweep and returns the dataset plus the protocol layout count.
-func singleNode(t *testing.T, traceDir string) (*experiment.Dataset, int) {
+func singleNode(t *testing.T, traceDir, workload string) (*experiment.Dataset, int) {
 	t.Helper()
-	w, err := workloads.ByName(e2eWorkload)
+	w, err := workloads.ByName(workload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +110,20 @@ func assertBitIdentical(t *testing.T, got, want *experiment.Dataset) {
 	if got.TLBSensitive != want.TLBSensitive {
 		t.Fatalf("TLBSensitive: %v vs %v", got.TLBSensitive, want.TLBSensitive)
 	}
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("phase maps differ in size: %d vs %d", len(got.Phases), len(want.Phases))
+	}
+	for name, rows := range want.Phases {
+		grows := got.Phases[name]
+		if len(grows) != len(rows) {
+			t.Fatalf("phase rows for %s: %d vs %d", name, len(grows), len(rows))
+		}
+		for i := range rows {
+			if grows[i] != rows[i] { // struct of string + uint64s: exact comparison
+				t.Fatalf("phase %d of %s differs:\n got %+v\nwant %+v", i, name, grows[i], rows[i])
+			}
+		}
+	}
 
 	// Fitted coefficients: training is deterministic, so the serialized
 	// model state (shortest-roundtrip float encoding is injective — byte
@@ -144,11 +158,11 @@ func assertBitIdentical(t *testing.T, got, want *experiment.Dataset) {
 
 // runDistributed submits the sweep and assembles the merged results into
 // a dataset, cross-checking merge order against a local protocol plan.
-func runDistributed(t *testing.T, c *Coordinator, layouts int) *experiment.Dataset {
+func runDistributed(t *testing.T, c *Coordinator, layouts int, workload string) *experiment.Dataset {
 	t.Helper()
 	sweep, err := c.Submit(SweepSpec{
 		Job:      "e2e",
-		Workload: e2eWorkload,
+		Workload: workload,
 		Platform: e2ePlatform,
 		Proto:    "quick",
 		Layouts:  layouts,
@@ -163,7 +177,7 @@ func runDistributed(t *testing.T, c *Coordinator, layouts int) *experiment.Datas
 		t.Fatal(err)
 	}
 
-	w, _ := workloads.ByName(e2eWorkload)
+	w, _ := workloads.ByName(workload)
 	plat, _ := arch.ByName(e2ePlatform)
 	r := experiment.NewRunner()
 	r.Proto = experiment.Quick
@@ -182,7 +196,7 @@ func runDistributed(t *testing.T, c *Coordinator, layouts int) *experiment.Datas
 		}
 		res[i] = lr.Result
 	}
-	ds, err := experiment.Assemble(e2eWorkload, e2ePlatform, lays, res)
+	ds, err := experiment.Assemble(workload, e2ePlatform, lays, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +211,7 @@ func TestDistributedSweepBitIdentical(t *testing.T) {
 		t.Skip("real pipeline sweep")
 	}
 	traceDir := t.TempDir()
-	want, layouts := singleNode(t, traceDir)
+	want, layouts := singleNode(t, traceDir, e2eWorkload)
 
 	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 5 * time.Second, ShardLayouts: 3})
 	ts := httptest.NewServer(c.Handler())
@@ -207,7 +221,34 @@ func TestDistributedSweepBitIdentical(t *testing.T) {
 			&ExperimentExecutor{TraceDir: traceDir, Parallelism: 1})
 	}
 
-	got := runDistributed(t, c, layouts)
+	got := runDistributed(t, c, layouts, e2eWorkload)
+	assertBitIdentical(t, got, want)
+}
+
+// TestDistributedPhasedSweepBitIdentical extends the golden to multi-phase
+// traces: a dbindex composite's per-phase attribution must survive the
+// shard wire and merge bit-identically — every phase row of every layout
+// equal as uint64 between fleet and single-node execution.
+func TestDistributedPhasedSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real pipeline sweep")
+	}
+	const phasedWorkload = "dbindex/btree-point-zipf"
+	traceDir := t.TempDir()
+	want, layouts := singleNode(t, traceDir, phasedWorkload)
+	if want.Phases == nil {
+		t.Fatal("single-node dbindex dataset carries no phase attribution")
+	}
+
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 5 * time.Second, ShardLayouts: 3})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		startWorker(t, ts.URL, []string{"alpha", "beta"}[i], traceDir,
+			&ExperimentExecutor{TraceDir: traceDir, Parallelism: 1})
+	}
+
+	got := runDistributed(t, c, layouts, phasedWorkload)
 	assertBitIdentical(t, got, want)
 }
 
@@ -277,7 +318,7 @@ func TestWorkerDeathMidShardRetry(t *testing.T) {
 		t.Skip("real pipeline sweep")
 	}
 	traceDir := t.TempDir()
-	want, layouts := singleNode(t, traceDir)
+	want, layouts := singleNode(t, traceDir, e2eWorkload)
 
 	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 400 * time.Millisecond, ShardLayouts: 2})
 	ts := httptest.NewServer(c.Handler())

@@ -24,7 +24,7 @@ import (
 	"mosaic/internal/sim"
 )
 
-// The MOSSHRD01 wire format carries shard specs (coordinator → worker) and
+// The MOSSHRD wire format carries shard specs (coordinator → worker) and
 // shard results (worker → coordinator) as HTTP bodies. It follows the
 // repo's hand-rolled codec discipline (MOSTRC02, MOSCKPT01): fixed magic,
 // version byte, bounded length fields validated before allocation,
@@ -35,18 +35,27 @@ import (
 // Layout (all integers little-endian):
 //
 //	magic    [8]byte  "MOSSHRD0"
-//	version  byte     '1' (bytes 0..9 spell "MOSSHRD01")
+//	version  byte     '2' (bytes 0..9 spell "MOSSHRD02")
 //	kind     byte     'S' = shard spec, 'R' = shard result
 //	spec:    key, job, workload, platform, proto (u16-len strings),
 //	         sampling 4×u32, lo u32, hi u32
 //	result:  key, job (u16-len strings), lo u32, hi u32,
 //	         (hi-lo) × { layout (u16-len string), 14×u64 counters,
-//	                     walkRefs u64, measured u64, total u64 }
+//	                     walkRefs u64, measured u64, total u64,
+//	                     phases u16, phases × { name (u16-len string),
+//	                       14×u64 counters, walkRefs u64, measured u64,
+//	                       total u64 } }
 //	checksum u64      FNV-1a of all preceding bytes
+//
+// Version 2 added the per-layout phase section (phased traces attribute
+// counters per regime; the fleet merge must preserve that attribution
+// bit-identically). Version skew is a hard error in both directions: a
+// v1 result silently stripped of phases would break the solo-vs-fleet
+// bit-identity contract, so mixed-version fleets are rejected at decode.
 var magic = [8]byte{'M', 'O', 'S', 'S', 'H', 'R', 'D', '0'}
 
 // wireVersion is the format version byte following the magic.
-const wireVersion = '1'
+const wireVersion = '2'
 
 // Payload kind bytes.
 const (
@@ -60,6 +69,9 @@ const (
 	// maxSpanLayouts bounds a shard's layout span; the largest real
 	// protocol is ~103 layouts.
 	maxSpanLayouts = 1 << 16
+	// maxWirePhases bounds a layout result's phase rows, mirroring the
+	// trace layer's phase-count sanity bound.
+	maxWirePhases = 1 << 12
 )
 
 // ShardSpec is one unit of distributed work: replay the layout span
@@ -134,6 +146,21 @@ func counterWords(r *sim.Result) [17]*uint64 {
 		&c.DRAMLoadsProgram, &c.DRAMLoadsWalker,
 		&c.TLBLookups,
 		&r.WalkRefs, &r.MeasuredAccesses, &r.TotalAccesses,
+	}
+}
+
+// phaseWords lists one phase row's fields in fixed wire order, mirroring
+// counterWords for sim.PhaseResult.
+func phaseWords(p *sim.PhaseResult) [17]*uint64 {
+	c := &p.Counters
+	return [17]*uint64{
+		&c.R, &c.H, &c.M, &c.C, &c.Instructions,
+		&c.L1DLoadsProgram, &c.L1DLoadsWalker,
+		&c.L2LoadsProgram, &c.L2LoadsWalker,
+		&c.L3LoadsProgram, &c.L3LoadsWalker,
+		&c.DRAMLoadsProgram, &c.DRAMLoadsWalker,
+		&c.TLBLookups,
+		&p.WalkRefs, &p.MeasuredAccesses, &p.TotalAccesses,
 	}
 }
 
@@ -212,6 +239,21 @@ func (r *ShardResult) Encode() ([]byte, error) {
 		b = appendStr(b, lr.Layout)
 		for _, w := range counterWords(&lr.Result) {
 			b = appendU64(b, *w)
+		}
+		if len(lr.Result.Phases) > maxWirePhases {
+			return nil, fmt.Errorf("cluster: layout %s carries %d phase rows, wire bound is %d",
+				lr.Layout, len(lr.Result.Phases), maxWirePhases)
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(lr.Result.Phases)))
+		for pi := range lr.Result.Phases {
+			ph := &lr.Result.Phases[pi]
+			if len(ph.Name) > maxStrLen {
+				return nil, fmt.Errorf("cluster: phase name of %d bytes exceeds the %d-byte wire bound", len(ph.Name), maxStrLen)
+			}
+			b = appendStr(b, ph.Name)
+			for _, w := range phaseWords(ph) {
+				b = appendU64(b, *w)
+			}
 		}
 	}
 	return seal(b), nil
@@ -369,6 +411,28 @@ func DecodeResult(b []byte) (*ShardResult, error) {
 		for _, w := range counterWords(&lr.Result) {
 			if *w, err = r.u64(); err != nil {
 				return nil, err
+			}
+		}
+		nPhases, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(nPhases) > maxWirePhases {
+			return nil, fmt.Errorf("cluster: layout %s declares %d phase rows, wire bound is %d",
+				lr.Layout, nPhases, maxWirePhases)
+		}
+		if nPhases > 0 {
+			lr.Result.Phases = make([]sim.PhaseResult, nPhases)
+			for pi := range lr.Result.Phases {
+				ph := &lr.Result.Phases[pi]
+				if ph.Name, err = r.str(); err != nil {
+					return nil, err
+				}
+				for _, w := range phaseWords(ph) {
+					if *w, err = r.u64(); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 	}

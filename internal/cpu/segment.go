@@ -109,6 +109,34 @@ func (m *Machine) restoreState(s *ckpt.MachineState, st *runState, sums *sampleS
 // each must lie on or inside the windows. The returned saved slice is
 // indexed [savePos][machine].
 //
+// StateCounters harvests a mid-replay checkpoint's cumulative
+// sampled-accounting state into the PMU view — the same mapping as
+// sampledCounters, but from a snapshot instead of a live machine. Phased
+// replay snapshots every machine at each phase boundary and attributes the
+// field-wise difference of consecutive snapshots to the phase between
+// them; because every field is cumulative, the per-phase deltas telescope
+// to the whole-trace counters exactly. Requires a snapshot taken under
+// sampled accounting (RunBatchSegment with sampled=true), where the
+// SumTLB/SumHier accumulators are populated.
+func StateCounters(s *ckpt.MachineState) pmu.Counters {
+	return pmu.Counters{
+		R:                uint64(s.Now),
+		H:                s.SumTLB.L2Hits,
+		M:                s.SumTLB.Misses,
+		C:                s.WalkCycles,
+		Instructions:     s.Instructions,
+		L1DLoadsProgram:  s.SumHier.L1Loads.Program,
+		L1DLoadsWalker:   s.SumHier.L1Loads.Walker,
+		L2LoadsProgram:   s.SumHier.L2Loads.Program,
+		L2LoadsWalker:    s.SumHier.L2Loads.Walker,
+		L3LoadsProgram:   s.SumHier.L3Loads.Program,
+		L3LoadsWalker:    s.SumHier.L3Loads.Walker,
+		DRAMLoadsProgram: s.SumHier.DRAMLoads.Program,
+		DRAMLoadsWalker:  s.SumHier.DRAMLoads.Walker,
+		TLBLookups:       s.SumTLB.Lookups,
+	}
+}
+
 // seedSegment restores every machine (and its in-flight replay state) from
 // its checkpoint before a segment replays.
 func seedSegment(ms []*Machine, seeds []*ckpt.MachineState, states []runState, sums []sampleSums) error {
@@ -146,6 +174,17 @@ func RunBatchSegment(ms []*Machine, tr *trace.Trace, windows []trace.Window, see
 	if len(savePos) > 0 {
 		saved = make([][]*ckpt.MachineState, len(savePos))
 	}
+	snapAll := func() []*ckpt.MachineState {
+		snaps := make([]*ckpt.MachineState, len(ms))
+		for k, m := range ms {
+			var sm *sampleSums
+			if sampled {
+				sm = &sums[k]
+			}
+			snaps[k] = m.snapshotState(&states[k], sm)
+		}
+		return snaps
+	}
 	si := 0
 	for _, w := range windows {
 		if w.Measure {
@@ -153,16 +192,8 @@ func RunBatchSegment(ms []*Machine, tr *trace.Trace, windows []trace.Window, see
 		}
 		lo := w.Lo
 		for lo < w.Hi {
-			if si < len(savePos) && savePos[si] == lo {
-				snaps := make([]*ckpt.MachineState, len(ms))
-				for k, m := range ms {
-					var sm *sampleSums
-					if sampled {
-						sm = &sums[k]
-					}
-					snaps[k] = m.snapshotState(&states[k], sm)
-				}
-				saved[si] = snaps
+			for si < len(savePos) && savePos[si] == lo {
+				saved[si] = snapAll()
 				si++
 			}
 			hi := min(lo+FuseBlock, w.Hi)
@@ -190,6 +221,16 @@ func RunBatchSegment(ms []*Machine, tr *trace.Trace, windows []trace.Window, see
 			}
 			lo = hi
 		}
+		// A save position at this window's Hi that is not a later window's
+		// Lo (a phase boundary ending in a skip stretch, say) would never
+		// match a block start — snapshot it here, after the window's sums
+		// have accumulated. State cannot change between a window's Hi and
+		// an abutting next window's Lo, so matching here is bit-identical
+		// for positions the old lo-match would also have found.
+		for si < len(savePos) && savePos[si] == w.Hi {
+			saved[si] = snapAll()
+			si++
+		}
 		if sampled && wantPro && w.Measure && pro == nil {
 			pro = make([]pmu.Counters, len(ms))
 			for k, m := range ms {
@@ -206,15 +247,7 @@ func RunBatchSegment(ms []*Machine, tr *trace.Trace, windows []trace.Window, see
 			end = windows[len(windows)-1].Hi
 		}
 		for ; si < len(savePos) && savePos[si] == end; si++ {
-			snaps := make([]*ckpt.MachineState, len(ms))
-			for k, m := range ms {
-				var sm *sampleSums
-				if sampled {
-					sm = &sums[k]
-				}
-				snaps[k] = m.snapshotState(&states[k], sm)
-			}
-			saved[si] = snaps
+			saved[si] = snapAll()
 		}
 	}
 	out := make([]pmu.Counters, len(ms))

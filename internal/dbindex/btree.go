@@ -1,0 +1,176 @@
+package dbindex
+
+import (
+	"fmt"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// entryBytes is one index entry: an 8-byte key beside an 8-byte pointer
+// (or, in a leaf, an 8-byte inline record word).
+const entryBytes = 16
+
+// BTree models a B+-tree bulk-loaded over Keys sorted keys, laid out level
+// by level in one arena: the root first, leaves last, nodes of a level
+// contiguous. Descents are real pointer chases — each level's node address
+// depends on the entry loaded at the previous level — and intra-node
+// binary search issues the independent loads a cache-line-packed node
+// would. ChaseDepth adds dependent overflow-chain hops at every visited
+// node, the knob that stretches memory-level parallelism the way wide
+// values or versioned records do in a real engine.
+type BTree struct {
+	Keys       int      // indexed key count
+	NodeBytes  int      // node/page size in bytes; fanout = NodeBytes/16
+	ChaseDepth int      // extra dependent hops per visited node
+	Base       mem.Addr // arena base address
+
+	// levels is the computed geometry, root (index 0) to leaves.
+	levels []btreeLevel
+}
+
+type btreeLevel struct {
+	nodes int
+	// span is the number of keys one node of this level covers.
+	span int
+	// off is the byte offset of the level's node array within the arena.
+	off uint64
+}
+
+// Layout computes the tree's level geometry. It is called implicitly by
+// ArenaBytes and must succeed before any emit method runs.
+func (t *BTree) Layout() error {
+	if t.Keys < 1 {
+		return fmt.Errorf("dbindex: btree needs at least 1 key, have %d", t.Keys)
+	}
+	fanout := t.NodeBytes / entryBytes
+	if fanout < 2 {
+		return fmt.Errorf("dbindex: node size %dB gives fanout %d, need >= 2", t.NodeBytes, fanout)
+	}
+	// Build bottom-up: leaves, then one internal level per fanout step.
+	var rev []btreeLevel
+	nodes, span := ceilDiv(t.Keys, fanout), fanout
+	rev = append(rev, btreeLevel{nodes: nodes, span: span})
+	for nodes > 1 {
+		nodes, span = ceilDiv(nodes, fanout), span*fanout
+		rev = append(rev, btreeLevel{nodes: nodes, span: span})
+	}
+	t.levels = make([]btreeLevel, len(rev))
+	var off uint64
+	for i := range rev {
+		lv := rev[len(rev)-1-i]
+		lv.off = off
+		off += uint64(lv.nodes) * uint64(t.NodeBytes)
+		t.levels[i] = lv
+	}
+	return nil
+}
+
+// ArenaBytes returns the arena size the tree needs; the caller maps that
+// much and sets Base before emitting.
+func (t *BTree) ArenaBytes() (uint64, error) {
+	if t.levels == nil {
+		if err := t.Layout(); err != nil {
+			return 0, err
+		}
+	}
+	last := t.levels[len(t.levels)-1]
+	return last.off + uint64(last.nodes)*uint64(t.NodeBytes), nil
+}
+
+// Depth returns the number of levels (root to leaf inclusive).
+func (t *BTree) Depth() int { return len(t.levels) }
+
+// node returns the base address of node i of level lv.
+func (t *BTree) node(lv btreeLevel, i int) mem.Addr {
+	return t.Base + mem.Addr(lv.off) + mem.Addr(i)*mem.Addr(t.NodeBytes)
+}
+
+// BulkInsert emits the build-side traffic for key k of a sorted bulk load:
+// a sequential store into the leaf slot, plus a parent-entry store at every
+// level whose node boundary k opens — the occasional upper-level writes of
+// a bottom-up bulk build.
+//
+//mosvet:hotpath
+func (t *BTree) BulkInsert(b *trace.Builder, k int) {
+	fanout := t.NodeBytes / entryBytes
+	leaf := t.levels[len(t.levels)-1]
+	b.Compute(4)
+	b.Store(t.node(leaf, k/fanout) + mem.Addr(k%fanout)*entryBytes)
+	// Walk up: each level writes one separator entry when k starts a new
+	// child node of that level.
+	for li := len(t.levels) - 2; li >= 0; li-- {
+		lv := t.levels[li]
+		child := lv.span / fanout
+		if k%child != 0 {
+			break
+		}
+		slot := (k / child) % fanout
+		b.Compute(2)
+		b.Store(t.node(lv, k/lv.span) + mem.Addr(slot)*entryBytes)
+	}
+}
+
+// PointLookup emits one root-to-leaf descent for key k: at each level a
+// dependent node-header load (the child pointer chase), a binary search of
+// the node's slots, ChaseDepth dependent overflow hops, then the leaf
+// record load.
+//
+//mosvet:hotpath
+func (t *BTree) PointLookup(b *trace.Builder, k int) {
+	fanout := t.NodeBytes / entryBytes
+	probes := log2Ceil(fanout)
+	for li, lv := range t.levels {
+		node := t.node(lv, k/lv.span)
+		b.Compute(3)
+		b.LoadDep(node)
+		// Binary search: probe the node's slot array at halving strides.
+		lo, hi := 0, fanout
+		for p := 0; p < probes && lo < hi; p++ {
+			midSlot := (lo + hi) / 2
+			b.Compute(2)
+			b.Load(node + mem.Addr(midSlot)*entryBytes)
+			if (k>>uint(p))&1 == 0 {
+				hi = midSlot
+			} else {
+				lo = midSlot + 1
+			}
+		}
+		// Overflow/indirection chain: dependent hops bouncing through the
+		// node at key-dependent offsets.
+		h := mix64(uint64(k)*31 + uint64(li))
+		for c := 0; c < t.ChaseDepth; c++ {
+			off := mem.Addr(h%uint64(t.NodeBytes/8)) * 8
+			b.Compute(1)
+			b.LoadDep(node + off)
+			h = mix64(h)
+		}
+	}
+	leaf := t.levels[len(t.levels)-1]
+	b.Compute(2)
+	b.LoadDep(t.node(leaf, k/fanout) + mem.Addr(k%fanout)*entryBytes)
+}
+
+// RangeScan emits a descent to key k followed by a sequential scan of span
+// entries across sibling leaves: entry loads stride the leaf, and each
+// leaf-boundary crossing is a dependent sibling-pointer hop.
+//
+//mosvet:hotpath
+func (t *BTree) RangeScan(b *trace.Builder, k, span int) {
+	t.PointLookup(b, k)
+	fanout := t.NodeBytes / entryBytes
+	leaf := t.levels[len(t.levels)-1]
+	for j := 1; j <= span; j++ {
+		e := k + j
+		if e >= t.Keys {
+			e -= t.Keys
+		}
+		addr := t.node(leaf, e/fanout) + mem.Addr(e%fanout)*entryBytes
+		b.Compute(1)
+		if e%fanout == 0 {
+			b.LoadDep(addr) // sibling-pointer hop into the next leaf
+		} else {
+			b.Load(addr)
+		}
+	}
+}

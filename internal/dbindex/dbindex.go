@@ -1,0 +1,105 @@
+// Package dbindex provides synthetic database-index kernels — B+-tree
+// lookups, LSM compaction scans, hash-join probes — as trace-emitting
+// building blocks for multi-phase workloads.
+//
+// Database engines are the canonical phase-changing workloads in virtual
+// memory research: an index build is sequential and store-heavy, the probe
+// mix that follows is random and pointer-chasing, and an LSM's load/compact
+// cycle alternates between the two. A sampled replay whose windows were
+// scheduled without regard to those regime boundaries extrapolates one
+// regime's rates over another's accesses — exactly the failure mode the
+// per-phase sampling contract (trace.Phases, sim.PhaseResult) exists to
+// catch. The kernels here are the fixtures that exercise it.
+//
+// Each kernel is a small struct describing index geometry (node/page size,
+// key count, pointer-chase depth) plus per-operation emit methods that
+// append a handful of accesses to a trace.Builder. The workload layer owns
+// the access budget and the RNG; kernels own the address arithmetic. All
+// kernels are deterministic: identical geometry, keys, and RNG seeds emit
+// identical traces.
+package dbindex
+
+import (
+	"math/rand"
+)
+
+// Dist selects the key distribution driving lookups and probes.
+type Dist int
+
+const (
+	// Uniform draws keys uniformly at random — an unskewed OLTP point mix.
+	Uniform Dist = iota
+	// Zipfian draws keys under Zipf skew (s = 1.01): a hot-key OLTP mix
+	// where a small working set absorbs most probes.
+	Zipfian
+	// Sorted yields keys in ascending order, wrapping — an OLAP bulk pass.
+	Sorted
+)
+
+// String names the distribution for workload labels.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipf"
+	case Sorted:
+		return "sorted"
+	}
+	return "unknown"
+}
+
+// Generator returns a closure yielding successive key indices in [0, n)
+// under the distribution. The closure owns no state beyond rng and an
+// optional cursor, so two generators built from identically seeded RNGs
+// yield identical key streams.
+func (d Dist) Generator(rng *rand.Rand, n int) func() int {
+	switch d {
+	case Zipfian:
+		// s=1.01, v=1 (the YCSB-style skew, nudged above rand.NewZipf's
+		// s>1 floor) keeps a pronounced hot set while leaving the tail
+		// mass broad: a heavier tail (say s=1.2) concentrates every
+		// counter's variance in a few hundred cold lookups per phase and
+		// no fixed-coverage sampler can meet the noise envelope on them
+		// percent of keys without degenerating to a single page.
+		z := rand.NewZipf(rng, 1.01, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	case Sorted:
+		next := 0
+		return func() int {
+			k := next
+			next++
+			if next >= n {
+				next = 0
+			}
+			return k
+		}
+	default:
+		return func() int { return rng.Intn(n) }
+	}
+}
+
+// mix64 is SplitMix64's finalizer: a cheap, well-distributed hash for
+// bucket selection and chain-node placement. Deterministic by construction.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ceilDiv rounds an integer quotient up.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// log2Ceil returns ceil(log2(n)) for n >= 1 — the probe count of a binary
+// search over n slots.
+func log2Ceil(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}

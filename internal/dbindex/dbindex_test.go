@@ -1,0 +1,166 @@
+package dbindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// checkBounds verifies every access of a built trace lands inside
+// [base, base+size).
+func checkBounds(t *testing.T, tr *trace.Trace, base mem.Addr, size uint64) {
+	t.Helper()
+	for i := 0; i < tr.Len(); i++ {
+		va := tr.At(i).VA
+		if va < base || va >= base+mem.Addr(size) {
+			t.Fatalf("access %d at %#x outside arena [%#x, %#x)", i, va, base, base+mem.Addr(size))
+		}
+	}
+}
+
+func TestBTreeGeometry(t *testing.T) {
+	bt := &BTree{Keys: 10_000, NodeBytes: 256, Base: 1 << 30}
+	size, err := bt.ArenaBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fanout 16: 10000 keys -> 625 leaves -> 40 -> 3 -> 1; depth 4.
+	if got := bt.Depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+	want := uint64(625+40+3+1) * 256
+	if size != want {
+		t.Fatalf("arena = %d, want %d", size, want)
+	}
+	if _, err := (&BTree{Keys: 10, NodeBytes: 16}).ArenaBytes(); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+}
+
+func TestBTreeEmitsInsideArena(t *testing.T) {
+	bt := &BTree{Keys: 5_000, NodeBytes: 512, ChaseDepth: 3, Base: 1 << 30}
+	size, err := bt.ArenaBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewBuilder("btree", 1<<16)
+	for k := 0; k < bt.Keys; k++ {
+		bt.BulkInsert(b, k)
+	}
+	rng := rand.New(rand.NewSource(7))
+	gen := Zipfian.Generator(rng, bt.Keys)
+	for i := 0; i < 500; i++ {
+		bt.PointLookup(b, gen())
+		bt.RangeScan(b, gen(), 64)
+	}
+	checkBounds(t, b.Trace(), bt.Base, size)
+}
+
+func TestBTreeLookupIsPointerChase(t *testing.T) {
+	bt := &BTree{Keys: 5_000, NodeBytes: 512, ChaseDepth: 2, Base: 1 << 30}
+	if _, err := bt.ArenaBytes(); err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewBuilder("btree", 1<<12)
+	bt.PointLookup(b, 1234)
+	tr := b.Trace()
+	deps := 0
+	for i := 0; i < tr.Len(); i++ {
+		if tr.At(i).Dep {
+			deps++
+		}
+	}
+	// Per level: one header hop + ChaseDepth overflow hops; plus the final
+	// leaf record load.
+	want := bt.Depth()*(1+bt.ChaseDepth) + 1
+	if deps != want {
+		t.Fatalf("dependent loads = %d, want %d", deps, want)
+	}
+}
+
+func TestLSMEmitsInsideArena(t *testing.T) {
+	l := &LSM{Runs: 8, RunEntries: 4096, EntryBytes: 64, Base: 1 << 31}
+	size, err := l.ArenaBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewBuilder("lsm", 1<<17)
+	for i := 0; i < l.Runs*l.RunEntries; i++ {
+		l.Append(b, i)
+	}
+	l.Reset()
+	for i := 0; i < 20_000; i++ {
+		l.CompactStep(b, i)
+	}
+	checkBounds(t, b.Trace(), l.Base, size)
+}
+
+func TestLSMCompactTouchesAllRuns(t *testing.T) {
+	l := &LSM{Runs: 8, RunEntries: 1024, EntryBytes: 64, Base: 0x1000}
+	if _, err := l.ArenaBytes(); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset()
+	b := trace.NewBuilder("lsm", 1<<12)
+	for i := 0; i < 256; i++ {
+		l.CompactStep(b, i)
+	}
+	for r, c := range l.cursors {
+		if c == 0 {
+			t.Fatalf("run %d never advanced in 256 merge steps", r)
+		}
+	}
+}
+
+func TestHashJoinEmitsInsideArena(t *testing.T) {
+	h := &HashJoin{Buckets: 1 << 12, ChainLen: 4, Base: 1 << 32}
+	size, err := h.ArenaBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewBuilder("hashjoin", 1<<16)
+	rng := rand.New(rand.NewSource(11))
+	gen := Uniform.Generator(rng, 1<<16)
+	for i := 0; i < 2_000; i++ {
+		h.BuildInsert(b, gen())
+	}
+	for i := 0; i < 2_000; i++ {
+		h.Probe(b, gen())
+	}
+	checkBounds(t, b.Trace(), h.Base, size)
+}
+
+func TestDistributions(t *testing.T) {
+	const n = 1 << 12
+	t.Run("sorted ascends and wraps", func(t *testing.T) {
+		gen := Sorted.Generator(rand.New(rand.NewSource(1)), n)
+		for i := 0; i < 2*n; i++ {
+			if got := gen(); got != i%n {
+				t.Fatalf("draw %d = %d, want %d", i, got, i%n)
+			}
+		}
+	})
+	t.Run("zipf skews hot keys", func(t *testing.T) {
+		gen := Zipfian.Generator(rand.New(rand.NewSource(2)), n)
+		counts := make([]int, n)
+		for i := 0; i < 100_000; i++ {
+			counts[gen()]++
+		}
+		if counts[0] < 10*(100_000/n) {
+			t.Fatalf("hottest key drew %d of 100000 — no Zipf skew", counts[0])
+		}
+	})
+	t.Run("generators are deterministic", func(t *testing.T) {
+		for _, d := range []Dist{Uniform, Zipfian, Sorted} {
+			a := d.Generator(rand.New(rand.NewSource(3)), n)
+			b := d.Generator(rand.New(rand.NewSource(3)), n)
+			for i := 0; i < 1000; i++ {
+				if x, y := a(), b(); x != y {
+					t.Fatalf("%v draw %d: %d != %d under equal seeds", d, i, x, y)
+				}
+			}
+		}
+	})
+}

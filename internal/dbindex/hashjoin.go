@@ -1,0 +1,92 @@
+package dbindex
+
+import (
+	"fmt"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+const (
+	// bucketBytes is one hash-table bucket header: head pointer + count.
+	bucketBytes = 16
+	// chainNodeBytes is one chain node: key, payload pointer, next pointer.
+	chainNodeBytes = 32
+)
+
+// HashJoin models the build and probe sides of an in-memory hash join:
+// a bucket-header array followed by a chain-node pool. Build traffic is
+// random stores (bucket header update plus node insert); probe traffic is
+// a random dependent bucket load followed by ChainLen dependent chain
+// hops — the purest pointer-chase an analytical engine issues, and the
+// pattern whose walk latency the paper's two-walker analysis targets.
+type HashJoin struct {
+	Buckets  int      // bucket-header count
+	ChainLen int      // dependent chain hops per probe
+	Base     mem.Addr // arena base address
+}
+
+// Validate checks the geometry.
+func (h *HashJoin) Validate() error {
+	if h.Buckets < 1 || h.ChainLen < 1 {
+		return fmt.Errorf("dbindex: hashjoin needs positive buckets and chain length, have %d buckets x %d chain",
+			h.Buckets, h.ChainLen)
+	}
+	return nil
+}
+
+// ArenaBytes returns the arena size: the bucket array plus a node pool
+// holding ChainLen nodes per bucket.
+func (h *HashJoin) ArenaBytes() (uint64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	return uint64(h.Buckets)*bucketBytes + uint64(h.Buckets)*uint64(h.ChainLen)*chainNodeBytes, nil
+}
+
+// poolBase is the chain-node pool's base (after the bucket array).
+func (h *HashJoin) poolBase() mem.Addr {
+	return h.Base + mem.Addr(h.Buckets)*bucketBytes
+}
+
+// bucket maps a key to its bucket index.
+func (h *HashJoin) bucket(k int) int {
+	return int(mix64(uint64(k)) % uint64(h.Buckets))
+}
+
+// chainNode returns the address of hop c of key k's chain. Nodes of one
+// bucket's chain are scattered through the pool by hash — chains in a real
+// join are allocation-ordered, not contiguous — so every hop is a fresh
+// dependent cache line and, usually, a fresh page.
+func (h *HashJoin) chainNode(bkt, c int) mem.Addr {
+	slot := mix64(uint64(bkt)*2654435761+uint64(c)) % uint64(h.Buckets*h.ChainLen)
+	return h.poolBase() + mem.Addr(slot)*chainNodeBytes
+}
+
+// BuildInsert emits the build-side traffic for key k: update the bucket
+// header, then store the inserted node at the head of the chain.
+//
+//mosvet:hotpath
+func (h *HashJoin) BuildInsert(b *trace.Builder, k int) {
+	bkt := h.bucket(k)
+	base := h.Base + mem.Addr(bkt)*bucketBytes
+	b.Compute(4)
+	b.Load(base) // read head pointer
+	b.Store(h.chainNode(bkt, k%h.ChainLen))
+	b.Compute(1)
+	b.Store(base) // publish the new head
+}
+
+// Probe emits one probe for key k: a dependent bucket-header load, then a
+// dependent walk of the bucket's chain with a key compare at each node.
+//
+//mosvet:hotpath
+func (h *HashJoin) Probe(b *trace.Builder, k int) {
+	bkt := h.bucket(k)
+	b.Compute(3)
+	b.LoadDep(h.Base + mem.Addr(bkt)*bucketBytes)
+	for c := 0; c < h.ChainLen; c++ {
+		b.Compute(2)
+		b.LoadDep(h.chainNode(bkt, c))
+	}
+}

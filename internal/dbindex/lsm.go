@@ -1,0 +1,109 @@
+package dbindex
+
+import (
+	"fmt"
+
+	"mosaic/internal/mem"
+	"mosaic/internal/trace"
+)
+
+// LSM models the level-0 shape of an LSM tree: Runs sorted runs of
+// RunEntries entries each, plus an output region the same size as all
+// inputs combined. Load traffic (Append) is the memtable flush — pure
+// sequential stores — and compaction (CompactStep) is a K-way merge: one
+// sequential read stream per input run plus one sequential write stream,
+// the access pattern that makes compaction cache-friendly per stream but
+// TLB-wide across streams.
+type LSM struct {
+	Runs       int      // input run count (merge fan-in)
+	RunEntries int      // entries per run
+	EntryBytes int      // entry stride
+	Base       mem.Addr // arena base address
+
+	// cursors tracks each input run's merge position; out is the output
+	// write position. Reset re-arms a compaction pass. wcursors tracks each
+	// run's load-phase fill position.
+	cursors  []int
+	wcursors []int
+	out      int
+}
+
+// Validate checks the geometry.
+func (l *LSM) Validate() error {
+	if l.Runs < 2 {
+		return fmt.Errorf("dbindex: lsm needs >= 2 runs, have %d", l.Runs)
+	}
+	if l.RunEntries < 1 || l.EntryBytes < 8 {
+		return fmt.Errorf("dbindex: lsm needs positive run entries and >= 8B entries, have %d x %dB",
+			l.RunEntries, l.EntryBytes)
+	}
+	return nil
+}
+
+// ArenaBytes returns the arena size: Runs input runs plus an equal-sized
+// output region.
+func (l *LSM) ArenaBytes() (uint64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	return 2 * uint64(l.Runs) * uint64(l.RunEntries) * uint64(l.EntryBytes), nil
+}
+
+// runBytes is one input run's extent.
+func (l *LSM) runBytes() mem.Addr {
+	return mem.Addr(l.RunEntries) * mem.Addr(l.EntryBytes)
+}
+
+// outBase is the output region's base (after all input runs).
+func (l *LSM) outBase() mem.Addr {
+	return l.Base + mem.Addr(l.Runs)*l.runBytes()
+}
+
+// Reset re-arms the merge cursors for a fresh compaction pass.
+func (l *LSM) Reset() {
+	l.cursors = make([]int, l.Runs)
+	l.out = 0
+}
+
+// Append emits the load-phase traffic for entry i: a sequential store into
+// a deterministically-hashed run at that run's own fill cursor — the
+// pattern of several memtables draining concurrently. Each run fills
+// sequentially, but run selection is aperiodic, so page-boundary crossings
+// never phase-lock with a systematic sampling period (a strict
+// run-after-run fill puts every crossing on a fixed cycle and aliases the
+// estimator). Cursors wrap, so a budget beyond the arena keeps re-filling.
+//
+//mosvet:hotpath
+func (l *LSM) Append(b *trace.Builder, i int) {
+	if l.wcursors == nil {
+		l.wcursors = make([]int, l.Runs)
+	}
+	run := int(mix64(uint64(i)^0x9e3779b97f4a7c15) % uint64(l.Runs))
+	off := l.wcursors[run]
+	l.wcursors[run] = (off + 1) % l.RunEntries
+	b.Compute(3)
+	b.Store(l.Base + mem.Addr(run)*l.runBytes() + mem.Addr(off)*mem.Addr(l.EntryBytes))
+}
+
+// CompactStep emits one merge step: load the winning run's next entry
+// (sequential within that run), compare against the heap head, and store
+// it to the output cursor. The winner is a deterministic hash of the step
+// index — a stand-in for the min-heap outcome that keeps every run's
+// cursor advancing at a statistically even rate. Call Reset before the
+// first step of a pass; cursors wrap so a step budget larger than the
+// arena just re-merges.
+//
+//mosvet:hotpath
+func (l *LSM) CompactStep(b *trace.Builder, i int) {
+	if l.cursors == nil {
+		l.Reset()
+	}
+	run := int(mix64(uint64(i)) % uint64(l.Runs))
+	cur := l.cursors[run]
+	l.cursors[run] = (cur + 1) % l.RunEntries
+	b.Compute(2)
+	b.Load(l.Base + mem.Addr(run)*l.runBytes() + mem.Addr(cur)*mem.Addr(l.EntryBytes))
+	b.Compute(4) // heap sift: compare against the next-smallest head
+	b.Store(l.outBase() + mem.Addr(l.out)*mem.Addr(l.EntryBytes))
+	l.out = (l.out + 1) % (l.Runs * l.RunEntries)
+}

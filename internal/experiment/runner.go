@@ -503,6 +503,10 @@ type Dataset struct {
 	// extrapolated estimates.
 	MeasuredAccesses uint64
 	TotalAccesses    uint64
+	// Phases maps layout name to per-phase counter attribution when the
+	// pair's trace carried phase markers (multi-phase workloads); nil
+	// otherwise. Rows are in trace order, mirroring sim.Result.Phases.
+	Phases map[string][]sim.PhaseResult
 }
 
 // Baseline returns the sample with the given layout name.
@@ -782,6 +786,12 @@ func Assemble(workload, platform string, lays []layout.Layout, res []sim.Result)
 			ds.Sample1G = sample
 		} else {
 			ds.Samples = append(ds.Samples, sample)
+		}
+		if res[i].Phases != nil {
+			if ds.Phases == nil {
+				ds.Phases = make(map[string][]sim.PhaseResult, len(lays))
+			}
+			ds.Phases[lay.Name] = res[i].Phases
 		}
 	}
 	if len(res) > 0 {

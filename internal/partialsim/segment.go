@@ -63,6 +63,21 @@ func (s *Simulator) restoreState(st *ckpt.MachineState, m *Metrics) error {
 	return nil
 }
 
+// StateMetrics harvests a mid-replay checkpoint's cumulative metrics
+// accumulator — the partial-simulation counterpart of cpu.StateCounters.
+// Phased replay attributes the field-wise difference of consecutive
+// phase-boundary snapshots to the phase between them; the deltas telescope
+// to the whole-trace metrics exactly.
+func StateMetrics(st *ckpt.MachineState) Metrics {
+	return Metrics{
+		H:        st.Metrics[0],
+		M:        st.Metrics[1],
+		C:        st.Metrics[2],
+		Lookups:  st.Metrics[3],
+		WalkRefs: st.Metrics[4],
+	}
+}
+
 // seedSegment restores every simulator (and its metrics accumulator) from
 // its checkpoint before a segment replays.
 func seedSegment(ss []*Simulator, seeds []*ckpt.MachineState, out []Metrics) error {
@@ -111,7 +126,7 @@ func RunBatchSegment(ss []*Simulator, tr *trace.Trace, windows []trace.Window, s
 		}
 		lo := w.Lo
 		for lo < w.Hi {
-			if si < len(savePos) && savePos[si] == lo {
+			for si < len(savePos) && savePos[si] == lo {
 				saved[si] = snapAll(ss, out)
 				si++
 			}
@@ -131,6 +146,15 @@ func RunBatchSegment(ss []*Simulator, tr *trace.Trace, windows []trace.Window, s
 				}
 			}
 			lo = hi
+		}
+		// Match save positions at this window's Hi too — a position ending
+		// a window that is not a later window's Lo (a phase boundary before
+		// a skip stretch) never lands on a block start. State cannot change
+		// between a window's Hi and an abutting next window's Lo, so this
+		// is bit-identical for positions the lo-match would also find.
+		for si < len(savePos) && savePos[si] == w.Hi {
+			saved[si] = snapAll(ss, out)
+			si++
 		}
 		if sampled && wantPro && w.Measure && pro == nil {
 			pro = append([]Metrics(nil), out...)

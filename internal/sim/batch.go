@@ -25,6 +25,12 @@ var FuseMinBytes = 64 << 20
 // schedule is purely positional, so every engine of a fused batch measures
 // the same windows a solo run would.
 func RunBatch(engines []Engine, tr *trace.Trace, s Sampling) ([]Result, error) {
+	if tr.Phases() != nil {
+		// Multi-phase traces always run the phased segment kernel — it is
+		// fused by construction, and size gating would only change which
+		// machine touches a block first, not the result.
+		return runPhasedBatch(engines, tr, s)
+	}
 	if len(engines) == 1 || tr.Columns().Bytes() < FuseMinBytes {
 		return runSolo(engines, tr, s)
 	}

@@ -68,7 +68,7 @@ func TestFullBatchMatchesUnfused(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Errorf("engine %d: fused %+v, unfused %+v", i, got[i], want[i])
 		}
 	}
@@ -114,7 +114,7 @@ func TestPartialBatchMatchesUnfused(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !got[i].Equal(want[i]) {
 				t.Errorf("fidelities %v, engine %d: fused %+v, unfused %+v",
 					fidelities, i, got[i], want[i])
 			}

@@ -48,6 +48,28 @@ type Result struct {
 	// leaves both zero, so existing exact results compare bit-identically.
 	MeasuredAccesses uint64
 	TotalAccesses    uint64
+	// Phases attributes the counters to the trace's regimes, in trace
+	// order, when the replayed trace carried phase markers (see phases.go).
+	// Nil for single-regime traces and for warmup-reconstructed windowed
+	// replay, which cannot place exact state at phase boundaries.
+	Phases []PhaseResult
+}
+
+// Equal reports bit-exact equality of two results, including phase
+// attribution. (The Phases slice makes Result non-comparable with ==; the
+// golden bit-identity tests compare through this instead.)
+func (r Result) Equal(o Result) bool {
+	if r.Counters != o.Counters || r.WalkRefs != o.WalkRefs ||
+		r.MeasuredAccesses != o.MeasuredAccesses || r.TotalAccesses != o.TotalAccesses ||
+		len(r.Phases) != len(o.Phases) {
+		return false
+	}
+	for i := range r.Phases {
+		if r.Phases[i] != o.Phases[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Engine is one reusable simulator: the full timing machine or the partial
@@ -91,14 +113,21 @@ func (f *Full) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 	return f.m.Reset(plat, space)
 }
 
-// Run implements Engine.
+// Run implements Engine. A multi-phase trace routes through the phased
+// runner so the result carries per-phase attribution.
 func (f *Full) Run(tr *trace.Trace) (Result, error) {
+	if tr.Phases() != nil {
+		return onePhased(f, tr, Sampling{})
+	}
 	ctr, err := f.m.Run(tr)
 	return Result{Counters: ctr}, err
 }
 
 // RunSampled implements Engine.
 func (f *Full) RunSampled(tr *trace.Trace, s Sampling) (Result, error) {
+	if tr.Phases() != nil {
+		return onePhased(f, tr, s)
+	}
 	if !s.Enabled() {
 		return f.Run(tr)
 	}
@@ -142,8 +171,12 @@ func (p *Partial) Reset(plat arch.Platform, space *mem.AddressSpace) error {
 	return p.s.Reset(plat, space)
 }
 
-// Run implements Engine.
+// Run implements Engine. A multi-phase trace routes through the phased
+// runner so the result carries per-phase attribution.
 func (p *Partial) Run(tr *trace.Trace) (Result, error) {
+	if tr.Phases() != nil {
+		return onePhased(p, tr, Sampling{})
+	}
 	p.s.SimulateProgramCache = p.HighFidelity
 	m, err := p.s.Run(tr)
 	if err != nil {
@@ -154,6 +187,9 @@ func (p *Partial) Run(tr *trace.Trace) (Result, error) {
 
 // RunSampled implements Engine.
 func (p *Partial) RunSampled(tr *trace.Trace, s Sampling) (Result, error) {
+	if tr.Phases() != nil {
+		return onePhased(p, tr, s)
+	}
 	if !s.Enabled() {
 		return p.Run(tr)
 	}

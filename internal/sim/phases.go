@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+
+	"mosaic/internal/ckpt"
+	"mosaic/internal/cpu"
+	"mosaic/internal/partialsim"
+	"mosaic/internal/pmu"
+	"mosaic/internal/trace"
+)
+
+// Phased replay: a multi-phase trace (trace.Phases) carries regime markers,
+// and every replay entry point — Engine.Run/RunSampled, RunBatch,
+// RunBatchWindowed — attributes counters to each phase and, under sampling,
+// extrapolates within phase boundaries instead of across them.
+//
+// The mechanism is the segment kernels' save positions: RunBatchSegment
+// snapshots every machine at each phase's prologue end and phase end, and
+// because checkpoint state is cumulative, the field-wise difference of
+// consecutive snapshots is exactly the phase's contribution. Replay runs
+// under sampled (window-delta) stat accounting even for exact plans so the
+// snapshots carry the component sums; with full coverage that accounting is
+// bit-identical to exact counters, so an exact phased replay's headline
+// result telescopes to the same counters a phase-blind replay produces.
+//
+// Under sampling, each phase is its own stratum set: the phased schedule
+// (SamplePlan.PhasedWindows) restarts the plan inside every phase — no
+// window spans a boundary, and each phase opens with its own exactly
+// measured prologue — and the estimator scales each phase's windowed
+// counters by that phase's own coverage. A phase transition inside a skip
+// stretch therefore never leaks one regime's rates into another's estimate.
+
+// PhaseResult is one phase's share of a replay: whole-phase counter
+// estimates plus the sampled-replay coverage behind them (full coverage
+// under exact replay).
+type PhaseResult struct {
+	Name     string
+	Counters pmu.Counters
+	// WalkRefs mirrors Result.WalkRefs for the partial simulator.
+	WalkRefs uint64
+	// MeasuredAccesses and TotalAccesses are the phase's sampling coverage;
+	// the counters are extrapolated whenever MeasuredAccesses < TotalAccesses.
+	MeasuredAccesses uint64
+	TotalAccesses    uint64
+}
+
+// phaseMeta is the positional skeleton of one phase's schedule: the
+// snapshot positions and coverage the per-phase estimator needs. Purely
+// positional, so every engine of a batch shares one meta set.
+type phaseMeta struct {
+	ph trace.Phase
+	// proHi is the end of the phase's first measurement window (the phase
+	// prologue stratum); endHi is the end of the phase's last scheduled
+	// window — the cumulative state there equals the state at the phase
+	// boundary, because skipped accesses accumulate nothing.
+	proHi, endHi int
+	// proMeasured and measured count the prologue's and the whole phase's
+	// accesses inside measurement windows.
+	proMeasured, measured uint64
+}
+
+// phasedMeta computes each phase's snapshot positions under the plan's
+// phased schedule, plus the ascending deduplicated position list to pass as
+// the segment kernels' savePos.
+func phasedMeta(plan trace.SamplePlan, phases []trace.Phase, n int) ([]phaseMeta, []int) {
+	sched := plan.PhasedWindows(phases, n)
+	metas := make([]phaseMeta, 0, len(phases))
+	positions := make([]int, 0, 2*len(phases))
+	for _, ph := range phases {
+		ws := trace.PhaseWindows(sched, ph)
+		pm := phaseMeta{ph: ph, endHi: ws[len(ws)-1].Hi}
+		for _, w := range ws {
+			if !w.Measure {
+				continue
+			}
+			pm.measured += uint64(w.Len())
+			if pm.proHi == 0 {
+				pm.proHi = w.Hi
+				pm.proMeasured = uint64(w.Len())
+			}
+		}
+		metas = append(metas, pm)
+		positions = append(positions, pm.proHi, pm.endHi)
+	}
+	slices.Sort(positions)
+	return metas, slices.Compact(positions)
+}
+
+// subResult returns a - b field-wise over the extrapolated counter set.
+// Snapshot state is cumulative, so consecutive-snapshot differences are
+// phase contributions and telescope to the whole-trace totals.
+func subResult(a, b Result) Result {
+	d := counterPtrs(&a)
+	s := counterPtrs(&b)
+	for i := range d {
+		*d[i] -= *s[i]
+	}
+	return a
+}
+
+// phaseLift converts a phase-boundary snapshot into the unified result
+// shape for the given engine kind.
+func phaseLift(e Engine) func(*ckpt.MachineState) Result {
+	if _, ok := e.(*Partial); ok {
+		return func(st *ckpt.MachineState) Result {
+			return metricsResult(partialsim.StateMetrics(st))
+		}
+	}
+	return func(st *ckpt.MachineState) Result {
+		return Result{Counters: cpu.StateCounters(st)}
+	}
+}
+
+// assemblePhased turns per-position snapshots into per-engine results with
+// phase attribution: for each phase, the cumulative snapshots at its
+// prologue end and phase end are differenced against the previous phase's
+// end and extrapolated with the phase's own coverage; the headline result
+// is the sum of the per-phase estimates. Under exact replay every phase is
+// fully covered, extrapolation passes through, and the sum telescopes to
+// the exact whole-trace counters bit-identically.
+func assemblePhased(s Sampling, metas []phaseMeta, n, engines int,
+	snaps map[int][]*ckpt.MachineState, lift func(*ckpt.MachineState) Result) ([]Result, error) {
+	out := make([]Result, engines)
+	for k := 0; k < engines; k++ {
+		var prev, sum Result
+		var measuredSum uint64
+		phs := make([]PhaseResult, 0, len(metas))
+		for _, pm := range metas {
+			endSnaps, proSnaps := snaps[pm.endHi], snaps[pm.proHi]
+			if endSnaps == nil || endSnaps[k] == nil || proSnaps == nil || proSnaps[k] == nil {
+				return nil, fmt.Errorf("sim: phase %q boundary (%d, %d) was not snapshotted",
+					pm.ph.Name, pm.proHi, pm.endHi)
+			}
+			end := lift(endSnaps[k])
+			pr := s.extrapolate(subResult(end, prev), subResult(lift(proSnaps[k]), prev),
+				pm.proMeasured, pm.measured, uint64(pm.ph.Len()))
+			phs = append(phs, PhaseResult{
+				Name:             pm.ph.Name,
+				Counters:         pr.Counters,
+				WalkRefs:         pr.WalkRefs,
+				MeasuredAccesses: pr.MeasuredAccesses,
+				TotalAccesses:    pr.TotalAccesses,
+			})
+			addCounters(&sum, pr)
+			measuredSum += pm.measured
+			prev = end
+		}
+		sum.Phases = phs
+		if s.Enabled() {
+			sum.MeasuredAccesses = measuredSum
+			sum.TotalAccesses = uint64(n)
+		}
+		out[k] = sum
+	}
+	return out, nil
+}
+
+// snapsByPos indexes the segment kernels' saved snapshots by position.
+func snapsByPos(positions []int, saved [][]*ckpt.MachineState) map[int][]*ckpt.MachineState {
+	m := make(map[int][]*ckpt.MachineState, len(positions))
+	for i, pos := range positions {
+		if i < len(saved) {
+			m[pos] = saved[i]
+		}
+	}
+	return m
+}
+
+// onePhased is the single-engine phased entry point behind
+// Engine.Run/RunSampled.
+func onePhased(e Engine, tr *trace.Trace, s Sampling) (Result, error) {
+	rs, err := runPhasedBatch([]Engine{e}, tr, s)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// runPhasedBatch replays a multi-phase trace through a batch of engines in
+// one fused pass with phase attribution. The fused segment kernel IS the
+// solo kernel (engines share no mutable state), so solo and fused — and by
+// extension single-node and fleet-sharded — phased results are
+// bit-identical by construction.
+func runPhasedBatch(engines []Engine, tr *trace.Trace, s Sampling) ([]Result, error) {
+	fullIdx, partIdx, ok := splitKinds(engines)
+	if !ok {
+		// External Engine implementations can't be driven through the
+		// segment kernels; they replay phase-blind (no Phases attribution).
+		return runSolo(engines, tr, s)
+	}
+	if len(fullIdx) > 0 && len(partIdx) > 0 {
+		out := make([]Result, len(engines))
+		for _, idx := range [][]int{fullIdx, partIdx} {
+			sub := make([]Engine, len(idx))
+			for j, i := range idx {
+				sub[j] = engines[i]
+			}
+			rs, err := runPhasedBatch(sub, tr, s)
+			if err != nil {
+				return nil, err
+			}
+			for j, i := range idx {
+				out[i] = rs[j]
+			}
+		}
+		return out, nil
+	}
+
+	phases := tr.Phases()
+	n := tr.Len()
+	metas, positions := phasedMeta(s.Plan(), phases, n)
+	windows := s.Plan().PhasedWindows(phases, n)
+
+	var saved [][]*ckpt.MachineState
+	var err error
+	if len(partIdx) == 0 {
+		ms := make([]*cpu.Machine, len(engines))
+		for k, e := range engines {
+			ms[k] = e.(*Full).Machine()
+		}
+		// sampled=true even for exact plans: the snapshots need the
+		// window-delta component sums, and with full coverage that
+		// accounting is bit-identical to exact counters.
+		_, _, saved, _, err = cpu.RunBatchSegment(ms, tr, windows, nil, true, false, positions)
+	} else {
+		ss := make([]*partialsim.Simulator, len(engines))
+		for k, e := range engines {
+			p := e.(*Partial)
+			p.s.SimulateProgramCache = p.HighFidelity
+			ss[k] = p.s
+		}
+		_, _, saved, _, err = partialsim.RunBatchSegment(ss, tr, windows, nil, true, false, positions)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return assemblePhased(s, metas, n, len(engines), snapsByPos(positions, saved), phaseLift(engines[0]))
+}

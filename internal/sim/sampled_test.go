@@ -62,7 +62,7 @@ func TestSampledDisabledIsExact(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got != want[i] {
+			if !got.Equal(want[i]) {
 				t.Errorf("%s engine %d: RunSampled(off) %+v, Run %+v", kind, i, got, want[i])
 			}
 		}
@@ -72,7 +72,7 @@ func TestSampledDisabledIsExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !got[i].Equal(want[i]) {
 				t.Errorf("%s engine %d: fused(off) %+v, Run %+v", kind, i, got[i], want[i])
 			}
 		}
@@ -160,7 +160,7 @@ func TestSampledBatchMatchesSolo(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !got[i].Equal(want[i]) {
 				t.Errorf("%s engine %d: fused %+v, solo %+v", kind, i, got[i], want[i])
 			}
 		}

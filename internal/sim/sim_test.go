@@ -85,7 +85,7 @@ func TestFullResetReplaysIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("reset engine diverged from fresh engine:\ngot  %+v\nwant %+v", got, want)
 	}
 }
@@ -134,7 +134,7 @@ func TestPartialResetReplaysIdentically(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if !got.Equal(want) {
 			t.Fatalf("highFidelity=%v: reset simulator diverged:\ngot  %+v\nwant %+v",
 				hf, got, want)
 		}
@@ -175,7 +175,7 @@ func TestResetRetargetsPlatform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("retargeted engine diverged:\ngot  %+v\nwant %+v", got, want)
 	}
 }

@@ -82,7 +82,33 @@ type segment struct {
 	first   bool // starts at trace position 0 on the caller's engines
 	windows []trace.Window
 	seeds   []*ckpt.MachineState // nil for cold (position-0) segments
-	savePos []int                // boundary positions to snapshot, ascending
+	savePos []int                // positions to snapshot, ascending
+	// persist flags which savePos entries are chunk boundaries to write to
+	// the checkpoint store; phase-attribution snapshots stay segment-local
+	// (they would be rewritten on every warm run otherwise). nil means all.
+	persist []bool
+}
+
+// addSavePos inserts a snapshot position, keeping savePos ascending and
+// deduplicated; a position serving both a chunk boundary and a phase
+// boundary keeps its persist flag.
+func (g *segment) addSavePos(pos int, persist bool) {
+	i := 0
+	for i < len(g.savePos) && g.savePos[i] < pos {
+		i++
+	}
+	if i < len(g.savePos) && g.savePos[i] == pos {
+		if persist {
+			g.persist[i] = true
+		}
+		return
+	}
+	g.savePos = append(g.savePos, 0)
+	copy(g.savePos[i+1:], g.savePos[i:])
+	g.savePos[i] = pos
+	g.persist = append(g.persist, false)
+	copy(g.persist[i+1:], g.persist[i:])
+	g.persist[i] = persist
 }
 
 // segOut is one segment's harvest, in unified Result form.
@@ -101,7 +127,17 @@ func RunBatchWindowed(engines []Engine, tr *trace.Trace, s Sampling, w Windowed)
 	if !w.Enabled() || len(engines) == 0 {
 		return RunBatch(engines, tr, s)
 	}
-	chunks := trace.WindowPlan{Windows: w.K}.Chunks(s.Plan(), tr.Len())
+	// Multi-phase traces chunk over the phased schedule so no chunk window
+	// ever spans a phase boundary; under an exact plan the phased schedule
+	// covers the same accesses and the cut positions are identical to the
+	// phase-blind even split.
+	var chunks []trace.Chunk
+	if phases := tr.Phases(); phases != nil {
+		chunks = trace.WindowPlan{Windows: w.K}.ChunksFor(
+			s.Plan().PhasedWindows(phases, tr.Len()), !s.Enabled())
+	} else {
+		chunks = trace.WindowPlan{Windows: w.K}.Chunks(s.Plan(), tr.Len())
+	}
 	if len(chunks) < 2 {
 		return RunBatch(engines, tr, s)
 	}
@@ -198,21 +234,44 @@ func runWindowedExact(engines []Engine, tr *trace.Trace, s Sampling, w Windowed,
 			segs = append(segs, cur)
 			cur = segment{seeds: seeds[ci]}
 		} else if useStore {
-			cur.savePos = append(cur.savePos, chunks[ci].Pos)
+			cur.addSavePos(chunks[ci].Pos, true)
 		}
 		cur.windows = append(cur.windows, chunks[ci].Windows...)
 	}
 	segs = append(segs, cur)
+
+	// A multi-phase trace needs every engine snapshotted at each phase's
+	// prologue end and phase end; route each position into the segment
+	// whose window range covers it. A position that collides with a chunk
+	// boundary shares the boundary's snapshot.
+	phases := tr.Phases()
+	var metas []phaseMeta
+	if phases != nil {
+		var positions []int
+		metas, positions = phasedMeta(s.Plan(), phases, tr.Len())
+		for _, pos := range positions {
+			for si := range segs {
+				ws := segs[si].windows
+				if len(ws) > 0 && pos > ws[0].Lo && pos <= ws[len(ws)-1].Hi {
+					segs[si].addSavePos(pos, false)
+					break
+				}
+			}
+		}
+	}
 
 	outs, err := runSegments(engines, tr, s, w, segs)
 	if err != nil {
 		return nil, err
 	}
 
-	// Persist the boundaries the segments ran through.
+	// Persist the chunk boundaries the segments ran through.
 	if useStore {
 		for si, seg := range segs {
 			for j, pos := range seg.savePos {
+				if !seg.persist[j] {
+					continue
+				}
 				snaps := outs[si].saved[j]
 				if snaps == nil {
 					continue
@@ -224,6 +283,25 @@ func runWindowedExact(engines []Engine, tr *trace.Trace, s Sampling, w Windowed,
 				}
 			}
 		}
+	}
+
+	if phases != nil {
+		// Assemble per-phase attribution from the snapshots (a seeded
+		// segment's seed checkpoint is the cumulative state at its start
+		// position, covering phase boundaries that coincide with cached
+		// chunk boundaries).
+		snaps := make(map[int][]*ckpt.MachineState)
+		for si, seg := range segs {
+			if seg.seeds != nil && len(seg.windows) > 0 {
+				snaps[seg.windows[0].Lo] = seg.seeds
+			}
+			for j, pos := range seg.savePos {
+				if outs[si].saved != nil && outs[si].saved[j] != nil {
+					snaps[pos] = outs[si].saved[j]
+				}
+			}
+		}
+		return assemblePhased(s, metas, tr.Len(), len(engines), snaps, phaseLift(engines[0]))
 	}
 
 	// Checkpoints are cumulative, so the last segment's harvest is the
@@ -283,7 +361,21 @@ func runWindowedWarm(engines []Engine, tr *trace.Trace, s Sampling, w Windowed, 
 	}
 	if s.Enabled() {
 		pro := outs[0].pro
+		// For a phased trace the schedule's first measurement window is
+		// phase 0's prologue; warm mode replays the phased schedule (so
+		// coverage matches) but extrapolates globally and leaves
+		// Result.Phases nil — reconstructed boundary state cannot place
+		// exact counters at phase boundaries, and warm mode's contract is
+		// the sampling noise envelope, not bit-identity.
 		proMeasured := uint64(s.Plan().PrologueMeasured(tr.Len()))
+		if phases := tr.Phases(); phases != nil {
+			for _, ww := range s.Plan().PhasedWindows(phases, tr.Len()) {
+				if ww.Measure {
+					proMeasured = uint64(ww.Len())
+					break
+				}
+			}
+		}
 		for i := range sum {
 			sum[i] = s.extrapolate(sum[i], pro[i], proMeasured, measured, uint64(tr.Len()))
 		}
@@ -311,8 +403,10 @@ func runSegments(engines []Engine, tr *trace.Trace, s Sampling, w Windowed, segs
 	}
 	// The warm path forces window-delta stat accounting even for exact
 	// plans: a seeded-from-zero chunk must keep its private warmup run-in
-	// out of the component counters.
-	sampled := s.Enabled() || w.Warm
+	// out of the component counters. Phased traces force it too — their
+	// phase-boundary snapshots need the component sums, and with full
+	// coverage the accounting is bit-identical to exact counters.
+	sampled := s.Enabled() || w.Warm || tr.Phases() != nil
 
 	outs := make([]segOut, len(segs))
 	errs := make([]error, len(segs))

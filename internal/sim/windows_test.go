@@ -59,7 +59,7 @@ func TestWindowedExactGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range want {
-				if cold[i] != want[i] {
+				if !cold[i].Equal(want[i]) {
 					t.Errorf("%s engine %d: cold windowed %+v, want %+v", label, i, cold[i], want[i])
 				}
 			}
@@ -78,7 +78,7 @@ func TestWindowedExactGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range want {
-				if warm[i] != want[i] {
+				if !warm[i].Equal(want[i]) {
 					t.Errorf("%s engine %d: warm windowed %+v, want %+v", label, i, warm[i], want[i])
 				}
 			}
@@ -94,7 +94,7 @@ func TestWindowedExactGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if solo[0] != soloWant[0] {
+			if !solo[0].Equal(soloWant[0]) {
 				t.Errorf("%s solo: windowed %+v, want %+v", label, solo[0], soloWant[0])
 			}
 		}
@@ -143,7 +143,7 @@ func TestWindowedPartialBoundaryCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !got[i].Equal(want[i]) {
 			t.Errorf("engine %d: partially-cached windowed %+v, want %+v", i, got[i], want[i])
 		}
 	}
@@ -185,7 +185,7 @@ func TestWindowedCrossProcessResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != want[0] {
+	if !got[0].Equal(want[0]) {
 		t.Errorf("resumed %+v, uninterrupted %+v", got[0], want[0])
 	}
 	// R is uint64(st.now): equality above already implies Float64bits-level
@@ -279,7 +279,7 @@ func TestWindowedMixedKindsAndFallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != wantF || got[1] != wantP {
+	if !got[0].Equal(wantF) || !got[1].Equal(wantP) {
 		t.Errorf("mixed windowed %+v/%+v, want %+v/%+v", got[0], got[1], wantF, wantP)
 	}
 
@@ -288,7 +288,7 @@ func TestWindowedMixedKindsAndFallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if solo[0] != wantF {
+	if !solo[0].Equal(wantF) {
 		t.Errorf("K=1 %+v, want %+v", solo[0], wantF)
 	}
 
@@ -302,7 +302,7 @@ func TestWindowedMixedKindsAndFallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tinyGot[0] != tinyWant[0] {
+	if !tinyGot[0].Equal(tinyWant[0]) {
 		t.Errorf("tiny trace windowed %+v, want %+v", tinyGot[0], tinyWant[0])
 	}
 }

@@ -43,7 +43,20 @@ const minChunkAccesses = 1 << 13
 // (so a warmup window is never separated from the measurement window it
 // warms), and the prologue window always stays in chunk 0.
 func (wp WindowPlan) Chunks(plan SamplePlan, n int) []Chunk {
-	ws := plan.Windows(n)
+	return wp.ChunksFor(plan.Windows(n), !plan.Enabled())
+}
+
+// ChunksFor splits an explicit window schedule — plan.Windows(n) for a
+// single-regime trace, SamplePlan.PhasedWindows for a multi-phase one —
+// into at most wp.Windows chunks of roughly equal replayed work. exact
+// marks a schedule in which every access is measured and consecutive
+// windows abut (a disabled sampling plan): cuts may then fall anywhere,
+// including inside a window, because splitting a measurement window into
+// abutting sub-windows replays identically. Under a sampled schedule whole
+// windows are distributed and cuts only fall where the schedule skips
+// accesses, so a warmup window is never separated from the measurement
+// window it warms and each phase's prologue window stays whole.
+func (wp WindowPlan) ChunksFor(ws []Window, exact bool) []Chunk {
 	if len(ws) == 0 {
 		return nil
 	}
@@ -58,14 +71,27 @@ func (wp WindowPlan) Chunks(plan SamplePlan, n int) []Chunk {
 	if k < 2 {
 		return []Chunk{{Pos: ws[0].Lo, Windows: ws}}
 	}
-	if !plan.Enabled() {
-		// Exact replay: one window covering [0, n) — split it evenly.
-		w := ws[0]
+	if exact {
+		// Split the schedule at even cumulative-work offsets, cutting
+		// straddling windows. For a single whole-trace window this yields
+		// the classic even split of [0, n).
 		out := make([]Chunk, 0, k)
+		j, used, cum := 0, 0, 0
 		for i := 0; i < k; i++ {
-			lo := w.Lo + w.Len()*i/k
-			hi := w.Lo + w.Len()*(i+1)/k
-			out = append(out, Chunk{Pos: lo, Windows: []Window{{Lo: lo, Hi: hi, Measure: w.Measure}}})
+			end := work * (i + 1) / k
+			cur := Chunk{Pos: ws[j].Lo + used}
+			for cum < end {
+				w := ws[j]
+				take := min(w.Len()-used, end-cum)
+				cur.Windows = append(cur.Windows,
+					Window{Lo: w.Lo + used, Hi: w.Lo + used + take, Measure: w.Measure})
+				used += take
+				cum += take
+				if used == w.Len() {
+					j, used = j+1, 0
+				}
+			}
+			out = append(out, cur)
 		}
 		return out
 	}

@@ -158,6 +158,17 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		f.Add(v1.Bytes())
 		f.Add(v2.Bytes())
 	}
+	// Phased seeds: whole streams (mutations hit the phase section's
+	// marker, count, names, and bounds) plus deliberate truncations into
+	// the section, which must reject, never panic or mis-decode.
+	phased := phasedTestTrace(120)
+	var vp bytes.Buffer
+	if _, err := phased.WriteTo(&vp); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(vp.Bytes())
+	f.Add(vp.Bytes()[:vp.Len()-5])
+	f.Add(vp.Bytes()[:vp.Len()-20])
 	f.Add([]byte("MOSTRC01"))
 	f.Add([]byte("MOSTRC02"))
 	f.Add([]byte("MOSTRC02\x00\x00\x08\x00\x00\x00\x00\x00\x00\x00\x00"))
@@ -185,6 +196,25 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			for i := 0; i < tr.Len(); i++ {
 				if back.At(i) != tr.At(i) {
 					t.Fatalf("%s: access %d changed: %+v vs %+v", name, i, back.At(i), tr.At(i))
+				}
+			}
+			// v02 carries phase markers; v01 predates them and must drop
+			// them. A phase-less decode stays phase-less (the implicit
+			// single phase is nil, never a materialized marker).
+			switch name {
+			case "v01":
+				if back.Phases() != nil {
+					t.Fatalf("v01 re-decode grew phases %+v", back.Phases())
+				}
+			case "v02":
+				bp, tp := back.Phases(), tr.Phases()
+				if len(bp) != len(tp) {
+					t.Fatalf("v02 round trip changed phases: %+v vs %+v", bp, tp)
+				}
+				for i := range tp {
+					if bp[i] != tp[i] {
+						t.Fatalf("v02 phase %d changed: %+v vs %+v", i, bp[i], tp[i])
+					}
 				}
 			}
 		}

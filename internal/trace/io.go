@@ -43,13 +43,30 @@ import (
 //	    ceil(n/4) flag bytes: access j → byte j/4, bits (j%4)*2
 //	                          (bit0 = write, bit1 = dependent)
 //
+// A multi-phase v02 trace appends one optional trailing section after the
+// last block (absent entirely for phase-less traces, so pre-phase readers'
+// files round-trip unchanged and pre-phase files decode with Phases() nil —
+// the single implicit phase):
+//
+//	marker [4]byte "MPH1"
+//	pcount uint16  number of phases (1..maxPhases)
+//	phases pcount × { nameLen uint16, name []byte, lo uint64, hi uint64 }
+//
+// The decoded phases must form a contiguous ascending partition of
+// [0, count); anything else — including a truncated section or an unknown
+// marker where the section would start — is a hard decode error, never a
+// silent fallback to phase-less.
+//
 // flags: bit0 = write, bit1 = dependent. All fixed-width integers are
 // little-endian. Readers accept both formats (dispatch on magic); writers
-// emit v02 unless WriteToV01 is called explicitly.
+// emit v02 unless WriteToV01 is called explicitly (v01 cannot carry
+// phases).
 
 var (
 	traceMagicV01 = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '1'}
 	traceMagicV02 = [8]byte{'M', 'O', 'S', 'T', 'R', 'C', '0', '2'}
+	// phaseMarker opens the optional trailing phase section of a v02 file.
+	phaseMarker = [4]byte{'M', 'P', 'H', '1'}
 )
 
 const (
@@ -133,7 +150,47 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		}
 		written += int64(len(payload))
 	}
+	if len(t.phases) > 0 {
+		n, err := writePhaseSection(bw, t.phases)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
 	return written, bw.Flush()
+}
+
+// writePhaseSection emits the trailing MPH1 phase section.
+func writePhaseSection(bw *bufio.Writer, phases []Phase) (int64, error) {
+	var written int64
+	var buf [16]byte
+	copy(buf[0:4], phaseMarker[:])
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(phases)))
+	if _, err := bw.Write(buf[:6]); err != nil {
+		return written, err
+	}
+	written += 6
+	for _, p := range phases {
+		if len(p.Name) > maxNameLen {
+			return written, fmt.Errorf("trace: phase name too long (%d bytes)", len(p.Name))
+		}
+		binary.LittleEndian.PutUint16(buf[0:2], uint16(len(p.Name)))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return written, err
+		}
+		written += 2
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return written, err
+		}
+		written += int64(len(p.Name))
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(p.Lo))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(p.Hi))
+		if _, err := bw.Write(buf[:16]); err != nil {
+			return written, err
+		}
+		written += 16
+	}
+	return written, nil
 }
 
 // WriteToV01 serializes the trace in the legacy MOSTRC01 row format.
@@ -249,8 +306,12 @@ func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
 	// count must not trigger a giant up-front allocation.
 	cols.Grow(int(min(count, 1<<16)))
 	var err error
+	var phases []Phase
 	if v2 {
 		err = readV02(cr, &cols, count)
+		if err == nil {
+			phases, err = readPhaseSection(cr, cols.Len())
+		}
 	} else {
 		err = readV01(cr, &cols, count)
 	}
@@ -259,7 +320,56 @@ func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
 	}
 	t.Name = string(name)
 	t.cols = cols
+	t.phases = phases
 	return cr.read, nil
+}
+
+// readPhaseSection decodes the optional trailing MPH1 section of a v02
+// stream. A clean EOF right after the last access block means a phase-less
+// trace; any bytes present must be a complete, valid phase section.
+func readPhaseSection(cr *countingReader, n int) ([]Phase, error) {
+	var marker [4]byte
+	if err := cr.full(marker[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("trace: truncated phase marker: %w", err)
+	}
+	if marker != phaseMarker {
+		return nil, fmt.Errorf("trace: bad phase-section marker %q", marker[:])
+	}
+	var buf [16]byte
+	if err := cr.full(buf[:2]); err != nil {
+		return nil, fmt.Errorf("trace: truncated phase count: %w", err)
+	}
+	pcount := binary.LittleEndian.Uint16(buf[:2])
+	if pcount == 0 || int(pcount) > maxPhases {
+		return nil, fmt.Errorf("trace: implausible phase count %d", pcount)
+	}
+	phases := make([]Phase, 0, pcount)
+	for i := 0; i < int(pcount); i++ {
+		if err := cr.full(buf[:2]); err != nil {
+			return nil, fmt.Errorf("trace: truncated phase %d: %w", i, err)
+		}
+		nameLen := binary.LittleEndian.Uint16(buf[:2])
+		name := make([]byte, nameLen)
+		if err := cr.full(name); err != nil {
+			return nil, fmt.Errorf("trace: truncated phase %d name: %w", i, err)
+		}
+		if err := cr.full(buf[:16]); err != nil {
+			return nil, fmt.Errorf("trace: truncated phase %d bounds: %w", i, err)
+		}
+		lo := binary.LittleEndian.Uint64(buf[0:8])
+		hi := binary.LittleEndian.Uint64(buf[8:16])
+		if lo > maxAccesses || hi > maxAccesses {
+			return nil, fmt.Errorf("trace: implausible phase %d bounds [%d, %d)", i, lo, hi)
+		}
+		phases = append(phases, Phase{Name: string(name), Lo: int(lo), Hi: int(hi)})
+	}
+	if err := validatePhases(phases, n); err != nil {
+		return nil, err
+	}
+	return phases, nil
 }
 
 // readV01 decodes the fixed-width record stream with one buffered manual

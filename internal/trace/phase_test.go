@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// phasedTestTrace builds a trace with three regimes via BeginPhase.
+func phasedTestTrace(n int) *Trace {
+	b := NewBuilder("phased/test", n)
+	b.BeginPhase("build")
+	for b.Len() < n/3 {
+		b.Store(0x1000)
+	}
+	b.BeginPhase("probe")
+	for b.Len() < 2*n/3 {
+		b.LoadDep(0x2000)
+	}
+	b.BeginPhase("scan")
+	for b.Len() < n {
+		b.Load(0x3000)
+	}
+	return b.Trace()
+}
+
+func TestSetPhasesValidation(t *testing.T) {
+	tr := strideTestTrace(1, 100)
+	cases := []struct {
+		name   string
+		phases []Phase
+		ok     bool
+	}{
+		{"nil clears", nil, true},
+		{"whole trace", []Phase{{Name: "all", Lo: 0, Hi: 100}}, true},
+		{"two abutting", []Phase{{Name: "a", Lo: 0, Hi: 40}, {Name: "b", Lo: 40, Hi: 100}}, true},
+		{"first not zero", []Phase{{Name: "a", Lo: 1, Hi: 100}}, false},
+		{"gap", []Phase{{Name: "a", Lo: 0, Hi: 40}, {Name: "b", Lo: 50, Hi: 100}}, false},
+		{"overlap", []Phase{{Name: "a", Lo: 0, Hi: 60}, {Name: "b", Lo: 40, Hi: 100}}, false},
+		{"empty phase", []Phase{{Name: "a", Lo: 0, Hi: 0}, {Name: "b", Lo: 0, Hi: 100}}, false},
+		{"short", []Phase{{Name: "a", Lo: 0, Hi: 99}}, false},
+		{"long", []Phase{{Name: "a", Lo: 0, Hi: 101}}, false},
+	}
+	for _, tc := range cases {
+		if err := tr.SetPhases(tc.phases); (err == nil) != tc.ok {
+			t.Errorf("%s: SetPhases err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestBuilderBeginPhase(t *testing.T) {
+	t.Run("no marks means nil phases", func(t *testing.T) {
+		if got := strideTestTrace(2, 50).Phases(); got != nil {
+			t.Fatalf("phases = %v, want nil", got)
+		}
+	})
+	t.Run("three regimes partition the trace", func(t *testing.T) {
+		tr := phasedTestTrace(90)
+		ph := tr.Phases()
+		if len(ph) != 3 {
+			t.Fatalf("phases = %v, want 3", ph)
+		}
+		want := []Phase{{"build", 0, 30}, {"probe", 30, 60}, {"scan", 60, 90}}
+		for i := range want {
+			if ph[i] != want[i] {
+				t.Errorf("phase %d = %+v, want %+v", i, ph[i], want[i])
+			}
+		}
+	})
+	t.Run("late first mark creates pre phase", func(t *testing.T) {
+		b := NewBuilder("t", 4)
+		b.Load(0x10)
+		b.BeginPhase("rest")
+		b.Load(0x20)
+		ph := b.Trace().Phases()
+		if len(ph) != 2 || ph[0] != (Phase{"pre", 0, 1}) || ph[1] != (Phase{"rest", 1, 2}) {
+			t.Fatalf("phases = %+v", ph)
+		}
+	})
+	t.Run("empty mark replaced", func(t *testing.T) {
+		b := NewBuilder("t", 4)
+		b.BeginPhase("a")
+		b.BeginPhase("b")
+		b.Load(0x10)
+		ph := b.Trace().Phases()
+		if len(ph) != 1 || ph[0] != (Phase{"b", 0, 1}) {
+			t.Fatalf("phases = %+v", ph)
+		}
+	})
+	t.Run("trailing empty mark dropped", func(t *testing.T) {
+		b := NewBuilder("t", 4)
+		b.BeginPhase("a")
+		b.Load(0x10)
+		b.BeginPhase("tail")
+		ph := b.Trace().Phases()
+		if len(ph) != 1 || ph[0] != (Phase{"a", 0, 1}) {
+			t.Fatalf("phases = %+v", ph)
+		}
+	})
+	t.Run("marks on empty trace mean nil", func(t *testing.T) {
+		b := NewBuilder("t", 4)
+		b.BeginPhase("a")
+		if got := b.Trace().Phases(); got != nil {
+			t.Fatalf("phases = %v, want nil", got)
+		}
+	})
+}
+
+func TestPhasedWindows(t *testing.T) {
+	p := SamplePlan{Period: 64, MeasureLen: 8, WarmupLen: 16, PrologueLen: 32}
+	t.Run("nil phases match plain schedule", func(t *testing.T) {
+		a, b := p.PhasedWindows(nil, 500), p.Windows(500)
+		if len(a) != len(b) {
+			t.Fatalf("schedules differ: %d vs %d windows", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("window %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+	t.Run("no window crosses a boundary", func(t *testing.T) {
+		// Boundaries at 150 and 333: both mid-period, 333 mid-measure under
+		// a naive global schedule.
+		phases := []Phase{{"a", 0, 150}, {"b", 150, 333}, {"c", 333, 500}}
+		ws := p.PhasedWindows(phases, 500)
+		for _, w := range ws {
+			for _, cut := range []int{150, 333} {
+				if w.Lo < cut && cut < w.Hi {
+					t.Fatalf("window [%d,%d) straddles boundary %d", w.Lo, w.Hi, cut)
+				}
+			}
+		}
+		// Each phase restarts the plan: its first window is the phase's own
+		// prologue, measured, starting at the phase's Lo.
+		for _, ph := range phases {
+			sub := PhaseWindows(ws, ph)
+			if len(sub) == 0 {
+				t.Fatalf("phase %q got no windows", ph.Name)
+			}
+			if sub[0].Lo != ph.Lo || !sub[0].Measure {
+				t.Fatalf("phase %q opens with %+v, want measured prologue at %d",
+					ph.Name, sub[0], ph.Lo)
+			}
+			for _, w := range sub {
+				if w.Lo < ph.Lo || w.Hi > ph.Hi {
+					t.Fatalf("phase %q window %+v escapes [%d,%d)", ph.Name, w, ph.Lo, ph.Hi)
+				}
+			}
+		}
+	})
+	t.Run("disabled plan covers each phase exactly", func(t *testing.T) {
+		phases := []Phase{{"a", 0, 150}, {"b", 150, 500}}
+		ws := SamplePlan{}.PhasedWindows(phases, 500)
+		if len(ws) != 2 {
+			t.Fatalf("windows = %+v, want one per phase", ws)
+		}
+		for i, ph := range phases {
+			if ws[i].Lo != ph.Lo || ws[i].Hi != ph.Hi || !ws[i].Measure {
+				t.Fatalf("window %d = %+v, want measured [%d,%d)", i, ws[i], ph.Lo, ph.Hi)
+			}
+		}
+	})
+}
+
+func TestPhaseRoundTripV02(t *testing.T) {
+	orig := phasedTestTrace(300)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	op, gp := orig.Phases(), got.Phases()
+	if len(gp) != len(op) {
+		t.Fatalf("phases = %+v, want %+v", gp, op)
+	}
+	for i := range op {
+		if gp[i] != op[i] {
+			t.Fatalf("phase %d = %+v, want %+v", i, gp[i], op[i])
+		}
+	}
+}
+
+func TestPhaseSectionRejectsCorruption(t *testing.T) {
+	orig := phasedTestTrace(300)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncated mid-section", func(t *testing.T) {
+		for cut := 1; cut < 40; cut += 7 {
+			var tr Trace
+			if _, err := tr.ReadFrom(bytes.NewReader(raw[:len(raw)-cut])); err == nil {
+				t.Fatalf("accepted stream truncated %d bytes into the phase section", cut)
+			}
+		}
+	})
+	t.Run("corrupt marker", func(t *testing.T) {
+		// Find the phase marker from the end: it precedes count and 3 phases.
+		i := bytes.LastIndex(raw, phaseMarker[:])
+		if i < 0 {
+			t.Fatal("no phase marker in encoded stream")
+		}
+		forged := append([]byte{}, raw...)
+		forged[i] = 'X'
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(forged)); err == nil {
+			t.Fatal("accepted corrupt phase marker")
+		}
+	})
+	t.Run("forged phase bounds", func(t *testing.T) {
+		i := bytes.LastIndex(raw, phaseMarker[:])
+		forged := append([]byte{}, raw...)
+		// Clobber the last 8 bytes (final phase's Hi) so the partition no
+		// longer ends at the trace length.
+		for j := len(forged) - 8; j < len(forged); j++ {
+			forged[j] = 0xee
+		}
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(forged)); err == nil {
+			t.Fatal("accepted phase partition not ending at trace length")
+		}
+		// Implausible phase count.
+		forged = append([]byte{}, raw[:i+4]...)
+		forged = append(forged, 0xff, 0xff)
+		if _, err := tr.ReadFrom(bytes.NewReader(forged)); err == nil {
+			t.Fatal("accepted implausible phase count")
+		}
+	})
+	t.Run("v01 drops phases", func(t *testing.T) {
+		var v1 bytes.Buffer
+		if _, err := orig.WriteToV01(&v1); err != nil {
+			t.Fatal(err)
+		}
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(v1.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Phases() != nil {
+			t.Fatalf("v01 decode has phases %+v", tr.Phases())
+		}
+	})
+	t.Run("phase-less v02 decodes with implicit single phase", func(t *testing.T) {
+		plain := strideTestTrace(3, 120)
+		var v2 bytes.Buffer
+		if _, err := plain.WriteTo(&v2); err != nil {
+			t.Fatal(err)
+		}
+		var tr Trace
+		if _, err := tr.ReadFrom(bytes.NewReader(v2.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		// Nil phases is the implicit whole-trace phase; the replay schedule
+		// it induces is the plain single-regime schedule.
+		if tr.Phases() != nil {
+			t.Fatalf("phase-less v02 decode has phases %+v", tr.Phases())
+		}
+		p := SamplePlan{Period: 65536, MeasureLen: 3072, WarmupLen: 8192, PrologueLen: 32768}
+		ws := p.PhasedWindows(tr.Phases(), tr.Len())
+		plain2 := p.Windows(tr.Len())
+		if len(ws) != len(plain2) {
+			t.Fatalf("implicit phase schedule differs: %d vs %d windows", len(ws), len(plain2))
+		}
+	})
+}
+
+func TestSampleDropsPhases(t *testing.T) {
+	tr := phasedTestTrace(300)
+	if got := tr.Sample(10, 5).Phases(); got != nil {
+		t.Fatalf("Sample kept phases %+v", got)
+	}
+	if got := tr.MultiSample(50, 10).Phases(); got != nil {
+		t.Fatalf("MultiSample kept phases %+v", got)
+	}
+}

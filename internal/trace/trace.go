@@ -38,6 +38,9 @@ type Access struct {
 type Trace struct {
 	Name string
 	cols Columns
+	// phases are optional regime markers partitioning [0, Len()); nil means
+	// a single implicit whole-trace phase. See phase.go.
+	phases []Phase
 }
 
 // New builds a trace from row records (a convenience for tests and tools;
@@ -125,6 +128,8 @@ type Builder struct {
 	cols Columns
 	// pending counts instructions executed since the last recorded access.
 	pending uint64
+	// marks are pending phase starts recorded by BeginPhase.
+	marks []phaseMark
 }
 
 // NewBuilder starts a trace with the given name and capacity hint.
@@ -161,7 +166,7 @@ func (b *Builder) access(va mem.Addr, write, dep bool) {
 
 // Trace finalizes and returns the built trace.
 func (b *Builder) Trace() *Trace {
-	return &Trace{Name: b.name, cols: b.cols}
+	return &Trace{Name: b.name, cols: b.cols, phases: buildPhases(b.marks, b.cols.Len())}
 }
 
 // Len returns the number of accesses recorded so far.

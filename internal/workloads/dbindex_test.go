@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"testing"
+
+	"mosaic/internal/trace"
+)
+
+func TestDBIndexSuite(t *testing.T) {
+	suite := DBIndex()
+	if len(suite) != 6 {
+		t.Fatalf("dbindex suite has %d workloads, want 6", len(suite))
+	}
+	want := []string{
+		"dbindex/btree-point-zipf",
+		"dbindex/btree-point-uniform",
+		"dbindex/btree-range-sorted",
+		"dbindex/lsm-loadcompact",
+		"dbindex/hashjoin-uniform",
+		"dbindex/hashjoin-zipf",
+	}
+	for i, w := range suite {
+		if w.Name() != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, w.Name(), want[i])
+		}
+		if w.Suite() != "dbindex" {
+			t.Errorf("%s: suite = %s, want dbindex", w.Name(), w.Suite())
+		}
+		got, err := ByName(want[i])
+		if err != nil {
+			t.Errorf("ByName(%s): %v", want[i], err)
+		} else if got.Name() != want[i] {
+			t.Errorf("ByName(%s) = %s", want[i], got.Name())
+		}
+	}
+	// All() stays the paper's table.
+	if len(All()) != 19 {
+		t.Fatalf("All() has %d workloads, want 19", len(All()))
+	}
+}
+
+func TestDBIndexGenerate(t *testing.T) {
+	for _, w := range DBIndex() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			tr := generate(t, w)
+			if tr.Len() < accessBudget {
+				t.Fatalf("trace has %d accesses, want >= %d", tr.Len(), accessBudget)
+			}
+			phases := tr.Phases()
+			if len(phases) < 2 {
+				t.Fatalf("dbindex trace has %d phases, want >= 2", len(phases))
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Regimes must actually differ: the build/load phase of every
+			// composite is store-heavy, the probe/scan/compact phase
+			// load-heavy. Without that contrast the per-phase sampling
+			// contract has nothing to measure.
+			w0 := writeFrac(tr, phases[0])
+			w1 := writeFrac(tr, phases[len(phases)-1])
+			if w0 < 0.3 || w1 > w0/2 {
+				t.Errorf("phase write fractions %0.2f -> %0.2f do not contrast build vs probe", w0, w1)
+			}
+		})
+	}
+}
+
+// writeFrac returns the fraction of a phase's accesses that are stores.
+func writeFrac(tr *trace.Trace, ph trace.Phase) float64 {
+	writes := 0
+	for i := ph.Lo; i < ph.Hi; i++ {
+		if tr.At(i).Write {
+			writes++
+		}
+	}
+	return float64(writes) / float64(ph.Len())
+}
+
+// TestStretchedScalesPhasesProportionally is the Stretched x phase
+// regression test: stretching a phased workload must scale every phase by
+// the same factor, keeping each boundary at the same fractional position.
+// The broken interaction — stretching only the trailing stage — would
+// leave the build phase at its base length and shift every boundary
+// fraction; with the boundary deliberately mid-window relative to the
+// sampling period, the sampled estimator would then blend regimes.
+func TestStretchedScalesPhasesProportionally(t *testing.T) {
+	const factor = 3
+	base := generate(t, NewBTreePoint(0))
+	long := generate(t, Stretched(NewBTreePoint(0), factor))
+	bp, lp := base.Phases(), long.Phases()
+	if len(bp) != len(lp) {
+		t.Fatalf("phase count changed under stretch: %d -> %d", len(bp), len(lp))
+	}
+	if long.Len() < factor*accessBudget {
+		t.Fatalf("stretched trace %d accesses < %d x budget %d", long.Len(), factor, accessBudget)
+	}
+	for i := range bp {
+		bf := float64(bp[i].Hi) / float64(base.Len())
+		lf := float64(lp[i].Hi) / float64(long.Len())
+		// Boundaries land on whole operations, so fractions match to well
+		// under one operation's width, not exactly.
+		if diff := bf - lf; diff > 0.01 || diff < -0.01 {
+			t.Errorf("phase %q boundary drifted under stretch: %0.4f -> %0.4f", bp[i].Name, bf, lf)
+		}
+	}
+
+	// Force a boundary mid-window: the build/probe boundary of the
+	// stretched trace must not be aligned to the default sampling period,
+	// and the phased schedule must still split windows there.
+	s := trace.SamplePlan{Period: 65536, MeasureLen: 3072, WarmupLen: 8192, PrologueLen: 32768}
+	boundary := lp[0].Hi
+	if boundary%s.Period == 0 {
+		t.Fatalf("test fixture degenerate: boundary %d aligned to period %d", boundary, s.Period)
+	}
+	for _, w := range s.PhasedWindows(lp, long.Len()) {
+		if w.Lo < boundary && boundary < w.Hi {
+			t.Fatalf("window [%d, %d) straddles phase boundary %d", w.Lo, w.Hi, boundary)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/trace"
+)
+
+// Stage is one phase of a composite workload: a named regime that emits
+// operation quanta until its share of the access budget is spent.
+type Stage struct {
+	// Name becomes the trace phase marker (trace.Phase.Name).
+	Name string
+	// Weight is the stage's share of the workload's access budget,
+	// relative to the other stages' weights.
+	Weight int
+	// Emit appends one operation's accesses to the builder; i is the
+	// operation index within the stage (0, 1, 2, ...).
+	Emit func(b *trace.Builder, i int)
+}
+
+// phasedWorkload composes stages into one multi-phase workload. The
+// generated trace carries a phase marker per stage, so the replay layers
+// attribute counters per regime and the sampled estimator extrapolates
+// within — never across — stage boundaries.
+type phasedWorkload struct {
+	stretchable
+	name, suite string
+	heap, anon  uint64
+	setup       func(alloc *Allocator, rng *rand.Rand) ([]Stage, error)
+}
+
+// Phased builds a multi-phase workload from a setup function that
+// allocates the shared data structures and returns the stages. Stage
+// budgets are weighted shares of the total access budget, so Stretched
+// scales every stage by the same factor and each phase boundary stays at
+// the same fractional position of the trace — a stretched phased trace is
+// the same regime sequence observed for longer, not a different mix.
+// (Scaling only the final stage would drift the boundaries and silently
+// change what fraction of a sampling window each regime occupies.)
+func Phased(name, suite string, heap, anon uint64,
+	setup func(alloc *Allocator, rng *rand.Rand) ([]Stage, error)) Workload {
+	return &phasedWorkload{name: name, suite: suite, heap: heap, anon: anon, setup: setup}
+}
+
+// Name implements Workload.
+func (p *phasedWorkload) Name() string { return p.tag(p.name) }
+
+// Suite implements Workload.
+func (p *phasedWorkload) Suite() string { return p.suite }
+
+// PoolBytes implements Workload.
+func (p *phasedWorkload) PoolBytes() (heap, anon uint64) {
+	return roundPool(p.heap), roundPool(p.anon)
+}
+
+// Generate implements Workload: each stage opens a phase and emits until
+// the builder reaches the stage's cumulative budget target. Targets are
+// computed from the stretched budget, so every phase scales
+// proportionally under Stretched.
+func (p *phasedWorkload) Generate(alloc *Allocator) (*trace.Trace, error) {
+	rng := rand.New(rand.NewSource(seedFor(p.name)))
+	stages, err := p.setup(alloc, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("workloads: phased workload %q has no stages", p.name)
+	}
+	total := 0
+	for _, st := range stages {
+		if st.Weight <= 0 {
+			return nil, fmt.Errorf("workloads: phased workload %q stage %q has weight %d",
+				p.name, st.Name, st.Weight)
+		}
+		total += st.Weight
+	}
+	budget := p.budget()
+	b := trace.NewBuilder(p.Name(), budget)
+	acc := 0
+	for _, st := range stages {
+		acc += st.Weight
+		target := budget * acc / total
+		b.BeginPhase(st.Name)
+		for i := 0; b.Len() < target; i++ {
+			st.Emit(b, i)
+		}
+	}
+	return b.Trace(), nil
+}

@@ -121,9 +121,17 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the workload with the given paper label.
+// ByName returns the workload with the given label, searching the paper's
+// 19-workload table and the database-index suite (DBIndex). All() stays
+// the paper's Table 8 — dbindex workloads join sweeps when named
+// explicitly, not by default.
 func ByName(name string) (Workload, error) {
 	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	for _, w := range DBIndex() {
 		if w.Name() == name {
 			return w, nil
 		}
