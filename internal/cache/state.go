@@ -16,6 +16,8 @@ type CacheState struct {
 }
 
 // Snapshot captures the cache's line contents and recency order.
+//
+//mosvet:ckptexempt name,sets,assoc,lineBits,pow2,setMask,fastM,latency geometry and latency are platform configuration rebuilt by the constructor; Restore verifies compatibility via the tag-count check
 func (c *Cache) Snapshot() CacheState {
 	return CacheState{Tags: append([]uint32(nil), c.tags...)}
 }
@@ -44,6 +46,8 @@ type HierarchyState struct {
 }
 
 // Snapshot captures all levels and the counters.
+//
+//mosvet:ckptexempt lineBits,uniform,dramLat geometry and DRAM latency are platform configuration rebuilt by the constructor, not replayed state
 func (h *Hierarchy) Snapshot() HierarchyState {
 	s := HierarchyState{
 		L1:    h.l1.Snapshot(),

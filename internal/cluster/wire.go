@@ -173,6 +173,8 @@ func header(kind byte) []byte {
 }
 
 // seal appends the checksum trailer.
+//
+//mosvet:codecskip the trailer is written last on encode but verified first by open, so its u64 is positionally asymmetric by design
 func seal(b []byte) []byte { return appendU64(b, fnv1a(b)) }
 
 // validSpan checks a shard's layout span.
@@ -315,6 +317,8 @@ func (r *reader) str() (string, error) {
 
 // open validates magic, version, kind, and the checksum trailer, returning
 // a cursor over the payload body.
+//
+//mosvet:codecskip reads the seal trailer (end of buffer) before the body, the mirror image of seal's write-last placement
 func open(b []byte, kind byte) (*reader, error) {
 	if len(b) < len(magic)+2+8 {
 		return nil, fmt.Errorf("cluster: payload of %d bytes is shorter than the MOSSHRD01 envelope", len(b))

@@ -33,6 +33,8 @@ func (m *Machine) Restore(s *ckpt.MachineState) error {
 // snapshotState captures machine + in-flight replay state. The clock and
 // accumulator fields are cumulative, so a segment seeded from the snapshot
 // harvests whole-prefix counters at its end.
+//
+//mosvet:ckptexempt Metrics Metrics is the partial simulator's stat block; full machines report through the clock and Sum fields instead
 func (m *Machine) snapshotState(st *runState, sums *sampleSums) *ckpt.MachineState {
 	s := &ckpt.MachineState{
 		HasClock:     true,
@@ -54,7 +56,12 @@ func (m *Machine) snapshotState(st *runState, sums *sampleSums) *ckpt.MachineSta
 }
 
 // restoreState seeds machine + in-flight replay state from a snapshot.
+//
+//mosvet:ckptexempt Metrics Metrics is the partial simulator's stat block; full-machine snapshots never carry it and restoreState rejects partial snapshots outright
 func (m *Machine) restoreState(s *ckpt.MachineState, st *runState, sums *sampleSums) error {
+	if !s.HasClock {
+		return fmt.Errorf("cpu: snapshot has no clock state (partial-simulator checkpoint?) — refusing to seed the replay clock from zeros")
+	}
 	if len(s.WalkerFree) != len(m.walkerFree) {
 		return fmt.Errorf("cpu: restore of %d-walker state into %d walkers (platform mismatch?)",
 			len(s.WalkerFree), len(m.walkerFree))

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CodecSym checks encode/decode symmetry for the hand-rolled binary
+// codecs (MOSCKPT01, MOSSHRD02, the MOSTRC02 phase section): every
+// fixed-width or varint write on the encode side must have a matching
+// same-order, same-width read on the decode side. The streams are
+// summarized structurally — same-package helpers are inlined, loops over
+// fixed-length arrays and composite literals expand, dynamic loops become
+// repeat groups, and branches flatten — so "added a field to Encode,
+// forgot Decode" (the MOSSHRD01→02 phase-row skew) is a finding, not a
+// fuzz-crash three PRs later.
+//
+// Encoders and decoders pair by convention: a package's unique
+// Encode/Decode pair, method (T).Encode ↔ func Decode<suffix-of-T>,
+// write*/read* and encode*/decode* name pairs, or an explicit
+// //mosvet:codecpair <partner> doc directive. Envelope helpers that are
+// deliberately asymmetric (checksum seal/open) opt out with a
+// //mosvet:codecskip doc directive. Raw byte copies (magic strings, string
+// payloads after their length prefix) carry no width and are not tracked.
+var CodecSym = &Analyzer{
+	Name: "codecsym",
+	Doc:  "require every fixed-width write in an encoder to have a same-order, same-width read in its paired decoder",
+	Run:  runCodecSym,
+}
+
+func runCodecSym(p *Package, cfg *Config) []Finding {
+	pairs := codecPairs(p)
+	if len(pairs) == 0 {
+		return nil
+	}
+	sum := &codecSum{p: p, memo: make(map[*types.Func][]ctok)}
+	var out []Finding
+	for _, pr := range pairs {
+		encFn, _ := p.Info.Defs[pr.enc.Name].(*types.Func)
+		decFn, _ := p.Info.Defs[pr.dec.Name].(*types.Func)
+		if encFn == nil || decFn == nil {
+			continue
+		}
+		w := sum.fn(encFn)
+		r := sum.fn(decFn)
+		if len(w) == 0 || len(r) == 0 {
+			continue // not a fixed-width codec pair (JSON, raw copy, …)
+		}
+		if d := diffStream(w, r, ""); d != "" {
+			out = append(out, p.finding("codecsym", pr.dec.Name,
+				"encode/decode skew between %s and %s: %s", declName(pr.enc), declName(pr.dec), d))
+		}
+	}
+	return out
+}
+
+// ctok is one element of a codec's normalized value stream: a fixed-width
+// scalar ('2'/'4'/'8' bytes), a varint ('v'), or a dynamic repeat group
+// ('g') whose body repeats an unknown number of times.
+type ctok struct {
+	kind byte
+	sub  []ctok
+}
+
+func tokString(t ctok) string {
+	switch t.kind {
+	case '2':
+		return "u16"
+	case '4':
+		return "u32"
+	case '8':
+		return "u64"
+	case 'v':
+		return "varint"
+	case 'g':
+		parts := make([]string, len(t.sub))
+		for i, s := range t.sub {
+			parts[i] = tokString(s)
+		}
+		return "loop[" + strings.Join(parts, " ") + "]"
+	}
+	return "?"
+}
+
+// diffStream reports the first structural divergence between a write and a
+// read stream, or "" when they match.
+func diffStream(w, r []ctok, prefix string) string {
+	n := len(w)
+	if len(r) < n {
+		n = len(r)
+	}
+	for i := 0; i < n; i++ {
+		a, b := w[i], r[i]
+		if a.kind == 'g' && b.kind == 'g' {
+			if d := diffStream(a.sub, b.sub, fmt.Sprintf("%sinside the loop at position %d, ", prefix, i)); d != "" {
+				return d
+			}
+			continue
+		}
+		if a.kind != b.kind {
+			return fmt.Sprintf("%sposition %d writes %s but reads %s", prefix, i, tokString(a), tokString(b))
+		}
+	}
+	if len(w) > len(r) {
+		return fmt.Sprintf("%sencoder writes %d values but decoder reads %d — first unread: %s", prefix, len(w), len(r), tokString(w[len(r)]))
+	}
+	if len(r) > len(w) {
+		return fmt.Sprintf("%sdecoder reads %d values but encoder writes %d — first unwritten: %s", prefix, len(r), len(w), tokString(r[len(w)]))
+	}
+	return ""
+}
+
+type codecPair struct {
+	enc, dec *ast.FuncDecl
+}
+
+func declName(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		if t := recvTypeName(d); t != "" {
+			return t + "." + d.Name.Name
+		}
+	}
+	return d.Name.Name
+}
+
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// codecPairs matches this package's encoders to their decoders.
+func codecPairs(p *Package) []codecPair {
+	var decls []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && !hasDirective(fd.Doc, "codecskip") {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	byName := make(map[string][]*ast.FuncDecl)
+	for _, d := range decls {
+		byName[d.Name.Name] = append(byName[d.Name.Name], d)
+	}
+	used := make(map[*ast.FuncDecl]bool)
+	var pairs []codecPair
+	add := func(enc, dec *ast.FuncDecl) {
+		if enc == nil || dec == nil || enc == dec || used[enc] || used[dec] {
+			return
+		}
+		used[enc], used[dec] = true, true
+		pairs = append(pairs, codecPair{enc: enc, dec: dec})
+	}
+
+	// Explicit pairing first: //mosvet:codecpair <partner> wins over every
+	// convention.
+	for _, d := range decls {
+		args := directiveArgs(d.Doc, "codecpair")
+		if len(args) == 0 {
+			continue
+		}
+		partners := byName[args[0]]
+		if len(partners) != 1 {
+			continue
+		}
+		other := partners[0]
+		if isDecoderName(d.Name.Name) && !isDecoderName(other.Name.Name) {
+			add(other, d)
+		} else {
+			add(d, other)
+		}
+	}
+
+	// A package's unique Encode/Decode pair.
+	if len(byName["Encode"]) == 1 && len(byName["Decode"]) == 1 {
+		add(byName["Encode"][0], byName["Decode"][0])
+	}
+
+	// Method (T).Encode ↔ func Decode<S> where S is a suffix of T
+	// (ShardSpec.Encode ↔ DecodeSpec). Longest suffix wins.
+	for _, enc := range byName["Encode"] {
+		recv := recvTypeName(enc)
+		if recv == "" || used[enc] {
+			continue
+		}
+		var best *ast.FuncDecl
+		bestLen := 0
+		for name, ds := range byName {
+			suffix, ok := strings.CutPrefix(name, "Decode")
+			if !ok || suffix == "" || len(ds) != 1 {
+				continue
+			}
+			if strings.HasSuffix(recv, suffix) && len(suffix) > bestLen {
+				best, bestLen = ds[0], len(suffix)
+			}
+		}
+		add(enc, best)
+	}
+
+	// write*/read* and encode*/decode* name pairs (unexported helpers:
+	// writePhaseSection ↔ readPhaseSection).
+	for _, d := range decls {
+		for _, pre := range [...][2]string{{"write", "read"}, {"encode", "decode"}} {
+			rest, ok := strings.CutPrefix(d.Name.Name, pre[0])
+			if !ok || rest == "" {
+				continue
+			}
+			if partners := byName[pre[1]+rest]; len(partners) == 1 {
+				add(d, partners[0])
+			}
+		}
+	}
+	return pairs
+}
+
+func isDecoderName(name string) bool {
+	return strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "decode") || strings.HasPrefix(name, "read") || strings.HasPrefix(name, "Read")
+}
+
+// codecSum summarizes function bodies into normalized token streams.
+// Same-package callees inline transitively (memoized; cycles contribute
+// nothing on the recursive edge).
+type codecSum struct {
+	p    *Package
+	memo map[*types.Func][]ctok
+}
+
+func (c *codecSum) fn(fn *types.Func) []ctok {
+	if s, ok := c.memo[fn]; ok {
+		return s
+	}
+	c.memo[fn] = nil // cycle guard
+	decl := c.p.funcDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	s := c.block(decl.Body.List)
+	c.memo[fn] = s
+	return s
+}
+
+func (c *codecSum) block(list []ast.Stmt) []ctok {
+	var out []ctok
+	for _, st := range list {
+		out = append(out, c.stmt(st)...)
+	}
+	return out
+}
+
+func (c *codecSum) stmt(s ast.Stmt) []ctok {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return c.expr(st.X)
+	case *ast.AssignStmt:
+		var out []ctok
+		for _, e := range st.Rhs {
+			out = append(out, c.expr(e)...)
+		}
+		for _, e := range st.Lhs {
+			out = append(out, c.expr(e)...)
+		}
+		return out
+	case *ast.DeclStmt:
+		var out []ctok
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						out = append(out, c.expr(v)...)
+					}
+				}
+			}
+		}
+		return out
+	case *ast.ReturnStmt:
+		var out []ctok
+		for _, e := range st.Results {
+			out = append(out, c.expr(e)...)
+		}
+		return out
+	case *ast.IfStmt:
+		// Conditional sections flatten: the stream lists what *may* be
+		// written, in order, and the decode side mirrors the same branches.
+		var out []ctok
+		if st.Init != nil {
+			out = append(out, c.stmt(st.Init)...)
+		}
+		out = append(out, c.expr(st.Cond)...)
+		out = append(out, c.block(st.Body.List)...)
+		if st.Else != nil {
+			out = append(out, c.stmt(st.Else)...)
+		}
+		return out
+	case *ast.BlockStmt:
+		return c.block(st.List)
+	case *ast.SwitchStmt:
+		var out []ctok
+		if st.Init != nil {
+			out = append(out, c.stmt(st.Init)...)
+		}
+		if st.Tag != nil {
+			out = append(out, c.expr(st.Tag)...)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				out = append(out, c.block(clause.Body)...)
+			}
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		var out []ctok
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				out = append(out, c.block(clause.Body)...)
+			}
+		}
+		return out
+	case *ast.ForStmt:
+		var out []ctok
+		if st.Init != nil {
+			out = append(out, c.stmt(st.Init)...)
+		}
+		if st.Cond != nil {
+			out = append(out, c.expr(st.Cond)...)
+		}
+		body := c.block(st.Body.List)
+		if st.Post != nil {
+			body = append(body, c.stmt(st.Post)...)
+		}
+		return append(out, repeat(body, forCount(c.p, st))...)
+	case *ast.RangeStmt:
+		out := c.expr(st.X)
+		body := c.block(st.Body.List)
+		return append(out, repeat(body, rangeCount(c.p, st.X))...)
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		return c.expr(st.X)
+	case *ast.SendStmt:
+		return append(c.expr(st.Chan), c.expr(st.Value)...)
+	}
+	// defer/go run outside the linear stream; branches carry no tokens.
+	return nil
+}
+
+// expr walks an expression in evaluation order (arguments before the call
+// they feed) and emits its tokens. Function literals are skipped: their
+// bodies run when invoked, and invocations through variables are
+// unresolvable.
+func (c *codecSum) expr(e ast.Expr) []ctok {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		var out []ctok
+		for _, a := range e.Args {
+			out = append(out, c.expr(a)...)
+		}
+		if tok, ok := binaryToken(c.p.Info, e); ok {
+			return append(out, tok)
+		}
+		if fn := calleeFunc(c.p.Info, e); fn != nil {
+			if decl := c.p.funcDecl(fn); decl != nil && !hasDirective(decl.Doc, "codecskip") {
+				return append(out, c.fn(fn)...)
+			}
+		}
+		return out
+	case *ast.ParenExpr:
+		return c.expr(e.X)
+	case *ast.BinaryExpr:
+		return append(c.expr(e.X), c.expr(e.Y)...)
+	case *ast.UnaryExpr:
+		return c.expr(e.X)
+	case *ast.StarExpr:
+		return c.expr(e.X)
+	case *ast.SelectorExpr:
+		return c.expr(e.X)
+	case *ast.IndexExpr:
+		return append(c.expr(e.X), c.expr(e.Index)...)
+	case *ast.SliceExpr:
+		out := c.expr(e.X)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				out = append(out, c.expr(idx)...)
+			}
+		}
+		return out
+	case *ast.CompositeLit:
+		var out []ctok
+		for _, el := range e.Elts {
+			out = append(out, c.expr(el)...)
+		}
+		return out
+	case *ast.KeyValueExpr:
+		return c.expr(e.Value)
+	case *ast.TypeAssertExpr:
+		return c.expr(e.X)
+	}
+	return nil
+}
+
+// maxExpand caps loop unrolling; larger fixed bounds degrade to a repeat
+// group, which still checks the body's shape.
+const maxExpand = 64
+
+func repeat(body []ctok, n int) []ctok {
+	if len(body) == 0 {
+		return nil
+	}
+	if n < 0 || n > maxExpand {
+		return []ctok{{kind: 'g', sub: body}}
+	}
+	out := make([]ctok, 0, n*len(body))
+	for i := 0; i < n; i++ {
+		out = append(out, body...)
+	}
+	return out
+}
+
+// rangeCount resolves the trip count of a range statement: the length of a
+// fixed-size array operand or of a composite-literal operand; -1 when
+// dynamic.
+func rangeCount(p *Package, x ast.Expr) int {
+	x = ast.Unparen(x)
+	if cl, ok := x.(*ast.CompositeLit); ok {
+		if t := p.Info.TypeOf(cl); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				return len(cl.Elts)
+			}
+		}
+	}
+	t := p.Info.TypeOf(x)
+	if t == nil {
+		return -1
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return int(arr.Len())
+	}
+	return -1
+}
+
+// forCount resolves `for i := 0; i < C; i++` with constant C; -1 otherwise.
+func forCount(p *Package, st *ast.ForStmt) int {
+	init, ok := st.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Rhs) != 1 {
+		return -1
+	}
+	if tv, ok := p.Info.Types[init.Rhs[0]]; !ok || tv.Value == nil || constant.Sign(tv.Value) != 0 {
+		return -1
+	}
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return -1
+	}
+	tv, ok := p.Info.Types[cond.Y]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return -1
+	}
+	n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact || n < 0 {
+		return -1
+	}
+	return int(n)
+}
+
+// binaryToken classifies an encoding/binary call as a stream token.
+func binaryToken(info *types.Info, call *ast.CallExpr) (ctok, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "encoding/binary" {
+		return ctok{}, false
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasSuffix(name, "Uint16"):
+		return ctok{kind: '2'}, true
+	case strings.HasSuffix(name, "Uint32"):
+		return ctok{kind: '4'}, true
+	case strings.HasSuffix(name, "Uint64"):
+		return ctok{kind: '8'}, true
+	case strings.Contains(name, "Varint") || strings.Contains(name, "Uvarint"):
+		return ctok{kind: 'v'}, true
+	}
+	return ctok{}, false
+}

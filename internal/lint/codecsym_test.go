@@ -1,0 +1,193 @@
+package lint
+
+import "testing"
+
+func codecCfg() *Config {
+	cfg := DefaultConfig()
+	cfg.Checks = []string{"codecsym"}
+	return cfg
+}
+
+func TestCodecSym(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // synthetic internal/wire package
+		want []string
+	}{
+		{
+			name: "matched write/read pair is clean",
+			src: `package wire
+import "encoding/binary"
+func writeFrame(b []byte, v uint32, w uint16) []byte {
+	b = binary.BigEndian.AppendUint32(b, v)
+	b = binary.BigEndian.AppendUint16(b, w)
+	return b
+}
+func readFrame(b []byte) (uint32, uint16) {
+	return binary.BigEndian.Uint32(b), binary.BigEndian.Uint16(b[4:])
+}
+`,
+			want: nil,
+		},
+		{
+			name: "width skew is caught at the decoder",
+			src: `package wire
+import "encoding/binary"
+func writeFrame(b []byte, v uint32, w uint16) []byte {
+	b = binary.BigEndian.AppendUint32(b, v)
+	b = binary.BigEndian.AppendUint16(b, w)
+	return b
+}
+func readFrame(b []byte) (uint32, uint64) {
+	return binary.BigEndian.Uint32(b), binary.BigEndian.Uint64(b[4:])
+}
+`,
+			want: []string{"8:codecsym"},
+		},
+		{
+			name: "decoder that stops early is caught",
+			src: `package wire
+import "encoding/binary"
+func writeHdr(b []byte, a, c uint32, w uint16) []byte {
+	b = binary.BigEndian.AppendUint32(b, a)
+	b = binary.BigEndian.AppendUint32(b, c)
+	b = binary.BigEndian.AppendUint16(b, w)
+	return b
+}
+func readHdr(b []byte) (uint32, uint32) {
+	return binary.BigEndian.Uint32(b), binary.BigEndian.Uint32(b[4:])
+}
+`,
+			want: []string{"9:codecsym"},
+		},
+		{
+			name: "length-prefixed loops pair as repeat groups",
+			src: `package wire
+import "encoding/binary"
+func writeVals(b []byte, vs []uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	return b
+}
+func readVals(b []byte) []uint64 {
+	n := binary.BigEndian.Uint32(b)
+	out := make([]uint64, n)
+	off := 4
+	for i := 0; i < int(n); i++ {
+		out[i] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name: "varint asymmetry is caught",
+			src: `package wire
+import "encoding/binary"
+func writeCount(b []byte, n uint64) []byte {
+	return binary.AppendUvarint(b, n)
+}
+func readCount(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+`,
+			want: []string{"6:codecsym"},
+		},
+		{
+			name: "helpers inline into the stream",
+			src: `package wire
+import "encoding/binary"
+func putU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func writeSpan(b []byte, lo, hi uint32) []byte {
+	b = putU32(b, lo)
+	return putU32(b, hi)
+}
+func readSpan(b []byte) (uint32, uint32) {
+	return binary.BigEndian.Uint32(b), binary.BigEndian.Uint32(b[4:])
+}
+`,
+			want: nil,
+		},
+		{
+			name: "codecskip opts an asymmetric envelope helper out",
+			src: `package wire
+import "encoding/binary"
+// writeSeal appends the checksum trailer.
+//
+//mosvet:codecskip the trailer is written last but verified first by the reader
+func writeSeal(b []byte) []byte { return binary.BigEndian.AppendUint64(b, 7) }
+// readSeal verifies the trailer before the body is parsed.
+//
+//mosvet:codecskip reads the trailer from the end of the buffer first
+func readSeal(b []byte) uint64 { return binary.BigEndian.Uint64(b[len(b)-8:]) }
+`,
+			want: nil,
+		},
+		{
+			name: "codecpair pairs unconventional names",
+			src: `package wire
+import "encoding/binary"
+// marshalSpan writes a [lo, hi) span.
+//
+//mosvet:codecpair parseSpan
+func marshalSpan(b []byte, lo, hi uint32) []byte {
+	b = binary.BigEndian.AppendUint32(b, lo)
+	return binary.BigEndian.AppendUint16(b, uint16(hi))
+}
+func parseSpan(b []byte) (uint32, uint32) {
+	return binary.BigEndian.Uint32(b), binary.BigEndian.Uint32(b[4:])
+}
+`,
+			want: []string{"10:codecsym"},
+		},
+		{
+			name: "method Encode pairs with DecodeT",
+			src: `package wire
+import "encoding/binary"
+type Frame struct{ V uint32; W uint16 }
+func (f *Frame) Encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, f.V)
+	return binary.BigEndian.AppendUint16(b, f.W)
+}
+func DecodeFrame(b []byte) *Frame {
+	return &Frame{V: binary.BigEndian.Uint32(b), W: uint16(binary.BigEndian.Uint64(b[4:]))}
+}
+`,
+			want: []string{"8:codecsym"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := analyze(t, "internal/wire", tc.src, codecCfg())
+			wantFindings(t, got, tc.want...)
+		})
+	}
+}
+
+// TestCodecSymConstantUnroll: fixed-size array loops on the encode side
+// match an unrolled constant-bound loop on the decode side — both expand
+// to the same token count.
+func TestCodecSymConstantUnroll(t *testing.T) {
+	src := `package wire
+import "encoding/binary"
+func writeBreakdown(b []byte, v [3]uint64) []byte {
+	for _, x := range v {
+		b = binary.BigEndian.AppendUint64(b, x)
+	}
+	return b
+}
+func readBreakdown(b []byte) [3]uint64 {
+	var v [3]uint64
+	for i := 0; i < 3; i++ {
+		v[i] = binary.BigEndian.Uint64(b[i*8:])
+	}
+	return v
+}
+`
+	got := analyze(t, "internal/wire", src, codecCfg())
+	wantFindings(t, got)
+}

@@ -17,6 +17,24 @@ type Config struct {
 	// channel ops, HTTP calls, sleeps).
 	LockIOPackages []string
 
+	// LockOrderPackages are import-path prefixes over which lockorder
+	// builds the module-wide mutex acquisition graph and rejects cycles,
+	// inconsistent pairwise orderings, and transitively-blocking calls
+	// made while a lock is held.
+	LockOrderPackages []string
+
+	// CkptCodecPackages are the packages holding hand-rolled checkpoint
+	// codecs; ckptfields requires their encode and decode paths to carry
+	// every field of every state struct reachable from a Snapshot type.
+	CkptCodecPackages []string
+
+	// PhaseOwnerPackages are the packages allowed to construct
+	// trace.Phase values and mutate Phase fields. Everywhere else,
+	// phasebound flags raw Phase construction and partition arithmetic —
+	// phases must come from Phases-validated constructors. Matched by
+	// import-path suffix so synthetic test packages scope correctly.
+	PhaseOwnerPackages []string
+
 	// Binaries are the cmd packages wired into the driver's policy: they
 	// are analyzed like every other package, and their flag help strings
 	// are subject to the units audit (docs/static-analysis.md).
@@ -68,6 +86,24 @@ func DefaultConfig() *Config {
 			// from one mutex; holding it across network reads would stall
 			// the whole fleet.
 			"internal/cluster",
+		},
+		// The lock-graph scope: the coordinator's four mutexes plus the
+		// serving tier's registry/job locks are the only places where two
+		// locks can be held at once in production paths.
+		LockOrderPackages: []string{
+			"internal/cluster",
+			"internal/serve",
+			"internal/serve/registry",
+		},
+		// MOSCKPT01 lives here; its Encode/Decode must carry every field
+		// of every struct reachable from a Snapshot type.
+		CkptCodecPackages: []string{
+			"internal/ckpt",
+		},
+		// Only the trace package may build Phase values; everyone else
+		// goes through Phases-validated constructors.
+		PhaseOwnerPackages: []string{
+			"internal/trace",
 		},
 		Binaries: []string{
 			"cmd/mosbench",

@@ -49,13 +49,18 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	decls map[*types.Func]*ast.FuncDecl // lazy FuncDecl index, see funcDecl
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run; analyzers
+// whose facts span packages (checkpoint completeness, lock ordering) set
+// RunModule instead and receive every package at once.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package, *Config) []Finding
+	Name      string
+	Doc       string
+	Run       func(*Package, *Config) []Finding
+	RunModule func([]*Package, *Config) []Finding
 }
 
 // Analyzers returns the full suite in reporting order.
@@ -66,6 +71,10 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		LockIO,
 		HotPath,
+		CkptFields,
+		CodecSym,
+		LockOrder,
+		PhaseBound,
 	}
 }
 
@@ -83,26 +92,46 @@ func AnalyzerNames() []string {
 // missing reason text are reported as findings of the pseudo-check "mosvet"
 // (they cannot be suppressed).
 func Run(pkgs []*Package, cfg *Config) []Finding {
+	out, _ := RunInventory(pkgs, cfg)
+	return out
+}
+
+// RunInventory is Run plus the module's exemption inventory: every
+// //mosvet:ignore, ckptexempt, codecskip, and timing directive found in the
+// analyzed packages, in deterministic order. The inventory is what the
+// committed suppression-audit baseline pins — a new exemption changes the
+// inventory and fails the baseline guard until it is re-generated (and
+// thereby reviewed) in the same change.
+func RunInventory(pkgs []*Package, cfg *Config) ([]Finding, []Suppression) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	var out []Finding
-	for _, p := range pkgs {
-		sup := collectSuppressions(p)
-		var raw []Finding
-		for _, a := range Analyzers() {
-			if !cfg.CheckEnabled(a.Name) {
-				continue
-			}
+	dir := collectDirectives(pkgs)
+	var raw []Finding
+	for _, a := range Analyzers() {
+		if !cfg.CheckEnabled(a.Name) {
+			continue
+		}
+		if a.RunModule != nil {
+			raw = append(raw, a.RunModule(pkgs, cfg)...)
+			continue
+		}
+		for _, p := range pkgs {
 			raw = append(raw, a.Run(p, cfg)...)
 		}
-		for _, f := range raw {
-			if !sup.suppressed(f) {
-				out = append(out, f)
-			}
-		}
-		out = append(out, sup.malformed...)
 	}
+	var out []Finding
+	for _, f := range raw {
+		if !dir.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	out = append(out, dir.malformed...)
+	sortFindings(out)
+	return out, dir.inventory
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -116,63 +145,135 @@ func Run(pkgs []*Package, cfg *Config) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return out
 }
 
 // directivePrefix is the comment marker shared by all mosvet directives.
 const directivePrefix = "//mosvet:"
 
-// suppressions indexes //mosvet:ignore directives by file and line.
-type suppressions struct {
+// Suppression is one exemption directive in the analyzed source: an inline
+// //mosvet:ignore, a //mosvet:ckptexempt field exclusion, a
+// //mosvet:codecskip envelope marker, or a //mosvet:timing clock scope.
+// The set of suppressions is the audit surface the committed baseline pins.
+type Suppression struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Directive string   `json:"directive"`
+	Checks    []string `json:"checks,omitempty"` // ignore: checks; ckptexempt: field names
+	Reason    string   `json:"reason,omitempty"`
+}
+
+// directiveKinds is the full directive vocabulary; anything else after
+// "//mosvet:" is a typo and is reported (a misspelled directive that
+// silently does nothing is worse than no directive).
+var directiveKinds = map[string]bool{
+	"ignore": true, "timing": true, "hotpath": true,
+	"ckptexempt": true, "codecskip": true, "codecpair": true,
+}
+
+// inventoried marks the directive kinds that are exemptions from an
+// invariant (and therefore belong in the audit baseline). hotpath opts
+// *into* stricter checking and codecpair adds a check, so neither is an
+// exemption.
+var inventoried = map[string]bool{
+	"ignore": true, "timing": true, "ckptexempt": true, "codecskip": true,
+}
+
+// directives is the module-wide index of every mosvet comment directive:
+// the suppression map consulted when filtering findings, the exemption
+// inventory, and the malformed-directive findings.
+type directives struct {
 	// byLine maps filename → line → checks ignored at that line.
 	byLine    map[string]map[int][]string
 	malformed []Finding
+	inventory []Suppression
 }
 
-// collectSuppressions scans every comment in the package for ignore
-// directives. A directive suppresses matching findings on its own line
-// (trailing comment) and on the line directly below it (leading comment).
-func collectSuppressions(p *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
-				if !ok {
-					continue
+// collectDirectives scans every comment in every package. An ignore
+// directive suppresses matching findings on its own line (trailing comment)
+// and on the line directly below it (leading comment). The index is
+// module-wide: module-level analyzers anchor findings in whichever package
+// declares the violated contract, and the shared FileSet keeps filenames
+// unambiguous.
+func collectDirectives(pkgs []*Package) *directives {
+	s := &directives{byLine: make(map[string]map[int][]string)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.one(p, c)
 				}
-				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					s.malformed = append(s.malformed, Finding{
-						Check:   "mosvet",
-						Pos:     pos,
-						Message: "mosvet:ignore without a check name",
-					})
-					continue
-				}
-				checks := strings.Split(fields[0], ",")
-				if len(fields) < 2 {
-					s.malformed = append(s.malformed, Finding{
-						Check:   "mosvet",
-						Pos:     pos,
-						Message: fmt.Sprintf("mosvet:ignore %s without a reason — justify the suppression", fields[0]),
-					})
-					continue
-				}
-				lines := s.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					s.byLine[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], checks...)
 			}
 		}
 	}
+	sort.Slice(s.inventory, func(i, j int) bool {
+		a, b := s.inventory[i], s.inventory[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
 	return s
 }
 
-func (s *suppressions) suppressed(f Finding) bool {
+func (s *directives) one(p *Package, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return
+	}
+	pos := p.Fset.Position(c.Pos())
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return
+	}
+	kind := fields[0]
+	args := fields[1:]
+	if !directiveKinds[kind] {
+		s.malformed = append(s.malformed, Finding{
+			Check: "mosvet", Pos: pos,
+			Message: fmt.Sprintf("unknown directive mosvet:%s", kind),
+		})
+		return
+	}
+	sup := Suppression{File: pos.Filename, Line: pos.Line, Directive: kind}
+	switch kind {
+	case "ignore", "ckptexempt":
+		noun := "a check name"
+		if kind == "ckptexempt" {
+			noun = "field names"
+		}
+		if len(args) == 0 {
+			s.malformed = append(s.malformed, Finding{
+				Check: "mosvet", Pos: pos,
+				Message: fmt.Sprintf("mosvet:%s without %s", kind, noun),
+			})
+			return
+		}
+		sup.Checks = strings.Split(args[0], ",")
+		if len(args) < 2 {
+			s.malformed = append(s.malformed, Finding{
+				Check: "mosvet", Pos: pos,
+				Message: fmt.Sprintf("mosvet:%s %s without a reason — justify the suppression", kind, args[0]),
+			})
+			return
+		}
+		sup.Reason = strings.Join(args[1:], " ")
+	default:
+		sup.Reason = strings.Join(args, " ")
+	}
+	if kind == "ignore" {
+		lines := s.byLine[pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]string)
+			s.byLine[pos.Filename] = lines
+		}
+		lines[pos.Line] = append(lines[pos.Line], sup.Checks...)
+	}
+	if inventoried[kind] {
+		s.inventory = append(s.inventory, sup)
+	}
+}
+
+func (s *directives) suppressed(f Finding) bool {
 	lines := s.byLine[f.Pos.Filename]
 	if lines == nil {
 		return false
@@ -185,6 +286,46 @@ func (s *suppressions) suppressed(f Finding) bool {
 		}
 	}
 	return false
+}
+
+// funcDecl returns the FuncDecl defining fn in this package, building the
+// index lazily on first use (only the module-level analyzers need it).
+func (p *Package) funcDecl(fn *types.Func) *ast.FuncDecl {
+	if p.decls == nil {
+		p.decls = make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						p.decls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return p.decls[fn]
+}
+
+// directiveArgs returns the whitespace-split arguments of a
+// //mosvet:<name> directive in a doc comment, or nil when the directive is
+// absent (an argument-less directive returns an empty non-nil slice).
+func directiveArgs(doc *ast.CommentGroup, name string) []string {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix+name)
+		if !ok {
+			continue
+		}
+		if text == "" {
+			return []string{}
+		}
+		if text[0] == ' ' || text[0] == '\t' {
+			return strings.Fields(text)
+		}
+	}
+	return nil
 }
 
 // hasDirective reports whether a function's doc comment carries the given

@@ -206,6 +206,25 @@ func CheckPackage(relPath, imp string, fset *token.FileSet, files []*ast.File, i
 // AnalyzeModule loads the module at dir and runs the configured analyzers
 // over every package — the in-process equivalent of `mosvet ./...`.
 func AnalyzeModule(dir string, cfg *Config) ([]Finding, error) {
+	res, err := AnalyzeModuleFull(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// ModuleResult is a full module analysis: the findings, the exemption
+// inventory the suppression-audit baseline pins, and the module root for
+// relativizing file paths in machine-readable output.
+type ModuleResult struct {
+	Root         string
+	Findings     []Finding
+	Suppressions []Suppression
+}
+
+// AnalyzeModuleFull is AnalyzeModule plus the exemption inventory and
+// module root — the entry point for mosvet's JSON/SARIF/baseline output.
+func AnalyzeModuleFull(dir string, cfg *Config) (*ModuleResult, error) {
 	l, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -214,7 +233,8 @@ func AnalyzeModule(dir string, cfg *Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Run(pkgs, cfg), nil
+	findings, sups := RunInventory(pkgs, cfg)
+	return &ModuleResult{Root: l.root, Findings: findings, Suppressions: sups}, nil
 }
 
 // sharedSrc is the process-wide fset+importer AnalyzeSource runs on: one
@@ -233,13 +253,82 @@ var (
 // to exercise detclock). Imports resolve through the standard source
 // importer, so the synthetic sources may use the stdlib freely.
 func AnalyzeSource(relPath string, sources map[string]string, cfg *Config) ([]Finding, error) {
+	return AnalyzeSourcePackages(map[string]map[string]string{relPath: sources}, cfg)
+}
+
+// AnalyzeSourcePackages type-checks a set of synthetic packages
+// (module-relative path → filename → source) that may import each other
+// via "synthetic/<relPath>" import paths, and runs the suite over all of
+// them at once — the harness for the cross-package analyzers' tests.
+// Filenames are prefixed with their package path so suppression
+// directives never collide across packages.
+func AnalyzeSourcePackages(pkgSources map[string]map[string]string, cfg *Config) ([]Finding, error) {
 	sharedSrcMu.Lock()
 	defer sharedSrcMu.Unlock()
 	if sharedSrcFset == nil {
 		sharedSrcFset = token.NewFileSet()
 		sharedSrcImp = importer.ForCompiler(sharedSrcFset, "source", nil)
 	}
-	fset := sharedSrcFset
+	s := &srcLoader{
+		fset:    sharedSrcFset,
+		std:     sharedSrcImp,
+		srcs:    pkgSources,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	rels := make([]string, 0, len(pkgSources))
+	for rel := range pkgSources {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	var pkgs []*Package
+	for _, rel := range rels {
+		pkg, err := s.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return Run(pkgs, cfg), nil
+}
+
+// srcLoader resolves "synthetic/<relPath>" imports between in-memory test
+// packages; everything else falls through to the shared source importer.
+type srcLoader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	srcs    map[string]map[string]string
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+const syntheticPrefix = "synthetic/"
+
+func (s *srcLoader) Import(path string) (*types.Package, error) {
+	rel, ok := strings.CutPrefix(path, syntheticPrefix)
+	if !ok {
+		return s.std.Import(path)
+	}
+	pkg, err := s.load(rel)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (s *srcLoader) load(rel string) (*Package, error) {
+	if pkg, ok := s.pkgs[rel]; ok {
+		return pkg, nil
+	}
+	if s.loading[rel] {
+		return nil, fmt.Errorf("lint: import cycle through synthetic package %s", rel)
+	}
+	sources, ok := s.srcs[rel]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown synthetic package %s", rel)
+	}
+	s.loading[rel] = true
+	defer func() { s.loading[rel] = false }()
 	names := make([]string, 0, len(sources))
 	for name := range sources {
 		names = append(names, name)
@@ -247,15 +336,16 @@ func AnalyzeSource(relPath string, sources map[string]string, cfg *Config) ([]Fi
 	sort.Strings(names)
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(s.fset, rel+"/"+name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
-	pkg, err := CheckPackage(relPath, "synthetic/"+relPath, fset, files, sharedSrcImp)
+	pkg, err := CheckPackage(rel, syntheticPrefix+rel, s.fset, files, s)
 	if err != nil {
 		return nil, err
 	}
-	return Run([]*Package{pkg}, cfg), nil
+	s.pkgs[rel] = pkg
+	return pkg, nil
 }

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PhaseBound confines trace.Phase construction and mutation to the trace
+// package. Phase partitions carry a validated invariant — sorted,
+// non-overlapping [Lo,Hi) spans that tile the access stream — established
+// by Builder.BeginPhase and checked by Phases-validated constructors.
+// Raw Phase literals or field writes elsewhere can silently violate that
+// invariant, and every per-phase telescoping golden test downstream would
+// blame the replay engine instead of the construction site. Reading Phase
+// fields and slicing a stream by an already-validated [Lo,Hi) stays free.
+var PhaseBound = &Analyzer{
+	Name: "phasebound",
+	Doc:  "flag raw trace.Phase construction or field mutation outside the trace package",
+	Run:  runPhaseBound,
+}
+
+func runPhaseBound(p *Package, cfg *Config) []Finding {
+	if pathSuffixIn(p.Path, cfg.PhaseOwnerPackages) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := p.Info.TypeOf(n); isOwnedPhase(t, cfg) {
+					out = append(out, p.finding("phasebound", n,
+						"raw %s literal — phases must come from trace.Builder.BeginPhase or another Phases-validated constructor", types.TypeString(t, shortQualifier)))
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					out = append(out, phaseFieldWrite(p, cfg, lhs)...)
+				}
+			case *ast.IncDecStmt:
+				out = append(out, phaseFieldWrite(p, cfg, n.X)...)
+			case *ast.UnaryExpr:
+				// &phases[i] hands out a mutable alias; writes through it
+				// escape the assignment check, so forbid taking the address.
+				if n.Op.String() == "&" {
+					if t := p.Info.TypeOf(n.X); isOwnedPhase(t, cfg) {
+						if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); !lit {
+							out = append(out, p.finding("phasebound", n,
+								"taking the address of a %s — a mutable alias bypasses partition validation", types.TypeString(t, shortQualifier)))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// phaseFieldWrite flags an assignment target that is a field of a Phase.
+func phaseFieldWrite(p *Package, cfg *Config, lhs ast.Expr) []Finding {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if !isOwnedPhase(s.Recv(), cfg) {
+		return nil
+	}
+	return []Finding{p.finding("phasebound", lhs,
+		"write to %s.%s outside the trace package — partition arithmetic belongs to the validated constructors", types.TypeString(s.Recv(), shortQualifier), sel.Sel.Name)}
+}
+
+// isOwnedPhase reports whether t is the Phase type of a phase-owner
+// package (matched by import-path suffix so synthetic test packages scope
+// the same way as the real tree).
+func isOwnedPhase(t types.Type, cfg *Config) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Name() != "Phase" {
+		return false
+	}
+	return pathSuffixIn(n.Obj().Pkg().Path(), cfg.PhaseOwnerPackages)
+}
+
+// shortQualifier renders package-qualified type names with the bare package
+// name ("trace.Phase", not the full import path).
+func shortQualifier(p *types.Package) string {
+	return p.Name()
+}
+
+// pathSuffixIn reports whether path equals or ends with any of the given
+// module-relative suffixes ("internal/trace" matches both the real package
+// and "synthetic/internal/trace").
+func pathSuffixIn(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// analyzeModuleSrc runs the suite over a multi-package synthetic module and
+// returns findings as "path:line:check" strings, sorted.
+func analyzeModuleSrc(t *testing.T, pkgs map[string]map[string]string, cfg *Config) []string {
+	t.Helper()
+	fs, err := AnalyzeSourcePackages(pkgs, cfg)
+	if err != nil {
+		t.Fatalf("AnalyzeSourcePackages: %v", err)
+	}
+	out := make([]string, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, fmt.Sprintf("%s:%d:%s", f.Pos.Filename, f.Pos.Line, f.Check))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// phaseOwnerSrc is a minimal stand-in for internal/trace: the owner package
+// defines Phase and its validated constructor.
+const phaseOwnerSrc = `package trace
+
+type Phase struct {
+	Name   string
+	Lo, Hi int
+}
+
+// Make is the validated constructor: the owner package may build Phases.
+func Make(name string, lo, hi int) Phase { return Phase{Name: name, Lo: lo, Hi: hi} }
+`
+
+func phaseCfg() *Config {
+	cfg := DefaultConfig()
+	cfg.Checks = []string{"phasebound"}
+	return cfg
+}
+
+func TestPhaseBound(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // body of a synthetic internal/sim package importing trace
+		want []string
+	}{
+		{
+			name: "raw literal outside the owner",
+			src: `package sim
+import "synthetic/internal/trace"
+func bad() trace.Phase { return trace.Phase{Name: "x", Lo: 0, Hi: 1} }
+`,
+			want: []string{"internal/sim/use.go:3:phasebound"},
+		},
+		{
+			name: "field mutation outside the owner",
+			src: `package sim
+import "synthetic/internal/trace"
+func widen(ps []trace.Phase) { ps[0].Hi = 99 }
+func bump(ps []trace.Phase) { ps[0].Lo++ }
+`,
+			want: []string{"internal/sim/use.go:3:phasebound", "internal/sim/use.go:4:phasebound"},
+		},
+		{
+			name: "address-taking hands out a mutable alias",
+			src: `package sim
+import "synthetic/internal/trace"
+func alias(ps []trace.Phase) *trace.Phase { return &ps[0] }
+`,
+			want: []string{"internal/sim/use.go:3:phasebound"},
+		},
+		{
+			name: "reads and validated construction are free",
+			src: `package sim
+import "synthetic/internal/trace"
+func span(p trace.Phase) int { return p.Hi - p.Lo }
+func build() trace.Phase { return trace.Make("steady", 0, 8) }
+func slice(xs []uint64, p trace.Phase) []uint64 { return xs[p.Lo:p.Hi] }
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed with a justified ignore",
+			src: `package sim
+import "synthetic/internal/trace"
+func rebase(ps []trace.Phase) {
+	ps[0].Hi = 7 //mosvet:ignore phasebound test fixture rebases a synthetic partition
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := analyzeModuleSrc(t, map[string]map[string]string{
+				"internal/trace": {"phase.go": phaseOwnerSrc},
+				"internal/sim":   {"use.go": tc.src},
+			}, phaseCfg())
+			wantFindings(t, got, tc.want...)
+		})
+	}
+}
+
+// TestPhaseBoundOwnerExempt: the owner package itself builds and mutates
+// Phases freely — that is where the invariant is established.
+func TestPhaseBoundOwnerExempt(t *testing.T) {
+	got := analyzeModuleSrc(t, map[string]map[string]string{
+		"internal/trace": {"phase.go": phaseOwnerSrc + `
+func renumber(ps []Phase) {
+	for i := range ps {
+		ps[i].Lo = i
+		ps[i].Hi = i + 1
+	}
+}
+`},
+	}, phaseCfg())
+	wantFindings(t, got)
+}

@@ -30,6 +30,9 @@ func (s *Simulator) Restore(st *ckpt.MachineState) error {
 	return s.restoreState(st, &m)
 }
 
+// snapshotState captures component state plus the metrics accumulator.
+//
+//mosvet:ckptexempt HasClock,Now,MissRate,WalkCycles,Instructions,Breakdown,WalkerFree,SumTLB,SumHier the partial simulator models no clock: HasClock stays false and the clock/accumulator section is meaningful only for full machines
 func (s *Simulator) snapshotState(m *Metrics) *ckpt.MachineState {
 	return &ckpt.MachineState{
 		Metrics: [5]uint64{m.H, m.M, m.C, m.Lookups, m.WalkRefs},
@@ -39,6 +42,10 @@ func (s *Simulator) snapshotState(m *Metrics) *ckpt.MachineState {
 	}
 }
 
+// restoreState seeds component state and the metrics accumulator, after
+// rejecting clocked (full-machine) checkpoints.
+//
+//mosvet:ckptexempt Now,MissRate,WalkCycles,Instructions,Breakdown,WalkerFree,SumTLB,SumHier clock and accumulator fields are zero in every partial-simulator snapshot; the HasClock guard rejects checkpoints where they are live
 func (s *Simulator) restoreState(st *ckpt.MachineState, m *Metrics) error {
 	if st.HasClock {
 		return fmt.Errorf("partialsim: restore of a full-machine (clocked) checkpoint into a partial simulator")

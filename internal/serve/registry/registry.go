@@ -163,10 +163,11 @@ func (r *Registry) Train(ds *experiment.Dataset, names []string) error {
 		Models:       trained,
 	}
 
+	// Phase 1 (locked): merge with previously trained models for the same
+	// pair — so training "mosmodel" after "poly1" serves both — and install.
+	// An installed Pair is never mutated again (later Trains build a fresh
+	// one and merge into it), so it is safe to serialize without the lock.
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	// Merge with previously trained models for the same pair so training
-	// "mosmodel" after "poly1" serves both.
 	if prev, ok := r.pairs[key(pair.Workload, pair.Platform)]; ok {
 		for name, tm := range prev.Models {
 			if _, ok := pair.Models[name]; !ok {
@@ -175,15 +176,41 @@ func (r *Registry) Train(ds *experiment.Dataset, names []string) error {
 		}
 	}
 	r.pairs[key(pair.Workload, pair.Platform)] = pair
-	if r.dir == "" {
+	dir := r.dir
+	r.mu.Unlock()
+	if dir == "" {
 		return nil
 	}
-	return r.persistLocked(pair)
+
+	// Phase 2 (unlocked): marshal and write the pair file. Serving requests
+	// proceed against the already-installed pair while the disk write runs.
+	path, raw, err := r.persist(pair)
+	if err != nil {
+		return err
+	}
+
+	fi, statErr := os.Stat(path)
+
+	// Phase 3 (locked): record the freshly written file's stamp so Reload
+	// recognizes it as our own write rather than an external edit.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if statErr == nil {
+		r.stamps[path] = fileStamp{
+			size:  fi.Size(),
+			mtime: fi.ModTime(),
+			hash:  fnv1aBytes(raw),
+			at:    time.Now(),
+		}
+		r.files[key(pair.Workload, pair.Platform)] = path
+	}
+	return nil
 }
 
-// persistLocked writes one pair's file and refreshes its stamp. Callers
-// hold the write lock.
-func (r *Registry) persistLocked(pair *Pair) error {
+// persist writes one pair's file atomically and returns its path and raw
+// bytes for stamping. It must be called without the registry lock held —
+// it performs file I/O.
+func (r *Registry) persist(pair *Pair) (string, []byte, error) {
 	pf := pairFile{
 		Version:      fileVersion,
 		Workload:     pair.Workload,
@@ -196,7 +223,7 @@ func (r *Registry) persistLocked(pair *Pair) error {
 	for name, tm := range pair.Models {
 		state, err := json.Marshal(tm.Model)
 		if err != nil {
-			return fmt.Errorf("registry: serializing %s for %s: %w", name, key(pair.Workload, pair.Platform), err)
+			return "", nil, fmt.Errorf("registry: serializing %s for %s: %w", name, key(pair.Workload, pair.Platform), err)
 		}
 		pf.Models[name] = modelRecord{
 			MaxTrainErr: tm.MaxTrainErr,
@@ -206,22 +233,13 @@ func (r *Registry) persistLocked(pair *Pair) error {
 	}
 	raw, err := json.MarshalIndent(&pf, "", "  ")
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	path := r.pairPath(pair.Workload, pair.Platform)
 	if err := writeFileAtomic(path, raw, 0o644); err != nil {
-		return err
+		return "", nil, err
 	}
-	if fi, err := os.Stat(path); err == nil {
-		r.stamps[path] = fileStamp{
-			size:  fi.Size(),
-			mtime: fi.ModTime(),
-			hash:  fnv1aBytes(raw),
-			at:    time.Now(),
-		}
-		r.files[key(pair.Workload, pair.Platform)] = path
-	}
-	return nil
+	return path, raw, nil
 }
 
 // parsePair parses one pair file's bytes into its in-memory form.

@@ -44,6 +44,8 @@ func (s *setAssoc) restore(name string, tags []uint64) error {
 }
 
 // Snapshot captures the TLB's entries, recency order, and counters.
+//
+//mosvet:ckptexempt cfg cfg is the immutable platform geometry the TLB was built with; Restore checks entry counts against it instead of overwriting it
 func (t *TLB) Snapshot() State {
 	return State{
 		L14K:       t.l14k.snapshot(),

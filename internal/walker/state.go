@@ -67,6 +67,8 @@ type State struct {
 }
 
 // Snapshot captures the walker's PWC contents and counters.
+//
+//mosvet:ckptexempt trans,hier,scratch trans and hier are wiring to sibling components snapshotted through their own contracts; scratch is a per-walk buffer that is dead between walks
 func (w *Walker) Snapshot() State {
 	return State{
 		PML4:  w.pwcPML4.snapshot(),
